@@ -1,0 +1,1 @@
+bench/ablations.ml: Driver_num Error Kernel List Printf Process Scheduler Tock Tock_boards Tock_hw Tock_userland

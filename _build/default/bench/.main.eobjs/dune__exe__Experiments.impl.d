@@ -1,0 +1,1 @@
+bench/experiments.ml: Adaptors Bytes Char Driver_num Error Kernel List Printf Process String Subslice Sys Syscall Tock Tock_boards Tock_capsules Tock_hw Tock_tbf Tock_userland

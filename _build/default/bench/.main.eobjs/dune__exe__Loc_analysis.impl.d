@@ -1,0 +1,1 @@
+bench/loc_analysis.ml: Array Filename List Printf String Sys

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Experiments Figures List Loc_analysis Micro Printf Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Hashtbl Instance List Measure Printf Staged Test Time Tock Tock_boards Tock_crypto Tock_hw Tock_userland Toolkit

@@ -1,0 +1,91 @@
+(* Bechamel microbenchmarks: host-time cost of the hot primitives. These
+   complement the cycle-accounted experiment harnesses with real
+   wall-clock measurements of the implementation itself. *)
+
+open Bechamel
+open Toolkit
+
+let sha256_64 =
+  let data = Bytes.make 64 'x' in
+  Test.make ~name:"sha256/64B" (Staged.stage (fun () ->
+      ignore (Tock_crypto.Sha256.digest_bytes data)))
+
+let sha256_4k =
+  let data = Bytes.make 4096 'x' in
+  Test.make ~name:"sha256/4kB" (Staged.stage (fun () ->
+      ignore (Tock_crypto.Sha256.digest_bytes data)))
+
+let aes_block =
+  let key = Tock_crypto.Aes128.expand_key (Bytes.make 16 'k') in
+  let block = Bytes.make 16 'p' in
+  Test.make ~name:"aes128/block" (Staged.stage (fun () ->
+      ignore (Tock_crypto.Aes128.encrypt_block key block ~off:0)))
+
+let subslice_ops =
+  let s = Tock.Subslice.create 4096 in
+  Test.make ~name:"subslice/slice+reset" (Staged.stage (fun () ->
+      Tock.Subslice.reset s;
+      Tock.Subslice.slice s ~pos:8 ~len:4000;
+      Tock.Subslice.set_u8 s 0 1;
+      Tock.Subslice.reset s))
+
+let ring_buffer_cycle =
+  let r = Tock.Ring_buffer.create ~capacity:16 ~dummy:0 in
+  Test.make ~name:"ring/push+pop" (Staged.stage (fun () ->
+      ignore (Tock.Ring_buffer.push r 1);
+      ignore (Tock.Ring_buffer.pop r)))
+
+let syscall_codec =
+  let call =
+    Tock.Syscall.Command { driver = 1; command_num = 2; arg1 = 3; arg2 = 4 }
+  in
+  Test.make ~name:"syscall/encode+decode" (Staged.stage (fun () ->
+      ignore (Tock.Syscall.decode_call (Tock.Syscall.encode_call call))))
+
+let take_cell_map =
+  let c = Tock.Cells.Take_cell.make 42 in
+  Test.make ~name:"take_cell/map" (Staged.stage (fun () ->
+      ignore (Tock.Cells.Take_cell.map c (fun v -> v + 1))))
+
+let event_queue_cycle =
+  let q = Tock_hw.Event_queue.create () in
+  let t = ref 0 in
+  Test.make ~name:"event_queue/schedule+pop" (Staged.stage (fun () ->
+      incr t;
+      ignore (Tock_hw.Event_queue.schedule q ~time:!t ignore);
+      ignore (Tock_hw.Event_queue.pop_due q ~now:!t)))
+
+let kernel_step_idle =
+  (* The cost of one full simulated kernel step including a process slice. *)
+  let sim = Tock_hw.Sim.create () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let board = Tock_boards.Board.build chip in
+  ignore (Tock_boards.Board.add_app board ~name:"spin" Tock_userland.Apps.spinner);
+  let k = board.Tock_boards.Board.kernel in
+  let cap = board.Tock_boards.Board.main_cap in
+  Test.make ~name:"kernel/step(spinner)" (Staged.stage (fun () ->
+      ignore (Tock.Kernel.step k ~cap)))
+
+let all =
+  [ sha256_64; sha256_4k; aes_block; subslice_ops; ring_buffer_cycle;
+    syscall_codec; take_cell_map; event_queue_cycle; kernel_step_idle ]
+
+let run () =
+  print_endline "== micro: Bechamel host-time microbenchmarks ==";
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      let results = Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                                   ~predictors:[| Measure.run |]) Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "   %-28s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "   %-28s (no estimate)\n" name)
+        results)
+    all;
+  print_newline ()

@@ -1,0 +1,250 @@
+(* tock_sim: command-line driver for the simulated Tock platform.
+
+   Subcommands:
+     run       boot a single board with a selection of apps
+     signpost  run the multi-node urban-sensing deployment
+     rot       run the signed-boot root-of-trust scenario
+     apps      list the available applications
+
+   Examples:
+     tock_sim run --chip sam4l --app hello --app counter --scheduler mlfq
+     tock_sim signpost --nodes 3 --seconds 1
+     tock_sim rot --tamper *)
+
+open Cmdliner
+
+let app_catalog =
+  [
+    ("hello", "print a greeting and exit", fun () -> Tock_userland.Apps.hello);
+    ( "counter",
+      "print 5 numbered lines, sleeping between them",
+      fun () -> Tock_userland.Apps.counter ~n:5 ~period_ticks:200 );
+    ( "blink",
+      "blink LED 0 eight times",
+      fun () -> Tock_userland.Apps.blink ~led:0 ~period_ticks:150 ~blinks:8 );
+    ( "sensor-logger",
+      "duty-cycled temperature logging",
+      fun () -> Tock_userland.Apps.sensor_logger ~samples:5 ~period_ticks:1000 );
+    ( "kv",
+      "key-value store roundtrips",
+      fun () -> Tock_userland.Apps.kv_user ~rounds:8 );
+    ("hog", "exhaust own memory, prove containment", fun () -> Tock_userland.Apps.memory_hog);
+    ( "faulty",
+      "dereference a wild pointer after a delay",
+      fun () -> Tock_userland.Apps.fault_injector ~delay_ticks:200 );
+    ("spinner", "burn CPU forever", fun () -> Tock_userland.Apps.spinner);
+  ]
+
+let lookup_app name = List.find_opt (fun (n, _, _) -> n = name) app_catalog
+
+let print_stats board =
+  let s = Tock.Kernel.stats board.Tock_boards.Board.kernel in
+  let sim = board.Tock_boards.Board.sim in
+  Printf.printf "--- kernel stats ---\n";
+  Printf.printf
+    "syscalls=%d switches=%d upcalls=%d sleeps=%d faults=%d restarts=%d\n"
+    s.Tock.Kernel.syscalls s.Tock.Kernel.context_switches
+    s.Tock.Kernel.upcalls_delivered s.Tock.Kernel.sleeps s.Tock.Kernel.faults
+    s.Tock.Kernel.restarts;
+  let active = Tock_hw.Sim.active_cycles sim
+  and asleep = Tock_hw.Sim.sleep_cycles sim in
+  Printf.printf "cpu: %d active / %d asleep cycles (%.1f%% sleeping)\n" active
+    asleep
+    (100. *. float_of_int asleep /. float_of_int (max 1 (active + asleep)));
+  Printf.printf "energy: %.1f uJ total\n" (Tock_hw.Sim.total_microjoules sim)
+
+let print_processes board =
+  Printf.printf "--- processes ---\n";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-14s %s (restarts=%d, syscalls=%d)\n"
+        (Tock.Process.name p)
+        (match Tock.Process.state p with
+        | Tock.Process.Terminated { code } -> Printf.sprintf "terminated(%d)" code
+        | Tock.Process.Faulted _ -> "faulted"
+        | Tock.Process.Runnable | Tock.Process.Yielded
+        | Tock.Process.Yielded_for _ | Tock.Process.Blocked_command _ ->
+            "running"
+        | Tock.Process.Unstarted -> "unstarted"
+        | Tock.Process.Stopped _ -> "stopped")
+        (Tock.Process.restart_count p)
+        (Tock.Process.syscall_count p))
+    (Tock.Kernel.processes board.Tock_boards.Board.kernel)
+
+(* ---- run ---- *)
+
+let run_cmd chip_name apps scheduler seconds seed strace =
+  let sim = Tock_hw.Sim.create ~seed:(Int64.of_int seed) () in
+  let chip =
+    match chip_name with
+    | "sam4l" -> Tock_hw.Chip.sam4l_like sim
+    | "rv32" -> Tock_hw.Chip.rv32_like sim
+    | other -> failwith ("unknown chip: " ^ other)
+  in
+  let sched =
+    match scheduler with
+    | "rr" -> Tock.Scheduler.round_robin ()
+    | "coop" -> Tock.Scheduler.cooperative ()
+    | "priority" -> Tock.Scheduler.priority ()
+    | "mlfq" -> Tock.Scheduler.mlfq ()
+    | other -> failwith ("unknown scheduler: " ^ other)
+  in
+  let config = { (Tock.Kernel.default_config ()) with Tock.Kernel.scheduler = sched } in
+  let board = Tock_boards.Board.build ~config chip in
+  if strace then
+    Tock.Kernel.set_syscall_trace board.Tock_boards.Board.kernel
+      (Some
+         (fun proc call ret ->
+           Printf.printf "[%10d] %s: %s%s\n"
+             (Tock_hw.Sim.now sim)
+             (Tock.Process.name proc)
+             (Format.asprintf "%a" Tock.Syscall.pp_call call)
+             (match ret with
+             | Some r -> Format.asprintf " = %a" Tock.Syscall.pp_ret r
+             | None -> " (blocked)")));
+  List.iter
+    (fun name ->
+      match lookup_app name with
+      | Some (_, _, mk) -> (
+          match Tock_boards.Board.add_app board ~name (mk ()) with
+          | Ok _ -> ()
+          | Error e ->
+              Printf.eprintf "cannot load %s: %s\n" name (Tock.Error.to_string e))
+      | None -> Printf.eprintf "unknown app %s (see `tock_sim apps`)\n" name)
+    apps;
+  let budget = int_of_float (float_of_int (Tock_hw.Sim.clock_hz sim) *. seconds) in
+  ignore
+    (Tock_boards.Board.run_until board ~max_cycles:budget (fun () ->
+         Tock_boards.Board.all_processes_done board));
+  Printf.printf "--- console ---\n%s" (Tock_boards.Board.output board);
+  print_processes board;
+  print_stats board
+
+(* ---- signpost ---- *)
+
+let signpost_cmd nodes seconds seed =
+  let net =
+    Tock_boards.Signpost_board.create ~seed:(Int64.of_int seed) ~loss_prob:0.05
+      ~nodes:(nodes + 1) ()
+  in
+  let all = net.Tock_boards.Signpost_board.nodes in
+  let gateway, sensors =
+    match all with g :: rest -> (g, rest) | [] -> assert false
+  in
+  ignore
+    (Tock_boards.Board.add_app gateway.Tock_boards.Signpost_board.node_board
+       ~name:"sink"
+       (Tock_userland.Apps.radio_sink ~expect:(2 * List.length sensors)));
+  List.iteri
+    (fun i n ->
+      ignore
+        (Tock_boards.Board.add_app n.Tock_boards.Signpost_board.node_board
+           ~name:(Printf.sprintf "beacon%d" i)
+           (Tock_userland.Apps.radio_beacon ~frames:3
+              ~period_ticks:(700 + (61 * i)))))
+    sensors;
+  let budget =
+    int_of_float (float_of_int (Tock_hw.Sim.clock_hz net.Tock_boards.Signpost_board.sim) *. seconds)
+  in
+  Tock_boards.Signpost_board.run_all net ~max_cycles:budget;
+  List.iteri
+    (fun i n ->
+      Printf.printf "--- node %d ---\n%s" i
+        (Tock_boards.Board.output n.Tock_boards.Signpost_board.node_board))
+    all;
+  let e = net.Tock_boards.Signpost_board.ether in
+  Printf.printf "--- medium ---\ndelivered=%d lost=%d collisions=%d\n"
+    (Tock_hw.Radio.Ether.delivered e)
+    (Tock_hw.Radio.Ether.lost e)
+    (Tock_hw.Radio.Ether.collisions e);
+  Printf.printf "total energy: %.1f uJ\n"
+    (Tock_boards.Signpost_board.total_energy_uj net)
+
+(* ---- rot ---- *)
+
+let rot_cmd tamper =
+  let rot = Tock_boards.Rot_board.create () in
+  let board = rot.Tock_boards.Rot_board.board in
+  let token =
+    Tock_boards.Rot_board.sign_app rot ~name:"token"
+      ~binary:(Tock_userland.Apps.make_token_binary ()) ()
+  in
+  let token = if tamper then Tock_boards.Rot_board.tamper token else token in
+  let requester = Tock_boards.Rot_board.sign_app rot ~name:"requester" () in
+  let registry =
+    [
+      ("token", Tock_userland.Apps.hmac_token ~challenges:3);
+      ( "requester",
+        Tock_userland.Apps.hmac_token_requester ~service:"token" ~challenges:3 );
+    ]
+  in
+  let summary = ref None in
+  Tock_boards.Rot_board.load_signed rot ~apps:[ token; requester ] ~registry
+    ~on_done:(fun s -> summary := Some s);
+  ignore
+    (Tock_boards.Board.run_until board ~max_cycles:200_000_000 (fun () ->
+         !summary <> None));
+  (match !summary with
+  | Some s ->
+      List.iter
+        (function
+          | Tock.Process_loader.Loaded p ->
+              Printf.printf "verified: %s\n" (Tock.Process.name p)
+          | Tock.Process_loader.Rejected { app_name; reason } ->
+              Printf.printf "REJECTED: %s (%s)\n" app_name reason)
+        s.Tock.Process_loader.outcomes
+  | None -> print_endline "loader did not finish");
+  Tock_boards.Board.run_to_completion board ~max_cycles:500_000_000 ();
+  Printf.printf "--- console ---\n%s" (Tock_boards.Board.output board);
+  print_stats board
+
+let apps_cmd () =
+  Printf.printf "available apps:\n";
+  List.iter (fun (n, d, _) -> Printf.printf "  %-14s %s\n" n d) app_catalog
+
+(* ---- cmdliner plumbing ---- *)
+
+let chip_arg =
+  Arg.(value & opt string "sam4l" & info [ "chip" ] ~docv:"CHIP" ~doc:"Chip profile: sam4l or rv32.")
+
+let apps_arg =
+  Arg.(value & opt_all string [ "hello" ] & info [ "app"; "a" ] ~docv:"APP" ~doc:"App to load (repeatable).")
+
+let sched_arg =
+  Arg.(value & opt string "rr" & info [ "scheduler" ] ~docv:"SCHED" ~doc:"rr, coop, priority, or mlfq.")
+
+let seconds_arg =
+  Arg.(value & opt float 2.0 & info [ "seconds" ] ~docv:"S" ~doc:"Simulated seconds to run.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let nodes_arg =
+  Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc:"Sensor nodes (plus one gateway).")
+
+let strace_arg =
+  Arg.(value & flag & info [ "strace" ] ~doc:"Trace every system call.")
+
+let tamper_arg =
+  Arg.(value & flag & info [ "tamper" ] ~doc:"Corrupt the token app image after signing.")
+
+let run_t =
+  Term.(const run_cmd $ chip_arg $ apps_arg $ sched_arg $ seconds_arg $ seed_arg $ strace_arg)
+
+let signpost_t = Term.(const signpost_cmd $ nodes_arg $ seconds_arg $ seed_arg)
+
+let rot_t = Term.(const rot_cmd $ tamper_arg)
+
+let apps_t = Term.(const apps_cmd $ const ())
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Boot a single board with apps") run_t;
+    Cmd.v (Cmd.info "signpost" ~doc:"Multi-node urban sensing deployment") signpost_t;
+    Cmd.v (Cmd.info "rot" ~doc:"Root-of-trust signed boot scenario") rot_t;
+    Cmd.v (Cmd.info "apps" ~doc:"List available applications") apps_t;
+  ]
+
+let () =
+  let doc = "simulated Tock platform driver" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tock_sim" ~doc) cmds))

@@ -1,0 +1,1 @@
+examples/fault_isolation.ml: Printf Tock Tock_boards Tock_capsules Tock_hw Tock_userland

@@ -1,0 +1,1 @@
+examples/network.ml: Bytes Char Option Printf Tock Tock_boards Tock_capsules Tock_hw

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Tock Tock_boards Tock_hw Tock_userland

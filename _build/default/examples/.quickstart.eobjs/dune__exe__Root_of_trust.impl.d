@@ -1,0 +1,1 @@
+examples/root_of_trust.ml: List Printf Tock Tock_boards Tock_capsules Tock_tbf Tock_userland

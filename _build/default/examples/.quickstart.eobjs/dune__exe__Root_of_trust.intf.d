@@ -1,0 +1,1 @@
+examples/root_of_trust.mli:

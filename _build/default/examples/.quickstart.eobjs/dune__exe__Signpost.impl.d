@@ -1,0 +1,1 @@
+examples/signpost.ml: List Printf Tock Tock_boards Tock_hw Tock_userland

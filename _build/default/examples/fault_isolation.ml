@@ -1,0 +1,42 @@
+(* Fault isolation: "avoid fate-sharing across applications" (paper §2).
+
+   Four apps share a board. One dereferences memory outside its MPU
+   regions and faults repeatedly; the kernel restarts it up to the policy
+   limit and then parks it as Faulted. The other three apps are
+   unaffected. The process console (a privileged capsule holding a
+   process-management capability) then inspects and manipulates the
+   process table, exactly like Tock's process console over serial. *)
+
+let () =
+  let sim = Tock_hw.Sim.create ~seed:7L () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let config =
+    { (Tock.Kernel.default_config ()) with
+      Tock.Kernel.fault_policy = Tock.Kernel.Restart_on_fault 2 }
+  in
+  let board = Tock_boards.Board.build ~config chip in
+  let must = function Ok p -> p | Error e -> failwith (Tock.Error.to_string e) in
+  ignore (must (Tock_boards.Board.add_app board ~name:"steady"
+                  (Tock_userland.Apps.counter ~n:6 ~period_ticks:300)));
+  ignore (must (Tock_boards.Board.add_app board ~name:"faulty"
+                  (Tock_userland.Apps.fault_injector ~delay_ticks:250)));
+  ignore (must (Tock_boards.Board.add_app board ~name:"hog"
+                  Tock_userland.Apps.memory_hog));
+  ignore (must (Tock_boards.Board.add_app board ~name:"blinky"
+                  (Tock_userland.Apps.blink ~led:0 ~period_ticks:150 ~blinks:8)));
+  Tock_boards.Board.run_to_completion board ~max_cycles:400_000_000 ();
+
+  print_endline "--- console ---";
+  print_string (Tock_boards.Board.output board);
+  let s = Tock.Kernel.stats board.Tock_boards.Board.kernel in
+  Printf.printf "--- kernel ---\nfaults: %d, restarts: %d\n"
+    s.Tock.Kernel.faults s.Tock.Kernel.restarts;
+
+  (* Drive the process console like an operator at a serial terminal. *)
+  print_endline "--- process console ---";
+  let pc = board.Tock_boards.Board.process_console in
+  Tock_capsules.Process_console.inject_line pc "list";
+  Tock_capsules.Process_console.inject_line pc "restart steady";
+  Tock_boards.Board.run_to_completion board ~max_cycles:400_000_000 ();
+  Tock_capsules.Process_console.inject_line pc "list";
+  print_string (Tock_capsules.Process_console.output pc)

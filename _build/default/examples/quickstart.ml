@@ -1,0 +1,41 @@
+(* Quickstart: boot a board, run two apps, read the console.
+
+   This is the smallest complete use of the public API:
+   1. create a simulation context and a chip,
+   2. build a board (trusted init: capsules, drivers, capabilities),
+   3. add applications,
+   4. run the kernel until every app finishes,
+   5. inspect the UART capture and kernel statistics. *)
+
+let () =
+  let sim = Tock_hw.Sim.create ~seed:1L () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let board = Tock_boards.Board.build chip in
+
+  (* Two concurrent apps: a greeter and a duty-cycled counter. *)
+  let must = function
+    | Ok p -> p
+    | Error e -> failwith (Tock.Error.to_string e)
+  in
+  let _hello = must (Tock_boards.Board.add_app board ~name:"hello" Tock_userland.Apps.hello) in
+  let _count =
+    must
+      (Tock_boards.Board.add_app board ~name:"counter"
+         (Tock_userland.Apps.counter ~n:5 ~period_ticks:200))
+  in
+
+  Tock_boards.Board.run_to_completion board ();
+
+  print_string "--- console ---\n";
+  print_string (Tock_boards.Board.output board);
+  print_string "--- kernel ---\n";
+  let s = Tock.Kernel.stats board.Tock_boards.Board.kernel in
+  Printf.printf
+    "syscalls: %d\ncontext switches: %d\nupcalls delivered: %d\nsleeps: %d\n"
+    s.Tock.Kernel.syscalls s.Tock.Kernel.context_switches
+    s.Tock.Kernel.upcalls_delivered s.Tock.Kernel.sleeps;
+  let active = Tock_hw.Sim.active_cycles sim
+  and asleep = Tock_hw.Sim.sleep_cycles sim in
+  Printf.printf "cpu: %d cycles active, %d asleep (%.1f%% sleeping)\n" active
+    asleep
+    (100. *. float_of_int asleep /. float_of_int (max 1 (active + asleep)))

@@ -1,0 +1,86 @@
+(* Root of trust: the deployment domain that drove Tock's evolution
+   (paper §3).
+
+   A RISC-V-class security chip boots by verifying each app's signature
+   through the asynchronous loader (digest + public-key engines), rejects
+   a tampered image, then serves 2FA challenges: a requester app asks the
+   token app (over IPC) to answer challenges with HMAC(key, challenge),
+   where the key lives in the token's flash image and reaches the kernel
+   through allow-readonly — never copied to RAM (paper §3.3.3).
+
+   Also demonstrates dynamic installation (paper §3.4): a new signed app
+   is verified and started at runtime, no reboot. *)
+
+let () =
+  let rot = Tock_boards.Rot_board.create ~blocking_commands:true () in
+  let board = rot.Tock_boards.Rot_board.board in
+
+  let token =
+    Tock_boards.Rot_board.sign_app rot ~name:"token"
+      ~binary:(Tock_userland.Apps.make_token_binary ()) ()
+  in
+  let requester = Tock_boards.Rot_board.sign_app rot ~name:"requester" () in
+  let tampered =
+    Tock_boards.Rot_board.tamper
+      (Tock_boards.Rot_board.sign_app rot ~name:"malware" ())
+  in
+  let registry =
+    [
+      ("token", Tock_userland.Apps.hmac_token ~challenges:4);
+      ( "requester",
+        Tock_userland.Apps.hmac_token_requester ~service:"token" ~challenges:4 );
+      ("malware", Tock_userland.Apps.spinner);
+      ("late-app", Tock_userland.Apps.kv_user ~rounds:5);
+    ]
+  in
+
+  print_endline "--- secure boot ---";
+  let summary = ref None in
+  Tock_boards.Rot_board.load_signed rot ~apps:[ token; tampered; requester ]
+    ~registry ~on_done:(fun s -> summary := Some s);
+  ignore
+    (Tock_boards.Board.run_until board ~max_cycles:100_000_000 (fun () ->
+         !summary <> None));
+  (match !summary with
+  | Some s ->
+      List.iter
+        (function
+          | Tock.Process_loader.Loaded p ->
+              Printf.printf "verified and loaded: %s\n" (Tock.Process.name p)
+          | Tock.Process_loader.Rejected { app_name; reason } ->
+              Printf.printf "REJECTED: %s (%s)\n" app_name reason)
+        s.Tock.Process_loader.outcomes
+  | None -> print_endline "loader did not finish!");
+
+  (* Dynamic install while the token/requester run. *)
+  let late = Tock_boards.Rot_board.sign_app rot ~name:"late-app" () in
+  let installed = ref None in
+  Tock.Process_loader.install board.Tock_boards.Board.kernel
+    ~cap:board.Tock_boards.Board.ext_cap ~pm_cap:board.Tock_boards.Board.pm_cap
+    ~flash_base:(Tock_boards.Board.flash_app_base + 0x8000)
+    ~tbf:(Tock_tbf.Tbf.serialize late)
+    ~lookup:(Tock_userland.Apps.registry registry)
+    ~checker:(Tock_capsules.Signature_checker.checker rot.Tock_boards.Rot_board.checker)
+    ~on_done:(fun r -> installed := Some r);
+  ignore
+    (Tock_boards.Board.run_until board ~max_cycles:100_000_000 (fun () ->
+         !installed <> None));
+  (match !installed with
+  | Some (Ok p) ->
+      Printf.printf "dynamically installed: %s (no reboot)\n"
+        (Tock.Process.name p)
+  | Some (Error e) -> Printf.printf "install failed: %s\n" e
+  | None -> print_endline "install did not finish!");
+
+  Tock_boards.Board.run_to_completion board ~max_cycles:800_000_000 ();
+  print_endline "--- console ---";
+  print_string (Tock_boards.Board.output board);
+  print_endline "--- final process states ---";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-10s %s\n" (Tock.Process.name p)
+        (match Tock.Process.state p with
+        | Tock.Process.Terminated { code } -> Printf.sprintf "terminated(%d)" code
+        | Tock.Process.Faulted _ -> "faulted"
+        | _ -> "running"))
+    (Tock.Kernel.processes board.Tock_boards.Board.kernel)

@@ -1,0 +1,1 @@
+lib/boards/board.mli: Buffer Tock Tock_capsules Tock_hw Tock_userland

@@ -1,0 +1,1 @@
+lib/boards/composition.ml: Tock_hw

@@ -1,0 +1,1 @@
+lib/boards/composition.mli: Tock_hw

@@ -1,0 +1,1 @@
+lib/boards/rot_board.ml: Board Bytes Char Int64 List Tock Tock_capsules Tock_crypto Tock_hw Tock_tbf Tock_userland

@@ -1,0 +1,1 @@
+lib/boards/rot_board.mli: Board Tock Tock_capsules Tock_crypto Tock_tbf Tock_userland

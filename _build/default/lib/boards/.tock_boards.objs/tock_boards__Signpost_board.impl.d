@@ -1,0 +1,1 @@
+lib/boards/signpost_board.ml: Board List Tock Tock_hw

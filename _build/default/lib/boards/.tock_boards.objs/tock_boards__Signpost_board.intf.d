@@ -1,0 +1,1 @@
+lib/boards/signpost_board.mli: Board Tock_hw

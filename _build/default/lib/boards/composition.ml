@@ -1,0 +1,44 @@
+type active_low = |
+
+type active_high = |
+
+type 'polarity provider = { p_cs : int; p_polarity : Tock_hw.Spi.polarity }
+
+type 'polarity requirement = Req
+
+type connection = { conn_cs : int; conn_polarity : Tock_hw.Spi.polarity }
+
+let can_drive capability polarity =
+  match (capability, polarity) with
+  | Tock_hw.Spi.Configurable, _ -> true
+  | Tock_hw.Spi.Only_active_low, Tock_hw.Spi.Active_low -> true
+  | Tock_hw.Spi.Only_active_high, Tock_hw.Spi.Active_high -> true
+  | _ -> false
+
+let provider_low spi ~cs : active_low provider option =
+  if can_drive (Tock_hw.Spi.cs_capability spi) Tock_hw.Spi.Active_low then
+    Some { p_cs = cs; p_polarity = Tock_hw.Spi.Active_low }
+  else None
+
+let provider_high spi ~cs : active_high provider option =
+  if can_drive (Tock_hw.Spi.cs_capability spi) Tock_hw.Spi.Active_high then
+    Some { p_cs = cs; p_polarity = Tock_hw.Spi.Active_high }
+  else None
+
+let requires_low : active_low requirement = Req
+
+let requires_high : active_high requirement = Req
+
+let connect (p : 'p provider) (Req : 'p requirement) =
+  { conn_cs = p.p_cs; conn_polarity = p.p_polarity }
+
+let configure spi conn =
+  Tock_hw.Spi.configure_cs spi ~cs:conn.conn_cs conn.conn_polarity
+
+type device_need = Needs_low | Needs_high
+
+let validate capability need =
+  can_drive capability
+    (match need with
+    | Needs_low -> Tock_hw.Spi.Active_low
+    | Needs_high -> Tock_hw.Spi.Active_high)

@@ -1,0 +1,58 @@
+(** Configuration-time composition checking (paper §4.1, Fig. 3).
+
+    Tock encodes driver capabilities and requirements in Rust types so
+    that an invalid stackup — e.g. an active-high chip-select device on a
+    controller that can only drive active-low — fails to compile. The
+    OCaml rendering uses phantom types: a [_ provider] witnesses what the
+    controller can drive and a [_ requirement] what the device needs;
+    {!connect} only type-checks when the phantom parameters agree. The
+    test suite demonstrates that the ill-typed compositions are
+    unrepresentable (they appear, rejected, in comments), and the [fig3]
+    bench sweeps the runtime {!validate} matrix that boards use when
+    building device stacks dynamically.
+
+    Providers are minted from a chip's actual SPI capability, so you
+    cannot obtain an [active_high provider] for a chip that cannot drive
+    one. *)
+
+type active_low
+
+type active_high
+
+type 'polarity provider
+(** Witness: this controller (cs line included) can drive [polarity]. *)
+
+type 'polarity requirement
+(** Witness: this device needs [polarity]. *)
+
+type connection = private {
+  conn_cs : int;
+  conn_polarity : Tock_hw.Spi.polarity;
+}
+
+val provider_low : Tock_hw.Spi.t -> cs:int -> active_low provider option
+(** [None] if the controller cannot drive active-low on this line. *)
+
+val provider_high : Tock_hw.Spi.t -> cs:int -> active_high provider option
+
+val requires_low : active_low requirement
+
+val requires_high : active_high requirement
+
+val connect : 'p provider -> 'p requirement -> connection
+(** Well-typed by construction: a polarity mismatch is a compile error. *)
+
+val configure : Tock_hw.Spi.t -> connection -> (unit, string) result
+(** Program the controller chip-select from a checked connection; cannot
+    fail on polarity (already proven) but kept result-typed for bus
+    errors. *)
+
+(** {2 Runtime matrix (for the Fig. 3 experiment)} *)
+
+type device_need = Needs_low | Needs_high
+
+val validate :
+  Tock_hw.Spi.cs_capability -> device_need -> bool
+(** Would this stackup be accepted? The bench compares: with checking,
+    invalid configs are rejected before boot; without, they become
+    mis-polarized transfers at runtime ({!Tock_hw.Spi.mispolarized_transfers}). *)

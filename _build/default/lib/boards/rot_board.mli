@@ -1,0 +1,55 @@
+(** The hardware root-of-trust configuration (paper §3): RISC-V-class
+    chip, credential-checked asynchronous process loading, crypto
+    services, optionally the blocking-command extension the Ti50 fork
+    wanted.
+
+    Apps arrive as signed TBF images in an app-flash region; the
+    asynchronous loader drives the signature-checker capsule over the
+    digest and public-key engines before any process is created. *)
+
+type t = {
+  board : Board.t;
+  checker : Tock_capsules.Signature_checker.t;
+  signing_rng : Tock_crypto.Prng.t;
+  secret_key : Tock_crypto.Schnorr.secret_key;
+  public_key : Tock_crypto.Schnorr.public_key;
+}
+
+val create :
+  ?seed:int64 ->
+  ?blocking_commands:bool ->
+  ?policy:Tock_capsules.Signature_checker.policy ->
+  unit ->
+  t
+(** Default policy: [`Require_signature [own public key]]. *)
+
+val sign_app :
+  t ->
+  name:string ->
+  ?min_ram:int ->
+  ?binary:bytes ->
+  unit ->
+  Tock_tbf.Tbf.t
+(** Build a TBF for [name] signed with the board's key. *)
+
+val tamper : Tock_tbf.Tbf.t -> Tock_tbf.Tbf.t
+(** Flip a bit in the binary *after* signing (evil-maid image). *)
+
+val load_signed :
+  t ->
+  apps:Tock_tbf.Tbf.t list ->
+  registry:(string * (Tock_userland.Emu.app -> unit)) list ->
+  on_done:(Tock.Process_loader.summary -> unit) ->
+  unit
+(** Concatenate, start the async loader, and return; pump the board to
+    make progress. *)
+
+val public_key_bytes : t -> bytes
+
+val enable_app_loader :
+  t ->
+  registry:(string * (Tock_userland.Emu.app -> unit)) list ->
+  Tock_capsules.App_loader.t
+(** Register the userspace dynamic-installation driver (paper §3.4): apps
+    can then submit signed TBF images for verification and startup at
+    runtime. *)

@@ -1,0 +1,78 @@
+type node = { node_board : Board.t; node_addr : int }
+
+type t = {
+  sim : Tock_hw.Sim.t;
+  ether : Tock_hw.Radio.Ether.t;
+  nodes : node list;
+}
+
+let create ?(seed = 0x5169_0A0BL) ?(loss_prob = 0.0) ~nodes:n () =
+  let sim = Tock_hw.Sim.create ~seed () in
+  let ether = Tock_hw.Radio.Ether.create sim ~loss_prob () in
+  let nodes =
+    List.init n (fun i ->
+        let addr = 0x100 + i in
+        let chip = Tock_hw.Chip.sam4l_like ~ether ~radio_addr:addr sim in
+        { node_board = Board.build chip; node_addr = addr })
+  in
+  { sim; ether; nodes }
+
+(* One shared clock, several kernels: give every kernel a chance to do
+   work; only sleep the clock when all are idle. A kernel's [step]
+   sleeping would jump the global clock, so probe work first. *)
+let run_all t ~max_cycles =
+  let deadline = Tock_hw.Sim.now t.sim + max_cycles in
+  let continue_ = ref true in
+  while !continue_ && Tock_hw.Sim.now t.sim < deadline do
+    let any_worked = ref false in
+    List.iter
+      (fun n ->
+        let b = n.node_board in
+        let k = b.Board.kernel in
+        (* Busy-step this kernel while it has work, without sleeping. *)
+        let rec drain budget =
+          if budget > 0 then
+            let chip = b.Board.chip in
+            let has_irq = Tock_hw.Irq.has_pending chip.Tock_hw.Chip.irq in
+            let has_deferred =
+              Tock.Deferred_call.has_pending (Tock.Kernel.deferred k)
+            in
+            let has_proc =
+              List.exists
+                (fun p ->
+                  match Tock.Process.state p with
+                  | Tock.Process.Runnable -> true
+                  | Tock.Process.Yielded -> Tock.Process.has_pending_upcalls p
+                  | Tock.Process.Yielded_for w ->
+                      Tock.Process.has_upcall_for p ~driver:w.driver
+                        ~subscribe_num:w.subscribe_num
+                  | Tock.Process.Blocked_command w ->
+                      Tock.Process.has_upcall_for p ~driver:w.driver
+                        ~subscribe_num:w.subscribe_num
+                  | _ -> false)
+                (Tock.Kernel.processes k)
+            in
+            if has_irq || has_deferred || has_proc then begin
+              (match Tock.Kernel.step k ~cap:b.Board.main_cap with
+              | `Worked -> any_worked := true
+              | `Slept | `Stalled -> ());
+              drain (budget - 1)
+            end
+        in
+        drain 1000)
+      t.nodes;
+    if not !any_worked then begin
+      (* Everyone idle: all CPUs deep-sleep and the clock advances to the
+         next hardware event (all chips share the queue). *)
+      List.iter
+        (fun n -> Tock_hw.Chip.cpu_set_active n.node_board.Board.chip false)
+        t.nodes;
+      let advanced = Tock_hw.Sim.advance_to_next_event t.sim in
+      List.iter
+        (fun n -> Tock_hw.Chip.cpu_set_active n.node_board.Board.chip true)
+        t.nodes;
+      if not advanced then continue_ := false
+    end
+  done
+
+let total_energy_uj t = Tock_hw.Sim.total_microjoules t.sim

@@ -1,0 +1,24 @@
+(** The Signpost-style deployment (paper §2): several solar-powered
+    sensor nodes, each a full board with radio, joined by one shared
+    medium, running duty-cycled multiprogrammed workloads.
+
+    This reproduces the original target of Tock's design: multiple
+    isolated applications per node, asynchronous kernel for sleep, radio
+    reporting. All nodes share one simulation clock. *)
+
+type node = { node_board : Board.t; node_addr : int }
+
+type t = {
+  sim : Tock_hw.Sim.t;
+  ether : Tock_hw.Radio.Ether.t;
+  nodes : node list;
+}
+
+val create : ?seed:int64 -> ?loss_prob:float -> nodes:int -> unit -> t
+(** Node radio addresses are 0x100, 0x101, ... *)
+
+val run_all : t -> max_cycles:int -> unit
+(** Multi-board stepping: round-robin the kernels; the clock advances to
+    the next hardware event only when every kernel is idle. *)
+
+val total_energy_uj : t -> float

@@ -1,0 +1,1 @@
+lib/capsules/adc_driver.ml: Driver Driver_num Error Hil Kernel List Process Syscall Tock

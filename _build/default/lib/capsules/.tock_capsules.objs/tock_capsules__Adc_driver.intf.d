@@ -1,0 +1,1 @@
+lib/capsules/adc_driver.mli: Tock

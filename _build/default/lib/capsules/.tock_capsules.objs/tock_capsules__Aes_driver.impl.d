@@ -1,0 +1,1 @@
+lib/capsules/aes_driver.ml: Bytes Cells Driver Driver_num Error Hil Kernel Process Subslice Syscall Tock

@@ -1,0 +1,1 @@
+lib/capsules/aes_driver.mli: Tock

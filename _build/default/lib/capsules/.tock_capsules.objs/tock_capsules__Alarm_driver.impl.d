@@ -1,0 +1,1 @@
+lib/capsules/alarm_driver.ml: Alarm_mux Driver Driver_num Error Grant Kernel Process Syscall Tock

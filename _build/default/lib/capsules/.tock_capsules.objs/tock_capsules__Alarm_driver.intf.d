@@ -1,0 +1,1 @@
+lib/capsules/alarm_driver.mli: Alarm_mux Tock

@@ -1,0 +1,1 @@
+lib/capsules/alarm_mux.ml: List Tock

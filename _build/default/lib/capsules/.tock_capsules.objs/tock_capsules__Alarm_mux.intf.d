@@ -1,0 +1,1 @@
+lib/capsules/alarm_mux.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/app_loader.ml: Bytes Capability Driver Error Kernel Process Process_loader Subslice Syscall Tock

@@ -1,0 +1,1 @@
+lib/capsules/app_loader.mli: Tock

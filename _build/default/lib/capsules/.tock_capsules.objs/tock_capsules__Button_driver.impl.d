@@ -1,0 +1,1 @@
+lib/capsules/button_driver.ml: Array Driver Driver_num Error Grant Hil Kernel List Syscall Tock

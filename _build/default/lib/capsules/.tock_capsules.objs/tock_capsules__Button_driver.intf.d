@@ -1,0 +1,1 @@
+lib/capsules/button_driver.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/console.ml: Cells Driver Driver_num Error Grant Kernel Process Result Subslice Syscall Tock Uart_mux

@@ -1,0 +1,1 @@
+lib/capsules/console.mli: Tock Uart_mux

@@ -1,0 +1,1 @@
+lib/capsules/debug_writer.ml: Bytes Cells Printf Ring_buffer String Subslice Tock Uart_mux

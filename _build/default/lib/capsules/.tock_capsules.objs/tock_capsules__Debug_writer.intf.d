@@ -1,0 +1,1 @@
+lib/capsules/debug_writer.mli: Uart_mux

@@ -1,0 +1,1 @@
+lib/capsules/digest_driver.mli: Tock

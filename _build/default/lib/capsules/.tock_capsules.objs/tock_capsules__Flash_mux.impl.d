@@ -1,0 +1,1 @@
+lib/capsules/flash_mux.ml: Bytes Error Hil List Result Subslice Tock

@@ -1,0 +1,1 @@
+lib/capsules/flash_mux.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/gpio_driver.ml: Array Driver Driver_num Error Hashtbl Hil Kernel Process Syscall Tock

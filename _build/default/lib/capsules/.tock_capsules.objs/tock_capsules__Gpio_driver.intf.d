@@ -1,0 +1,1 @@
+lib/capsules/gpio_driver.mli: Tock

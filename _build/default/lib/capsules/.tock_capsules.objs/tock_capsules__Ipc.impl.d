@@ -1,0 +1,1 @@
+lib/capsules/ipc.ml: Bytes Driver Driver_num Error Hashtbl Kernel Process Subslice Syscall Tock

@@ -1,0 +1,1 @@
+lib/capsules/kv_store.ml: Array Bytes Char Driver Driver_num Error Hashtbl Hil Kernel List Process Subslice Syscall Tock

@@ -1,0 +1,1 @@
+lib/capsules/kv_store.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/led_driver.ml: Array Driver Driver_num Error Hil Syscall Tock

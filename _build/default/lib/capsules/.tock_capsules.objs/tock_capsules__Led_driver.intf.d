@@ -1,0 +1,1 @@
+lib/capsules/led_driver.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/legacy_console.ml: Alarm_mux Bytes Char Driver Error Kernel Process Syscall Tock

@@ -1,0 +1,1 @@
+lib/capsules/legacy_console.mli: Alarm_mux Tock

@@ -1,0 +1,1 @@
+lib/capsules/net_stack.ml: Alarm_mux Array Bytes Cells Char Driver Error Hashtbl Hil Kernel List Option Process Subslice Syscall Tock

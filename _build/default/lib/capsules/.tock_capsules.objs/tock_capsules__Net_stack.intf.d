@@ -1,0 +1,1 @@
+lib/capsules/net_stack.mli: Alarm_mux Tock

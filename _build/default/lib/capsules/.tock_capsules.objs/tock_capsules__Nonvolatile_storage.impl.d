@@ -1,0 +1,1 @@
+lib/capsules/nonvolatile_storage.ml: Bytes Driver Driver_num Error Hashtbl Hil Kernel List Process Subslice Syscall Tock

@@ -1,0 +1,1 @@
+lib/capsules/nonvolatile_storage.mli: Tock

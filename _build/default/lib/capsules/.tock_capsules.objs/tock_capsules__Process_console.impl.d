@@ -1,0 +1,1 @@
+lib/capsules/process_console.ml: Buffer Bytes Capability Cells Error Kernel List Printf Process Result String Subslice Tock Uart_mux

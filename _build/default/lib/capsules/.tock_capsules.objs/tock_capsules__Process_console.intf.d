@@ -1,0 +1,1 @@
+lib/capsules/process_console.mli: Tock Uart_mux

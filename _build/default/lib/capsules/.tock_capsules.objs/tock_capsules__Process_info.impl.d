@@ -1,0 +1,1 @@
+lib/capsules/process_info.ml: Driver Driver_num Error Kernel List Process Syscall Tock

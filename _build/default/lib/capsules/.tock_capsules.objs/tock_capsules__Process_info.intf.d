@@ -1,0 +1,1 @@
+lib/capsules/process_info.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/radio_driver.ml: Bytes Cells Driver Driver_num Error Hil Kernel List Process Subslice Syscall Tock

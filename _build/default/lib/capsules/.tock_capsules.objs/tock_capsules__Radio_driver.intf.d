@@ -1,0 +1,1 @@
+lib/capsules/radio_driver.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/rng_driver.ml: Array Driver Driver_num Error Grant Hil Kernel Process Result Subslice Syscall Tock

@@ -1,0 +1,1 @@
+lib/capsules/rng_driver.mli: Tock

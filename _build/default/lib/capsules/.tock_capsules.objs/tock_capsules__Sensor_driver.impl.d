@@ -1,0 +1,1 @@
+lib/capsules/sensor_driver.ml: Cells Driver Error Hil Kernel List Process Subslice Syscall Tock

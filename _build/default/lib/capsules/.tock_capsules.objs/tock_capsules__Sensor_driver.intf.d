@@ -1,0 +1,1 @@
+lib/capsules/sensor_driver.mli: Tock

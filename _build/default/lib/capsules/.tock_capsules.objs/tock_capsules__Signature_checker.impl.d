@@ -1,0 +1,1 @@
+lib/capsules/signature_checker.ml: Bytes Char Hil List Process_loader Subslice Tock Tock_tbf

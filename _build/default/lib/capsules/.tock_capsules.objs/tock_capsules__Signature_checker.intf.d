@@ -1,0 +1,1 @@
+lib/capsules/signature_checker.mli: Tock

@@ -1,0 +1,1 @@
+lib/capsules/spi_mux.mli: Tock

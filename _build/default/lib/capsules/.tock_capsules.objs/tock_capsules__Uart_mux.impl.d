@@ -1,0 +1,1 @@
+lib/capsules/uart_mux.ml: List Tock

@@ -1,0 +1,60 @@
+open Tock
+
+type t = {
+  kernel : Kernel.t;
+  adc : Hil.adc;
+  mutable waiting : (Process.id * int) list; (* (pid, channel) FIFO *)
+  mutable sampling : bool;
+}
+
+let rec pump t =
+  if not t.sampling then
+    match t.waiting with
+    | [] -> ()
+    | (_, channel) :: _ -> (
+        match t.adc.Hil.adc_sample ~channel with
+        | Ok () -> t.sampling <- true
+        | Error _ -> (
+            match t.waiting with
+            | (pid, ch) :: rest ->
+                t.waiting <- rest;
+                ignore
+                  (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.adc
+                     ~subscribe_num:0 ~args:(ch, -1, 0));
+                pump t
+            | [] -> ()))
+
+let create kernel adc =
+  let t = { kernel; adc; waiting = []; sampling = false } in
+  adc.Hil.adc_set_client (fun ~channel ~value ->
+      t.sampling <- false;
+      (match t.waiting with
+      | (pid, ch) :: rest when ch = channel ->
+          t.waiting <- rest;
+          ignore
+            (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.adc
+               ~subscribe_num:0 ~args:(channel, value, 0))
+      | _ -> ());
+      pump t);
+  t
+
+let command t proc ~command_num ~arg1 ~arg2:_ =
+  let pid = Process.id proc in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 ->
+      if arg1 < 0 || arg1 >= t.adc.Hil.adc_channels then
+        Syscall.Failure Error.INVAL
+      else if List.exists (fun (p, _) -> p = pid) t.waiting then
+        Syscall.Failure Error.BUSY
+      else begin
+        t.waiting <- t.waiting @ [ (pid, arg1) ];
+        pump t;
+        Syscall.Success
+      end
+  | 2 -> Syscall.Success_u32 t.adc.Hil.adc_channels
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.adc ~name:"adc"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

@@ -1,0 +1,11 @@
+(** ADC syscall driver (driver 0x5).
+
+    Commands: 0 = exists; 1 (channel) = single sample, upcall sub 0 =
+    [(channel, value_12bit, 0)]; 2 = channel count. Requests queue per
+    process (one outstanding sample each). *)
+
+type t
+
+val create : Tock.Kernel.t -> Tock.Hil.adc -> t
+
+val driver : t -> Tock.Driver.t

@@ -1,0 +1,105 @@
+open Tock
+
+let buffer_size = 512
+
+type t = {
+  kernel : Kernel.t;
+  engine : Hil.aes;
+  buf : Subslice.t Cells.Take_cell.t;
+  mutable current : (Process.id * int) option; (* pid, len *)
+}
+
+let create kernel engine =
+  let t =
+    {
+      kernel;
+      engine;
+      buf = Cells.Take_cell.make (Subslice.create buffer_size);
+      current = None;
+    }
+  in
+  engine.Hil.aes_set_client (fun sub ->
+      (match t.current with
+      | Some (pid, len) ->
+          t.current <- None;
+          let written =
+            Kernel.with_allow_rw t.kernel pid ~driver:Driver_num.aes
+              ~allow_num:0 (fun out ->
+                let m = min len (Subslice.length out) in
+                Subslice.blit_to_bytes sub ~src_off:0
+                  ~dst:(Subslice.underlying out)
+                  ~dst_off:(fst (Subslice.window out))
+                  ~len:m;
+                m)
+          in
+          let n = match written with Ok n -> n | Error _ -> 0 in
+          ignore
+            (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.aes
+               ~subscribe_num:0 ~args:(n, 0, 0))
+      | None -> ());
+      Subslice.reset sub;
+      Cells.Take_cell.put t.buf sub);
+  t
+
+let get_ro t pid ~allow_num ~expect =
+  match
+    Kernel.with_allow_ro t.kernel pid ~driver:Driver_num.aes ~allow_num
+      (fun b -> Subslice.to_bytes b)
+  with
+  | Ok b when Bytes.length b = expect -> Ok b
+  | Ok _ -> Error Error.SIZE
+  | Error e -> Error e
+
+let command t proc ~command_num ~arg1:_ ~arg2:_ =
+  let pid = Process.id proc in
+  let start mode =
+    if t.current <> None then Syscall.Failure Error.BUSY
+    else
+      match (get_ro t pid ~allow_num:0 ~expect:16, get_ro t pid ~allow_num:1 ~expect:16) with
+      | Error e, _ -> Syscall.Failure e
+      | _, Error e -> Syscall.Failure e
+      | Ok key, Ok iv -> (
+          match (t.engine.Hil.aes_set_key key, t.engine.Hil.aes_set_iv iv) with
+          | Error e, _ | _, Error e -> Syscall.Failure e
+          | Ok (), Ok () -> (
+              match Cells.Take_cell.take t.buf with
+              | None -> Syscall.Failure Error.BUSY
+              | Some sub -> (
+                  Subslice.reset sub;
+                  let copied =
+                    Kernel.with_allow_rw t.kernel pid ~driver:Driver_num.aes
+                      ~allow_num:0 (fun data ->
+                        let m = min (Subslice.length data) (Subslice.length sub) in
+                        Subslice.slice_to sub m;
+                        Subslice.copy_within data sub;
+                        m)
+                  in
+                  match copied with
+                  | Ok m when m > 0 -> (
+                      match t.engine.Hil.aes_crypt mode sub with
+                      | Ok () ->
+                          t.current <- Some (pid, m);
+                          Syscall.Success
+                      | Error (e, sub) ->
+                          Subslice.reset sub;
+                          Cells.Take_cell.put t.buf sub;
+                          Syscall.Failure e)
+                  | Ok _ ->
+                      Subslice.reset sub;
+                      Cells.Take_cell.put t.buf sub;
+                      Syscall.Failure Error.RESERVE
+                  | Error e ->
+                      Subslice.reset sub;
+                      Cells.Take_cell.put t.buf sub;
+                      Syscall.Failure e)))
+  in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> start Hil.A_ctr
+  | 2 -> start Hil.A_ecb_encrypt
+  | 3 -> start Hil.A_ecb_decrypt
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.aes ~name:"aes"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

@@ -1,0 +1,12 @@
+(** AES-128 syscall driver (driver 0x40006) over the AES engine HIL.
+
+    Protocol: allow-ro 0 = 16-byte key; allow-ro 1 = 16-byte IV/counter
+    block; allow-rw 0 = data transformed in place; command 1 = CTR
+    transform (encrypt = decrypt); command 2/3 = ECB encrypt/decrypt.
+    Upcall sub 0 = [(len, 0, 0)]. One operation at a time. *)
+
+type t
+
+val create : Tock.Kernel.t -> Tock.Hil.aes -> t
+
+val driver : t -> Tock.Driver.t

@@ -1,0 +1,63 @@
+open Tock
+
+type grant_state = { valarm : Alarm_mux.valarm; mutable armed : bool }
+
+type t = { kernel : Kernel.t; mux : Alarm_mux.t; grant : grant_state Grant.t }
+
+let create kernel mux ~grant_cap =
+  let t =
+    {
+      kernel;
+      mux;
+      grant =
+        Grant.create ~cap:grant_cap ~name:"alarm" ~size_bytes:24 ~init:(fun () ->
+            { valarm = Alarm_mux.new_alarm mux; armed = false });
+    }
+  in
+  t
+
+let enter t proc f = Grant.enter t.grant proc f
+
+let command t proc ~command_num ~arg1 ~arg2:_ =
+  let pid = Process.id proc in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> (
+      match enter t proc (fun g -> Alarm_mux.frequency_hz g.valarm) with
+      | Ok hz -> Syscall.Success_u32 hz
+      | Error e -> Syscall.Failure e)
+  | 2 -> (
+      match enter t proc (fun g -> Alarm_mux.now g.valarm) with
+      | Ok ticks -> Syscall.Success_u32 ticks
+      | Error e -> Syscall.Failure e)
+  | 5 -> (
+      (* arm a relative alarm of arg1 ticks *)
+      let r =
+        enter t proc (fun g ->
+            let reference = Alarm_mux.now g.valarm in
+            Alarm_mux.set_client g.valarm (fun () ->
+                g.armed <- false;
+                ignore
+                  (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.alarm
+                     ~subscribe_num:0
+                     ~args:(Alarm_mux.now g.valarm, reference, 0)));
+            Alarm_mux.set_alarm g.valarm ~reference ~dt:arg1;
+            g.armed <- true;
+            reference)
+      in
+      match r with
+      | Ok reference -> Syscall.Success_u32 reference
+      | Error e -> Syscall.Failure e)
+  | 6 -> (
+      match
+        enter t proc (fun g ->
+            Alarm_mux.cancel g.valarm;
+            g.armed <- false)
+      with
+      | Ok () -> Syscall.Success
+      | Error e -> Syscall.Failure e)
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.alarm ~name:"alarm"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

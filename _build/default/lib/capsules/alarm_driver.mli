@@ -1,0 +1,22 @@
+(** Userspace alarm syscall driver (driver 0x0) over a virtual alarm.
+
+    Per-process state (the armed flag and a dedicated virtual alarm index)
+    lives in a grant. Commands:
+    - 1: frequency (Hz) as Success_u32;
+    - 2: current ticks;
+    - 5 (dt): arm relative alarm, upcall sub 0 [(now_at_fire, ref, 0)];
+    - 6: cancel.
+
+    One virtual alarm is created per process lazily, so N processes
+    multiplex the single hardware compare through {!Alarm_mux} — the
+    [e-timer-virt] experiment measures this stack. *)
+
+type t
+
+val create :
+  Tock.Kernel.t ->
+  Alarm_mux.t ->
+  grant_cap:Tock.Capability.memory_allocation ->
+  t
+
+val driver : t -> Tock.Driver.t

@@ -1,0 +1,105 @@
+(* All arithmetic is wrapping 32-bit tick math — the paper's §5.4 bug
+   nest. Keep every comparison in "elapsed vs dt" form; never compare
+   absolute tick values directly. *)
+
+let mask32 = 0xFFFFFFFF
+
+let wsub a b = (a - b) land mask32
+
+let expired ~reference ~dt ~now = wsub now reference >= dt
+
+type valarm = {
+  mux : t;
+  mutable client : unit -> unit;
+  mutable armed : bool;
+  mutable reference : int;
+  mutable dt : int;
+}
+
+and t = {
+  hw : Tock.Hil.alarm;
+  mutable alarms : valarm list;
+  mutable in_fire : bool;
+  mutable fired : int;
+}
+
+let rec rearm t =
+  let now = t.hw.Tock.Hil.alarm_now () in
+  let armed = List.filter (fun v -> v.armed) t.alarms in
+  match armed with
+  | [] -> t.hw.Tock.Hil.alarm_disarm ()
+  | _ ->
+      (* Earliest deadline = smallest remaining time; expired alarms have
+         zero remaining and make the hardware fire on the next tick. *)
+      let remaining v =
+        if expired ~reference:v.reference ~dt:v.dt ~now then 0
+        else v.dt - wsub now v.reference
+      in
+      let best =
+        List.fold_left
+          (fun acc v -> match acc with
+             | None -> Some v
+             | Some b -> if remaining v < remaining b then Some v else Some b)
+          None armed
+      in
+      (match best with
+      | Some v -> t.hw.Tock.Hil.alarm_set ~reference:v.reference ~dt:v.dt
+      | None -> ())
+
+and fire t () =
+  t.in_fire <- true;
+  let now = t.hw.Tock.Hil.alarm_now () in
+  (* Sweep once with the fire-time snapshot of "now": alarms re-armed by
+     client callbacks are deliberately *not* considered expired in this
+     pass, they get their own hardware fire. *)
+  let ready =
+    List.filter
+      (fun v -> v.armed && expired ~reference:v.reference ~dt:v.dt ~now)
+      t.alarms
+  in
+  List.iter
+    (fun v ->
+      v.armed <- false;
+      t.fired <- t.fired + 1;
+      v.client ())
+    ready;
+  t.in_fire <- false;
+  rearm t
+
+let create hw =
+  let t = { hw; alarms = []; in_fire = false; fired = 0 } in
+  hw.Tock.Hil.alarm_set_client (fire t);
+  t
+
+let new_alarm t =
+  let v = { mux = t; client = ignore; armed = false; reference = 0; dt = 0 } in
+  t.alarms <- v :: t.alarms;
+  v
+
+let set_client v fn = v.client <- fn
+
+let now v = v.mux.hw.Tock.Hil.alarm_now ()
+
+let frequency_hz v = v.mux.hw.Tock.Hil.alarm_frequency_hz
+
+let set_alarm v ~reference ~dt =
+  v.reference <- reference land mask32;
+  v.dt <- dt land mask32;
+  v.armed <- true;
+  (* During a fire sweep the mux re-arms once at the end; otherwise
+     reprogram now. *)
+  if not v.mux.in_fire then rearm v.mux
+
+let set_relative v ~dt = set_alarm v ~reference:(now v) ~dt
+
+let cancel v =
+  if v.armed then begin
+    v.armed <- false;
+    if not v.mux.in_fire then rearm v.mux
+  end
+
+let is_armed v = v.armed
+
+let armed_count t = List.length (List.filter (fun v -> v.armed) t.alarms)
+
+let fired_total t = t.fired

@@ -1,0 +1,46 @@
+(** Timer virtualization: many virtual alarms over one hardware alarm.
+
+    The paper names timer virtualization as one of the two subsystems
+    where "numerous subtle logic bugs" survived Rust's type system
+    (§5.4): the difficulty is entirely in the wrapping 32-bit arithmetic —
+    deciding which alarms have expired relative to a moving reference and
+    choosing the next hardware compare value without skipping a deadline
+    that lands mid-processing.
+
+    The implementation follows Tock's [MuxAlarm]/[VirtualMuxAlarm]:
+    clients set alarms as (reference, dt) pairs in tick space; on each
+    hardware fire the mux sweeps expired virtual alarms, invokes their
+    clients (which may re-arm during the callback), then programs the
+    hardware with the earliest remaining deadline. The property-based
+    tests drive it across wrap boundaries. *)
+
+type t
+
+type valarm
+
+val create : Tock.Hil.alarm -> t
+(** Claims the hardware alarm's client slot. *)
+
+val new_alarm : t -> valarm
+
+val set_client : valarm -> (unit -> unit) -> unit
+
+val now : valarm -> int
+
+val frequency_hz : valarm -> int
+
+val set_alarm : valarm -> reference:int -> dt:int -> unit
+(** Tock semantics: fire when [now - reference >= dt] (wrapping). An
+    already-expired alarm fires on the next mux pass. *)
+
+val set_relative : valarm -> dt:int -> unit
+(** [set_alarm ~reference:(now) ~dt]. *)
+
+val cancel : valarm -> unit
+
+val is_armed : valarm -> bool
+
+val armed_count : t -> int
+
+val fired_total : t -> int
+(** Virtual alarm client invocations since creation (stats). *)

@@ -1,0 +1,77 @@
+open Tock
+
+let driver_num = 0x10003
+
+type t = {
+  kernel : Kernel.t;
+  cap : Capability.external_process;
+  pm_cap : Capability.process_management;
+  lookup : Process_loader.lookup;
+  checker : Process_loader.checker;
+  flash_base : int;
+  mutable next_slot : int; (* where the next image "lives" in app flash *)
+  mutable busy : bool;
+  mutable installs : int;
+}
+
+let create kernel ~cap ~pm_cap ~lookup ~checker ~flash_base =
+  {
+    kernel;
+    cap;
+    pm_cap;
+    lookup;
+    checker;
+    flash_base;
+    next_slot = 0;
+    busy = false;
+    installs = 0;
+  }
+
+let command t proc ~command_num ~arg1:_ ~arg2:_ =
+  let pid = Process.id proc in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 ->
+      if t.busy then Syscall.Failure Error.BUSY
+      else begin
+        (* Copy the image out of the requesting process before anything
+           else: the installer must not be able to mutate it mid-check
+           (TOCTOU), which the closure-scoped allow makes easy. *)
+        let image =
+          match
+            Kernel.with_allow_ro t.kernel pid ~driver:driver_num ~allow_num:0
+              (fun b -> Subslice.to_bytes b)
+          with
+          | Ok b -> b
+          | Error _ -> Bytes.empty
+        in
+        if Bytes.length image = 0 then Syscall.Failure Error.RESERVE
+        else begin
+          t.busy <- true;
+          let slot = t.next_slot in
+          t.next_slot <- t.next_slot + 0x8000;
+          Process_loader.install t.kernel ~cap:t.cap ~pm_cap:t.pm_cap
+            ~flash_base:(t.flash_base + 0x100000 + slot)
+            ~tbf:image ~lookup:t.lookup ~checker:t.checker
+            ~on_done:(fun result ->
+              t.busy <- false;
+              let status, new_pid =
+                match result with
+                | Ok p ->
+                    t.installs <- t.installs + 1;
+                    (0, Process.id p)
+                | Error _ -> (-Error.to_int Error.NOSUPPORT, 0)
+              in
+              ignore
+                (Kernel.schedule_upcall t.kernel pid ~driver:driver_num
+                   ~subscribe_num:0 ~args:(status, new_pid, 0)));
+          Syscall.Success
+        end
+      end
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num ~name:"app-loader"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)
+
+let installs t = t.installs

@@ -1,0 +1,32 @@
+(** Dynamic app installation from userspace (driver 0x10003).
+
+    Paper §3.4: once loading became an asynchronous state machine,
+    dynamically loading new applications "without rebooting" became
+    cheap — "all the system had to do was trigger the kernel to check the
+    new process". This capsule is that trigger, exposed to userspace: an
+    updater app shares a TBF image (allow-ro 0) and asks for installation;
+    the image travels the same credential-checking path as boot-time apps.
+
+    This capsule is privileged: the board hands it the external-process
+    capability (Listing 1 pattern) along with the loader hooks.
+
+    Protocol: allow-ro 0 = serialized TBF; command 1 = verify + install;
+    upcall sub 0 = [(status, pid, 0)] with status 0 = running, negative =
+    ErrorCode (NOSUPPORT = rejected credentials / unknown app). *)
+
+type t
+
+val driver_num : int
+
+val create :
+  Tock.Kernel.t ->
+  cap:Tock.Capability.external_process ->
+  pm_cap:Tock.Capability.process_management ->
+  lookup:Tock.Process_loader.lookup ->
+  checker:Tock.Process_loader.checker ->
+  flash_base:int ->
+  t
+
+val driver : t -> Tock.Driver.t
+
+val installs : t -> int

@@ -1,0 +1,17 @@
+(** Button syscall driver (driver 0x3).
+
+    Commands: 0 = count; 1 (i) = enable interrupt on button i;
+    2 (i) = disable; 3 (i) = read (1 = pressed). Upcall sub 0 delivers
+    [(button_index, pressed, 0)] to every subscribed process whose
+    interrupt is enabled — per-process enable masks live in a grant. *)
+
+type t
+
+val create :
+  Tock.Kernel.t ->
+  buttons:Tock.Hil.gpio_pin array ->
+  active_high:bool ->
+  grant_cap:Tock.Capability.memory_allocation ->
+  t
+
+val driver : t -> Tock.Driver.t

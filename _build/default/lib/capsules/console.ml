@@ -1,0 +1,203 @@
+open Tock
+
+let tx_buffer_size = 256
+
+let allow_tx = 1
+
+let allow_rx = 1
+
+let sub_tx_done = 1
+
+let sub_rx_done = 2
+
+type grant_state = { mutable pending_write : int (* 0 = none *) }
+
+type t = {
+  kernel : Kernel.t;
+  vdev : Uart_mux.vdev;
+  grant : grant_state Grant.t;
+  tx_cell : Subslice.t Cells.Take_cell.t;
+  mutable tx_owner : Process.id option;
+  mutable wait_queue : Process.id list;
+  rx_cell : Subslice.t Cells.Take_cell.t;
+  mutable rx_owner : (Process.id * int) option;
+  mutable writes : int;
+  mutable bytes : int;
+}
+
+(* Enter this capsule's grant for a process known only by id (the id is
+   what completion callbacks carry, as in Tock). *)
+let enter_grant t pid f =
+  match Kernel.find_process t.kernel pid with
+  | Some p -> Grant.enter t.grant p f
+  | None -> Result.Error Error.NODEVICE
+
+(* Copy the process's allowed buffer into the static transmit buffer and
+   hand it to the UART mux. The caller guarantees the tx cell is full. *)
+let start_write t pid len =
+  match Cells.Take_cell.take t.tx_cell with
+  | None -> ()
+  | Some sub -> (
+      Subslice.reset sub;
+      let n = min len (Subslice.length sub) in
+      let copied =
+        Kernel.with_allow_ro t.kernel pid ~driver:Driver_num.console
+          ~allow_num:allow_tx (fun app_buf ->
+            let m = min n (Subslice.length app_buf) in
+            Subslice.slice_to sub m;
+            Subslice.copy_within app_buf sub;
+            m)
+      in
+      match copied with
+      | Ok m when m > 0 -> (
+          t.tx_owner <- Some pid;
+          match Uart_mux.transmit t.vdev sub with
+          | Ok () -> ()
+          | Error (_e, sub) ->
+              Subslice.reset sub;
+              Cells.Take_cell.put t.tx_cell sub;
+              t.tx_owner <- None;
+              ignore (enter_grant t pid (fun g -> g.pending_write <- 0));
+              ignore
+                (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
+                   ~subscribe_num:sub_tx_done ~args:(0, 0, 0)))
+      | _ ->
+          Subslice.reset sub;
+          Cells.Take_cell.put t.tx_cell sub;
+          ignore (enter_grant t pid (fun g -> g.pending_write <- 0));
+          ignore
+            (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
+               ~subscribe_num:sub_tx_done ~args:(0, 0, 0)))
+
+let create kernel vdev ~grant_cap =
+  let grant =
+    Grant.create ~cap:grant_cap ~name:"console" ~size_bytes:16 ~init:(fun () ->
+        { pending_write = 0 })
+  in
+  let t =
+    {
+      kernel;
+      vdev;
+      grant;
+      tx_cell = Cells.Take_cell.make (Subslice.create tx_buffer_size);
+      tx_owner = None;
+      wait_queue = [];
+      rx_cell = Cells.Take_cell.make (Subslice.create 64);
+      rx_owner = None;
+      writes = 0;
+      bytes = 0;
+    }
+  in
+  Uart_mux.set_transmit_client vdev (fun sub ->
+      let len = Subslice.length sub in
+      Subslice.reset sub;
+      Cells.Take_cell.put t.tx_cell sub;
+      (match t.tx_owner with
+      | Some pid ->
+          t.tx_owner <- None;
+          t.writes <- t.writes + 1;
+          t.bytes <- t.bytes + len;
+          ignore (enter_grant t pid (fun g -> g.pending_write <- 0));
+          ignore
+            (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
+               ~subscribe_num:sub_tx_done ~args:(len, 0, 0))
+      | None -> ());
+      (* Serve the next queued writer. *)
+      let rec next () =
+        match t.wait_queue with
+        | [] -> ()
+        | pid :: rest -> (
+            t.wait_queue <- rest;
+            match enter_grant t pid (fun g -> g.pending_write) with
+            | Ok n when n > 0 -> start_write t pid n
+            | _ -> next ())
+      in
+      next ());
+  Uart_mux.set_receive_client vdev (fun sub ->
+      (match t.rx_owner with
+      | Some (pid, wanted) ->
+          t.rx_owner <- None;
+          let got = min wanted (Subslice.length sub) in
+          let res =
+            Kernel.with_allow_rw t.kernel pid ~driver:Driver_num.console
+              ~allow_num:allow_rx (fun app_buf ->
+                let m = min got (Subslice.length app_buf) in
+                Subslice.blit_to_bytes sub ~src_off:0
+                  ~dst:(Subslice.underlying app_buf)
+                  ~dst_off:(fst (Subslice.window app_buf))
+                  ~len:m;
+                m)
+          in
+          let delivered = match res with Ok m -> m | Error _ -> 0 in
+          ignore
+            (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
+               ~subscribe_num:sub_rx_done ~args:(delivered, 0, 0))
+      | None -> ());
+      Subslice.reset sub;
+      Cells.Take_cell.put t.rx_cell sub);
+  t
+
+let command t proc ~command_num ~arg1 ~arg2:_ =
+  let pid = Process.id proc in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 ->
+      (* write arg1 bytes from the allowed tx buffer *)
+      let len = min arg1 (Kernel.allow_size t.kernel pid ~kind:`Ro
+                            ~driver:Driver_num.console ~allow_num:allow_tx)
+      in
+      if len <= 0 then Syscall.Failure Error.RESERVE
+      else (
+        match enter_grant t pid (fun g ->
+                  if g.pending_write > 0 then false
+                  else begin
+                    g.pending_write <- len;
+                    true
+                  end)
+        with
+        | Ok true ->
+            if Cells.Take_cell.is_none t.tx_cell then
+              t.wait_queue <- t.wait_queue @ [ pid ]
+            else start_write t pid len;
+            Syscall.Success
+        | Ok false -> Syscall.Failure Error.BUSY
+        | Error e -> Syscall.Failure e)
+  | 2 -> (
+      (* read arg1 bytes *)
+      if t.rx_owner <> None then Syscall.Failure Error.BUSY
+      else
+        let wanted =
+          min arg1 (Kernel.allow_size t.kernel pid ~kind:`Rw
+                      ~driver:Driver_num.console ~allow_num:allow_rx)
+        in
+        if wanted <= 0 then Syscall.Failure Error.RESERVE
+        else
+          match Cells.Take_cell.take t.rx_cell with
+          | None -> Syscall.Failure Error.BUSY
+          | Some sub -> (
+              Subslice.reset sub;
+              Subslice.slice_to sub (min wanted (Subslice.length sub));
+              match Uart_mux.receive t.vdev sub with
+              | Ok () ->
+                  t.rx_owner <- Some (pid, wanted);
+                  Syscall.Success
+              | Error (e, sub) ->
+                  Subslice.reset sub;
+                  Cells.Take_cell.put t.rx_cell sub;
+                  Syscall.Failure e))
+  | 3 ->
+      (match t.rx_owner with
+      | Some (owner, _) when owner = pid ->
+          Uart_mux.abort_receive t.vdev;
+          t.rx_owner <- None
+      | _ -> ());
+      Syscall.Success
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.console ~name:"console"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)
+
+let writes_completed t = t.writes
+
+let bytes_written t = t.bytes

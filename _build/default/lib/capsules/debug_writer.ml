@@ -1,0 +1,51 @@
+open Tock
+
+let ring_capacity = 32
+
+type t = {
+  vdev : Uart_mux.vdev;
+  ring : string Ring_buffer.t;
+  tx : Subslice.t Cells.Take_cell.t;
+}
+
+let pump t =
+  match Cells.Take_cell.take t.tx with
+  | None -> ()
+  | Some sub -> (
+      match Ring_buffer.pop t.ring with
+      | None -> Cells.Take_cell.put t.tx sub
+      | Some msg -> (
+          Subslice.reset sub;
+          let n = min (String.length msg) (Subslice.length sub) in
+          Subslice.blit_from_bytes ~src:(Bytes.of_string msg) ~src_off:0 sub
+            ~dst_off:0 ~len:n;
+          Subslice.slice_to sub n;
+          match Uart_mux.transmit t.vdev sub with
+          | Ok () -> ()
+          | Error (_, sub) ->
+              Subslice.reset sub;
+              Cells.Take_cell.put t.tx sub))
+
+let create vdev =
+  let t =
+    {
+      vdev;
+      ring = Ring_buffer.create ~capacity:ring_capacity ~dummy:"";
+      tx = Cells.Take_cell.make (Subslice.create 128);
+    }
+  in
+  Uart_mux.set_transmit_client vdev (fun sub ->
+      Subslice.reset sub;
+      Cells.Take_cell.put t.tx sub;
+      pump t);
+  t
+
+let write t msg =
+  ignore (Ring_buffer.push t.ring (msg ^ "\r\n"));
+  pump t
+
+let printf t fmt = Printf.ksprintf (fun s -> write t s) fmt
+
+let dropped t = Ring_buffer.drops t.ring
+
+let pending t = Ring_buffer.length t.ring

@@ -1,0 +1,20 @@
+(** Kernel debug writer: the capsule behind Tock's [debug!] macro.
+
+    Kernel components print diagnostics without blocking: messages append
+    to an internal ring and drain through the UART mux one buffer at a
+    time; overflow drops whole messages and counts them (exactly the
+    bounded-buffer behaviour of Tock's debug infrastructure). *)
+
+type t
+
+val create : Uart_mux.vdev -> t
+
+val printf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Queue a formatted message (a newline is appended). *)
+
+val write : t -> string -> unit
+
+val dropped : t -> int
+(** Messages lost to ring overflow. *)
+
+val pending : t -> int

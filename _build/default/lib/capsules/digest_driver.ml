@@ -1,0 +1,158 @@
+open Tock
+
+let chunk_size = 64
+
+type op = {
+  op_pid : Process.id;
+  op_driver : int; (* hmac or sha driver number *)
+  mutable offset : int;
+  data_len : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  engine : Hil.digest;
+  chunk : Subslice.t Cells.Take_cell.t;
+  mutable current : op option;
+  mutable ops : int;
+}
+
+let allow_key = 0
+
+let allow_data = 1
+
+let allow_digest_out = 0
+
+let fail_current t e =
+  match t.current with
+  | Some op ->
+      t.current <- None;
+      ignore
+        (Kernel.schedule_upcall t.kernel op.op_pid ~driver:op.op_driver
+           ~subscribe_num:0 ~args:(-(Error.to_int e), 0, 0))
+  | None -> ()
+
+(* Feed the next DMA-sized chunk of the process's data buffer, or run the
+   finalization when everything has been absorbed. *)
+let feed t =
+  match t.current with
+  | None -> ()
+  | Some op ->
+      if op.offset >= op.data_len then (
+        match t.engine.Hil.digest_run () with
+        | Ok () -> ()
+        | Error e -> fail_current t e)
+      else (
+        match Cells.Take_cell.take t.chunk with
+        | None -> () (* chunk in flight; the data client continues *)
+        | Some sub -> (
+            Subslice.reset sub;
+            let n = min chunk_size (op.data_len - op.offset) in
+            let copied =
+              Kernel.with_allow_ro t.kernel op.op_pid ~driver:op.op_driver
+                ~allow_num:allow_data (fun data ->
+                  let m = min n (Subslice.length data - op.offset) in
+                  if m <= 0 then 0
+                  else begin
+                    Subslice.slice_to sub m;
+                    Subslice.blit_to_bytes data ~src_off:op.offset
+                      ~dst:(Subslice.underlying sub) ~dst_off:0 ~len:m;
+                    m
+                  end)
+            in
+            match copied with
+            | Ok m when m > 0 -> (
+                op.offset <- op.offset + m;
+                match t.engine.Hil.digest_add_data sub with
+                | Ok () -> ()
+                | Error (e, sub) ->
+                    Subslice.reset sub;
+                    Cells.Take_cell.put t.chunk sub;
+                    fail_current t e)
+            | _ ->
+                Subslice.reset sub;
+                Cells.Take_cell.put t.chunk sub;
+                fail_current t Error.RESERVE))
+
+let create kernel engine =
+  let t =
+    {
+      kernel;
+      engine;
+      chunk = Cells.Take_cell.make (Subslice.create chunk_size);
+      current = None;
+      ops = 0;
+    }
+  in
+  engine.Hil.digest_set_data_client (fun sub ->
+      Subslice.reset sub;
+      Cells.Take_cell.put t.chunk sub;
+      feed t);
+  engine.Hil.digest_set_digest_client (fun digest ->
+      match t.current with
+      | Some op ->
+          t.current <- None;
+          t.ops <- t.ops + 1;
+          let written =
+            Kernel.with_allow_rw t.kernel op.op_pid ~driver:op.op_driver
+              ~allow_num:allow_digest_out (fun out ->
+                let m = min (Bytes.length digest) (Subslice.length out) in
+                Subslice.blit_from_bytes ~src:digest ~src_off:0 out ~dst_off:0
+                  ~len:m;
+                m)
+          in
+          let n = match written with Ok n -> n | Error _ -> 0 in
+          ignore
+            (Kernel.schedule_upcall t.kernel op.op_pid ~driver:op.op_driver
+               ~subscribe_num:0 ~args:(n, 0, 0))
+      | None -> ());
+  t
+
+let command t ~driver_num proc ~command_num ~arg1:_ ~arg2:_ =
+  let pid = Process.id proc in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> (
+      if t.current <> None then Syscall.Failure Error.BUSY
+      else
+        let data_len =
+          Kernel.allow_size t.kernel pid ~kind:`Ro ~driver:driver_num
+            ~allow_num:allow_data
+        in
+        if data_len = 0 then Syscall.Failure Error.RESERVE
+        else
+          let mode =
+            if driver_num = Driver_num.sha then Ok Hil.D_sha256
+            else
+              match
+                Kernel.with_allow_ro t.kernel pid ~driver:driver_num
+                  ~allow_num:allow_key (fun key -> Subslice.to_bytes key)
+              with
+              | Ok key when Bytes.length key > 0 -> Ok (Hil.D_hmac key)
+              | Ok _ -> Error Error.RESERVE
+              | Error e -> Error e
+          in
+          match mode with
+          | Error e -> Syscall.Failure e
+          | Ok mode -> (
+              match t.engine.Hil.digest_set_mode mode with
+              | Error e -> Syscall.Failure e
+              | Ok () ->
+                  t.current <-
+                    Some { op_pid = pid; op_driver = driver_num; offset = 0;
+                           data_len };
+                  feed t;
+                  Syscall.Success))
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver_hmac t =
+  Driver.make ~driver_num:Driver_num.hmac ~name:"hmac"
+    (fun proc ~command_num ~arg1 ~arg2 ->
+      command t ~driver_num:Driver_num.hmac proc ~command_num ~arg1 ~arg2)
+
+let driver_sha t =
+  Driver.make ~driver_num:Driver_num.sha ~name:"sha"
+    (fun proc ~command_num ~arg1 ~arg2 ->
+      command t ~driver_num:Driver_num.sha proc ~command_num ~arg1 ~arg2)
+
+let ops_completed t = t.ops

@@ -1,0 +1,80 @@
+open Tock
+
+type vclient = {
+  mutable client :
+    [ `Read_done of bytes | `Write_done of Subslice.t | `Erase_done ] -> unit;
+}
+
+type op =
+  | Op_read of int
+  | Op_write of int * Subslice.t
+  | Op_erase of int
+
+type t = {
+  hw : Hil.flash;
+  mutable queue : (vclient * op) list;
+  mutable inflight : vclient option;
+}
+
+let rec pump t =
+  match (t.inflight, t.queue) with
+  | None, (vc, op) :: rest -> (
+      let started =
+        match op with
+        | Op_read page -> Result.map_error (fun e -> (e, None)) (t.hw.Hil.flash_read ~page)
+        | Op_write (page, sub) ->
+            Result.map_error (fun (e, s) -> (e, Some s)) (t.hw.Hil.flash_write ~page sub)
+        | Op_erase page -> Result.map_error (fun e -> (e, None)) (t.hw.Hil.flash_erase ~page)
+      in
+      match started with
+      | Ok () ->
+          t.queue <- rest;
+          t.inflight <- Some vc
+      | Error (Error.BUSY, _) -> () (* retry on next completion *)
+      | Error (_, sub) ->
+          (* Surface the failure as a completion so the client makes
+             progress. *)
+          t.queue <- rest;
+          (match (op, sub) with
+          | Op_write _, Some s -> vc.client (`Write_done s)
+          | Op_read _, _ -> vc.client (`Read_done Bytes.empty)
+          | _, _ -> vc.client `Erase_done);
+          pump t)
+  | _ -> ()
+
+let create hw =
+  let t = { hw; queue = []; inflight = None } in
+  hw.Hil.flash_set_client (fun ev ->
+      match t.inflight with
+      | Some vc ->
+          t.inflight <- None;
+          vc.client ev;
+          pump t
+      | None -> ());
+  t
+
+let new_client t =
+  let vc = { client = (fun _ -> ()) } in
+  {
+    Hil.flash_pages = t.hw.Hil.flash_pages;
+    flash_page_size = t.hw.Hil.flash_page_size;
+    flash_read =
+      (fun ~page ->
+        t.queue <- t.queue @ [ (vc, Op_read page) ];
+        pump t;
+        Ok ());
+    flash_write =
+      (fun ~page sub ->
+        t.queue <- t.queue @ [ (vc, Op_write (page, sub)) ];
+        pump t;
+        Ok ());
+    flash_erase =
+      (fun ~page ->
+        t.queue <- t.queue @ [ (vc, Op_erase page) ];
+        pump t;
+        Ok ());
+    flash_set_client = (fun fn -> vc.client <- fn);
+    flash_read_sync = (fun ~page -> t.hw.Hil.flash_read_sync ~page);
+  }
+
+let queue_depth t = List.length t.queue

@@ -1,0 +1,15 @@
+(** Flash virtualizer: shares one flash controller between several
+    clients (KV store, nonvolatile-storage driver, ...).
+
+    Each virtual flash exposes the full {!Tock.Hil.flash} interface with
+    its own completion client; operations from different clients are
+    serialized in arrival order. Synchronous (memory-mapped) reads pass
+    straight through. *)
+
+type t
+
+val create : Tock.Hil.flash -> t
+
+val new_client : t -> Tock.Hil.flash
+
+val queue_depth : t -> int

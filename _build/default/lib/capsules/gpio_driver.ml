@@ -1,0 +1,58 @@
+open Tock
+
+type t = {
+  kernel : Kernel.t;
+  pins : Hil.gpio_pin array;
+  subscribers : (int, Process.id) Hashtbl.t; (* pin -> interested process *)
+}
+
+let create kernel ~pins =
+  let t = { kernel; pins; subscribers = Hashtbl.create 8 } in
+  Array.iteri
+    (fun i pin ->
+      pin.Hil.pin_set_client (fun level ->
+          match Hashtbl.find_opt t.subscribers i with
+          | Some pid ->
+              ignore
+                (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.gpio
+                   ~subscribe_num:0
+                   ~args:(i, (if level then 1 else 0), 0))
+          | None -> ()))
+    pins;
+  t
+
+let command t proc ~command_num ~arg1 ~arg2 =
+  let n = Array.length t.pins in
+  let check i k = if i < 0 || i >= n then Syscall.Failure Error.INVAL else k () in
+  let pin i = t.pins.(i) in
+  match command_num with
+  | 0 -> Syscall.Success_u32 n
+  | 1 -> check arg1 (fun () -> (pin arg1).Hil.pin_make_output (); Syscall.Success)
+  | 2 -> check arg1 (fun () -> (pin arg1).Hil.pin_set true; Syscall.Success)
+  | 3 -> check arg1 (fun () -> (pin arg1).Hil.pin_set false; Syscall.Success)
+  | 4 ->
+      check arg1 (fun () ->
+          (pin arg1).Hil.pin_set (not ((pin arg1).Hil.pin_read ()));
+          Syscall.Success)
+  | 5 -> check arg1 (fun () -> (pin arg1).Hil.pin_make_input (); Syscall.Success)
+  | 6 ->
+      check arg1 (fun () ->
+          Syscall.Success_u32 (if (pin arg1).Hil.pin_read () then 1 else 0))
+  | 7 ->
+      check arg1 (fun () ->
+          let edge =
+            match arg2 with 1 -> `Rising | 2 -> `Falling | _ -> `Either
+          in
+          Hashtbl.replace t.subscribers arg1 (Process.id proc);
+          (pin arg1).Hil.pin_enable_interrupt edge;
+          Syscall.Success)
+  | 8 ->
+      check arg1 (fun () ->
+          Hashtbl.remove t.subscribers arg1;
+          (pin arg1).Hil.pin_disable_interrupt ();
+          Syscall.Success)
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.gpio ~name:"gpio"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

@@ -1,0 +1,12 @@
+(** GPIO syscall driver (driver 0x4) for raw pin control.
+
+    Commands: 0 = pin count; 1 (i) = make output; 2 (i) = set; 3 (i) =
+    clear; 4 (i) = toggle; 5 (i) = make input; 6 (i) = read; 7 (i, edge:
+    0 either / 1 rising / 2 falling) = enable interrupts (upcall sub 0 =
+    [(pin, level, 0)]); 8 (i) = disable interrupts. *)
+
+type t
+
+val create : Tock.Kernel.t -> pins:Tock.Hil.gpio_pin array -> t
+
+val driver : t -> Tock.Driver.t

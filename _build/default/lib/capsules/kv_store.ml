@@ -1,0 +1,398 @@
+open Tock
+
+let magic = 0xA5
+
+let flag_valid = 0x01
+
+type entry = { e_page : int; e_off : int; e_vlen : int }
+
+type pending =
+  | P_none
+  | P_write of { page : int; done_ : (unit, Error.t) result -> unit }
+  | P_compact of {
+      mutable to_erase : int list;
+      mutable to_write : (int * bytes) list;
+      done_ : (unit, Error.t) result -> unit;
+    }
+
+type t = {
+  kernel : Kernel.t;
+  flash : Hil.flash;
+  first_page : int;
+  n_pages : int;
+  index : (string, entry) Hashtbl.t;
+  mutable tail_page : int; (* relative *)
+  mutable tail_off : int;
+  mutable pending : pending;
+  mutable compactions : int;
+  mutable queue : (unit -> unit) list; (* serialized operations *)
+  mutable busy : bool;
+}
+
+let page_size t = t.flash.Hil.flash_page_size
+
+(* ---- index scan at boot ---- *)
+
+let scan t =
+  Hashtbl.reset t.index;
+  t.tail_page <- 0;
+  t.tail_off <- 0;
+  let continue_scan = ref true in
+  for rel = 0 to t.n_pages - 1 do
+    if !continue_scan then begin
+      let img = t.flash.Hil.flash_read_sync ~page:(t.first_page + rel) in
+      let off = ref 0 in
+      let page_open = ref true in
+      while !page_open && !off + 5 <= Bytes.length img do
+        if Char.code (Bytes.get img !off) <> magic then begin
+          (* end of records on this page *)
+          page_open := false;
+          if !off = 0 && rel > 0 then continue_scan := false
+          else if !continue_scan then begin
+            t.tail_page <- rel;
+            t.tail_off <- !off
+          end
+        end
+        else begin
+          let flags = Char.code (Bytes.get img (!off + 1)) in
+          let klen = Char.code (Bytes.get img (!off + 2)) in
+          let vlen =
+            Char.code (Bytes.get img (!off + 3))
+            lor (Char.code (Bytes.get img (!off + 4)) lsl 8)
+          in
+          let total = 5 + klen + vlen in
+          if !off + total > Bytes.length img then page_open := false
+          else begin
+            let key = Bytes.sub_string img (!off + 5) klen in
+            if flags land flag_valid <> 0 then
+              Hashtbl.replace t.index key
+                { e_page = rel; e_off = !off; e_vlen = vlen }
+            else Hashtbl.remove t.index key;
+            off := !off + total;
+            t.tail_page <- rel;
+            t.tail_off <- !off
+          end
+        end
+      done
+    end
+  done
+
+(* The long-lived flash completion client driving writes and the
+   compaction erase/write chain. Reads during [get] temporarily borrow the
+   client slot and reinstall this. *)
+let main_client t ev =
+  match (t.pending, ev) with
+  | P_write { done_; _ }, `Write_done _sub ->
+      t.pending <- P_none;
+      done_ (Ok ())
+  | P_compact c, `Erase_done -> (
+      match c.to_erase with
+      | _ :: (p :: _ as rest) ->
+          c.to_erase <- rest;
+          ignore (t.flash.Hil.flash_erase ~page:p)
+      | _ -> (
+          c.to_erase <- [];
+          match c.to_write with
+          | (p, img) :: _ ->
+              ignore (t.flash.Hil.flash_write ~page:p (Subslice.of_bytes img))
+          | [] ->
+              t.pending <- P_none;
+              c.done_ (Ok ())))
+  | P_compact c, `Write_done _ -> (
+      match c.to_write with
+      | _ :: ((p, img) :: _ as rest) ->
+          c.to_write <- rest;
+          ignore (t.flash.Hil.flash_write ~page:p (Subslice.of_bytes img))
+      | _ ->
+          t.pending <- P_none;
+          c.done_ (Ok ()))
+  | _ -> ()
+
+let create kernel flash ~first_page ~pages =
+  if pages < 2 then invalid_arg "Kv_store.create: need >= 2 pages";
+  let t =
+    {
+      kernel;
+      flash;
+      first_page;
+      n_pages = pages;
+      index = Hashtbl.create 32;
+      tail_page = 0;
+      tail_off = 0;
+      pending = P_none;
+      compactions = 0;
+      queue = [];
+      busy = false;
+    }
+  in
+  scan t;
+  flash.Hil.flash_set_client (main_client t);
+  t
+
+(* ---- serialized operation queue ---- *)
+
+let run_next t =
+  match t.queue with
+  | [] -> t.busy <- false
+  | op :: rest ->
+      t.queue <- rest;
+      t.busy <- true;
+      op ()
+
+let submit t op =
+  t.queue <- t.queue @ [ op ];
+  if not t.busy then run_next t
+
+let finish t k result =
+  (* Complete the caller, then service the next queued operation. *)
+  k result;
+  run_next t
+
+(* ---- primitive: append one record and write its page ---- *)
+
+let encode_record key value =
+  let klen = Bytes.length key and vlen = Bytes.length value in
+  let b = Bytes.create (5 + klen + vlen) in
+  Bytes.set b 0 (Char.chr magic);
+  Bytes.set b 1 (Char.chr flag_valid);
+  Bytes.set b 2 (Char.chr klen);
+  Bytes.set b 3 (Char.chr (vlen land 0xff));
+  Bytes.set b 4 (Char.chr ((vlen lsr 8) land 0xff));
+  Bytes.blit key 0 b 5 klen;
+  Bytes.blit value 0 b (5 + klen) vlen;
+  b
+
+let append t ~key ~value k =
+  let rec_bytes = encode_record key value in
+  let total = Bytes.length rec_bytes in
+  if total > page_size t then k (Error Error.SIZE)
+  else begin
+    (* Advance to the next page if the record does not fit. *)
+    if t.tail_off + total > page_size t then begin
+      t.tail_page <- t.tail_page + 1;
+      t.tail_off <- 0
+    end;
+    if t.tail_page >= t.n_pages then k (Error Error.NOMEM)
+    else begin
+      let abs = t.first_page + t.tail_page in
+      let img = t.flash.Hil.flash_read_sync ~page:abs in
+      Bytes.blit rec_bytes 0 img t.tail_off total;
+      let rel_page = t.tail_page and off = t.tail_off in
+      t.pending <-
+        P_write
+          {
+            page = abs;
+            done_ =
+              (fun r ->
+                match r with
+                | Ok () ->
+                    Hashtbl.replace t.index (Bytes.to_string key)
+                      { e_page = rel_page; e_off = off;
+                        e_vlen = Bytes.length value };
+                    t.tail_off <- off + total;
+                    k (Ok ())
+                | Error e -> k (Error e));
+          };
+      match t.flash.Hil.flash_write ~page:abs (Subslice.of_bytes img) with
+      | Ok () -> ()
+      | Error (e, _) ->
+          t.pending <- P_none;
+          k (Error e)
+    end
+  end
+
+(* ---- compaction ---- *)
+
+let compact t k =
+  t.compactions <- t.compactions + 1;
+  (* Snapshot live records from flash. *)
+  let live =
+    Hashtbl.fold
+      (fun key e acc ->
+        let img = t.flash.Hil.flash_read_sync ~page:(t.first_page + e.e_page) in
+        let klen = Char.code (Bytes.get img (e.e_off + 2)) in
+        let value = Bytes.sub img (e.e_off + 5 + klen) e.e_vlen in
+        (Bytes.of_string key, value) :: acc)
+      t.index []
+  in
+  (* Rebuild page images in memory. *)
+  let pages = Array.init t.n_pages (fun _ -> Bytes.make (page_size t) '\xff') in
+  let rel = ref 0 and off = ref 0 in
+  let overflow = ref false in
+  Hashtbl.reset t.index;
+  List.iter
+    (fun (key, value) ->
+      let r = encode_record key value in
+      let total = Bytes.length r in
+      if !off + total > page_size t then begin
+        incr rel;
+        off := 0
+      end;
+      if !rel >= t.n_pages then overflow := true
+      else begin
+        Bytes.blit r 0 pages.(!rel) !off total;
+        Hashtbl.replace t.index (Bytes.to_string key)
+          { e_page = !rel; e_off = !off; e_vlen = Bytes.length value };
+        off := !off + total
+      end)
+    live;
+  if !overflow then k (Error Error.NOMEM)
+  else begin
+    t.tail_page <- !rel;
+    t.tail_off <- !off;
+    let to_erase = List.init t.n_pages (fun i -> t.first_page + i) in
+    let to_write =
+      List.init t.n_pages (fun i -> (t.first_page + i, pages.(i)))
+    in
+    t.pending <- P_compact { to_erase; to_write; done_ = k };
+    match to_erase with
+    | p :: _ -> ignore (t.flash.Hil.flash_erase ~page:p)
+    | [] -> k (Ok ())
+  end
+
+(* ---- public split-phase API ---- *)
+
+let get t ~key k =
+  submit t (fun () ->
+      match Hashtbl.find_opt t.index (Bytes.to_string key) with
+      | None -> finish t k (Ok None)
+      | Some e ->
+          (* Asynchronous page read for timing fidelity: borrow the client
+             slot for this one read, then reinstall the main client. *)
+          let abs = t.first_page + e.e_page in
+          t.flash.Hil.flash_set_client (fun ev ->
+              match ev with
+              | `Read_done img ->
+                  t.flash.Hil.flash_set_client (main_client t);
+                  let klen = Char.code (Bytes.get img (e.e_off + 2)) in
+                  let value = Bytes.sub img (e.e_off + 5 + klen) e.e_vlen in
+                  finish t k (Ok (Some value))
+              | _ -> ());
+          (match t.flash.Hil.flash_read ~page:abs with
+          | Ok () -> ()
+          | Error e2 ->
+              t.flash.Hil.flash_set_client (main_client t);
+              finish t k (Error e2)))
+
+let set t ~key ~value k =
+  submit t (fun () ->
+      if Bytes.length key > 255 || Bytes.length value > 0xFFFF then
+        finish t k (Error Error.SIZE)
+      else
+        append t ~key ~value (fun r ->
+            match r with
+            | Ok () -> finish t k (Ok ())
+            | Error Error.NOMEM ->
+                (* Region full: compact, then retry once. *)
+                compact t (fun r2 ->
+                    match r2 with
+                    | Ok () ->
+                        append t ~key ~value (fun r3 -> finish t k r3)
+                    | Error e -> finish t k (Error e))
+            | Error e -> finish t k (Error e)))
+
+let delete t ~key k =
+  submit t (fun () ->
+      match Hashtbl.find_opt t.index (Bytes.to_string key) with
+      | None -> finish t k (Ok false)
+      | Some e ->
+          let abs = t.first_page + e.e_page in
+          let img = t.flash.Hil.flash_read_sync ~page:abs in
+          (* NOR trick: clear the valid bit in place (1 -> 0 needs no
+             erase). *)
+          let flags = Char.code (Bytes.get img (e.e_off + 1)) in
+          Bytes.set img (e.e_off + 1) (Char.chr (flags land lnot flag_valid));
+          t.pending <-
+            P_write
+              {
+                page = abs;
+                done_ =
+                  (fun r ->
+                    match r with
+                    | Ok () ->
+                        Hashtbl.remove t.index (Bytes.to_string key);
+                        finish t k (Ok true)
+                    | Error e -> finish t k (Error e));
+              };
+          (match t.flash.Hil.flash_write ~page:abs (Subslice.of_bytes img) with
+          | Ok () -> ()
+          | Error (e2, _) ->
+              t.pending <- P_none;
+              finish t k (Error e2)))
+
+let live_keys t = Hashtbl.length t.index
+
+let compactions t = t.compactions
+
+(* ---- syscall driver ---- *)
+
+let status_err e = -Error.to_int e
+
+let read_key t pid =
+  match
+    Kernel.with_allow_ro t.kernel pid ~driver:Driver_num.kv_store ~allow_num:0
+      (fun b -> Subslice.to_bytes b)
+  with
+  | Ok k when Bytes.length k > 0 -> Some k
+  | _ -> None
+
+let command t proc ~command_num ~arg1:_ ~arg2:_ =
+  let pid = Process.id proc in
+  let upcall args =
+    ignore
+      (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.kv_store
+         ~subscribe_num:0 ~args)
+  in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> (
+      match read_key t pid with
+      | None -> Syscall.Failure Error.RESERVE
+      | Some key ->
+          get t ~key (fun r ->
+              match r with
+              | Ok None -> upcall (status_err Error.NODEVICE, 0, 0)
+              | Ok (Some value) ->
+                  let written =
+                    Kernel.with_allow_rw t.kernel pid
+                      ~driver:Driver_num.kv_store ~allow_num:0 (fun out ->
+                        let m = min (Bytes.length value) (Subslice.length out) in
+                        Subslice.blit_from_bytes ~src:value ~src_off:0 out
+                          ~dst_off:0 ~len:m;
+                        m)
+                  in
+                  let n = match written with Ok n -> n | Error _ -> 0 in
+                  upcall (0, n, 0)
+              | Error e -> upcall (status_err e, 0, 0));
+          Syscall.Success)
+  | 2 -> (
+      match read_key t pid with
+      | None -> Syscall.Failure Error.RESERVE
+      | Some key ->
+          let value =
+            match
+              Kernel.with_allow_ro t.kernel pid ~driver:Driver_num.kv_store
+                ~allow_num:1 (fun b -> Subslice.to_bytes b)
+            with
+            | Ok v -> v
+            | Error _ -> Bytes.empty
+          in
+          set t ~key ~value (fun r ->
+              match r with
+              | Ok () -> upcall (0, Bytes.length value, 0)
+              | Error e -> upcall (status_err e, 0, 0));
+          Syscall.Success)
+  | 3 -> (
+      match read_key t pid with
+      | None -> Syscall.Failure Error.RESERVE
+      | Some key ->
+          delete t ~key (fun r ->
+              match r with
+              | Ok present -> upcall (0, (if present then 1 else 0), 0)
+              | Error e -> upcall (status_err e, 0, 0));
+          Syscall.Success)
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.kv_store ~name:"kv"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

@@ -1,0 +1,38 @@
+(** Log-structured key-value store over NOR flash (TicKV-style), plus its
+    syscall driver (driver 0x50003).
+
+    Records are appended to a region of flash pages; deletes exploit NOR
+    semantics by clearing the record's valid bit in place (bits can only
+    go 1 -> 0 without an erase). When the region fills, live records are
+    compacted: pages are erased and rewritten through an asynchronous
+    erase/write chain, exercising wear counters. An in-memory index is
+    rebuilt by scanning flash at creation, so the store survives
+    "reboots" (re-creation over the same flash).
+
+    Record layout: [0xA5, flags, keylen, vallen_lo, vallen_hi, key...,
+    value...]; flags bit0 = valid (cleared on delete).
+
+    Kernel-facing API ({!get}/{!set}/{!delete}) is split-phase; the
+    syscall driver maps it for userspace:
+    allow-ro 0 = key; allow-ro 1 = value (set); allow-rw 0 = value out
+    (get); command 1 = get, 2 = set, 3 = delete; upcall sub 0 =
+    [(status, len, 0)] with status 0 = ok, negative = ErrorCode. *)
+
+type t
+
+val create : Tock.Kernel.t -> Tock.Hil.flash -> first_page:int -> pages:int -> t
+(** Scans the region and rebuilds the index. *)
+
+val get : t -> key:bytes -> ((bytes option, Tock.Error.t) result -> unit) -> unit
+(** [Ok None] = key absent. *)
+
+val set : t -> key:bytes -> value:bytes -> ((unit, Tock.Error.t) result -> unit) -> unit
+
+val delete : t -> key:bytes -> ((bool, Tock.Error.t) result -> unit) -> unit
+(** [Ok false] = key was absent. *)
+
+val live_keys : t -> int
+
+val compactions : t -> int
+
+val driver : t -> Tock.Driver.t

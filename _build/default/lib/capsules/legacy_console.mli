@@ -1,0 +1,31 @@
+(** DELIBERATELY UNSOUND: a Tock-1.x-style console driver that stashes
+    raw allow buffers (paper §3.3.1).
+
+    Before Tock 2.0, the kernel validated an allowed buffer and then
+    passed an owning wrapper to the capsule, which could keep it
+    indefinitely. If userspace later revoked the buffer (re-allowing or
+    exiting), a stale capsule write would land in memory the app believed
+    private again — exactly the soundness hole that forced the 2.0 ABI
+    redesign. This capsule reproduces that behaviour so the
+    [e-v2-soundness] experiment can count stale-reference uses; it is part
+    of the *experiment harness*, not the trusted kernel surface, and is
+    the only capsule allowed to touch raw process memory.
+
+    Protocol: driver 0x10002; allow-rw 0 = buffer the capsule will write a
+    timestamp into "later"; command 1 = start delayed write (fires after
+    the given dt ticks via a virtual alarm). *)
+
+type t
+
+val driver_num : int
+
+val create : Tock.Kernel.t -> Alarm_mux.t -> t
+
+val driver : t -> Tock.Driver.t
+
+val stale_writes : t -> int
+(** Writes performed through a stashed reference after userspace had
+    swapped the buffer away — each one is a Rust-soundness violation in
+    the real system. *)
+
+val total_writes : t -> int

@@ -1,0 +1,460 @@
+open Tock
+
+let magic0 = 'T'
+
+let magic1 = 'K'
+
+let header_size = 9
+
+let trailer_size = 2
+
+let max_payload = 100
+
+
+let flag_ack = 0x01
+
+let flag_needs_ack = 0x02
+
+let flag_fragment = 0x04
+
+let frag_header = 4
+
+let frag_chunk = max_payload - frag_header
+
+let max_fragments = 8
+
+(* CRC-16/CCITT-FALSE *)
+let crc16 b ~off ~len =
+  let crc = ref 0xFFFF in
+  for i = off to off + len - 1 do
+    crc := !crc lxor (Char.code (Bytes.get b i) lsl 8);
+    for _ = 1 to 8 do
+      if !crc land 0x8000 <> 0 then crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+      else crc := (!crc lsl 1) land 0xFFFF
+    done
+  done;
+  !crc
+
+type inflight = {
+  if_dest : int;
+  if_seq : int;
+  if_frame : bytes;
+  mutable tries : int;
+  if_done : (unit, Error.t) result -> unit;
+}
+
+type t = {
+  kernel : Kernel.t;
+  radio : Hil.radio;
+  valarm : Alarm_mux.valarm;
+  ack_timeout : int;
+  max_retries : int;
+  tx_buf : Subslice.t Cells.Take_cell.t;
+  (* who owns the transmit currently in the air *)
+  mutable current_tx : [ `None | `Net | `Raw of Subslice.t ];
+  mutable raw_tx_client : Subslice.t -> unit;
+  mutable next_seq : int;
+  mutable inflight : inflight option;
+  mutable rx_client : src:int -> bytes -> unit;
+  mutable raw_rx_client : src:int -> bytes -> unit;
+  (* duplicate suppression: last seq seen per source *)
+  last_seq : (int, int) Hashtbl.t;
+  mutable retx : int;
+  mutable dups : int;
+  mutable crc_fail : int;
+  mutable acks : int;
+  (* userspace listeners *)
+  mutable listeners : Process.id list;
+  mutable tx_owner : Process.id option;
+  mutable next_dgram_id : int;
+  (* reassembly: (src, dgram_id) -> per-index chunks *)
+  reassembly : (int * int, bytes option array) Hashtbl.t;
+  mutable reassembled : int;
+}
+
+let build_frame ~seq ~flags ~src ~dst payload =
+  let plen = Bytes.length payload in
+  let f = Bytes.create (header_size + plen + trailer_size) in
+  Bytes.set f 0 magic0;
+  Bytes.set f 1 magic1;
+  Bytes.set f 2 (Char.chr (seq land 0xff));
+  Bytes.set f 3 (Char.chr (flags land 0xff));
+  Bytes.set f 4 (Char.chr (src land 0xff));
+  Bytes.set f 5 (Char.chr ((src lsr 8) land 0xff));
+  Bytes.set f 6 (Char.chr (dst land 0xff));
+  Bytes.set f 7 (Char.chr ((dst lsr 8) land 0xff));
+  Bytes.set f 8 (Char.chr plen);
+  Bytes.blit payload 0 f header_size plen;
+  let crc = crc16 f ~off:0 ~len:(header_size + plen) in
+  Bytes.set f (header_size + plen) (Char.chr (crc land 0xff));
+  Bytes.set f (header_size + plen + 1) (Char.chr ((crc lsr 8) land 0xff));
+  f
+
+let transmit_frame t frame =
+  match Cells.Take_cell.take t.tx_buf with
+  | None -> Error Error.BUSY
+  | Some sub -> (
+      Subslice.reset sub;
+      let n = Bytes.length frame in
+      Subslice.blit_from_bytes ~src:frame ~src_off:0 sub ~dst_off:0 ~len:n;
+      Subslice.slice_to sub n;
+      (* the link destination is broadcast: filtering happens on our
+         header, so acks and dedup see every frame *)
+      match t.radio.Hil.radio_transmit ~dest:0xFFFF sub with
+      | Ok () ->
+          t.current_tx <- `Net;
+          Ok ()
+      | Error (e, sub) ->
+          Subslice.reset sub;
+          Cells.Take_cell.put t.tx_buf sub;
+          Error e)
+
+let finish_inflight t result =
+  match t.inflight with
+  | None -> ()
+  | Some inf ->
+      t.inflight <- None;
+      Alarm_mux.cancel t.valarm;
+      inf.if_done result
+
+let rec retransmit t =
+  match t.inflight with
+  | None -> ()
+  | Some inf ->
+      if inf.tries > t.max_retries then finish_inflight t (Error Error.NOACK)
+      else begin
+        t.retx <- t.retx + 1;
+        inf.tries <- inf.tries + 1;
+        (match transmit_frame t inf.if_frame with
+        | Ok () -> ()
+        | Error _ -> () (* radio mid-frame; the timer fires us again *));
+        arm_timer t
+      end
+
+and arm_timer t =
+  Alarm_mux.set_client t.valarm (fun () -> retransmit t);
+  Alarm_mux.set_relative t.valarm ~dt:t.ack_timeout
+
+let send_single t ~dest ~extra_flags payload ~on_result =
+  if t.inflight <> None then Error Error.BUSY
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- (t.next_seq + 1) land 0xff;
+    let needs_ack = dest <> 0xFFFF in
+    let flags = (if needs_ack then flag_needs_ack else 0) lor extra_flags in
+    let frame =
+      build_frame ~seq ~flags ~src:t.radio.Hil.radio_addr ~dst:dest payload
+    in
+    match transmit_frame t frame with
+    | Error e -> Error e
+    | Ok () ->
+        if needs_ack then begin
+          t.inflight <-
+            Some { if_dest = dest; if_seq = seq; if_frame = frame; tries = 1;
+                   if_done = on_result };
+          arm_timer t
+        end
+        else on_result (Ok ());
+        Ok ()
+  end
+
+let send t ~dest payload ~on_result =
+  let total_len = Bytes.length payload in
+  if total_len <= max_payload then
+    send_single t ~dest ~extra_flags:0 payload ~on_result
+  else if dest = 0xFFFF then Error Error.SIZE
+    (* large broadcasts have no ack to pace fragments; unsupported *)
+  else
+    let nfrags = (total_len + frag_chunk - 1) / frag_chunk in
+    if nfrags > max_fragments then Error Error.SIZE
+    else begin
+      let dgram_id = t.next_dgram_id in
+      t.next_dgram_id <- (t.next_dgram_id + 1) land 0xff;
+      let fragment idx =
+        let off = idx * frag_chunk in
+        let n = min frag_chunk (total_len - off) in
+        let b = Bytes.create (frag_header + n) in
+        Bytes.set b 0 (Char.chr dgram_id);
+        Bytes.set b 1 (Char.chr idx);
+        Bytes.set b 2 (Char.chr nfrags);
+        Bytes.set b 3 '\x00';
+        Bytes.blit payload off b frag_header n;
+        b
+      in
+      (* Each fragment is acked before the next departs. *)
+      let rec send_frag idx =
+        let r =
+          send_single t ~dest ~extra_flags:flag_fragment (fragment idx)
+            ~on_result:(fun result ->
+              match result with
+              | Error _ as e -> on_result e
+              | Ok () ->
+                  if idx + 1 < nfrags then (
+                    match send_frag (idx + 1) with
+                    | Ok () -> ()
+                    | Error e -> on_result (Error e))
+                  else on_result (Ok ()))
+        in
+        r
+      in
+      send_frag 0
+    end
+
+let send_ack t ~dest ~seq =
+  t.acks <- t.acks + 1;
+  let frame =
+    build_frame ~seq ~flags:flag_ack ~src:t.radio.Hil.radio_addr ~dst:dest
+      Bytes.empty
+  in
+  ignore (transmit_frame t frame)
+
+let handle_frame t ~src:_ frame =
+  let len = Bytes.length frame in
+  if len < 2 || Bytes.get frame 0 <> magic0 || Bytes.get frame 1 <> magic1 then
+    (* not ours: raw passthrough *)
+    `Raw
+  else if len < header_size + trailer_size then begin
+    t.crc_fail <- t.crc_fail + 1;
+    `Dropped
+  end
+  else begin
+    let plen = Char.code (Bytes.get frame 8) in
+    if len < header_size + plen + trailer_size then begin
+      t.crc_fail <- t.crc_fail + 1;
+      `Dropped
+    end
+    else begin
+      let crc_stored =
+        Char.code (Bytes.get frame (header_size + plen))
+        lor (Char.code (Bytes.get frame (header_size + plen + 1)) lsl 8)
+      in
+      if crc16 frame ~off:0 ~len:(header_size + plen) <> crc_stored then begin
+        t.crc_fail <- t.crc_fail + 1;
+        `Dropped
+      end
+      else begin
+        let seq = Char.code (Bytes.get frame 2) in
+        let flags = Char.code (Bytes.get frame 3) in
+        let fsrc =
+          Char.code (Bytes.get frame 4) lor (Char.code (Bytes.get frame 5) lsl 8)
+        in
+        let fdst =
+          Char.code (Bytes.get frame 6) lor (Char.code (Bytes.get frame 7) lsl 8)
+        in
+        let us = t.radio.Hil.radio_addr in
+        if fdst <> us && fdst <> 0xFFFF then `Dropped
+        else if flags land flag_ack <> 0 then begin
+          (match t.inflight with
+          | Some inf when inf.if_seq = seq && inf.if_dest = fsrc ->
+              finish_inflight t (Ok ())
+          | _ -> ());
+          `Dropped
+        end
+        else begin
+          if flags land flag_needs_ack <> 0 then send_ack t ~dest:fsrc ~seq;
+          (* duplicate? (retransmits after a lost ack) *)
+          match Hashtbl.find_opt t.last_seq fsrc with
+          | Some s when s = seq ->
+              t.dups <- t.dups + 1;
+              `Dropped
+          | _ ->
+              Hashtbl.replace t.last_seq fsrc seq;
+              let body = Bytes.sub frame header_size plen in
+              if flags land flag_fragment <> 0 then `Fragment (fsrc, body)
+              else `Datagram (fsrc, body)
+        end
+      end
+    end
+  end
+
+(* ---- construction ---- *)
+
+let allow_tx = 0
+
+let allow_rx = 0
+
+let sub_tx_done = 0
+
+let sub_rx = 1
+
+let driver_num = 0x30002
+
+let deliver_to_listeners t ~src payload =
+  List.iter
+    (fun pid ->
+      let copied =
+        Kernel.with_allow_rw t.kernel pid ~driver:driver_num
+          ~allow_num:allow_rx (fun buf ->
+            let n = min (Bytes.length payload) (Subslice.length buf) in
+            if n > 0 then
+              Subslice.blit_from_bytes ~src:payload ~src_off:0 buf ~dst_off:0
+                ~len:n;
+            n)
+      in
+      let n = match copied with Ok n -> n | Error _ -> 0 in
+      ignore
+        (Kernel.schedule_upcall t.kernel pid ~driver:driver_num
+           ~subscribe_num:sub_rx ~args:(src, n, 0)))
+    t.listeners
+
+let create ?(max_retries = 3) kernel radio amux ~ack_timeout_ticks =
+  let t =
+    {
+      kernel;
+      radio;
+      valarm = Alarm_mux.new_alarm amux;
+      ack_timeout = ack_timeout_ticks;
+      max_retries;
+      tx_buf = Cells.Take_cell.make (Subslice.create 127);
+      current_tx = `None;
+      raw_tx_client = (fun (_ : Subslice.t) -> ());
+      next_seq = 1;
+      inflight = None;
+      rx_client = (fun ~src:_ _ -> ());
+      raw_rx_client = (fun ~src:_ _ -> ());
+      last_seq = Hashtbl.create 8;
+      retx = 0;
+      dups = 0;
+      crc_fail = 0;
+      acks = 0;
+      listeners = [];
+      tx_owner = None;
+      next_dgram_id = 1;
+      reassembly = Hashtbl.create 8;
+      reassembled = 0;
+    }
+  in
+  radio.Hil.radio_set_transmit_client (fun sub ->
+      match t.current_tx with
+      | `Raw _ ->
+          t.current_tx <- `None;
+          t.raw_tx_client sub
+      | `Net | `None ->
+          t.current_tx <- `None;
+          Subslice.reset sub;
+          Cells.Take_cell.put t.tx_buf sub);
+  radio.Hil.radio_set_receive_client (fun ~src frame ->
+      match handle_frame t ~src frame with
+      | `Raw -> t.raw_rx_client ~src frame
+      | `Dropped -> ()
+      | `Datagram (fsrc, payload) ->
+          t.rx_client ~src:fsrc payload;
+          deliver_to_listeners t ~src:fsrc payload
+      | `Fragment (fsrc, payload) ->
+          if Bytes.length payload >= frag_header then begin
+            let dgram_id = Char.code (Bytes.get payload 0) in
+            let idx = Char.code (Bytes.get payload 1) in
+            let total = Char.code (Bytes.get payload 2) in
+            if total >= 1 && total <= max_fragments && idx < total then begin
+              let key = (fsrc, dgram_id) in
+              let slots =
+                match Hashtbl.find_opt t.reassembly key with
+                | Some a when Array.length a = total -> a
+                | _ ->
+                    let a = Array.make total None in
+                    Hashtbl.replace t.reassembly key a;
+                    a
+              in
+              slots.(idx) <-
+                Some (Bytes.sub payload frag_header (Bytes.length payload - frag_header));
+              if Array.for_all Option.is_some slots then begin
+                Hashtbl.remove t.reassembly key;
+                t.reassembled <- t.reassembled + 1;
+                let whole =
+                  Bytes.concat Bytes.empty
+                    (Array.to_list (Array.map Option.get slots))
+                in
+                t.rx_client ~src:fsrc whole;
+                deliver_to_listeners t ~src:fsrc whole
+              end
+            end
+          end);
+  t
+
+let set_receive t fn = t.rx_client <- fn
+
+let set_raw_receive t fn = t.raw_rx_client <- fn
+
+(* A raw pass-through view: plain (non-'TK') frames share the radio with
+   the reliable layer. Transmissions interleave at frame granularity. *)
+let raw_radio t : Hil.radio =
+  {
+    Hil.radio_transmit =
+      (fun ~dest sub ->
+        if t.current_tx <> `None then Error (Error.BUSY, sub)
+        else
+          match t.radio.Hil.radio_transmit ~dest sub with
+          | Ok () ->
+              t.current_tx <- `Raw sub;
+              Ok ()
+          | Error _ as e -> e);
+    radio_set_transmit_client = (fun fn -> t.raw_tx_client <- fn);
+    radio_set_receive_client = (fun fn -> t.raw_rx_client <- (fun ~src b -> fn ~src b));
+    radio_start_listening = (fun () -> t.radio.Hil.radio_start_listening ());
+    radio_stop = (fun () -> t.radio.Hil.radio_stop ());
+    radio_addr = t.radio.Hil.radio_addr;
+  }
+
+let start t = t.radio.Hil.radio_start_listening ()
+
+let retransmissions t = t.retx
+
+let duplicates_dropped t = t.dups
+
+let crc_failures t = t.crc_fail
+
+let acks_sent t = t.acks
+
+let datagrams_reassembled t = t.reassembled
+
+(* ---- syscall driver ---- *)
+
+let command t proc ~command_num ~arg1 ~arg2 =
+  let pid = Process.id proc in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> (
+      if t.tx_owner <> None then Syscall.Failure Error.BUSY
+      else
+        let payload =
+          match
+            Kernel.with_allow_ro t.kernel pid ~driver:driver_num
+              ~allow_num:allow_tx (fun b ->
+                let n = min arg2 (Subslice.length b) in
+                Subslice.slice_to b n;
+                Subslice.to_bytes b)
+          with
+          | Ok b -> b
+          | Error _ -> Bytes.empty
+        in
+        if Bytes.length payload = 0 then Syscall.Failure Error.RESERVE
+        else
+          match
+            send t ~dest:arg1 payload ~on_result:(fun r ->
+                t.tx_owner <- None;
+                let status, retries =
+                  match r with
+                  | Ok () -> (0, 0)
+                  | Error e -> (-Error.to_int e, t.max_retries)
+                in
+                ignore
+                  (Kernel.schedule_upcall t.kernel pid ~driver:driver_num
+                     ~subscribe_num:sub_tx_done ~args:(status, retries, 0)))
+          with
+          | Ok () ->
+              t.tx_owner <- Some pid;
+              Syscall.Success
+          | Error e -> Syscall.Failure e)
+  | 2 ->
+      start t;
+      if not (List.mem pid t.listeners) then t.listeners <- pid :: t.listeners;
+      Syscall.Success
+  | 3 ->
+      t.listeners <- List.filter (fun p -> p <> pid) t.listeners;
+      Syscall.Success
+  | 4 -> Syscall.Success_u32 t.radio.Hil.radio_addr
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num ~name:"net"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

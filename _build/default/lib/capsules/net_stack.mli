@@ -1,0 +1,75 @@
+(** A small reliable link layer over the packet radio — the class of
+    "network and wireless protocols" the paper wishes it could reuse from
+    third parties but cannot audit (§3.5), so Tock-style systems write
+    their own.
+
+    Frame format (prepended to the payload in one SubSlice, Fig.-4 style —
+    the payload is never copied):
+
+    {v  'T' 'K' | seq u8 | flags u8 | src u16le | dst u16le | len u8 | payload | crc16le  v}
+
+    Features:
+    - CRC-16/CCITT over header+payload; corrupt frames drop (counted);
+    - unicast frames are acknowledged; unacked frames retransmit (up to
+      [max_retries] times) on a virtual-alarm timer, recovering from the
+      medium's losses and collisions; a frame that is never acked resolves
+      NOACK — reliability is bounded, not absolute;
+    - duplicate suppression per (src, seq) sliding window;
+    - fragmentation for unicast datagrams larger than one frame (up to 8
+      acked fragments, reassembled per (src, datagram id));
+    - non-'TK' frames pass through to a raw receive client, so the plain
+      radio syscall driver can coexist on the same radio.
+
+    The syscall driver (0x30002) mirrors the radio driver's protocol but
+    with delivery guarantees: allow-ro 0 + command 1 (dest, len) = send
+    reliably, upcall sub 0 = [(status, retries_used, 0)], status 0 = acked,
+    negative = gave up; allow-rw 0 + command 2 = receive datagrams (upcall
+    sub 1 = [(src, len, 0)]). *)
+
+type t
+
+val create :
+  ?max_retries:int ->
+  Tock.Kernel.t ->
+  Tock.Hil.radio ->
+  Alarm_mux.t ->
+  ack_timeout_ticks:int ->
+  t
+(** Default [max_retries]: 3 (so up to 4 transmissions per unicast). *)
+
+val driver : t -> Tock.Driver.t
+
+(** {2 Kernel-side API (used by tests and other capsules)} *)
+
+val send :
+  t -> dest:int -> bytes -> on_result:((unit, Tock.Error.t) result -> unit) ->
+  (unit, Tock.Error.t) result
+(** Reliable unicast (or fire-and-forget broadcast to 0xFFFF). BUSY if a
+    send is in flight. *)
+
+val set_receive : t -> (src:int -> bytes -> unit) -> unit
+
+val set_raw_receive : t -> (src:int -> bytes -> unit) -> unit
+(** Non-'TK' traffic. *)
+
+val raw_radio : t -> Tock.Hil.radio
+(** A pass-through radio view carrying non-'TK' traffic, so the plain
+    radio syscall driver can sit beside the reliable layer on one radio. *)
+
+val start : t -> unit
+(** Power the radio into listening. *)
+
+(** {2 Statistics} *)
+
+val retransmissions : t -> int
+
+val duplicates_dropped : t -> int
+
+val crc_failures : t -> int
+
+val acks_sent : t -> int
+
+val datagrams_reassembled : t -> int
+
+val crc16 : bytes -> off:int -> len:int -> int
+(** CRC-16/CCITT-FALSE, exposed for tests. *)

@@ -1,0 +1,180 @@
+open Tock
+
+type op =
+  | Idle
+  | Reading of { pid : Process.id; off : int; len : int }
+  | Write_erase of { pid : Process.id; page : int; img : bytes; len : int }
+  | Write_program of { pid : Process.id; len : int }
+
+type region_key = By_id of int | By_pid of Process.id
+
+type t = {
+  kernel : Kernel.t;
+  flash : Hil.flash;
+  first_page : int;
+  pages_per_app : int;
+  max_apps : int;
+  regions : (region_key, int) Hashtbl.t;
+  selected : (Process.id, region_key) Hashtbl.t; (* cmd-4 read selection *)
+  mutable op : op;
+}
+
+let region_bytes t = t.pages_per_app * t.flash.Hil.flash_page_size
+
+let key_of proc =
+  match Process.storage_ids proc with
+  | Some (wid, _) -> By_id wid
+  | None -> By_pid (Process.id proc)
+
+let region_of_key t key =
+  match Hashtbl.find_opt t.regions key with
+  | Some r -> Some r
+  | None ->
+      let used = Hashtbl.length t.regions in
+      if used >= t.max_apps then None
+      else begin
+        Hashtbl.replace t.regions key used;
+        Some used
+      end
+
+let region_of t proc = region_of_key t (key_of proc)
+
+(* The region command 2 reads from: the cmd-4 selection, else our own. *)
+let read_region t proc =
+  let pid = Process.id proc in
+  match Hashtbl.find_opt t.selected pid with
+  | Some key -> region_of_key t key
+  | None -> region_of t proc
+
+let may_read proc ~owner_wid =
+  match Process.storage_ids proc with
+  | Some (wid, read_ids) -> owner_wid = wid || List.mem owner_wid read_ids
+  | None -> false
+
+let first_page_of t region = t.first_page + (region * t.pages_per_app)
+
+let create kernel flash ~first_page ~pages_per_app ~max_apps =
+  let t =
+    {
+      kernel;
+      flash;
+      first_page;
+      pages_per_app;
+      max_apps;
+      regions = Hashtbl.create 8;
+      selected = Hashtbl.create 8;
+      op = Idle;
+    }
+  in
+  flash.Hil.flash_set_client (fun ev ->
+      match (t.op, ev) with
+      | Write_erase { pid; page; img; len }, `Erase_done -> (
+          t.op <- Write_program { pid; len };
+          match t.flash.Hil.flash_write ~page (Subslice.of_bytes img) with
+          | Ok () -> ()
+          | Error _ ->
+              t.op <- Idle;
+              ignore
+                (Kernel.schedule_upcall t.kernel pid
+                   ~driver:Driver_num.nonvolatile_storage ~subscribe_num:1
+                   ~args:(0, 0, 0)))
+      | Write_program { pid; len }, `Write_done _ ->
+          t.op <- Idle;
+          ignore
+            (Kernel.schedule_upcall t.kernel pid
+               ~driver:Driver_num.nonvolatile_storage ~subscribe_num:1
+               ~args:(len, 0, 0))
+      | Reading { pid; off; len }, `Read_done img ->
+          t.op <- Idle;
+          let page_off = off mod t.flash.Hil.flash_page_size in
+          let n = min len (Bytes.length img - page_off) in
+          let copied =
+            Kernel.with_allow_rw t.kernel pid
+              ~driver:Driver_num.nonvolatile_storage ~allow_num:0 (fun buf ->
+                let m = min n (Subslice.length buf) in
+                Subslice.blit_from_bytes ~src:img ~src_off:page_off buf
+                  ~dst_off:0 ~len:m;
+                m)
+          in
+          let m = match copied with Ok m -> m | Error _ -> 0 in
+          ignore
+            (Kernel.schedule_upcall t.kernel pid
+               ~driver:Driver_num.nonvolatile_storage ~subscribe_num:0
+               ~args:(m, 0, 0))
+      | _ -> ());
+  t
+
+let command t proc ~command_num ~arg1 ~arg2 =
+  let pid = Process.id proc in
+  let page_size = t.flash.Hil.flash_page_size in
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> Syscall.Success_u32 (region_bytes t)
+  | 2 -> (
+      (* read arg2 bytes at offset arg1; single-page operations only *)
+      if t.op <> Idle then Syscall.Failure Error.BUSY
+      else
+        match read_region t proc with
+        | None -> Syscall.Failure Error.NOMEM
+        | Some region ->
+            if arg1 < 0 || arg2 <= 0 || arg1 + arg2 > region_bytes t then
+              Syscall.Failure Error.INVAL
+            else if arg1 / page_size <> (arg1 + arg2 - 1) / page_size then
+              Syscall.Failure Error.SIZE
+            else
+              let page = first_page_of t region + (arg1 / page_size) in
+              (match t.flash.Hil.flash_read ~page with
+              | Ok () ->
+                  t.op <- Reading { pid; off = arg1; len = arg2 };
+                  Syscall.Success
+              | Error e -> Syscall.Failure e))
+  | 3 -> (
+      (* write arg2 bytes at offset arg1 from the allowed buffer *)
+      if t.op <> Idle then Syscall.Failure Error.BUSY
+      else
+        match region_of t proc with
+        | None -> Syscall.Failure Error.NOMEM
+        | Some region ->
+            if arg1 < 0 || arg2 <= 0 || arg1 + arg2 > region_bytes t then
+              Syscall.Failure Error.INVAL
+            else if arg1 / page_size <> (arg1 + arg2 - 1) / page_size then
+              Syscall.Failure Error.SIZE
+            else
+              let page = first_page_of t region + (arg1 / page_size) in
+              let img = t.flash.Hil.flash_read_sync ~page in
+              let page_off = arg1 mod page_size in
+              let copied =
+                Kernel.with_allow_ro t.kernel pid
+                  ~driver:Driver_num.nonvolatile_storage ~allow_num:0
+                  (fun buf ->
+                    let m = min arg2 (Subslice.length buf) in
+                    Subslice.blit_to_bytes buf ~src_off:0 ~dst:img
+                      ~dst_off:page_off ~len:m;
+                    m)
+              in
+              (match copied with
+              | Ok m when m > 0 -> (
+                  (* erase-then-program read-modify-write *)
+                  t.op <- Write_erase { pid; page; img; len = m };
+                  match t.flash.Hil.flash_erase ~page with
+                  | Ok () -> Syscall.Success
+                  | Error e ->
+                      t.op <- Idle;
+                      Syscall.Failure e)
+              | _ -> Syscall.Failure Error.RESERVE))
+  | 4 ->
+      (* select the region later reads come from: 0 = back to own *)
+      if arg1 = 0 then begin
+        Hashtbl.remove t.selected pid;
+        Syscall.Success
+      end
+      else if may_read proc ~owner_wid:arg1 then begin
+        Hashtbl.replace t.selected pid (By_id arg1);
+        Syscall.Success
+      end
+      else Syscall.Failure Error.INVAL
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.nonvolatile_storage ~name:"nv-storage"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

@@ -1,0 +1,27 @@
+(** App-facing raw nonvolatile storage (driver 0x50001) with persistent
+    ACLs.
+
+    Regions are keyed by the app's TBF storage [write_id] when present
+    (apps sharing a write_id share a region, surviving restarts and
+    re-installs), falling back to a per-process private region. The TBF
+    [read_ids] list is enforced: an app may additionally read — never
+    write — the regions of ids it was granted.
+
+    Protocol: command 1 = region size; command 2 (off, len) = read from
+    the selected region into allow-rw 0, upcall sub 0 = [(len, 0, 0)];
+    command 3 (off, len) = write own region from allow-ro 0, upcall sub 1
+    = [(len, 0, 0)]; command 4 (write_id) = select which region command 2
+    reads (0 = own; INVAL unless granted by the TBF ACL). Writes
+    read-modify-write whole pages (erase + write) through the flash HIL. *)
+
+type t
+
+val create :
+  Tock.Kernel.t ->
+  Tock.Hil.flash ->
+  first_page:int ->
+  pages_per_app:int ->
+  max_apps:int ->
+  t
+
+val driver : t -> Tock.Driver.t

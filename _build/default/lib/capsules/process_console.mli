@@ -1,0 +1,28 @@
+(** Kernel shell over a virtual UART: list, stop, start, restart, and
+    terminate processes from a serial console.
+
+    This capsule is *privileged*: it holds a process-management
+    capability minted by the board (Listing 1's pattern — an untrusted-
+    looking component gains a specific power only because trusted
+    initialization handed it the token).
+
+    Commands (newline-terminated): [help], [list], [stop <name>],
+    [start <name>], [restart <name>], [terminate <name>], [stats]. *)
+
+type t
+
+val create :
+  Tock.Kernel.t ->
+  Uart_mux.vdev ->
+  cap:Tock.Capability.process_management ->
+  t
+
+val inject_line : t -> string -> unit
+(** Feed a command as if typed. *)
+
+val start_listening : t -> unit
+(** Claim the UART receive side and parse newline-terminated commands
+    arriving over the wire (what an operator's terminal sends). *)
+
+val output : t -> string
+(** Everything the console has printed so far. *)

@@ -1,0 +1,37 @@
+open Tock
+
+type t = { kernel : Kernel.t }
+
+let create kernel = { kernel }
+
+let state_code = function
+  | Process.Unstarted -> 0
+  | Process.Runnable -> 1
+  | Process.Yielded -> 2
+  | Process.Yielded_for _ | Process.Blocked_command _ -> 3
+  | Process.Faulted _ -> 4
+  | Process.Terminated _ -> 5
+  | Process.Stopped _ -> 6
+
+let command t proc ~command_num ~arg1 ~arg2:_ =
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> Syscall.Success_u32 (Process.id proc)
+  | 2 -> Syscall.Success_u32 (List.length (Kernel.process_ids t.kernel))
+  | 3 -> (
+      match List.nth_opt (Kernel.process_ids t.kernel) arg1 with
+      | Some pid -> Syscall.Success_u32 pid
+      | None -> Syscall.Failure Error.INVAL)
+  | 4 -> (
+      match Kernel.process_state_of t.kernel arg1 with
+      | Some st -> Syscall.Success_u32 (state_code st)
+      | None -> Syscall.Failure Error.NODEVICE)
+  | 5 -> (
+      match Kernel.find_process t.kernel arg1 with
+      | Some p -> Syscall.Success_u32 (Process.restart_count p)
+      | None -> Syscall.Failure Error.NODEVICE)
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:Driver_num.process_info ~name:"process-info"
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

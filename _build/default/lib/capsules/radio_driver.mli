@@ -1,0 +1,14 @@
+(** Packet radio syscall driver (driver 0x30001).
+
+    Protocol: allow-ro 0 = transmit payload; allow-rw 0 = receive buffer;
+    command 1 (dest, len) = send; upcall sub 0 = [(status, 0, 0)] on
+    transmit completion; command 2 = start listening (upcall sub 1 =
+    [(src, len, 0)] per received frame, payload copied into the receive
+    buffer); command 3 = stop radio. Listening fans frames out to every
+    process that enabled reception. *)
+
+type t
+
+val create : Tock.Kernel.t -> Tock.Hil.radio -> t
+
+val driver : t -> Tock.Driver.t

@@ -1,0 +1,16 @@
+(** RNG syscall driver (driver 0x40001) virtualizing the entropy source.
+
+    Protocol: allow-rw 0 = destination buffer; command 1 (n) = fill n
+    bytes; upcall sub 0 = [(bytes_filled, 0, 0)]. Requests from several
+    processes queue; each delivery copies into the requester's buffer
+    inside a [with_allow_rw] closure. *)
+
+type t
+
+val create :
+  Tock.Kernel.t ->
+  Tock.Hil.entropy ->
+  grant_cap:Tock.Capability.memory_allocation ->
+  t
+
+val driver : t -> Tock.Driver.t

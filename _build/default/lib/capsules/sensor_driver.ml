@@ -1,0 +1,77 @@
+open Tock
+
+type t = {
+  kernel : Kernel.t;
+  dev : Hil.i2c_device;
+  driver_num : int;
+  name : string;
+  buf : Subslice.t Cells.Take_cell.t;
+  mutable waiting : Process.id list; (* coalesced requesters *)
+}
+
+let create kernel dev ~driver_num ~name =
+  let t =
+    {
+      kernel;
+      dev;
+      driver_num;
+      name;
+      buf = Cells.Take_cell.make (Subslice.create 2);
+      waiting = [];
+    }
+  in
+  dev.Hil.i2c_set_client (fun result ->
+      let reading, sub =
+        match result with
+        | Ok sub ->
+            let v = (Subslice.get_u8 sub 0 lsl 8) lor Subslice.get_u8 sub 1 in
+            (* sign-extend 16 bits *)
+            let v = if v land 0x8000 <> 0 then v - 0x10000 else v in
+            (v, sub)
+        | Error (_, sub) -> (min_int, sub)
+      in
+      Subslice.reset sub;
+      Cells.Take_cell.put t.buf sub;
+      let listeners = t.waiting in
+      t.waiting <- [];
+      List.iter
+        (fun pid ->
+          ignore
+            (Kernel.schedule_upcall t.kernel pid ~driver:t.driver_num
+               ~subscribe_num:0
+               ~args:((if reading = min_int then -1 else reading), 0, 0)))
+        listeners);
+  t
+
+let start_sample t =
+  match Cells.Take_cell.take t.buf with
+  | None -> Ok () (* already sampling; requester joins the waiters *)
+  | Some sub -> (
+      (* Select data register 0, then read 2 bytes. *)
+      Subslice.reset sub;
+      Subslice.set_u8 sub 0 0;
+      match t.dev.Hil.i2c_write_read ~write_len:1 sub with
+      | Ok () -> Ok ()
+      | Error (e, sub) ->
+          Subslice.reset sub;
+          Cells.Take_cell.put t.buf sub;
+          Error e)
+
+let command t proc ~command_num ~arg1:_ ~arg2:_ =
+  match command_num with
+  | 0 -> Syscall.Success
+  | 1 -> (
+      let pid = Process.id proc in
+      let already = List.mem pid t.waiting in
+      if already then Syscall.Failure Error.BUSY
+      else
+        match start_sample t with
+        | Ok () ->
+            t.waiting <- t.waiting @ [ pid ];
+            Syscall.Success
+        | Error e -> Syscall.Failure e)
+  | _ -> Syscall.Failure Error.NOSUPPORT
+
+let driver t =
+  Driver.make ~driver_num:t.driver_num ~name:t.name
+    (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)

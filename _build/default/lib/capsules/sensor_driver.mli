@@ -1,0 +1,18 @@
+(** Environmental sensor syscall drivers (temperature 0x60000, pressure
+    0x60003, light 0x60002) over an I2C device.
+
+    Protocol (each driver): command 1 = sample; upcall sub 0 =
+    [(reading, 0, 0)] where the reading is the sensor's 16-bit value
+    (centi-°C / hPa / lux). Concurrent requests from several processes are
+    coalesced onto one bus transaction, Tock-style. *)
+
+type t
+
+val create :
+  Tock.Kernel.t ->
+  Tock.Hil.i2c_device ->
+  driver_num:int ->
+  name:string ->
+  t
+
+val driver : t -> Tock.Driver.t

@@ -1,0 +1,127 @@
+open Tock
+
+type policy =
+  [ `Require_sha256
+  | `Require_hmac of bytes
+  | `Require_signature of bytes list
+  | `Accept_any of bytes list * bytes ]
+
+type t = {
+  digest : Hil.digest;
+  pke : Hil.pke;
+  policy : policy;
+  mutable checks : int;
+  mutable busy : bool;
+  mutable queue : (unit -> unit) list;
+}
+
+let create ~digest ~pke ~policy =
+  { digest; pke; policy; checks = 0; busy = false; queue = [] }
+
+let run_next t =
+  match t.queue with
+  | [] -> t.busy <- false
+  | job :: rest ->
+      t.queue <- rest;
+      t.busy <- true;
+      job ()
+
+let submit t job =
+  t.queue <- t.queue @ [ job ];
+  if not t.busy then run_next t
+
+(* Compute a digest of [region] through the hardware engine, feeding
+   64-byte chunks, then call [k digest]. *)
+let hw_digest t mode region k =
+  match t.digest.Hil.digest_set_mode mode with
+  | Error e -> k (Error e)
+  | Ok () ->
+      let sub = Subslice.of_bytes (Bytes.copy region) in
+      let total = Bytes.length region in
+      let offset = ref 0 in
+      let rec feed () =
+        if !offset >= total then (
+          t.digest.Hil.digest_set_digest_client (fun d -> k (Ok d));
+          match t.digest.Hil.digest_run () with
+          | Ok () -> ()
+          | Error e -> k (Error e))
+        else begin
+          Subslice.reset sub;
+          let n = min 64 (total - !offset) in
+          Subslice.slice sub ~pos:!offset ~len:n;
+          t.digest.Hil.digest_set_data_client (fun _sub -> feed ());
+          match t.digest.Hil.digest_add_data sub with
+          | Ok () -> offset := !offset + n
+          | Error (e, _) -> k (Error e)
+        end
+      in
+      feed ()
+
+let constant_eq a b =
+  Bytes.length a = Bytes.length b
+  &&
+  let d = ref 0 in
+  Bytes.iteri (fun i c -> d := !d lor (Char.code c lxor Char.code (Bytes.get b i))) a;
+  !d = 0
+
+(* Try the credentials in footer order against the policy; verdict true on
+   the first that verifies. *)
+let check t tbf ~region ~verdict =
+  submit t (fun () ->
+      t.checks <- t.checks + 1;
+      let finish v why =
+        verdict (v, why);
+        run_next t
+      in
+      let creds = tbf.Tock_tbf.Tbf.footers in
+      let trusted_keys, hmac_key =
+        match t.policy with
+        | `Require_signature keys -> (keys, None)
+        | `Require_hmac k -> ([], Some k)
+        | `Accept_any (keys, k) -> (keys, Some k)
+        | `Require_sha256 -> ([], None)
+      in
+      let rec try_next = function
+        | [] -> finish false "no acceptable credential"
+        | Tock_tbf.Tbf.Sha256_digest d :: rest -> (
+            match t.policy with
+            | `Require_sha256 | `Accept_any _ ->
+                hw_digest t Hil.D_sha256 region (function
+                  | Ok computed ->
+                      if constant_eq computed d then finish true "sha256"
+                      else try_next rest
+                  | Error _ -> try_next rest)
+            | _ -> try_next rest)
+        | Tock_tbf.Tbf.Hmac_cred { tag; _ } :: rest -> (
+            match hmac_key with
+            | Some key ->
+                hw_digest t (Hil.D_hmac key) region (function
+                  | Ok computed ->
+                      if constant_eq computed tag then finish true "hmac"
+                      else try_next rest
+                  | Error _ -> try_next rest)
+            | None -> try_next rest)
+        | Tock_tbf.Tbf.Schnorr_cred { pubkey; signature } :: rest ->
+            if
+              trusted_keys <> []
+              && not (List.exists (fun k -> constant_eq k pubkey) trusted_keys)
+            then try_next rest
+            else if trusted_keys = [] then try_next rest
+            else begin
+              t.pke.Hil.pke_set_client (fun ok ->
+                  if ok then finish true "signature" else try_next rest);
+              match t.pke.Hil.pke_verify ~pubkey ~msg:region ~signature with
+              | Ok () -> ()
+              | Error _ -> try_next rest
+            end
+        | Tock_tbf.Tbf.Padding _ :: rest -> try_next rest
+      in
+      try_next creds)
+
+let checker t =
+  {
+    Process_loader.check_credentials =
+      (fun tbf ~region ~verdict -> check t tbf ~region ~verdict);
+  }
+
+let checks_run t = t.checks

@@ -1,0 +1,30 @@
+(** App-credential checker for the asynchronous process loader (paper
+    §3.4).
+
+    Implements {!Tock.Process_loader.checker} over the digest and
+    public-key engines: for each candidate app it inspects the TBF
+    footers and accepts if any credential verifies under the configured
+    policy. All crypto is split-phase hardware — this is exactly why
+    loading is a state machine.
+
+    Policies: [`Require_sha256] (integrity only), [`Require_hmac key]
+    (shared-secret authenticity), [`Require_signature trusted_keys]
+    (only apps signed by a trusted public key run — the root-of-trust
+    configuration), [`Accept_any] (any valid credential). *)
+
+type policy =
+  [ `Require_sha256
+  | `Require_hmac of bytes
+  | `Require_signature of bytes list  (** trusted public keys (8-byte) *)
+  | `Accept_any of bytes list * bytes
+    (** (trusted keys, hmac key) — accept whichever credential verifies *)
+  ]
+
+type t
+
+val create :
+  digest:Tock.Hil.digest -> pke:Tock.Hil.pke -> policy:policy -> t
+
+val checker : t -> Tock.Process_loader.checker
+
+val checks_run : t -> int

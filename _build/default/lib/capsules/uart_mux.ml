@@ -1,0 +1,93 @@
+type vdev = {
+  mux : t;
+  mutable tx_client : Tock.Subslice.t -> unit;
+  mutable rx_client : Tock.Subslice.t -> unit;
+  mutable tx_queued : bool;
+}
+
+and t = {
+  hw : Tock.Hil.uart;
+  mutable queue : (vdev * Tock.Subslice.t) list; (* FIFO, head = oldest *)
+  mutable inflight : vdev option;
+  mutable rx_holder : vdev option;
+}
+
+let rec pump t =
+  match (t.inflight, t.queue) with
+  | None, (dev, buf) :: rest -> (
+      match t.hw.Tock.Hil.uart_transmit buf with
+      | Ok () ->
+          t.queue <- rest;
+          t.inflight <- Some dev
+      | Error (Tock.Error.BUSY, _buf) ->
+          (* Hardware still draining; retry on next completion. The buffer
+             stays queued. *)
+          ()
+      | Error (_, buf) ->
+          (* Give the buffer back with a failure and move on. *)
+          t.queue <- rest;
+          dev.tx_queued <- false;
+          dev.tx_client buf;
+          pump t)
+  | _ -> ()
+
+let create hw =
+  let t = { hw; queue = []; inflight = None; rx_holder = None } in
+  hw.Tock.Hil.uart_set_transmit_client (fun buf ->
+      match t.inflight with
+      | Some dev ->
+          t.inflight <- None;
+          dev.tx_queued <- false;
+          dev.tx_client buf;
+          pump t
+      | None -> ());
+  hw.Tock.Hil.uart_set_receive_client (fun buf ->
+      match t.rx_holder with
+      | Some dev ->
+          t.rx_holder <- None;
+          dev.rx_client buf
+      | None -> ());
+  t
+
+let new_device t =
+  {
+    mux = t;
+    tx_client = (fun (_ : Tock.Subslice.t) -> ());
+    rx_client = (fun (_ : Tock.Subslice.t) -> ());
+    tx_queued = false;
+  }
+
+let transmit dev buf =
+  let t = dev.mux in
+  if dev.tx_queued then Error (Tock.Error.BUSY, buf)
+  else begin
+    dev.tx_queued <- true;
+    t.queue <- t.queue @ [ (dev, buf) ];
+    pump t;
+    Ok ()
+  end
+
+let set_transmit_client dev fn = dev.tx_client <- fn
+
+let receive dev buf =
+  let t = dev.mux in
+  match t.rx_holder with
+  | Some _ -> Error (Tock.Error.BUSY, buf)
+  | None -> (
+      match t.hw.Tock.Hil.uart_receive buf with
+      | Ok () ->
+          t.rx_holder <- Some dev;
+          Ok ()
+      | Error e -> Error e)
+
+let set_receive_client dev fn = dev.rx_client <- fn
+
+let abort_receive dev =
+  let t = dev.mux in
+  match t.rx_holder with
+  | Some d when d == dev ->
+      t.hw.Tock.Hil.uart_abort_receive ();
+      t.rx_holder <- None
+  | _ -> ()
+
+let queue_depth t = List.length t.queue

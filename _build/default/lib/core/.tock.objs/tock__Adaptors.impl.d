@@ -1,0 +1,1 @@
+lib/core/adaptors.ml: Bytes Cells Error Hil Result String Subslice Take_cell Tock_crypto Tock_hw

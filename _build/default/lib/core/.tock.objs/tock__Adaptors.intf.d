@@ -1,0 +1,1 @@
+lib/core/adaptors.mli: Hil Tock_hw

@@ -1,0 +1,1 @@
+lib/core/deferred_call.mli:

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Error Process Syscall

@@ -1,0 +1,1 @@
+lib/core/driver_num.ml:

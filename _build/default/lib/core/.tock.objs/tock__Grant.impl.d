@@ -1,0 +1,1 @@
+lib/core/grant.ml: Error Hashtbl Process Univ

@@ -1,0 +1,1 @@
+lib/core/grant.mli: Capability Error Process

@@ -1,0 +1,1 @@
+lib/core/hil.ml: Error Subslice

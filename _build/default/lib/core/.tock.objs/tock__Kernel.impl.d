@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Bytes Deferred_call Driver Error Hashtbl List Option Printf Process Scheduler Subslice Syscall Tock_hw Tock_tbf

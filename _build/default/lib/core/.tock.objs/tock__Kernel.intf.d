@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Capability Deferred_call Driver Error Process Scheduler Subslice Syscall Tock_hw

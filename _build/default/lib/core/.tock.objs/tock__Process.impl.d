@@ -1,0 +1,1 @@
+lib/core/process.ml: Bytes Error Hashtbl List Option Result Ring_buffer Tock_hw Univ

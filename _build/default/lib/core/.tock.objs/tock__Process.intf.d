@@ -1,0 +1,1 @@
+lib/core/process.mli: Error Hashtbl Tock_hw Univ

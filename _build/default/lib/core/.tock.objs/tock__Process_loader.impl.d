@@ -1,0 +1,1 @@
+lib/core/process_loader.ml: Error Format Kernel List Option Process Tock_hw Tock_tbf

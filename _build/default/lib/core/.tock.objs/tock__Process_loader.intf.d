@@ -1,0 +1,1 @@
+lib/core/process_loader.mli: Capability Kernel Process Tock_tbf

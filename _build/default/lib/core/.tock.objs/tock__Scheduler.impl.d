@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Hashtbl List Option Process

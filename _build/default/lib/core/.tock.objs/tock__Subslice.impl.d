@@ -1,0 +1,1 @@
+lib/core/subslice.ml: Bytes Char

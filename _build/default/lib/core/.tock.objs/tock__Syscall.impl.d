@@ -1,0 +1,1 @@
+lib/core/syscall.ml: Array Error Format Result

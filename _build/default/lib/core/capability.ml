@@ -1,0 +1,25 @@
+type main_loop = ML
+
+type process_management = PM
+
+type memory_allocation = MA
+
+type external_process = EP
+
+module Trusted_mint = struct
+  let count = ref 0
+
+  let minted v =
+    incr count;
+    v
+
+  let main_loop () = minted ML
+
+  let process_management () = minted PM
+
+  let memory_allocation () = minted MA
+
+  let external_process () = minted EP
+
+  let mint_count () = !count
+end

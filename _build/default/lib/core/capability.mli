@@ -1,0 +1,41 @@
+(** Capability tokens gating privileged kernel APIs (paper §4.4, Listing 1).
+
+    In Tock these are zero-sized marker-trait values that only code
+    permitted to use [unsafe] can mint; passing one as an (unused)
+    argument proves at compile time that the caller was authorized by
+    trusted board-initialization code. OCaml reproduces the shape with
+    abstract types whose only constructors live in {!Trusted_mint}:
+    capsule code (which, by the project's trust map in DESIGN.md §4, must
+    not reference [Trusted_mint]) cannot forge a token, so APIs requiring
+    one are statically unreachable from capsules — the test suite enforces
+    the no-reference rule over the capsule sources.
+
+    Minting is counted, mirroring how Tock audits `unsafe impl` sites. *)
+
+type main_loop
+(** Authorizes running the kernel main loop. *)
+
+type process_management
+(** Authorizes creating, restarting, stopping and killing processes. *)
+
+type memory_allocation
+(** Authorizes creating grants. *)
+
+type external_process
+(** Authorizes installing process binaries at runtime (dynamic loading). *)
+
+module Trusted_mint : sig
+  (** The only constructors. TRUSTED CODE ONLY: boards and the kernel's
+      own initialization. *)
+
+  val main_loop : unit -> main_loop
+
+  val process_management : unit -> process_management
+
+  val memory_allocation : unit -> memory_allocation
+
+  val external_process : unit -> external_process
+
+  val mint_count : unit -> int
+  (** Total tokens ever minted (audit aid). *)
+end

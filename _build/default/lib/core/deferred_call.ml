@@ -1,0 +1,47 @@
+type handle = {
+  h_name : string;
+  fn : unit -> unit;
+  mutable pending : bool;
+  owner : t;
+}
+
+and t = {
+  mutable handles : handle list; (* reverse registration order *)
+  mutable pending_count : int;
+  mutable serviced : int;
+}
+
+let create () = { handles = []; pending_count = 0; serviced = 0 }
+
+let register t ~name fn =
+  let h = { h_name = name; fn; pending = false; owner = t } in
+  t.handles <- h :: t.handles;
+  h
+
+let set h =
+  if not h.pending then begin
+    h.pending <- true;
+    h.owner.pending_count <- h.owner.pending_count + 1
+  end
+
+let is_pending h = h.pending
+
+let has_pending t = t.pending_count > 0
+
+let service t =
+  let ran = ref 0 in
+  while t.pending_count > 0 do
+    List.iter
+      (fun h ->
+        if h.pending then begin
+          h.pending <- false;
+          t.pending_count <- t.pending_count - 1;
+          t.serviced <- t.serviced + 1;
+          incr ran;
+          h.fn ()
+        end)
+      (List.rev t.handles)
+  done;
+  !ran
+
+let serviced_total t = t.serviced

@@ -1,0 +1,29 @@
+(** Deferred calls: kernel-internal "software interrupts".
+
+    Capsules cannot invoke their clients' callbacks re-entrantly from
+    within a downcall (that would break the Take_cell discipline), so they
+    set a deferred call that the kernel main loop services before
+    scheduling processes — exactly Tock's [DeferredCall]. *)
+
+type t
+(** The per-kernel manager. *)
+
+type handle
+
+val create : unit -> t
+
+val register : t -> name:string -> (unit -> unit) -> handle
+
+val set : handle -> unit
+(** Mark pending (idempotent while pending). *)
+
+val is_pending : handle -> bool
+
+val has_pending : t -> bool
+
+val service : t -> int
+(** Run all pending handlers (registration order; handlers may re-set
+    themselves or others, which are serviced in the same call). Returns
+    the number of invocations. *)
+
+val serviced_total : t -> int

@@ -1,0 +1,38 @@
+(** Driver numbers, following Tock's registry so userspace and capsules
+    agree on the syscall namespace. *)
+
+val alarm : int            (** 0x0 *)
+
+val console : int          (** 0x1 *)
+
+val led : int              (** 0x2 *)
+
+val button : int           (** 0x3 *)
+
+val gpio : int             (** 0x4 *)
+
+val adc : int              (** 0x5 *)
+
+val rng : int              (** 0x40001 *)
+
+val aes : int              (** 0x40006 *)
+
+val hmac : int             (** 0x40003 *)
+
+val sha : int              (** 0x40005 *)
+
+val temperature : int      (** 0x60000 *)
+
+val pressure : int         (** 0x60003 *)
+
+val light : int            (** 0x60002 *)
+
+val kv_store : int         (** 0x50003 *)
+
+val nonvolatile_storage : int  (** 0x50001 *)
+
+val ipc : int              (** 0x10000 *)
+
+val radio : int            (** 0x30001 *)
+
+val process_info : int     (** 0x10001, process-console companion *)

@@ -1,0 +1,63 @@
+type 'a entry = { value : 'a; mutable entered : bool }
+
+type 'a t = {
+  gid : int;
+  g_name : string;
+  size : int;
+  init : unit -> 'a;
+  key : 'a entry Univ.key;
+}
+
+let next_gid = ref 0
+
+let refused = ref 0
+
+let create ~cap:_ ~name ~size_bytes ~init =
+  if size_bytes < 0 then invalid_arg "Grant.create";
+  incr next_gid;
+  { gid = !next_gid; g_name = name; size = size_bytes; init; key = Univ.new_key () }
+
+let lookup t proc =
+  match Hashtbl.find_opt (Process.grant_table proc) t.gid with
+  | Some packed -> Univ.project t.key packed
+  | None -> None
+
+let enter t proc f =
+  let entry =
+    match lookup t proc with
+    | Some e -> Some e
+    | None ->
+        if Process.allocate_grant_bytes proc t.size then begin
+          let e = { value = t.init (); entered = false } in
+          Hashtbl.replace (Process.grant_table proc) t.gid (Univ.inject t.key e);
+          Some e
+        end
+        else None
+  in
+  match entry with
+  | None -> Error Error.NOMEM
+  | Some e ->
+      if e.entered then begin
+        incr refused;
+        Error Error.ALREADY
+      end
+      else begin
+        e.entered <- true;
+        let finish () = e.entered <- false in
+        let r =
+          try f e.value
+          with exn ->
+            finish ();
+            raise exn
+        in
+        finish ();
+        Ok r
+      end
+
+let is_allocated t proc = lookup t proc <> None
+
+let size_bytes t = t.size
+
+let name t = t.g_name
+
+let reentries_refused () = !refused

@@ -1,0 +1,608 @@
+type fault_policy =
+  | Panic_on_fault
+  | Restart_on_fault of int
+  | Stop_on_fault
+
+type aliasing_policy = Cell_semantics | Reject_overlap
+
+type config = {
+  scheduler : Scheduler.t;
+  fault_policy : fault_policy;
+  aliasing_policy : aliasing_policy;
+  blocking_commands : bool;
+  max_processes : int;
+  ram_base : int;
+  ram_size : int;
+}
+
+let default_config () =
+  {
+    scheduler = Scheduler.round_robin ();
+    fault_policy = Restart_on_fault 3;
+    aliasing_policy = Cell_semantics;
+    blocking_commands = false;
+    max_processes = 8;
+    ram_base = 0x2000_0000;
+    ram_size = 128 * 1024;
+  }
+
+type stats = {
+  mutable syscalls : int;
+  mutable context_switches : int;
+  mutable upcalls_delivered : int;
+  mutable sleeps : int;
+  mutable loop_iterations : int;
+  mutable aliased_allows : int;
+  mutable zero_len_allows : int;
+  mutable overlap_rejected : int;
+  mutable faults : int;
+  mutable restarts : int;
+  mutable filtered_commands : int;
+}
+
+exception Panic of string
+
+type pentry = {
+  proc : Process.t;
+  factory : Process.t -> Process.execution;
+  mutable pending_resume : Process.resume_arg option;
+}
+
+type t = {
+  k_chip : Tock_hw.Chip.t;
+  k_config : config;
+  k_stats : stats;
+  k_deferred : Deferred_call.t;
+  drivers : (int, Driver.t) Hashtbl.t;
+  mutable table : pentry list; (* ascending id *)
+  mutable next_pid : int;
+  mutable ram_next : int; (* bump pointer into the RAM pool *)
+  mutable fault_hook : Process.t -> Process.fault_reason -> unit;
+  mutable trace_hook :
+    (Process.t -> Syscall.call -> Syscall.ret option -> unit) option;
+}
+
+let create ?config:(cfg = default_config ()) chip =
+  {
+    k_chip = chip;
+    k_config = cfg;
+    k_stats =
+      {
+        syscalls = 0;
+        context_switches = 0;
+        upcalls_delivered = 0;
+        sleeps = 0;
+        loop_iterations = 0;
+        aliased_allows = 0;
+        zero_len_allows = 0;
+        overlap_rejected = 0;
+        faults = 0;
+        restarts = 0;
+        filtered_commands = 0;
+      };
+    k_deferred = Deferred_call.create ();
+    drivers = Hashtbl.create 16;
+    table = [];
+    next_pid = 0;
+    ram_next = cfg.ram_base;
+    fault_hook = (fun _ _ -> ());
+    trace_hook = None;
+  }
+
+let chip t = t.k_chip
+
+let sim t = t.k_chip.Tock_hw.Chip.sim
+
+let config t = t.k_config
+
+let stats t = t.k_stats
+
+let deferred t = t.k_deferred
+
+let set_fault_hook t fn = t.fault_hook <- fn
+
+let set_syscall_trace t fn = t.trace_hook <- fn
+
+let timing t = t.k_chip.Tock_hw.Chip.timing
+
+let spend t n = Tock_hw.Sim.spend (sim t) n
+
+(* ---- drivers ---- *)
+
+let register_driver t (d : Driver.t) =
+  Hashtbl.replace t.drivers d.Driver.driver_num d
+
+let find_driver t num = Hashtbl.find_opt t.drivers num
+
+(* ---- process table ---- *)
+
+let entry t pid = List.find_opt (fun pe -> Process.id pe.proc = pid) t.table
+
+let processes t = List.map (fun pe -> pe.proc) t.table
+
+let find_process t pid = Option.map (fun pe -> pe.proc) (entry t pid)
+
+let find_process_by_name t nm =
+  List.find_map
+    (fun pe -> if Process.name pe.proc = nm then Some pe.proc else None)
+    t.table
+
+let grant_reserve = 640
+(* Kernel-owned suffix reserved per process for grant growth before the
+   MPU must be reconfigured; grants may grow past it down to the app
+   break. *)
+
+let create_process t ~cap:_ ~name ~flash_base ~flash ~min_ram ?permissions
+    ?storage ?(tbf_flags = Tock_tbf.Tbf.flag_enabled) ~factory () =
+  if List.length t.table >= t.k_config.max_processes then Error Error.NOMEM
+  else begin
+    let mpu = t.k_chip.Tock_hw.Chip.mpu in
+    let mpu_config = Tock_hw.Mpu.new_config mpu in
+    let pool_end = t.k_config.ram_base + t.k_config.ram_size in
+    match
+      Tock_hw.Mpu.allocate_app_memory_region mpu mpu_config
+        ~unallocated_start:t.ram_next
+        ~unallocated_size:(pool_end - t.ram_next)
+        ~min_memory_size:(min_ram + grant_reserve)
+        ~initial_app_memory_size:min_ram
+        ~initial_kernel_memory_size:grant_reserve
+    with
+    | None -> Error Error.NOMEM
+    | Some (block_start, block_size) ->
+        t.ram_next <- block_start + block_size;
+        let pid = t.next_pid in
+        t.next_pid <- pid + 1;
+        let proc =
+          Process.create ~id:pid ~name ~ram_base:block_start
+            ~ram_size:block_size
+            ~initial_app_break:(block_start + min_ram)
+            ~flash_base ~flash ~mpu ~mpu_config ~permissions ~storage
+            ~tbf_flags
+        in
+        Process.set_execution proc (factory proc);
+        let enabled = tbf_flags land Tock_tbf.Tbf.flag_enabled <> 0 in
+        Process.set_state proc (if enabled then Process.Runnable else Process.Unstarted);
+        let pe = { proc; factory; pending_resume = Some Process.Rstart } in
+        t.table <- t.table @ [ pe ];
+        Ok proc
+  end
+
+let do_restart t pe =
+  let proc = pe.proc in
+  t.k_stats.restarts <- t.k_stats.restarts + 1;
+  Process.note_restart proc;
+  Process.destroy_execution proc;
+  Process.reset_syscall_state proc;
+  Process.set_execution proc (pe.factory proc);
+  pe.pending_resume <- Some Process.Rstart;
+  Process.set_state proc Process.Runnable
+
+let start_process t ~cap:_ pid =
+  match entry t pid with
+  | None -> Error Error.NODEVICE
+  | Some pe -> (
+      match Process.state pe.proc with
+      | Process.Unstarted ->
+          Process.set_state pe.proc Process.Runnable;
+          Ok ()
+      | Process.Stopped prior ->
+          Process.set_state pe.proc prior;
+          Ok ()
+      | _ -> Error Error.ALREADY)
+
+let stop_process t ~cap:_ pid =
+  match entry t pid with
+  | None -> Error Error.NODEVICE
+  | Some pe -> (
+      match Process.state pe.proc with
+      | Process.Stopped _ -> Error Error.ALREADY
+      | Process.Terminated _ | Process.Faulted _ -> Error Error.FAIL
+      | s ->
+          Process.set_state pe.proc (Process.Stopped s);
+          Ok ())
+
+let restart_process t ~cap:_ pid =
+  match entry t pid with
+  | None -> Error Error.NODEVICE
+  | Some pe ->
+      do_restart t pe;
+      Ok ()
+
+let terminate_process t ~cap:_ pid =
+  match entry t pid with
+  | None -> Error Error.NODEVICE
+  | Some pe ->
+      Process.destroy_execution pe.proc;
+      Process.set_state pe.proc (Process.Terminated { code = -1 });
+      Ok ()
+
+(* ---- capsule-facing resources ---- *)
+
+let schedule_upcall t pid ~driver ~subscribe_num ~args =
+  match entry t pid with
+  | None -> false
+  | Some pe ->
+      spend t (timing t).Tock_hw.Chip.upcall_push;
+      Process.enqueue_upcall pe.proc ~driver ~subscribe_num ~args
+
+let empty_subslice = Subslice.of_bytes Bytes.empty
+
+let with_allow t pid ~kind ~driver ~allow_num f =
+  match entry t pid with
+  | None -> Error Error.NODEVICE
+  | Some pe ->
+      let proc = pe.proc in
+      let e = Process.allow_get proc ~kind ~driver ~allow_num in
+      if e.Process.a_len = 0 then Ok (f empty_subslice)
+      else (
+        match Process.mem_view proc ~addr:e.Process.a_addr ~len:e.Process.a_len with
+        | Some (`Ram off) ->
+            let sub = Subslice.of_bytes (Process.ram_bytes proc) in
+            Subslice.slice sub ~pos:off ~len:e.Process.a_len;
+            Ok (f sub)
+        | Some (`Flash off) when kind = `Ro ->
+            let sub = Subslice.of_bytes (Process.flash_image proc) in
+            Subslice.slice sub ~pos:off ~len:e.Process.a_len;
+            Ok (f sub)
+        | _ -> Error Error.INVAL)
+
+let with_allow_rw t pid ~driver ~allow_num f =
+  with_allow t pid ~kind:`Rw ~driver ~allow_num f
+
+let with_allow_ro t pid ~driver ~allow_num f =
+  with_allow t pid ~kind:`Ro ~driver ~allow_num f
+
+let allow_size t pid ~kind ~driver ~allow_num =
+  match entry t pid with
+  | None -> 0
+  | Some pe -> (Process.allow_get pe.proc ~kind ~driver ~allow_num).Process.a_len
+
+let process_ids t = List.map (fun pe -> Process.id pe.proc) t.table
+
+let process_state_of t pid = Option.map (fun pe -> Process.state pe.proc) (entry t pid)
+
+let process_name_of t pid = Option.map (fun pe -> Process.name pe.proc) (entry t pid)
+
+(* ---- syscall dispatch ---- *)
+
+type dispatch =
+  [ `Return of Syscall.ret
+  | `Deliver of Process.pending_upcall
+  | `Blocked
+  | `Dead ]
+
+let validate_allow t proc ~kind (e : Process.allow_entry) =
+  let { Process.a_addr = addr; a_len = len } = e in
+  if len = 0 then begin
+    (* Zero-length revocation/initial allow: any address is accepted but a
+       null-pointer slice would be a Rust niche violation — count the
+       dynamic fix-up (paper §5.1.2). *)
+    if addr <> 0 then t.k_stats.zero_len_allows <- t.k_stats.zero_len_allows + 1;
+    Ok ()
+  end
+  else begin
+    let in_app_ram =
+      addr >= Process.ram_base proc && addr + len <= Process.app_break proc
+    in
+    let in_flash =
+      addr >= Process.flash_base proc && addr + len <= Process.flash_end proc
+    in
+    let region_ok = match kind with `Rw -> in_app_ram | `Ro -> in_app_ram || in_flash in
+    if not region_ok then Error Error.INVAL
+    else if Process.allow_overlaps proc ~kind e then (
+      match t.k_config.aliasing_policy with
+      | Reject_overlap ->
+          t.k_stats.overlap_rejected <- t.k_stats.overlap_rejected + 1;
+          Error Error.INVAL
+      | Cell_semantics ->
+          t.k_stats.aliased_allows <- t.k_stats.aliased_allows + 1;
+          Ok ())
+    else Ok ()
+  end
+
+let handle_allow t proc ~kind ~driver ~allow_num ~addr ~len : dispatch =
+  let entry = { Process.a_addr = addr; a_len = len } in
+  match find_driver t driver with
+  | None -> `Return (Syscall.Failure_u32_u32 (Error.NODEVICE, addr, len))
+  | Some d -> (
+      match validate_allow t proc ~kind entry with
+      | Error e -> `Return (Syscall.Failure_u32_u32 (e, addr, len))
+      | Ok () -> (
+          let hook =
+            match kind with
+            | `Rw -> d.Driver.allow_rw_hook
+            | `Ro -> d.Driver.allow_ro_hook
+          in
+          match hook proc ~allow_num entry with
+          | Error e -> `Return (Syscall.Failure_u32_u32 (e, addr, len))
+          | Ok () ->
+              let old = Process.allow_swap proc ~kind ~driver ~allow_num entry in
+              `Return
+                (Syscall.Success_u32_u32 (old.Process.a_addr, old.Process.a_len))))
+
+let handle_memop proc ~op ~arg : dispatch =
+  let open Syscall in
+  if op = memop_brk then
+    match Process.brk proc arg with
+    | Ok () -> `Return Success
+    | Error e -> `Return (Failure e)
+  else if op = memop_sbrk then
+    match Process.sbrk proc arg with
+    | Ok old -> `Return (Success_u32 old)
+    | Error e -> `Return (Failure e)
+  else if op = memop_flash_start then `Return (Success_u32 (Process.flash_base proc))
+  else if op = memop_flash_end then `Return (Success_u32 (Process.flash_end proc))
+  else if op = memop_ram_start then `Return (Success_u32 (Process.ram_base proc))
+  else if op = memop_ram_end then `Return (Success_u32 (Process.ram_end proc))
+  else `Return (Failure Error.NOSUPPORT)
+
+let deliver_of_pending t pu =
+  t.k_stats.upcalls_delivered <- t.k_stats.upcalls_delivered + 1;
+  let a0, a1, a2 = pu.Process.pu_args in
+  Process.Rupcall
+    {
+      fnptr = pu.Process.pu_upcall.Process.fnptr;
+      appdata = pu.Process.pu_upcall.Process.appdata;
+      arg0 = a0;
+      arg1 = a1;
+      arg2 = a2;
+    }
+
+let handle_syscall t pe (call : Syscall.call) : dispatch =
+  let proc = pe.proc in
+  match call with
+  | Syscall.Yield Syscall.Yield_wait -> (
+      match Process.pop_upcall proc with
+      | Some pu -> `Deliver pu
+      | None ->
+          Process.set_state proc Process.Yielded;
+          `Blocked)
+  | Syscall.Yield Syscall.Yield_no_wait -> (
+      match Process.pop_upcall proc with
+      | Some pu -> `Deliver pu
+      | None -> `Return (Syscall.Success_u32 0))
+  | Syscall.Yield (Syscall.Yield_wait_for { driver; subscribe_num }) -> (
+      match Process.pop_upcall_for proc ~driver ~subscribe_num with
+      | Some pu ->
+          let a0, a1, a2 = pu.Process.pu_args in
+          t.k_stats.upcalls_delivered <- t.k_stats.upcalls_delivered + 1;
+          `Return (Syscall.Success_u32_u32_u32 (a0, a1, a2))
+      | None ->
+          Process.set_state proc (Process.Yielded_for { driver; subscribe_num });
+          `Blocked)
+  | Syscall.Subscribe { driver; subscribe_num; upcall_fn; appdata } -> (
+      match find_driver t driver with
+      | None -> `Return (Syscall.Failure_u32_u32 (Error.NODEVICE, upcall_fn, appdata))
+      | Some d -> (
+          match d.Driver.subscribe_hook proc ~subscribe_num with
+          | Error e -> `Return (Syscall.Failure_u32_u32 (e, upcall_fn, appdata))
+          | Ok () ->
+              let old =
+                Process.subscribe_swap proc ~driver ~subscribe_num
+                  { Process.fnptr = upcall_fn; appdata }
+              in
+              `Return
+                (Syscall.Success_u32_u32 (old.Process.fnptr, old.Process.appdata))))
+  | Syscall.Command { driver; command_num; arg1; arg2 } -> (
+      match find_driver t driver with
+      | None -> `Return (Syscall.Failure Error.NODEVICE)
+      | Some d ->
+          if not (Process.command_allowed proc ~driver ~command_num) then begin
+            t.k_stats.filtered_commands <- t.k_stats.filtered_commands + 1;
+            `Return (Syscall.Failure Error.NODEVICE)
+          end
+          else `Return (d.Driver.command proc ~command_num ~arg1 ~arg2))
+  | Syscall.Allow_rw { driver; allow_num; addr; len } ->
+      handle_allow t proc ~kind:`Rw ~driver ~allow_num ~addr ~len
+  | Syscall.Allow_ro { driver; allow_num; addr; len } ->
+      handle_allow t proc ~kind:`Ro ~driver ~allow_num ~addr ~len
+  | Syscall.Memop { op; arg } -> handle_memop proc ~op ~arg
+  | Syscall.Exit { variant = 0; code } ->
+      Process.destroy_execution proc;
+      Process.set_state proc (Process.Terminated { code });
+      `Dead
+  | Syscall.Exit { variant = 1; _ } ->
+      do_restart t pe;
+      `Dead
+  | Syscall.Exit _ -> `Return (Syscall.Failure Error.NOSUPPORT)
+  | Syscall.Command_blocking { driver; command_num; arg1; arg2; subscribe_num }
+    -> (
+      if not t.k_config.blocking_commands then
+        `Return (Syscall.Failure Error.NOSUPPORT)
+      else
+        match find_driver t driver with
+        | None -> `Return (Syscall.Failure Error.NODEVICE)
+        | Some d -> (
+            if not (Process.command_allowed proc ~driver ~command_num) then begin
+              t.k_stats.filtered_commands <- t.k_stats.filtered_commands + 1;
+              `Return (Syscall.Failure Error.NODEVICE)
+            end
+            else
+              let r = d.Driver.command proc ~command_num ~arg1 ~arg2 in
+              if not (Syscall.ret_is_success r) then `Return r
+              else
+                match Process.pop_upcall_for proc ~driver ~subscribe_num with
+                | Some pu ->
+                    let a0, a1, a2 = pu.Process.pu_args in
+                    `Return (Syscall.Success_u32_u32_u32 (a0, a1, a2))
+                | None ->
+                    Process.set_state proc
+                      (Process.Blocked_command { driver; subscribe_num });
+                    `Blocked))
+
+let handle_fault t pe reason =
+  let proc = pe.proc in
+  t.k_stats.faults <- t.k_stats.faults + 1;
+  t.fault_hook proc reason;
+  let describe = function
+    | Process.Mpu_violation s -> "MPU violation: " ^ s
+    | Process.Bad_syscall s -> "bad syscall: " ^ s
+    | Process.App_panic s -> "app panic: " ^ s
+  in
+  match t.k_config.fault_policy with
+  | Panic_on_fault ->
+      raise
+        (Panic
+           (Printf.sprintf "process %s faulted: %s" (Process.name proc)
+              (describe reason)))
+  | Restart_on_fault max ->
+      if Process.restart_count proc < max then do_restart t pe
+      else begin
+        Process.destroy_execution proc;
+        Process.set_state proc (Process.Faulted reason)
+      end
+  | Stop_on_fault ->
+      Process.destroy_execution proc;
+      Process.set_state proc (Process.Faulted reason)
+
+(* ---- the main loop ---- *)
+
+let deliverable pe =
+  match Process.state pe.proc with
+  | Process.Runnable -> true
+  | Process.Yielded -> Process.has_pending_upcalls pe.proc
+  | Process.Yielded_for { driver; subscribe_num }
+  | Process.Blocked_command { driver; subscribe_num } ->
+      Process.has_upcall_for pe.proc ~driver ~subscribe_num
+  | Process.Unstarted | Process.Faulted _ | Process.Terminated _
+  | Process.Stopped _ ->
+      false
+
+let run_slice t pe timeslice =
+  let proc = pe.proc in
+  let tm = timing t in
+  t.k_stats.context_switches <- t.k_stats.context_switches + 1;
+  spend t tm.Tock_hw.Chip.context_switch;
+  (* Initial resume argument for this slice. *)
+  let initial_arg =
+    match Process.state proc with
+    | Process.Runnable ->
+        let a = Option.value pe.pending_resume ~default:Process.Rcontinue in
+        pe.pending_resume <- None;
+        a
+    | Process.Yielded -> (
+        match Process.pop_upcall proc with
+        | Some pu -> deliver_of_pending t pu
+        | None -> Process.Rcontinue (* raced away; treat as spurious wake *))
+    | Process.Yielded_for { driver; subscribe_num }
+    | Process.Blocked_command { driver; subscribe_num } -> (
+        match Process.pop_upcall_for proc ~driver ~subscribe_num with
+        | Some pu ->
+            let a0, a1, a2 = pu.Process.pu_args in
+            t.k_stats.upcalls_delivered <- t.k_stats.upcalls_delivered + 1;
+            Process.Rsyscall_ret
+              (Syscall.encode_ret (Syscall.Success_u32_u32_u32 (a0, a1, a2)))
+        | None -> Process.Rcontinue)
+    | _ -> Process.Rcontinue
+  in
+  Process.set_state proc Process.Runnable;
+  (* A [None] timeslice means "run until it blocks" (cooperative). The
+     slice is still chunked so the main loop regains control at a bounded
+     rate (deadline checks, multi-board stepping); the cooperative
+     scheduler is sticky, so no other process runs in between. *)
+  let budget = match timeslice with Some n -> n | None -> 200_000 in
+  let rec go arg remaining =
+    let trap, used = Process.run proc ~fuel:remaining arg in
+    spend t used;
+    let remaining = remaining - used in
+    match trap with
+    | Process.Trap_timeslice_expired ->
+        pe.pending_resume <- Some Process.Rcontinue;
+        t.k_config.scheduler.Scheduler.charge proc Scheduler.Used_full_slice
+    | Process.Trap_fault reason ->
+        handle_fault t pe reason;
+        t.k_config.scheduler.Scheduler.charge proc Scheduler.Yielded_early
+    | Process.Trap_syscall regs -> (
+        t.k_stats.syscalls <- t.k_stats.syscalls + 1;
+        spend t tm.Tock_hw.Chip.syscall_overhead;
+        let remaining = remaining - tm.Tock_hw.Chip.syscall_overhead in
+        if Array.length regs = Syscall.registers then
+          Process.note_syscall proc ~class_num:regs.(0);
+        match Syscall.decode_call regs with
+        | Error e ->
+            let ret = Syscall.encode_ret (Syscall.Failure e) in
+            continue_or_stash ret remaining
+        | Ok call -> (
+            let dispatch = handle_syscall t pe call in
+            (match t.trace_hook with
+            | Some trace ->
+                trace proc call
+                  (match dispatch with `Return r -> Some r | _ -> None)
+            | None -> ());
+            match dispatch with
+            | `Return ret -> continue_or_stash (Syscall.encode_ret ret) remaining
+            | `Deliver pu ->
+                let arg = deliver_of_pending t pu in
+                if remaining > 0 then go arg remaining
+                else begin
+                  pe.pending_resume <- Some arg;
+                  t.k_config.scheduler.Scheduler.charge proc
+                    Scheduler.Used_full_slice
+                end
+            | `Blocked ->
+                t.k_config.scheduler.Scheduler.charge proc Scheduler.Yielded_early
+            | `Dead ->
+                t.k_config.scheduler.Scheduler.charge proc Scheduler.Yielded_early))
+  and continue_or_stash ret_regs remaining =
+    if remaining > 0 then go (Process.Rsyscall_ret ret_regs) remaining
+    else begin
+      pe.pending_resume <- Some (Process.Rsyscall_ret ret_regs);
+      t.k_config.scheduler.Scheduler.charge pe.proc Scheduler.Used_full_slice
+    end
+  in
+  go initial_arg budget
+
+let step t ~cap:_ =
+  let tm = timing t in
+  t.k_stats.loop_iterations <- t.k_stats.loop_iterations + 1;
+  spend t tm.Tock_hw.Chip.kernel_loop_overhead;
+  let irq = t.k_chip.Tock_hw.Chip.irq in
+  let worked = ref false in
+  if Tock_hw.Irq.has_pending irq then begin
+    let n = Tock_hw.Irq.service irq in
+    spend t (30 * n);
+    worked := true
+  end;
+  if Deferred_call.has_pending t.k_deferred then begin
+    ignore (Deferred_call.service t.k_deferred);
+    worked := true
+  end;
+  let runnable = List.filter deliverable t.table in
+  match t.k_config.scheduler.Scheduler.next (List.map (fun pe -> pe.proc) runnable) with
+  | Scheduler.Run { proc; timeslice } ->
+      (match entry t (Process.id proc) with
+      | Some pe -> run_slice t pe timeslice
+      | None -> ());
+      `Worked
+  | Scheduler.Idle ->
+      if !worked then `Worked
+      else begin
+        (* Nothing to do: deep sleep until the next hardware event. *)
+        Tock_hw.Chip.cpu_set_active t.k_chip false;
+        let advanced = Tock_hw.Sim.advance_to_next_event (sim t) in
+        Tock_hw.Chip.cpu_set_active t.k_chip true;
+        if advanced then begin
+          t.k_stats.sleeps <- t.k_stats.sleeps + 1;
+          `Slept
+        end
+        else `Stalled
+      end
+
+let run_until t ~cap ?(max_cycles = 2_000_000_000) pred =
+  let deadline = Tock_hw.Sim.now (sim t) + max_cycles in
+  let rec loop () =
+    if pred () then true
+    else if Tock_hw.Sim.now (sim t) >= deadline then false
+    else
+      match step t ~cap with
+      | `Worked | `Slept -> loop ()
+      | `Stalled -> pred ()
+  in
+  loop ()
+
+let run_cycles t ~cap n =
+  let deadline = Tock_hw.Sim.now (sim t) + n in
+  ignore (run_until t ~cap ~max_cycles:n (fun () -> Tock_hw.Sim.now (sim t) >= deadline))
+
+let run_to_completion t ~cap ?(max_cycles = 2_000_000_000) () =
+  ignore (run_until t ~cap ~max_cycles (fun () -> false))

@@ -1,0 +1,192 @@
+(** The Tock kernel: main loop, system-call dispatch, process lifecycle
+    (paper §2, §3.3).
+
+    One kernel instance runs per chip. The main loop mirrors Tock's: serve
+    interrupts, then deferred calls, then let the scheduler pick a
+    process; when nothing is runnable and no kernel work is pending, put
+    the CPU into deep sleep until the next hardware event — the
+    "asynchronous all the way down" design whose energy benefit the
+    [e-async-sleep] experiment measures.
+
+    System calls arrive as raw trap registers and leave as raw return
+    registers (see {!Syscall}); the kernel owns upcall subscriptions and
+    allow buffers with Tock 2.0 swapping semantics, enforces TBF
+    permissions, applies the configured aliasing policy to overlapping
+    allows (paper §5.1.1), and optionally implements the blocking-command
+    extension (the Ti50 fork feature, paper §3.2).
+
+    Capsules access process resources exclusively through the closure-
+    scoped [with_allow_*] / {!schedule_upcall} API — the OCaml rendering
+    of "capsules can access them only through temporary references in
+    closures" (paper §3.3.2). *)
+
+type t
+
+type fault_policy =
+  | Panic_on_fault
+  | Restart_on_fault of int  (** maximum restarts per process *)
+  | Stop_on_fault
+
+type aliasing_policy =
+  | Cell_semantics
+      (** accept overlapping buffers, count them (Tock's &[Cell<u8>]
+          solution) *)
+  | Reject_overlap  (** refuse with INVAL (the runtime-check alternative) *)
+
+type config = {
+  scheduler : Scheduler.t;
+  fault_policy : fault_policy;
+  aliasing_policy : aliasing_policy;
+  blocking_commands : bool;  (** enable the Command_blocking extension *)
+  max_processes : int;
+  ram_base : int;   (** base address of the RAM pool for processes *)
+  ram_size : int;   (** total process RAM (the board's SRAM budget) *)
+}
+
+val default_config : unit -> config
+(** Round-robin, restart-on-fault (3), cell semantics, no blocking
+    commands, 8 processes, 128 kB RAM at 0x2000_0000. *)
+
+type stats = {
+  mutable syscalls : int;
+  mutable context_switches : int;
+  mutable upcalls_delivered : int;
+  mutable sleeps : int;
+  mutable loop_iterations : int;
+  mutable aliased_allows : int;
+  mutable zero_len_allows : int;
+  mutable overlap_rejected : int;
+  mutable faults : int;
+  mutable restarts : int;
+  mutable filtered_commands : int;
+}
+
+exception Panic of string
+(** Raised on kernel panics (e.g. fault with [Panic_on_fault]). *)
+
+val create : ?config:config -> Tock_hw.Chip.t -> t
+
+val chip : t -> Tock_hw.Chip.t
+
+val sim : t -> Tock_hw.Sim.t
+
+val config : t -> config
+
+val stats : t -> stats
+
+val deferred : t -> Deferred_call.t
+(** The kernel's deferred-call manager (capsules register handles here at
+    board-build time). *)
+
+val set_fault_hook : t -> (Process.t -> Process.fault_reason -> unit) -> unit
+(** Called on every process fault before the fault policy is applied —
+    boards wire this to the debug writer to print the crash dump Tock
+    prints on a process fault. *)
+
+val set_syscall_trace :
+  t -> (Process.t -> Syscall.call -> Syscall.ret option -> unit) option -> unit
+(** strace-style tracing: called for every decoded system call with its
+    immediate return ([None] for calls that block or kill the process).
+    [None] disables tracing. *)
+
+(** {2 Drivers} *)
+
+val register_driver : t -> Driver.t -> unit
+(** At most one driver per driver number; re-registration replaces. *)
+
+val find_driver : t -> int -> Driver.t option
+
+(** {2 Processes (privileged)} *)
+
+val create_process :
+  t ->
+  cap:Capability.process_management ->
+  name:string ->
+  flash_base:int ->
+  flash:bytes ->
+  min_ram:int ->
+  ?permissions:(int * int) list ->
+  ?storage:int * int list ->
+  ?tbf_flags:int ->
+  factory:(Process.t -> Process.execution) ->
+  unit ->
+  (Process.t, Error.t) result
+(** Carve a RAM block via the chip's MPU, allocate a flash region, attach
+    a fresh execution, and enter the process in the table ([Runnable] if
+    the TBF flags enable it, else [Unstarted]). NOMEM when the RAM pool or
+    process table is full. *)
+
+val processes : t -> Process.t list
+
+val find_process : t -> Process.id -> Process.t option
+
+val find_process_by_name : t -> string -> Process.t option
+
+val start_process : t -> cap:Capability.process_management -> Process.id -> (unit, Error.t) result
+(** Unstarted/Stopped -> Runnable. *)
+
+val stop_process : t -> cap:Capability.process_management -> Process.id -> (unit, Error.t) result
+
+val restart_process : t -> cap:Capability.process_management -> Process.id -> (unit, Error.t) result
+(** Reset syscall state and memory, attach a fresh execution. *)
+
+val terminate_process : t -> cap:Capability.process_management -> Process.id -> (unit, Error.t) result
+
+(** {2 Capsule-facing process resources} *)
+
+val schedule_upcall :
+  t -> Process.id -> driver:int -> subscribe_num:int -> args:int * int * int -> bool
+(** Queue an upcall for delivery at the process's next yield. True unless
+    the process is gone or its queue overflowed (null subscriptions
+    swallow silently, as in Tock). *)
+
+val with_allow_rw :
+  t ->
+  Process.id ->
+  driver:int ->
+  allow_num:int ->
+  (Subslice.t -> 'a) ->
+  ('a, Error.t) result
+(** Run a closure over the process's currently-allowed read-write buffer.
+    The subslice window covers exactly the allowed range; it aliases
+    process memory and must not be stashed (closure-scoped access, paper
+    §3.3.2). With nothing allowed the closure sees a zero-length window
+    (the "dummy empty holder" of paper §3.3.2). Error: NODEVICE (process
+    gone). *)
+
+val with_allow_ro :
+  t ->
+  Process.id ->
+  driver:int ->
+  allow_num:int ->
+  (Subslice.t -> 'a) ->
+  ('a, Error.t) result
+
+val allow_size : t -> Process.id -> kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> int
+(** Length of the currently shared buffer (0 if none). *)
+
+val process_ids : t -> Process.id list
+(** Live process ids (the capsule-visible analogue of grant iteration —
+    Tock capsules can likewise enumerate their grant regions). *)
+
+val process_state_of : t -> Process.id -> Process.state option
+
+val process_name_of : t -> Process.id -> string option
+
+(** {2 The main loop} *)
+
+val step : t -> cap:Capability.main_loop -> [ `Worked | `Slept | `Stalled ]
+(** One iteration: interrupts, deferred calls, then either run one
+    process slice, sleep to the next hardware event, or report [`Stalled]
+    (nothing runnable, no event pending — a finished simulation). *)
+
+val run_cycles : t -> cap:Capability.main_loop -> int -> unit
+(** Step until the sim clock has advanced by at least [n] cycles or the
+    kernel stalls. *)
+
+val run_until : t -> cap:Capability.main_loop -> ?max_cycles:int -> (unit -> bool) -> bool
+(** Step until the predicate holds; false if it stalled or timed out
+    first. Default [max_cycles]: 2_000_000_000. *)
+
+val run_to_completion : t -> cap:Capability.main_loop -> ?max_cycles:int -> unit -> unit
+(** Step until stalled (every process dead or blocked forever). *)

@@ -1,0 +1,339 @@
+type id = int
+
+type fault_reason =
+  | Mpu_violation of string
+  | Bad_syscall of string
+  | App_panic of string
+
+type state =
+  | Unstarted
+  | Runnable
+  | Yielded
+  | Yielded_for of { driver : int; subscribe_num : int }
+  | Blocked_command of { driver : int; subscribe_num : int }
+  | Faulted of fault_reason
+  | Terminated of { code : int }
+  | Stopped of state
+
+type trap =
+  | Trap_syscall of int array
+  | Trap_fault of fault_reason
+  | Trap_timeslice_expired
+
+type resume_arg =
+  | Rstart
+  | Rcontinue
+  | Rsyscall_ret of int array
+  | Rupcall of {
+      fnptr : int;
+      appdata : int;
+      arg0 : int;
+      arg1 : int;
+      arg2 : int;
+    }
+
+type execution = {
+  step : fuel:int -> resume_arg -> trap * int;
+  destroy : unit -> unit;
+}
+
+type upcall = { fnptr : int; appdata : int }
+
+let null_upcall = { fnptr = 0; appdata = 0 }
+
+type pending_upcall = {
+  pu_driver : int;
+  pu_subscribe : int;
+  pu_upcall : upcall;
+  pu_args : int * int * int;
+}
+
+type allow_entry = { a_addr : int; a_len : int }
+
+let zero_allow = { a_addr = 0; a_len = 0 }
+
+let upcall_queue_capacity = 16
+
+type t = {
+  p_id : id;
+  p_name : string;
+  ram : bytes;
+  p_ram_base : int;
+  mutable app_break : int;
+  mutable kernel_break : int;
+  initial_app_break : int;
+  initial_kernel_break : int;
+  p_flash_base : int;
+  flash : bytes;
+  mpu : Tock_hw.Mpu.t;
+  mpu_config : Tock_hw.Mpu.config;
+  upcall_slots : (int * int, upcall) Hashtbl.t;
+  pending : pending_upcall Ring_buffer.t;
+  allows_rw : (int * int, allow_entry) Hashtbl.t;
+  allows_ro : (int * int, allow_entry) Hashtbl.t;
+  grants : (int, Univ.t) Hashtbl.t;
+  mutable grant_bytes : int;
+  mutable exec : execution option;
+  mutable p_state : state;
+  mutable restarts : int;
+  mutable syscalls : int;
+  syscalls_by_class : (int, int) Hashtbl.t;
+  p_permissions : (int * int) list option;
+  p_storage : (int * int list) option;
+  p_tbf_flags : int;
+}
+
+let dummy_pending =
+  { pu_driver = 0; pu_subscribe = 0; pu_upcall = null_upcall; pu_args = (0, 0, 0) }
+
+let create ~id ~name ~ram_base ~ram_size ~initial_app_break ~flash_base ~flash
+    ~mpu ~mpu_config ~permissions ~storage ~tbf_flags =
+  let ram_end = ram_base + ram_size in
+  if initial_app_break < ram_base || initial_app_break > ram_end then
+    invalid_arg "Process.create: bad initial app break";
+  {
+    p_id = id;
+    p_name = name;
+    ram = Bytes.make ram_size '\x00';
+    p_ram_base = ram_base;
+    app_break = initial_app_break;
+    (* Grants grow down from the very top of the block; the MPU's
+       initial kernel-memory reserve is advisory, not a hard floor. *)
+    kernel_break = ram_end;
+    initial_app_break;
+    initial_kernel_break = ram_end;
+    p_flash_base = flash_base;
+    flash;
+    mpu;
+    mpu_config;
+    upcall_slots = Hashtbl.create 16;
+    pending = Ring_buffer.create ~capacity:upcall_queue_capacity ~dummy:dummy_pending;
+    allows_rw = Hashtbl.create 16;
+    allows_ro = Hashtbl.create 16;
+    grants = Hashtbl.create 8;
+    grant_bytes = 0;
+    exec = None;
+    p_state = Unstarted;
+    restarts = 0;
+    syscalls = 0;
+    syscalls_by_class = Hashtbl.create 8;
+    p_permissions = permissions;
+    p_storage = storage;
+    p_tbf_flags = tbf_flags;
+  }
+
+let set_execution t e = t.exec <- Some e
+
+let id t = t.p_id
+
+let name t = t.p_name
+
+let state t = t.p_state
+
+let set_state t s = t.p_state <- s
+
+let tbf_flags t = t.p_tbf_flags
+
+let ram_base t = t.p_ram_base
+
+let ram_end t = t.p_ram_base + Bytes.length t.ram
+
+let app_break t = t.app_break
+
+let kernel_break t = t.kernel_break
+
+let flash_base t = t.p_flash_base
+
+let flash_end t = t.p_flash_base + Bytes.length t.flash
+
+let flash_image t = t.flash
+
+let brk t addr =
+  if addr < t.p_ram_base || addr > t.kernel_break then Error Error.NOMEM
+  else
+    match
+      Tock_hw.Mpu.update_app_memory_region t.mpu t.mpu_config ~app_break:addr
+        ~kernel_break:t.kernel_break
+    with
+    | Ok () ->
+        t.app_break <- addr;
+        Ok ()
+    | Error _ -> Error Error.NOMEM
+
+let sbrk t delta =
+  let old = t.app_break in
+  Result.map (fun () -> old) (brk t (old + delta))
+
+let allocate_grant_bytes t n =
+  assert (n >= 0);
+  let new_break = t.kernel_break - n in
+  (* The MPU app region must still fit below the new kernel break. *)
+  if new_break < t.app_break then false
+  else
+    match
+      Tock_hw.Mpu.update_app_memory_region t.mpu t.mpu_config
+        ~app_break:t.app_break ~kernel_break:new_break
+    with
+    | Ok () ->
+        t.kernel_break <- new_break;
+        t.grant_bytes <- t.grant_bytes + n;
+        true
+    | Error _ -> false
+
+let grant_bytes_used t = t.grant_bytes
+
+let mem_view t ~addr ~len =
+  if len < 0 then None
+  else if addr >= t.p_ram_base && addr + len <= ram_end t then
+    Some (`Ram (addr - t.p_ram_base))
+  else if addr >= t.p_flash_base && addr + len <= flash_end t then
+    Some (`Flash (addr - t.p_flash_base))
+  else None
+
+let ram_bytes t = t.ram
+
+let check_access t ~addr ~len kind =
+  Tock_hw.Mpu.check t.mpu t.mpu_config ~addr ~len kind
+
+(* ---- upcalls ---- *)
+
+let subscribe_swap t ~driver ~subscribe_num up =
+  let key = (driver, subscribe_num) in
+  let old =
+    Option.value (Hashtbl.find_opt t.upcall_slots key) ~default:null_upcall
+  in
+  Hashtbl.replace t.upcall_slots key up;
+  old
+
+let get_subscribed t ~driver ~subscribe_num =
+  Option.value
+    (Hashtbl.find_opt t.upcall_slots (driver, subscribe_num))
+    ~default:null_upcall
+
+let enqueue_upcall t ~driver ~subscribe_num ~args =
+  let up = get_subscribed t ~driver ~subscribe_num in
+  (* A process parked in yield-wait-for or a blocking command receives the
+     completion's arguments directly in registers — no upcall function is
+     invoked — so a null subscription must not swallow it. Everywhere
+     else, scheduling on a null upcall is an accepted no-op (Tock). *)
+  let directly_awaited =
+    match t.p_state with
+    | Yielded_for w -> w.driver = driver && w.subscribe_num = subscribe_num
+    | Blocked_command w -> w.driver = driver && w.subscribe_num = subscribe_num
+    | _ -> false
+  in
+  if up.fnptr = 0 && not directly_awaited then true
+  else
+    Ring_buffer.push t.pending
+      { pu_driver = driver; pu_subscribe = subscribe_num; pu_upcall = up;
+        pu_args = args }
+
+let pop_upcall t = Ring_buffer.pop t.pending
+
+let pop_upcall_for t ~driver ~subscribe_num =
+  Ring_buffer.find_remove t.pending (fun pu ->
+      pu.pu_driver = driver && pu.pu_subscribe = subscribe_num)
+
+let has_upcall_for t ~driver ~subscribe_num =
+  let found = ref false in
+  Ring_buffer.iter t.pending (fun pu ->
+      if pu.pu_driver = driver && pu.pu_subscribe = subscribe_num then
+        found := true);
+  !found
+
+let has_pending_upcalls t = not (Ring_buffer.is_empty t.pending)
+
+let upcalls_dropped t = Ring_buffer.drops t.pending
+
+(* ---- allows ---- *)
+
+let allow_table t = function `Ro -> t.allows_ro | `Rw -> t.allows_rw
+
+let allow_swap t ~kind ~driver ~allow_num entry =
+  let tbl = allow_table t kind in
+  let key = (driver, allow_num) in
+  let old = Option.value (Hashtbl.find_opt tbl key) ~default:zero_allow in
+  Hashtbl.replace tbl key entry;
+  old
+
+let allow_get t ~kind ~driver ~allow_num =
+  Option.value
+    (Hashtbl.find_opt (allow_table t kind) (driver, allow_num))
+    ~default:zero_allow
+
+let ranges_overlap a b =
+  a.a_len > 0 && b.a_len > 0 && a.a_addr < b.a_addr + b.a_len
+  && b.a_addr < a.a_addr + a.a_len
+
+let allow_overlaps t ~kind entry =
+  let tbl = allow_table t kind in
+  Hashtbl.fold (fun _ e acc -> acc || ranges_overlap e entry) tbl false
+
+let iter_allows t f =
+  Hashtbl.iter
+    (fun (driver, allow_num) e -> f ~kind:`Rw ~driver ~allow_num e)
+    t.allows_rw;
+  Hashtbl.iter
+    (fun (driver, allow_num) e -> f ~kind:`Ro ~driver ~allow_num e)
+    t.allows_ro
+
+(* ---- grants ---- *)
+
+let grant_table t = t.grants
+
+(* ---- execution ---- *)
+
+let run t ~fuel arg =
+  match t.exec with
+  | Some e -> e.step ~fuel arg
+  | None -> invalid_arg "Process.run: no execution attached"
+
+let destroy_execution t =
+  (match t.exec with Some e -> e.destroy () | None -> ());
+  t.exec <- None
+
+let has_execution t = t.exec <> None
+
+(* ---- lifecycle ---- *)
+
+let note_restart t = t.restarts <- t.restarts + 1
+
+let restart_count t = t.restarts
+
+let reset_syscall_state t =
+  Hashtbl.reset t.upcall_slots;
+  Ring_buffer.clear t.pending;
+  Hashtbl.reset t.allows_rw;
+  Hashtbl.reset t.allows_ro;
+  Hashtbl.reset t.grants;
+  t.grant_bytes <- 0;
+  t.app_break <- t.initial_app_break;
+  t.kernel_break <- t.initial_kernel_break;
+  Bytes.fill t.ram 0 (Bytes.length t.ram) '\x00';
+  ignore
+    (Tock_hw.Mpu.update_app_memory_region t.mpu t.mpu_config
+       ~app_break:t.app_break ~kernel_break:t.kernel_break)
+
+let note_syscall t ~class_num =
+  t.syscalls <- t.syscalls + 1;
+  let cur = Option.value (Hashtbl.find_opt t.syscalls_by_class class_num) ~default:0 in
+  Hashtbl.replace t.syscalls_by_class class_num (cur + 1)
+
+let syscall_count t = t.syscalls
+
+let syscall_count_by_class t ~class_num =
+  Option.value (Hashtbl.find_opt t.syscalls_by_class class_num) ~default:0
+
+let permissions t = t.p_permissions
+
+let storage_ids t = t.p_storage
+
+let command_allowed t ~driver ~command_num =
+  match t.p_permissions with
+  | None -> true
+  | Some perms -> (
+      match List.assoc_opt driver perms with
+      | None -> false
+      | Some mask ->
+          let bit = if command_num >= 32 then 31 else command_num in
+          mask land (1 lsl bit) <> 0)

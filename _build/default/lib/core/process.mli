@@ -1,0 +1,234 @@
+(** Processes: hardware-isolated, preemptively scheduled applications
+    (paper §2.3).
+
+    A process owns a flash region (its TBF image) and a RAM block carved
+    out by the MPU. The RAM block is split three ways, as in Tock:
+
+    {v
+    ram_base                     app_break        kernel_break     ram_end
+      | app data / heap (app R/W) | unused         | grant region    |
+      |<------- app accessible -->|                |<- kernel owned ->|
+    v}
+
+    [app_break] grows upward via the [brk]/[sbrk] memops; [kernel_break]
+    grows downward as grants are allocated. They may never cross — that
+    single invariant is what makes the kernel heapless-safe: a greedy app
+    (or the grants opened on its behalf) can exhaust only its own block
+    (paper §2.4).
+
+    Execution is abstract: the kernel resumes a process and receives a
+    {!trap} (a raw-register syscall, a fault, or timeslice expiry). The
+    userland emulator provides the {!execution} implementation; the kernel
+    never sees it — mirroring the real hardware boundary where the kernel
+    only observes trap frames. *)
+
+type id = int
+
+type fault_reason =
+  | Mpu_violation of string
+  | Bad_syscall of string
+  | App_panic of string
+
+type state =
+  | Unstarted
+  | Runnable
+  | Yielded          (** blocked in yield-wait *)
+  | Yielded_for of { driver : int; subscribe_num : int }
+  | Blocked_command of { driver : int; subscribe_num : int }
+      (** parked by the blocking-command extension *)
+  | Faulted of fault_reason
+  | Terminated of { code : int }
+  | Stopped of state  (** frozen by management tooling; payload = prior state *)
+
+type trap =
+  | Trap_syscall of int array  (** 5 raw registers, see {!Syscall} *)
+  | Trap_fault of fault_reason
+  | Trap_timeslice_expired
+
+type resume_arg =
+  | Rstart
+  | Rcontinue
+      (** resume after timeslice expiry (the suspension point was not a
+          syscall, so there is no value to deliver) *)
+  | Rsyscall_ret of int array  (** 4 raw registers *)
+  | Rupcall of {
+      fnptr : int;
+      appdata : int;
+      arg0 : int;
+      arg1 : int;
+      arg2 : int;
+    }  (** deliver a queued upcall out of yield-wait *)
+
+type execution = {
+  step : fuel:int -> resume_arg -> trap * int;
+      (** Run until trap or fuel exhaustion; returns (trap, cycles used). *)
+  destroy : unit -> unit;
+      (** Drop the suspended continuation (process kill/restart). *)
+}
+
+type upcall = { fnptr : int; appdata : int }
+
+val null_upcall : upcall
+
+type pending_upcall = {
+  pu_driver : int;
+  pu_subscribe : int;
+  pu_upcall : upcall;
+  pu_args : int * int * int;
+}
+
+type allow_entry = { a_addr : int; a_len : int }
+
+type t
+
+(** {2 Construction (trusted: kernel/loader only)} *)
+
+val create :
+  id:id ->
+  name:string ->
+  ram_base:int ->
+  ram_size:int ->
+  initial_app_break:int ->
+  flash_base:int ->
+  flash:bytes ->
+  mpu:Tock_hw.Mpu.t ->
+  mpu_config:Tock_hw.Mpu.config ->
+  permissions:(int * int) list option ->
+  storage:(int * int list) option ->
+  tbf_flags:int ->
+  t
+
+val set_execution : t -> execution -> unit
+
+val id : t -> id
+
+val name : t -> string
+
+val state : t -> state
+
+val set_state : t -> state -> unit
+
+val tbf_flags : t -> int
+
+(** {2 Memory} *)
+
+val ram_base : t -> int
+
+val ram_end : t -> int
+
+val app_break : t -> int
+
+val kernel_break : t -> int
+
+val flash_base : t -> int
+
+val flash_end : t -> int
+
+val flash_image : t -> bytes
+
+val brk : t -> int -> (unit, Error.t) result
+(** Move the app break to an absolute address (memop 0). Updates the MPU
+    app region; NOMEM if it would reach the grant region or the MPU
+    granularity cannot honor it. *)
+
+val sbrk : t -> int -> (int, Error.t) result
+(** Grow/shrink by a delta (memop 1); returns the previous break. *)
+
+val allocate_grant_bytes : t -> int -> bool
+(** Move [kernel_break] down to reserve grant memory; false = NOMEM. *)
+
+val grant_bytes_used : t -> int
+
+val mem_view : t -> addr:int -> len:int -> [ `Ram of int | `Flash of int ] option
+(** Resolve an absolute address range to an offset in the process RAM or
+    flash image; [None] if it straddles or escapes both. This is the
+    kernel-side translation used to materialize allow buffers. *)
+
+val ram_bytes : t -> bytes
+(** Raw RAM backing store (trusted code only). *)
+
+val check_access : t -> addr:int -> len:int -> [ `Read | `Write | `Execute ] -> bool
+(** The MPU check applied to app-mode accesses. *)
+
+(** {2 Syscall state: upcalls} *)
+
+val subscribe_swap : t -> driver:int -> subscribe_num:int -> upcall -> upcall
+(** Install an upcall, returning the previous one (Tock 2.0 swap
+    semantics; the first swap returns {!null_upcall}). *)
+
+val get_subscribed : t -> driver:int -> subscribe_num:int -> upcall
+
+val enqueue_upcall :
+  t -> driver:int -> subscribe_num:int -> args:int * int * int -> bool
+(** Queue a pending upcall for delivery at the next yield. Scheduling on a
+    null subscription silently succeeds without enqueueing (as in Tock).
+    False only if the pending queue overflowed. *)
+
+val pop_upcall : t -> pending_upcall option
+
+val pop_upcall_for : t -> driver:int -> subscribe_num:int -> pending_upcall option
+
+val has_upcall_for : t -> driver:int -> subscribe_num:int -> bool
+
+val has_pending_upcalls : t -> bool
+
+val upcalls_dropped : t -> int
+
+(** {2 Syscall state: allows} *)
+
+val allow_swap :
+  t ->
+  kind:[ `Ro | `Rw ] ->
+  driver:int ->
+  allow_num:int ->
+  allow_entry ->
+  allow_entry
+(** Swap semantics; the zero entry [{a_addr = 0; a_len = 0}] is the
+    initial/revoked state. *)
+
+val allow_get : t -> kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> allow_entry
+
+val allow_overlaps : t -> kind:[ `Ro | `Rw ] -> allow_entry -> bool
+(** Does the entry overlap any *other* currently-allowed buffer of that
+    kind? (Paper §5.1.1: mutable aliasing detection.) *)
+
+val iter_allows : t -> (kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> allow_entry -> unit) -> unit
+
+(** {2 Grant value store} *)
+
+val grant_table : t -> (int, Univ.t) Hashtbl.t
+
+(** {2 Execution} *)
+
+val run : t -> fuel:int -> resume_arg -> trap * int
+(** Resume; raises [Invalid_argument] if no execution is attached. *)
+
+val destroy_execution : t -> unit
+
+val has_execution : t -> bool
+
+(** {2 Lifecycle bookkeeping} *)
+
+val note_restart : t -> unit
+
+val restart_count : t -> int
+
+val reset_syscall_state : t -> unit
+(** Clear upcalls/allows/grants (on restart). Grant bytes return to the
+    pool; the break resets to its initial position. *)
+
+val note_syscall : t -> class_num:int -> unit
+
+val syscall_count : t -> int
+
+val syscall_count_by_class : t -> class_num:int -> int
+
+val permissions : t -> (int * int) list option
+
+val storage_ids : t -> (int * int list) option
+(** Persistent-storage ACL from the TBF: (write_id, readable ids). *)
+
+val command_allowed : t -> driver:int -> command_num:int -> bool
+(** TBF permission check: with no permissions element every driver is
+    allowed; otherwise the driver must be listed and the command bit set
+    (command numbers >= 32 share the top bit, a simplification). *)

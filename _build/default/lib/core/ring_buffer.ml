@@ -1,0 +1,67 @@
+type 'a t = {
+  slots : 'a array;
+  mutable head : int; (* next pop position *)
+  mutable len : int;
+  mutable drops : int;
+}
+
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Ring_buffer.create";
+  { slots = Array.make capacity dummy; head = 0; len = 0; drops = 0 }
+
+let capacity t = Array.length t.slots
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let is_full t = t.len = Array.length t.slots
+
+let push t v =
+  if is_full t then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    t.slots.((t.head + t.len) mod Array.length t.slots) <- v;
+    t.len <- t.len + 1;
+    true
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let v = t.slots.(t.head) in
+    t.head <- (t.head + 1) mod Array.length t.slots;
+    t.len <- t.len - 1;
+    Some v
+  end
+
+let peek t = if t.len = 0 then None else Some t.slots.(t.head)
+
+let drops t = t.drops
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.slots.((t.head + i) mod Array.length t.slots)
+  done
+
+let find_remove t pred =
+  let cap = Array.length t.slots in
+  let found = ref None in
+  let kept = ref [] in
+  for i = 0 to t.len - 1 do
+    let v = t.slots.((t.head + i) mod cap) in
+    if !found = None && pred v then found := Some v else kept := v :: !kept
+  done;
+  match !found with
+  | None -> None
+  | Some v ->
+      let kept = List.rev !kept in
+      clear t;
+      List.iter (fun x -> ignore (push t x)) kept;
+      Some v

@@ -1,0 +1,36 @@
+(** Fixed-capacity ring buffer (no heap growth — Tock is heapless).
+
+    Backs per-process upcall queues and the console; overflow drops the
+    *new* element and counts it, matching Tock's queue behaviour. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** [dummy] fills unused slots (never returned). *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** False (and counts a drop) if full. *)
+
+val pop : 'a t -> 'a option
+
+val peek : 'a t -> 'a option
+
+val drops : 'a t -> int
+
+val clear : 'a t -> unit
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest first; does not consume. *)
+
+val find_remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first (oldest) matching element, preserving the
+    order of the rest. Used by yield-waitfor to pluck a matching upcall
+    out of the queue. *)

@@ -1,0 +1,136 @@
+type decision =
+  | Run of { proc : Process.t; timeslice : int option }
+  | Idle
+
+type usage = Used_full_slice | Yielded_early
+
+type t = {
+  sched_name : string;
+  next : Process.t list -> decision;
+  charge : Process.t -> usage -> unit;
+}
+
+let round_robin ?(timeslice = 10_000) () =
+  let last = ref (-1) in
+  {
+    sched_name = "round_robin";
+    next =
+      (fun runnable ->
+        match runnable with
+        | [] -> Idle
+        | procs ->
+            (* Next process with id greater than the last run, wrapping. *)
+            let sorted =
+              List.sort (fun a b -> compare (Process.id a) (Process.id b)) procs
+            in
+            let chosen =
+              match List.find_opt (fun p -> Process.id p > !last) sorted with
+              | Some p -> p
+              | None -> List.hd sorted
+            in
+            last := Process.id chosen;
+            Run { proc = chosen; timeslice = Some timeslice });
+    charge = (fun _ _ -> ());
+  }
+
+let cooperative () =
+  let last = ref (-1) in
+  (* Sticky: the running process keeps the CPU until it blocks (the kernel
+     chunks its slice, so Used_full_slice just means "still running"). *)
+  let current = ref None in
+  {
+    sched_name = "cooperative";
+    next =
+      (fun runnable ->
+        match runnable with
+        | [] -> Idle
+        | procs -> (
+            match
+              Option.bind !current (fun pid ->
+                  List.find_opt (fun p -> Process.id p = pid) procs)
+            with
+            | Some p -> Run { proc = p; timeslice = None }
+            | None ->
+                let sorted =
+                  List.sort
+                    (fun a b -> compare (Process.id a) (Process.id b))
+                    procs
+                in
+                let chosen =
+                  match List.find_opt (fun p -> Process.id p > !last) sorted with
+                  | Some p -> p
+                  | None -> List.hd sorted
+                in
+                last := Process.id chosen;
+                current := Some (Process.id chosen);
+                Run { proc = chosen; timeslice = None }));
+    charge =
+      (fun p usage ->
+        match usage with
+        | Used_full_slice -> ()
+        | Yielded_early ->
+            if !current = Some (Process.id p) then current := None);
+  }
+
+let priority () =
+  {
+    sched_name = "priority";
+    next =
+      (fun runnable ->
+        match runnable with
+        | [] -> Idle
+        | procs ->
+            let best =
+              List.fold_left
+                (fun acc p ->
+                  if Process.id p < Process.id acc then p else acc)
+                (List.hd procs) procs
+            in
+            Run { proc = best; timeslice = Some 10_000 });
+    charge = (fun _ _ -> ());
+  }
+
+let mlfq ?(levels = 3) ?(base_slice = 5_000) ?(boost_every = 100) () =
+  let level : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let decisions = ref 0 in
+  let last = ref (-1) in
+  let level_of p =
+    Option.value (Hashtbl.find_opt level (Process.id p)) ~default:0
+  in
+  {
+    sched_name = "mlfq";
+    next =
+      (fun runnable ->
+        match runnable with
+        | [] -> Idle
+        | procs ->
+            incr decisions;
+            if !decisions mod boost_every = 0 then Hashtbl.reset level;
+            let best_level =
+              List.fold_left (fun acc p -> min acc (level_of p)) max_int procs
+            in
+            let candidates =
+              List.filter (fun p -> level_of p = best_level) procs
+              |> List.sort (fun a b -> compare (Process.id a) (Process.id b))
+            in
+            let chosen =
+              match
+                List.find_opt (fun p -> Process.id p > !last) candidates
+              with
+              | Some p -> p
+              | None -> List.hd candidates
+            in
+            last := Process.id chosen;
+            Run
+              {
+                proc = chosen;
+                timeslice = Some (base_slice * (1 lsl best_level));
+              });
+    charge =
+      (fun p usage ->
+        match usage with
+        | Used_full_slice ->
+            let l = level_of p in
+            if l < levels - 1 then Hashtbl.replace level (Process.id p) (l + 1)
+        | Yielded_early -> ());
+  }

@@ -1,0 +1,43 @@
+(** Process schedulers.
+
+    Tock ships multiple scheduler implementations behind one trait; the
+    kernel main loop asks for a decision over the currently runnable
+    processes and reports back how the chosen process used its timeslice.
+    Four policies are provided:
+
+    - {!round_robin}: fixed timeslice, fair rotation (Tock's default);
+    - {!cooperative}: no preemption (timeslice = none);
+    - {!priority}: strict priority by process index (lowest wins);
+    - {!mlfq}: multi-level feedback queue — CPU hogs sink to longer,
+      lower-priority slices; interactive processes stay responsive.
+
+    Schedulers see only process handles, never kernel internals. *)
+
+type decision =
+  | Run of { proc : Process.t; timeslice : int option }
+      (** [None] = run to block (cooperative). *)
+  | Idle
+
+type usage =
+  | Used_full_slice  (** preempted by fuel exhaustion *)
+  | Yielded_early    (** blocked or yielded with fuel remaining *)
+
+type t = {
+  sched_name : string;
+  next : Process.t list -> decision;
+      (** Pick among the runnable processes (never empty). *)
+  charge : Process.t -> usage -> unit;
+      (** Feedback after the slice. *)
+}
+
+val round_robin : ?timeslice:int -> unit -> t
+(** Default timeslice: 10_000 cycles. *)
+
+val cooperative : unit -> t
+
+val priority : unit -> t
+
+val mlfq : ?levels:int -> ?base_slice:int -> ?boost_every:int -> unit -> t
+(** Default: 3 levels, 5_000-cycle base slice (doubling per level), and a
+    priority boost resetting all processes to the top level every 100
+    decisions. *)

@@ -1,0 +1,62 @@
+type t = { buf : bytes; mutable start : int; mutable len : int }
+
+let of_bytes buf = { buf; start = 0; len = Bytes.length buf }
+
+let create n = of_bytes (Bytes.make n '\x00')
+
+let length t = t.len
+
+let full_length t = Bytes.length t.buf
+
+let slice t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Subslice.slice: outside current window";
+  t.start <- t.start + pos;
+  t.len <- len
+
+let slice_from t pos = slice t ~pos ~len:(t.len - pos)
+
+let slice_to t len = slice t ~pos:0 ~len
+
+let reset t =
+  t.start <- 0;
+  t.len <- Bytes.length t.buf
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Subslice: index outside window"
+
+let get t i =
+  check t i;
+  Bytes.get t.buf (t.start + i)
+
+let set t i c =
+  check t i;
+  Bytes.set t.buf (t.start + i) c
+
+let get_u8 t i = Char.code (get t i)
+
+let set_u8 t i v = set t i (Char.chr (v land 0xff))
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Subslice: range outside window"
+
+let blit_from_bytes ~src ~src_off t ~dst_off ~len =
+  check_range t dst_off len;
+  Bytes.blit src src_off t.buf (t.start + dst_off) len
+
+let blit_to_bytes t ~src_off ~dst ~dst_off ~len =
+  check_range t src_off len;
+  Bytes.blit t.buf (t.start + src_off) dst dst_off len
+
+let copy_within src dst =
+  let n = min src.len dst.len in
+  Bytes.blit src.buf src.start dst.buf dst.start n
+
+let to_bytes t = Bytes.sub t.buf t.start t.len
+
+let window t = (t.start, t.len)
+
+let underlying t = t.buf
+
+let fill t c = Bytes.fill t.buf t.start t.len c

@@ -1,0 +1,66 @@
+(** SubSlice: a resizable window over a buffer (paper §4.2, Fig. 4).
+
+    Split-phase kernel APIs pass whole-buffer ownership down driver
+    stacks; each layer may need to operate on a *subset* (a packet
+    payload, the bytes still to write) without forfeiting the rest of the
+    buffer. A [Subslice.t] carries the full underlying buffer plus an
+    active window; layers narrow the window with {!slice} and any holder
+    can {!reset} back to the complete buffer before returning it upward.
+
+    All indexed operations are window-relative and bounds-checked against
+    the window, so a layer cannot reach bytes outside the range it was
+    given (Tock gets this from slice types; we check dynamically and the
+    invariant is property-tested). *)
+
+type t
+
+val of_bytes : bytes -> t
+(** Window = entire buffer. The buffer is shared, not copied (ownership
+    moves with the value, as in Tock). *)
+
+val create : int -> t
+(** Fresh zeroed buffer of the given size. *)
+
+val length : t -> int
+(** Active window length. *)
+
+val full_length : t -> int
+(** Underlying buffer length. *)
+
+val slice : t -> pos:int -> len:int -> unit
+(** Narrow the window to [pos, pos+len) *relative to the current window*.
+    Raises [Invalid_argument] if outside the current window. *)
+
+val slice_from : t -> int -> unit
+
+val slice_to : t -> int -> unit
+
+val reset : t -> unit
+(** Restore the window to the whole underlying buffer. *)
+
+val get : t -> int -> char
+
+val set : t -> int -> char -> unit
+
+val get_u8 : t -> int -> int
+
+val set_u8 : t -> int -> int -> unit
+
+val blit_from_bytes : src:bytes -> src_off:int -> t -> dst_off:int -> len:int -> unit
+
+val blit_to_bytes : t -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
+val copy_within : t -> t -> unit
+(** Copy [min (length src) (length dst)] bytes between windows. *)
+
+val to_bytes : t -> bytes
+(** Copy of the active window. *)
+
+val window : t -> int * int
+(** (absolute offset, length) of the window in the underlying buffer. *)
+
+val underlying : t -> bytes
+(** The raw buffer — for trusted code (DMA models) only. *)
+
+val fill : t -> char -> unit
+(** Fill the active window. *)

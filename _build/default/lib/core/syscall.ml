@@ -1,0 +1,180 @@
+type yield_kind =
+  | Yield_no_wait
+  | Yield_wait
+  | Yield_wait_for of { driver : int; subscribe_num : int }
+
+type call =
+  | Yield of yield_kind
+  | Subscribe of {
+      driver : int;
+      subscribe_num : int;
+      upcall_fn : int;
+      appdata : int;
+    }
+  | Command of { driver : int; command_num : int; arg1 : int; arg2 : int }
+  | Allow_rw of { driver : int; allow_num : int; addr : int; len : int }
+  | Allow_ro of { driver : int; allow_num : int; addr : int; len : int }
+  | Memop of { op : int; arg : int }
+  | Exit of { variant : int; code : int }
+  | Command_blocking of {
+      driver : int;
+      command_num : int;
+      arg1 : int;
+      arg2 : int;
+      subscribe_num : int;
+    }
+
+type ret =
+  | Failure of Error.t
+  | Failure_u32 of Error.t * int
+  | Failure_u32_u32 of Error.t * int * int
+  | Success
+  | Success_u32 of int
+  | Success_u32_u32 of int * int
+  | Success_u32_u32_u32 of int * int * int
+
+let registers = 5
+
+(* Class numbers per TRD 104; 0x80 is the local blocking-command
+   extension. *)
+let class_yield = 0
+let class_subscribe = 1
+let class_command = 2
+let class_allow_rw = 3
+let class_allow_ro = 4
+let class_memop = 5
+let class_exit = 6
+let class_command_blocking = 0x80
+
+let memop_brk = 0
+let memop_sbrk = 1
+let memop_flash_start = 2
+let memop_flash_end = 3
+let memop_ram_start = 4
+let memop_ram_end = 5
+
+let encode_call c =
+  match c with
+  | Yield Yield_no_wait -> [| class_yield; 0; 0; 0; 0 |]
+  | Yield Yield_wait -> [| class_yield; 1; 0; 0; 0 |]
+  | Yield (Yield_wait_for { driver; subscribe_num }) ->
+      [| class_yield; 2; driver; subscribe_num; 0 |]
+  | Subscribe { driver; subscribe_num; upcall_fn; appdata } ->
+      [| class_subscribe; driver; subscribe_num; upcall_fn; appdata |]
+  | Command { driver; command_num; arg1; arg2 } ->
+      [| class_command; driver; command_num; arg1; arg2 |]
+  | Allow_rw { driver; allow_num; addr; len } ->
+      [| class_allow_rw; driver; allow_num; addr; len |]
+  | Allow_ro { driver; allow_num; addr; len } ->
+      [| class_allow_ro; driver; allow_num; addr; len |]
+  | Memop { op; arg } -> [| class_memop; op; arg; 0; 0 |]
+  | Exit { variant; code } -> [| class_exit; variant; code; 0; 0 |]
+  | Command_blocking { driver; command_num; arg1; arg2; subscribe_num } ->
+      [| class_command_blocking; driver; command_num; arg1; arg2 lor (subscribe_num lsl 16) |]
+
+let decode_call regs =
+  if Array.length regs <> registers then Error Error.INVAL
+  else
+    let c = regs.(0) and r0 = regs.(1) and r1 = regs.(2) in
+    let r2 = regs.(3) and r3 = regs.(4) in
+    if c = class_yield then
+      match r0 with
+      | 0 -> Ok (Yield Yield_no_wait)
+      | 1 -> Ok (Yield Yield_wait)
+      | 2 -> Ok (Yield (Yield_wait_for { driver = r1; subscribe_num = r2 }))
+      | _ -> Error Error.INVAL
+    else if c = class_subscribe then
+      Ok
+        (Subscribe
+           { driver = r0; subscribe_num = r1; upcall_fn = r2; appdata = r3 })
+    else if c = class_command then
+      Ok (Command { driver = r0; command_num = r1; arg1 = r2; arg2 = r3 })
+    else if c = class_allow_rw then
+      Ok (Allow_rw { driver = r0; allow_num = r1; addr = r2; len = r3 })
+    else if c = class_allow_ro then
+      Ok (Allow_ro { driver = r0; allow_num = r1; addr = r2; len = r3 })
+    else if c = class_memop then Ok (Memop { op = r0; arg = r1 })
+    else if c = class_exit then Ok (Exit { variant = r0; code = r1 })
+    else if c = class_command_blocking then
+      Ok
+        (Command_blocking
+           {
+             driver = r0;
+             command_num = r1;
+             arg1 = r2;
+             arg2 = r3 land 0xFFFF;
+             subscribe_num = (r3 lsr 16) land 0xFFFF;
+           })
+    else Error Error.NOSUPPORT
+
+(* Return variant tags, TRD 104. *)
+let tag_failure = 0
+let tag_failure_u32 = 1
+let tag_failure_u32_u32 = 2
+let tag_success = 128
+let tag_success_u32 = 129
+let tag_success_u32_u32 = 130
+let tag_success_u32_u32_u32 = 132
+
+let encode_ret = function
+  | Failure e -> [| tag_failure; Error.to_int e; 0; 0 |]
+  | Failure_u32 (e, a) -> [| tag_failure_u32; Error.to_int e; a; 0 |]
+  | Failure_u32_u32 (e, a, b) -> [| tag_failure_u32_u32; Error.to_int e; a; b |]
+  | Success -> [| tag_success; 0; 0; 0 |]
+  | Success_u32 a -> [| tag_success_u32; a; 0; 0 |]
+  | Success_u32_u32 (a, b) -> [| tag_success_u32_u32; a; b; 0 |]
+  | Success_u32_u32_u32 (a, b, c) -> [| tag_success_u32_u32_u32; a; b; c |]
+
+let decode_ret regs =
+  if Array.length regs <> 4 then Error "bad register count"
+  else
+    let err i =
+      match Error.of_int i with
+      | Some e -> Ok e
+      | None -> Error "bad error code"
+    in
+    let t = regs.(0) in
+    if t = tag_failure then Result.map (fun e -> Failure e) (err regs.(1))
+    else if t = tag_failure_u32 then
+      Result.map (fun e -> Failure_u32 (e, regs.(2))) (err regs.(1))
+    else if t = tag_failure_u32_u32 then
+      Result.map (fun e -> Failure_u32_u32 (e, regs.(2), regs.(3))) (err regs.(1))
+    else if t = tag_success then Ok Success
+    else if t = tag_success_u32 then Ok (Success_u32 regs.(1))
+    else if t = tag_success_u32_u32 then Ok (Success_u32_u32 (regs.(1), regs.(2)))
+    else if t = tag_success_u32_u32_u32 then
+      Ok (Success_u32_u32_u32 (regs.(1), regs.(2), regs.(3)))
+    else Error "unknown return variant"
+
+let pp_call fmt = function
+  | Yield Yield_no_wait -> Format.fprintf fmt "yield-no-wait"
+  | Yield Yield_wait -> Format.fprintf fmt "yield-wait"
+  | Yield (Yield_wait_for { driver; subscribe_num }) ->
+      Format.fprintf fmt "yield-wait-for(%#x,%d)" driver subscribe_num
+  | Subscribe { driver; subscribe_num; upcall_fn; _ } ->
+      Format.fprintf fmt "subscribe(%#x,%d,fn=%d)" driver subscribe_num upcall_fn
+  | Command { driver; command_num; arg1; arg2 } ->
+      Format.fprintf fmt "command(%#x,%d,%d,%d)" driver command_num arg1 arg2
+  | Allow_rw { driver; allow_num; addr; len } ->
+      Format.fprintf fmt "allow-rw(%#x,%d,%#x,%d)" driver allow_num addr len
+  | Allow_ro { driver; allow_num; addr; len } ->
+      Format.fprintf fmt "allow-ro(%#x,%d,%#x,%d)" driver allow_num addr len
+  | Memop { op; arg } -> Format.fprintf fmt "memop(%d,%d)" op arg
+  | Exit { variant; code } -> Format.fprintf fmt "exit(%d,%d)" variant code
+  | Command_blocking { driver; command_num; subscribe_num; _ } ->
+      Format.fprintf fmt "command-blocking(%#x,%d,sub=%d)" driver command_num
+        subscribe_num
+
+let pp_ret fmt = function
+  | Failure e -> Format.fprintf fmt "Failure(%a)" Error.pp e
+  | Failure_u32 (e, a) -> Format.fprintf fmt "Failure(%a,%d)" Error.pp e a
+  | Failure_u32_u32 (e, a, b) ->
+      Format.fprintf fmt "Failure(%a,%d,%d)" Error.pp e a b
+  | Success -> Format.fprintf fmt "Success"
+  | Success_u32 a -> Format.fprintf fmt "Success(%d)" a
+  | Success_u32_u32 (a, b) -> Format.fprintf fmt "Success(%d,%d)" a b
+  | Success_u32_u32_u32 (a, b, c) -> Format.fprintf fmt "Success(%d,%d,%d)" a b c
+
+let ret_is_success = function
+  | Success | Success_u32 _ | Success_u32_u32 _ | Success_u32_u32_u32 _ -> true
+  | Failure _ | Failure_u32 _ | Failure_u32_u32 _ -> false

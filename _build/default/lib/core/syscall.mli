@@ -1,0 +1,87 @@
+(** System call classes and the register-level ABI (Tock 2.0, TRD 104).
+
+    Calls and returns are encoded to and from a 5-slot register file
+    (class number + r0..r3), exactly as the real ABI packs them on
+    Cortex-M/RISC-V. The userland library encodes calls and decodes
+    returns; the kernel does the reverse — so the ABI layer is genuinely
+    exercised (and round-trip property-tested) rather than modelled as a
+    function call.
+
+    The [Command_blocking] class is the *extension* Tock mainline never
+    merged: the blocking command the Ti50 fork added to collapse the
+    subscribe/command/yield/unsubscribe sequence into one call
+    (paper §3.2). It is gated by kernel configuration. *)
+
+type yield_kind =
+  | Yield_no_wait
+  | Yield_wait
+  | Yield_wait_for of { driver : int; subscribe_num : int }
+
+type call =
+  | Yield of yield_kind
+  | Subscribe of {
+      driver : int;
+      subscribe_num : int;
+      upcall_fn : int;  (** function "pointer"; 0 = null upcall *)
+      appdata : int;
+    }
+  | Command of { driver : int; command_num : int; arg1 : int; arg2 : int }
+  | Allow_rw of { driver : int; allow_num : int; addr : int; len : int }
+  | Allow_ro of { driver : int; allow_num : int; addr : int; len : int }
+  | Memop of { op : int; arg : int }
+  | Exit of { variant : int; code : int }
+      (** variant 0 = terminate, 1 = restart *)
+  | Command_blocking of {
+      driver : int;
+      command_num : int;
+      arg1 : int;
+      arg2 : int;
+      subscribe_num : int;
+          (** the completion upcall slot whose arguments become the return
+              value *)
+    }
+
+type ret =
+  | Failure of Error.t
+  | Failure_u32 of Error.t * int
+  | Failure_u32_u32 of Error.t * int * int
+  | Success
+  | Success_u32 of int
+  | Success_u32_u32 of int * int
+  | Success_u32_u32_u32 of int * int * int
+
+val registers : int
+(** 5: class + r0..r3. *)
+
+val encode_call : call -> int array
+
+val decode_call : int array -> (call, Error.t) result
+(** INVAL on malformed encodings, NOSUPPORT on unknown classes. *)
+
+val encode_ret : ret -> int array
+(** 4 registers, TRD 104 variant tags (Failure = 0 ... Success = 128...). *)
+
+val decode_ret : int array -> (ret, string) result
+
+val pp_call : Format.formatter -> call -> unit
+
+val pp_ret : Format.formatter -> ret -> unit
+
+val ret_is_success : ret -> bool
+
+(** {2 Memop operation numbers}
+
+    [memop_brk] = 0, [memop_sbrk] = 1, [memop_flash_start] = 2,
+    [memop_flash_end] = 3, [memop_ram_start] = 4, [memop_ram_end] = 5. *)
+
+val memop_brk : int
+
+val memop_sbrk : int
+
+val memop_flash_start : int
+
+val memop_flash_end : int
+
+val memop_ram_start : int
+
+val memop_ram_end : int

@@ -1,0 +1,18 @@
+(* Standard extensible-variant encoding of universal types. *)
+
+type t = exn
+
+type 'a key = { inject : 'a -> exn; project : exn -> 'a option }
+
+let new_key (type a) () =
+  let module M = struct
+    exception K of a
+  end in
+  {
+    inject = (fun v -> M.K v);
+    project = (function M.K v -> Some v | _ -> None);
+  }
+
+let inject k v = k.inject v
+
+let project k t = k.project t

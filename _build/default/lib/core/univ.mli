@@ -1,0 +1,16 @@
+(** Typed universal values, used by the grant system to store one
+    capsule-defined state type per (grant, process) pair without the grant
+    table knowing the types. A fresh key is created per grant; injection
+    and projection are type-safe and projection with the wrong key returns
+    [None]. *)
+
+type t
+(** A packed value. *)
+
+type 'a key
+
+val new_key : unit -> 'a key
+
+val inject : 'a key -> 'a -> t
+
+val project : 'a key -> t -> 'a option

@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Bytes Char Modmath Prng Sha256

@@ -1,0 +1,215 @@
+let block_size = 16
+
+(* ---- GF(2^8) arithmetic with the AES modulus x^8+x^4+x^3+x+1 ---- *)
+
+let gf_mul a b =
+  let a = ref a and b = ref b and r = ref 0 in
+  for _ = 0 to 7 do
+    if !b land 1 = 1 then r := !r lxor !a;
+    let hi = !a land 0x80 in
+    a := (!a lsl 1) land 0xff;
+    if hi <> 0 then a := !a lxor 0x1b;
+    b := !b lsr 1
+  done;
+  !r
+
+(* S-box derived from first principles: multiplicative inverse followed by
+   the affine transform b ^ rotl1..4(b) ^ 0x63. *)
+let sbox, inv_sbox =
+  let inverse = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gf_mul a b = 1 then inverse.(a) <- b
+    done
+  done;
+  let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff in
+  let s = Array.make 256 0 and si = Array.make 256 0 in
+  for x = 0 to 255 do
+    let b = inverse.(x) in
+    let v =
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63
+    in
+    s.(x) <- v;
+    si.(v) <- x
+  done;
+  (s, si)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+type key = { rounds : int array array (* 11 round keys of 16 bytes *) }
+
+let expand_key kb =
+  if Bytes.length kb <> 16 then invalid_arg "Aes128.expand_key: need 16 bytes";
+  (* Words as 4-byte int arrays; 44 words total. *)
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- Char.code (Bytes.get kb ((i * 4) + j))
+    done
+  done;
+  for i = 4 to 43 do
+    let tmp = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord *)
+      let t0 = tmp.(0) in
+      tmp.(0) <- tmp.(1);
+      tmp.(1) <- tmp.(2);
+      tmp.(2) <- tmp.(3);
+      tmp.(3) <- t0;
+      (* SubWord *)
+      for j = 0 to 3 do
+        tmp.(j) <- sbox.(tmp.(j))
+      done;
+      tmp.(0) <- tmp.(0) lxor rcon.((i / 4) - 1)
+    end;
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor tmp.(j)
+    done
+  done;
+  let rounds =
+    Array.init 11 (fun r ->
+        Array.init 16 (fun b -> w.((r * 4) + (b / 4)).(b mod 4)))
+  in
+  { rounds }
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes state tbl =
+  for i = 0 to 15 do
+    state.(i) <- tbl.(state.(i))
+  done
+
+(* State layout: state.(4*col + row) — i.e. column-major blocks as in
+   FIPS 197's byte ordering of the input. *)
+let shift_rows state =
+  let g c r = state.((c * 4) + r) in
+  let out = Array.make 16 0 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      out.((c * 4) + r) <- g ((c + r) mod 4) r
+    done
+  done;
+  Array.blit out 0 state 0 16
+
+let inv_shift_rows state =
+  let g c r = state.((c * 4) + r) in
+  let out = Array.make 16 0 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      out.((c * 4) + r) <- g ((c - r + 4) mod 4) r
+    done
+  done;
+  Array.blit out 0 state 0 16
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let b = c * 4 in
+    let a0 = state.(b) and a1 = state.(b + 1) in
+    let a2 = state.(b + 2) and a3 = state.(b + 3) in
+    state.(b) <- gf_mul a0 2 lxor gf_mul a1 3 lxor a2 lxor a3;
+    state.(b + 1) <- a0 lxor gf_mul a1 2 lxor gf_mul a2 3 lxor a3;
+    state.(b + 2) <- a0 lxor a1 lxor gf_mul a2 2 lxor gf_mul a3 3;
+    state.(b + 3) <- gf_mul a0 3 lxor a1 lxor a2 lxor gf_mul a3 2
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let b = c * 4 in
+    let a0 = state.(b) and a1 = state.(b + 1) in
+    let a2 = state.(b + 2) and a3 = state.(b + 3) in
+    state.(b) <-
+      gf_mul a0 14 lxor gf_mul a1 11 lxor gf_mul a2 13 lxor gf_mul a3 9;
+    state.(b + 1) <-
+      gf_mul a0 9 lxor gf_mul a1 14 lxor gf_mul a2 11 lxor gf_mul a3 13;
+    state.(b + 2) <-
+      gf_mul a0 13 lxor gf_mul a1 9 lxor gf_mul a2 14 lxor gf_mul a3 11;
+    state.(b + 3) <-
+      gf_mul a0 11 lxor gf_mul a1 13 lxor gf_mul a2 9 lxor gf_mul a3 14
+  done
+
+let load_state src off =
+  Array.init 16 (fun i -> Char.code (Bytes.get src (off + i)))
+
+let store_state state =
+  Bytes.init 16 (fun i -> Char.chr state.(i))
+
+let encrypt_block key src ~off =
+  if off < 0 || off + 16 > Bytes.length src then
+    invalid_arg "Aes128.encrypt_block";
+  let state = load_state src off in
+  add_round_key state key.rounds.(0);
+  for r = 1 to 9 do
+    sub_bytes state sbox;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.rounds.(r)
+  done;
+  sub_bytes state sbox;
+  shift_rows state;
+  add_round_key state key.rounds.(10);
+  store_state state
+
+let decrypt_block key src ~off =
+  if off < 0 || off + 16 > Bytes.length src then
+    invalid_arg "Aes128.decrypt_block";
+  let state = load_state src off in
+  add_round_key state key.rounds.(10);
+  for r = 9 downto 1 do
+    inv_shift_rows state;
+    sub_bytes state inv_sbox;
+    add_round_key state key.rounds.(r);
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  sub_bytes state inv_sbox;
+  add_round_key state key.rounds.(0);
+  store_state state
+
+let ecb_map f key src =
+  let len = Bytes.length src in
+  if len mod 16 <> 0 then invalid_arg "Aes128: ECB needs multiple of 16";
+  let out = Bytes.create len in
+  let off = ref 0 in
+  while !off < len do
+    Bytes.blit (f key src ~off:!off) 0 out !off 16;
+    off := !off + 16
+  done;
+  out
+
+let ecb_encrypt key src = ecb_map encrypt_block key src
+
+let ecb_decrypt key src = ecb_map decrypt_block key src
+
+let ctr_transform key ~nonce src =
+  if Bytes.length nonce <> 16 then invalid_arg "Aes128.ctr: 16-byte nonce";
+  let len = Bytes.length src in
+  let out = Bytes.create len in
+  let counter = Bytes.copy nonce in
+  let bump () =
+    (* Increment the last 4 bytes big-endian. *)
+    let rec go i =
+      if i >= 12 then begin
+        let v = (Char.code (Bytes.get counter i) + 1) land 0xff in
+        Bytes.set counter i (Char.chr v);
+        if v = 0 then go (i - 1)
+      end
+    in
+    go 15
+  in
+  let off = ref 0 in
+  while !off < len do
+    let ks = encrypt_block key counter ~off:0 in
+    let n = min 16 (len - !off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (!off + i)
+        (Char.chr
+           (Char.code (Bytes.get src (!off + i))
+           lxor Char.code (Bytes.get ks i)))
+    done;
+    bump ();
+    off := !off + n
+  done;
+  out

@@ -1,0 +1,30 @@
+(** AES-128 (FIPS 197), implemented from scratch.
+
+    The S-box is derived programmatically from the GF(2^8) inverse and the
+    affine transform, so there is no hand-typed table to get wrong. Provides
+    the raw block cipher plus ECB and CTR helpers; the simulated AES hardware
+    engine wraps these with DMA timing. *)
+
+val block_size : int
+(** 16. *)
+
+type key
+(** An expanded 128-bit key schedule. *)
+
+val expand_key : bytes -> key
+(** [expand_key k] expects exactly 16 key bytes. *)
+
+val encrypt_block : key -> bytes -> off:int -> bytes
+(** Encrypt the 16-byte block at [off]; returns a fresh 16-byte block. *)
+
+val decrypt_block : key -> bytes -> off:int -> bytes
+
+val ecb_encrypt : key -> bytes -> bytes
+(** Whole-buffer ECB; the input length must be a multiple of 16. *)
+
+val ecb_decrypt : key -> bytes -> bytes
+
+val ctr_transform : key -> nonce:bytes -> bytes -> bytes
+(** CTR mode keystream XOR (encryption and decryption are the same
+    operation). [nonce] is 16 bytes used as the initial counter block; the
+    counter occupies the last 4 bytes, big-endian. Any input length. *)

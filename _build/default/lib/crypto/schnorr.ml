@@ -1,0 +1,69 @@
+type public_key = { y : int }
+
+type secret_key = { x : int }
+
+type signature = { r : int; s : int }
+
+let p = Modmath.p61
+
+let q = p - 1 (* exponent modulus *)
+
+let generator = 7
+
+let random_exponent rng =
+  (* Uniform-ish in [1, q-1]; the tiny modulo bias is irrelevant for a toy
+     scheme. *)
+  1 + Prng.int rng ~bound:(q - 1)
+
+let keypair rng =
+  let x = random_exponent rng in
+  let y = Modmath.pow ~m:p generator x in
+  ({ x }, { y })
+
+let int_le8 v =
+  Bytes.init 8 (fun i -> Char.chr ((v lsr (i * 8)) land 0xff))
+
+let le8_int b off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let challenge r msg =
+  let h = Sha256.init () in
+  Sha256.feed h (int_le8 r) ~off:0 ~len:8;
+  Sha256.feed h msg ~off:0 ~len:(Bytes.length msg);
+  let d = Sha256.finalize h in
+  (* Fold the first 8 digest bytes into an exponent mod q. *)
+  le8_int d 0 land max_int mod q
+
+let sign sk rng msg =
+  let k = random_exponent rng in
+  let r = Modmath.pow ~m:p generator k in
+  let e = challenge r msg in
+  let s = Modmath.add ~m:q k (Modmath.mul ~m:q sk.x e) in
+  { r; s }
+
+let verify pk msg { r; s } =
+  if r <= 0 || r >= p || s < 0 || s >= q then false
+  else
+    let e = challenge r msg in
+    let lhs = Modmath.pow ~m:p generator s in
+    let rhs = Modmath.mul ~m:p r (Modmath.pow ~m:p pk.y e) in
+    lhs = rhs
+
+let signature_to_bytes { r; s } =
+  let b = Bytes.create 16 in
+  Bytes.blit (int_le8 r) 0 b 0 8;
+  Bytes.blit (int_le8 s) 0 b 8 8;
+  b
+
+let signature_of_bytes b =
+  if Bytes.length b <> 16 then None
+  else Some { r = le8_int b 0; s = le8_int b 8 }
+
+let public_key_to_bytes { y } = int_le8 y
+
+let public_key_of_bytes b =
+  if Bytes.length b <> 8 then None else Some { y = le8_int b 0 }

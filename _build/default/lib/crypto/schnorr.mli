@@ -1,0 +1,38 @@
+(** Toy Schnorr signatures over the multiplicative group mod 2^61 - 1.
+
+    SUBSTITUTION NOTE (see DESIGN.md §1): real Tock root-of-trust
+    deployments verify app credentials with Ed25519/ECDSA-class signatures.
+    A 61-bit discrete-log group is trivially breakable; what this module
+    preserves is the *API and behaviour shape* the kernel's credential
+    checking machinery needs — asymmetric keypairs, detached signatures,
+    deterministic verification, and realistic compute cost asymmetry — with
+    the hash (SHA-256) being the real algorithm.
+
+    Scheme: public parameters (p = 2^61-1, generator g); secret key x;
+    public key y = g^x mod p. Sign: pick nonce k, r = g^k,
+    e = H(r || m) mod (p-1), s = (k + x*e) mod (p-1).
+    Verify: g^s == r * y^e (mod p) with e recomputed from (r, m). *)
+
+type public_key = { y : int }
+
+type secret_key = { x : int }
+
+type signature = { r : int; s : int }
+
+val generator : int
+
+val keypair : Prng.t -> secret_key * public_key
+
+val sign : secret_key -> Prng.t -> bytes -> signature
+
+val verify : public_key -> bytes -> signature -> bool
+
+val signature_to_bytes : signature -> bytes
+(** 16-byte little-endian encoding (r, s). *)
+
+val signature_of_bytes : bytes -> signature option
+
+val public_key_to_bytes : public_key -> bytes
+(** 8-byte little-endian encoding. *)
+
+val public_key_of_bytes : bytes -> public_key option

@@ -1,0 +1,30 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Provides both a streaming interface (used by the simulated hardware
+    digest engine, which feeds data in DMA-sized chunks) and one-shot
+    helpers. The digest is always 32 bytes. *)
+
+val digest_length : int
+(** 32. *)
+
+type t
+(** A streaming hash context. *)
+
+val init : unit -> t
+
+val feed : t -> bytes -> off:int -> len:int -> unit
+(** Absorb [len] bytes of [b] starting at [off]. May be called repeatedly. *)
+
+val feed_string : t -> string -> unit
+
+val finalize : t -> bytes
+(** Pad, finish, and return the 32-byte digest. The context must not be
+    used afterwards. *)
+
+val digest_bytes : bytes -> bytes
+(** One-shot digest of a whole buffer. *)
+
+val digest_string : string -> bytes
+
+val hex : bytes -> string
+(** Lowercase hexadecimal rendering of a digest (or any byte string). *)

@@ -1,0 +1,1 @@
+lib/hw/adc.ml: Array Irq Sim

@@ -1,0 +1,1 @@
+lib/hw/adc.mli: Irq Sim

@@ -1,0 +1,1 @@
+lib/hw/aes_engine.ml: Bytes Irq Sim Tock_crypto

@@ -1,0 +1,1 @@
+lib/hw/aes_engine.mli: Irq Sim

@@ -1,0 +1,1 @@
+lib/hw/chip.ml: Adc Aes_engine Flash_ctrl Gpio Hw_timer I2c Irq Mpu Option Pke_engine Radio Sha_engine Sim Spi Trng Uart

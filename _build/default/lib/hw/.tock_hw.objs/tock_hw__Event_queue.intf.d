@@ -1,0 +1,1 @@
+lib/hw/event_queue.mli:

@@ -1,0 +1,1 @@
+lib/hw/flash_ctrl.ml: Array Bytes Char Irq Result Sim

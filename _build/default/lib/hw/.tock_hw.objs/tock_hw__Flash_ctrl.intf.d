@@ -1,0 +1,1 @@
+lib/hw/flash_ctrl.mli: Irq Sim

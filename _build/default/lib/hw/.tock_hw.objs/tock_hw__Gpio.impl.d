@@ -1,0 +1,1 @@
+lib/hw/gpio.ml: Array Irq Printf Sim

@@ -1,0 +1,1 @@
+lib/hw/hw_timer.ml: Event_queue Irq Mmio Sim

@@ -1,0 +1,1 @@
+lib/hw/i2c.ml: Bytes Hashtbl Irq Sim

@@ -1,0 +1,1 @@
+lib/hw/i2c.mli: Irq Sim

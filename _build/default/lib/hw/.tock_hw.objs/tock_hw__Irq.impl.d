@@ -1,0 +1,1 @@
+lib/hw/irq.ml: Array Printf Sim

@@ -1,0 +1,1 @@
+lib/hw/mpu.ml: Array Fun List Option

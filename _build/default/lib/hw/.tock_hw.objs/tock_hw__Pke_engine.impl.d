@@ -1,0 +1,1 @@
+lib/hw/pke_engine.ml: Irq Sim Tock_crypto

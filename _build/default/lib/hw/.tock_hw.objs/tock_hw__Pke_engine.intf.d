@@ -1,0 +1,1 @@
+lib/hw/pke_engine.mli: Irq Sim Tock_crypto

@@ -1,0 +1,1 @@
+lib/hw/radio.ml: Bytes Irq List Printf Sim Tock_crypto

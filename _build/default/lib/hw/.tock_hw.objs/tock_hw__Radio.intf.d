@@ -1,0 +1,1 @@
+lib/hw/radio.mli: Irq Sim

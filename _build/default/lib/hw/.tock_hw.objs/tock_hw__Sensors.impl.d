@@ -1,0 +1,1 @@
+lib/hw/sensors.ml: Bytes Char Float I2c Sim

@@ -1,0 +1,1 @@
+lib/hw/sensors.mli: I2c Sim

@@ -1,0 +1,1 @@
+lib/hw/sha_engine.ml: Bytes Irq Sim Tock_crypto

@@ -1,0 +1,1 @@
+lib/hw/sha_engine.mli: Irq Sim

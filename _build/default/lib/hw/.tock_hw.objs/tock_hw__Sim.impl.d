@@ -1,0 +1,1 @@
+lib/hw/sim.ml: Array Event_queue List Tock_crypto

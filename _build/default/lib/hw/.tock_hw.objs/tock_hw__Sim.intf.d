@@ -1,0 +1,1 @@
+lib/hw/sim.mli: Event_queue Tock_crypto

@@ -1,0 +1,1 @@
+lib/hw/spi.ml: Bytes Hashtbl Irq List Sim

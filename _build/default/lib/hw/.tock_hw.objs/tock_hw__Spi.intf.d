@@ -1,0 +1,1 @@
+lib/hw/spi.mli: Irq Sim

@@ -1,0 +1,1 @@
+lib/hw/trng.ml: Array Int64 Irq Sim Tock_crypto

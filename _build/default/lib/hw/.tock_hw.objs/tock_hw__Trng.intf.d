@@ -1,0 +1,1 @@
+lib/hw/trng.mli: Irq Sim

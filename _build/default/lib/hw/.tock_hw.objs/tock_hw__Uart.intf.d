@@ -1,0 +1,1 @@
+lib/hw/uart.mli: Irq Sim

@@ -1,0 +1,59 @@
+(** Microcontroller profiles: peripherals + protection + timing.
+
+    Two chips model the two architecture families Tock grew to support
+    (Fig. 1): a Cortex-M4-class part ("sam4l_like") and a RISC-V part
+    ("rv32_like"). They differ exactly where the paper says differences
+    bit users:
+
+    - MPU flavor: power-of-two MPU regions vs. PMP exact ranges;
+    - SPI chip-select capability: fixed active-low vs. configurable
+      (the Fig. 3 composition hazard);
+    - system call cost: the RISC-V part pays ~4x more cycles per syscall,
+      modelling the immature LLVM code generation that pushed Ti50 to
+      fork for a blocking command (paper §3.2);
+    - timer tick rate. *)
+
+type timing = {
+  syscall_overhead : int;  (** cycles to cross the syscall boundary, round trip *)
+  context_switch : int;    (** cycles to switch between processes *)
+  kernel_loop_overhead : int;  (** bookkeeping per kernel main-loop iteration *)
+  upcall_push : int;       (** cycles to schedule one upcall *)
+}
+
+type t = {
+  name : string;
+  sim : Sim.t;
+  irq : Irq.t;
+  mpu : Mpu.t;
+  timing : timing;
+  uart0 : Uart.t;
+  uart1 : Uart.t;
+  spi : Spi.t;
+  i2c : I2c.t;
+  gpio : Gpio.t;
+  adc : Adc.t;
+  timer : Hw_timer.t;
+  trng : Trng.t;
+  sha : Sha_engine.t;
+  sha_boot : Sha_engine.t;
+      (** dedicated secure-boot digest block (real RoT chips separate this
+          from the application-facing engine) *)
+  aes : Aes_engine.t;
+  pke : Pke_engine.t;
+  flash : Flash_ctrl.t;
+  radio : Radio.t option;
+  cpu_meter : Sim.meter;
+}
+
+val sam4l_like : ?ether:Radio.Ether.t -> ?radio_addr:int -> Sim.t -> t
+(** Cortex-M-class: 8-region power-of-two MPU, SPI fixed active-low CS,
+    512 kB flash in 512 B pages, 16 kHz-granularity alarm (1024 cycles per
+    tick at 16 MHz), cheap syscalls. *)
+
+val rv32_like : ?ether:Radio.Ether.t -> ?radio_addr:int -> Sim.t -> t
+(** RISC-V-class: PMP-style protection, SPI configurable CS, 32 kHz-class
+    alarm, expensive syscalls. *)
+
+val cpu_set_active : t -> bool -> unit
+(** Flip the CPU power meter between run (4 mA) and deep sleep (5 µA);
+    called by the kernel around sleeps. *)

@@ -1,0 +1,100 @@
+type entry = {
+  time : int;
+  seq : int; (* FIFO tiebreak for equal deadlines *)
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+type t = {
+  mutable heap : entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true }
+
+let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; live = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.len;
+  t.heap <- bigger
+
+let schedule t ~time fn =
+  if t.len = Array.length t.heap then grow t;
+  let e = { time; seq = t.next_seq; fn; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.len) <- e;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  e
+
+let cancel t e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pop t =
+  let e = t.heap.(0) in
+  t.len <- t.len - 1;
+  t.heap.(0) <- t.heap.(t.len);
+  t.heap.(t.len) <- dummy;
+  if t.len > 0 then sift_down t 0;
+  e
+
+(* Drop cancelled entries lazily from the top of the heap. *)
+let rec drop_cancelled t =
+  if t.len > 0 && t.heap.(0).cancelled then begin
+    ignore (pop t);
+    drop_cancelled t
+  end
+
+let next_time t =
+  drop_cancelled t;
+  if t.len = 0 then None else Some t.heap.(0).time
+
+let pop_due t ~now =
+  drop_cancelled t;
+  if t.len > 0 && t.heap.(0).time <= now then begin
+    let e = pop t in
+    t.live <- t.live - 1;
+    Some e.fn
+  end
+  else None
+
+let is_empty t =
+  drop_cancelled t;
+  t.len = 0
+
+let size t = t.live

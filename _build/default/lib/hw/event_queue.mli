@@ -1,0 +1,30 @@
+(** Time-ordered future-event queue (binary min-heap).
+
+    The simulation's single source of asynchrony: peripherals schedule
+    completion events here and the clock only ever advances to event
+    deadlines or by explicit CPU work. Events at the same cycle fire in
+    insertion order (FIFO), which keeps runs deterministic. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val schedule : t -> time:int -> (unit -> unit) -> handle
+(** [schedule q ~time f] runs [f] when the clock reaches [time]. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val next_time : t -> int option
+(** Deadline of the earliest live event, if any. *)
+
+val pop_due : t -> now:int -> (unit -> unit) option
+(** Remove and return the earliest event with [time <= now]. *)
+
+val is_empty : t -> bool
+
+val size : t -> int
+(** Number of live (non-cancelled) events. *)

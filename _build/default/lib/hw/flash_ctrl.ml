@@ -1,0 +1,110 @@
+type op_result = Read_done of bytes | Write_done | Erase_done
+
+type t = {
+  sim : Sim.t;
+  irq : Irq.t;
+  irq_line : int;
+  page_size : int;
+  store : bytes array;
+  wear : int array;
+  read_cycles : int;
+  write_cycles : int;
+  erase_cycles : int;
+  mutable client : op_result -> unit;
+  mutable busy : bool;
+  mutable completed : op_result option;
+  mutable dirty_writes : int;
+}
+
+let create sim irq ~irq_line ~pages ~page_size ~read_cycles ~write_cycles
+    ~erase_cycles =
+  let t =
+    {
+      sim;
+      irq;
+      irq_line;
+      page_size;
+      store = Array.init pages (fun _ -> Bytes.make page_size '\xff');
+      wear = Array.make pages 0;
+      read_cycles;
+      write_cycles;
+      erase_cycles;
+      client = ignore;
+      busy = false;
+      completed = None;
+      dirty_writes = 0;
+    }
+  in
+  Irq.register irq ~line:irq_line ~name:"flash" (fun () ->
+      match t.completed with
+      | Some r ->
+          t.completed <- None;
+          t.client r
+      | None -> ());
+  Irq.enable irq ~line:irq_line;
+  t
+
+let pages t = Array.length t.store
+
+let page_size t = t.page_size
+
+let check_page t page =
+  if page < 0 || page >= Array.length t.store then Error "bad page"
+  else Ok ()
+
+let read_page_sync t ~page =
+  match check_page t page with
+  | Error e -> invalid_arg ("Flash_ctrl.read_page_sync: " ^ e)
+  | Ok () -> Bytes.copy t.store.(page)
+
+let start t ~delay result =
+  t.busy <- true;
+  ignore
+    (Sim.at t.sim ~delay (fun () ->
+         t.busy <- false;
+         t.completed <- Some (result ());
+         Irq.set_pending t.irq ~line:t.irq_line));
+  Ok ()
+
+let read_page t ~page =
+  if t.busy then Error "flash busy"
+  else
+    Result.bind (check_page t page) (fun () ->
+        start t ~delay:t.read_cycles (fun () ->
+            Read_done (Bytes.copy t.store.(page))))
+
+let write_page t ~page data =
+  if t.busy then Error "flash busy"
+  else if Bytes.length data <> t.page_size then Error "bad page buffer size"
+  else
+    Result.bind (check_page t page) (fun () ->
+        start t ~delay:t.write_cycles (fun () ->
+            let dst = t.store.(page) in
+            let lost = ref false in
+            for i = 0 to t.page_size - 1 do
+              let old = Char.code (Bytes.get dst i) in
+              let wanted = Char.code (Bytes.get data i) in
+              (* NOR flash: bits can only clear. *)
+              let stored = old land wanted in
+              if stored <> wanted then lost := true;
+              Bytes.set dst i (Char.chr stored)
+            done;
+            if !lost then t.dirty_writes <- t.dirty_writes + 1;
+            Write_done))
+
+let erase_page t ~page =
+  if t.busy then Error "flash busy"
+  else
+    Result.bind (check_page t page) (fun () ->
+        start t ~delay:t.erase_cycles (fun () ->
+            Bytes.fill t.store.(page) 0 t.page_size '\xff';
+            t.wear.(page) <- t.wear.(page) + 1;
+            Erase_done))
+
+let set_client t fn = t.client <- fn
+
+let busy t = t.busy
+
+let wear t ~page = t.wear.(page)
+
+let dirty_writes t = t.dirty_writes

@@ -1,0 +1,44 @@
+(** Paged NOR-flash controller.
+
+    Real NOR flash can only clear bits on write (logical AND with the
+    stored value) and must erase whole pages back to 0xFF — drivers that
+    forget the erase-before-write rule silently corrupt data, so the model
+    preserves AND semantics and counts such writes. Erase and write are
+    asynchronous with interrupt completion, per Tock's [hil::flash];
+    reads are synchronous (memory-mapped). Per-page wear counters support
+    the KV-store capsule's wear-leveling tests. *)
+
+type t
+
+type op_result = Read_done of bytes | Write_done | Erase_done
+
+val create :
+  Sim.t -> Irq.t -> irq_line:int ->
+  pages:int -> page_size:int ->
+  read_cycles:int -> write_cycles:int -> erase_cycles:int -> t
+
+val pages : t -> int
+
+val page_size : t -> int
+
+val read_page_sync : t -> page:int -> bytes
+(** Synchronous memory-mapped read (fresh copy). *)
+
+val read_page : t -> page:int -> (unit, string) result
+(** Asynchronous read; result via client. *)
+
+val write_page : t -> page:int -> bytes -> (unit, string) result
+(** AND-writes the full page (buffer must be exactly [page_size]).
+    Completion via client. *)
+
+val erase_page : t -> page:int -> (unit, string) result
+
+val set_client : t -> (op_result -> unit) -> unit
+
+val busy : t -> bool
+
+val wear : t -> page:int -> int
+(** Erase count of a page. *)
+
+val dirty_writes : t -> int
+(** Writes that tried to set a 0 bit back to 1 (lost data). *)

@@ -1,0 +1,82 @@
+type line_state = {
+  mutable pending : bool;
+  mutable enabled : bool;
+  mutable handler : (unit -> unit) option;
+  mutable name : string;
+}
+
+type t = {
+  sim : Sim.t;
+  lines : line_state array;
+  mutable pending_count : int; (* pending AND enabled *)
+  mutable serviced : int;
+}
+
+let create ?(lines = 64) sim =
+  {
+    sim;
+    lines =
+      Array.init lines (fun _ ->
+          { pending = false; enabled = false; handler = None; name = "?" });
+    pending_count = 0;
+    serviced = 0;
+  }
+
+let check_line t line =
+  if line < 0 || line >= Array.length t.lines then invalid_arg "Irq: bad line"
+
+let register t ~line ~name fn =
+  check_line t line;
+  t.lines.(line).handler <- Some fn;
+  t.lines.(line).name <- name
+
+let set_pending t ~line =
+  check_line t line;
+  let l = t.lines.(line) in
+  if not l.pending then begin
+    l.pending <- true;
+    if l.enabled then t.pending_count <- t.pending_count + 1
+  end
+
+let enable t ~line =
+  check_line t line;
+  let l = t.lines.(line) in
+  if not l.enabled then begin
+    l.enabled <- true;
+    if l.pending then t.pending_count <- t.pending_count + 1
+  end
+
+let disable t ~line =
+  check_line t line;
+  let l = t.lines.(line) in
+  if l.enabled then begin
+    l.enabled <- false;
+    if l.pending then t.pending_count <- t.pending_count - 1
+  end
+
+let is_enabled t ~line =
+  check_line t line;
+  t.lines.(line).enabled
+
+let has_pending t = t.pending_count > 0
+
+let service t =
+  let ran = ref 0 in
+  (* Keep sweeping until no enabled line is pending; handlers may assert
+     new lines. *)
+  while t.pending_count > 0 do
+    Array.iteri
+      (fun i l ->
+        if l.pending && l.enabled then begin
+          l.pending <- false;
+          t.pending_count <- t.pending_count - 1;
+          t.serviced <- t.serviced + 1;
+          incr ran;
+          Sim.trace t.sim (Printf.sprintf "irq %d (%s)" i l.name);
+          match l.handler with Some fn -> fn () | None -> ()
+        end)
+      t.lines
+  done;
+  !ran
+
+let serviced_count t = t.serviced

@@ -1,0 +1,61 @@
+(** 802.15.4-style packet radio and the shared medium joining boards.
+
+    Signpost-class deployments (paper §2) hang off low-power radios: the
+    power model matters as much as the data path. A radio is [Off]
+    (drawing nothing), [Listening], or mid-transmit; transmitting takes
+    air time proportional to the frame length at 250 kbit/s. The
+    {!Ether.t} medium delivers frames to every *listening* radio on the
+    same channel, drops frames with a configurable loss probability, and
+    corrupts concurrently transmitted frames (collisions), counting both.
+
+    Frames carry a source address and up to 127 bytes of payload. *)
+
+module Ether : sig
+  type t
+
+  val create : Sim.t -> ?loss_prob:float -> unit -> t
+
+  val delivered : t -> int
+
+  val lost : t -> int
+
+  val collisions : t -> int
+end
+
+type t
+
+type state = Off | Listening | Transmitting
+
+val create :
+  Ether.t -> Irq.t -> irq_line:int -> addr:int -> t
+(** Join the medium with a 16-bit address. Starts [Off]. *)
+
+val addr : t -> int
+
+val state : t -> state
+
+val set_channel : t -> int -> unit
+(** Channels 11-26, as in 802.15.4. Default 11. *)
+
+val start_listening : t -> unit
+
+val stop : t -> unit
+(** Power the radio off (also aborts listening). *)
+
+val transmit : t -> dest:int -> bytes -> (unit, string) result
+(** Send a frame ([dest] = 0xFFFF broadcasts). Fails if already
+    transmitting or if the payload exceeds 127 bytes. An [Off] radio
+    powers up for the frame and returns to [Off]; a listening radio
+    resumes listening. Completion via [set_transmit_client]. *)
+
+val set_transmit_client : t -> (unit -> unit) -> unit
+
+val set_receive_client : t -> (src:int -> bytes -> unit) -> unit
+(** Frame delivery (interrupt context). Frames addressed elsewhere are
+    filtered unless promiscuous. *)
+
+val set_promiscuous : t -> bool -> unit
+
+val frames_sent : t -> int
+
+val frames_received : t -> int

@@ -1,0 +1,140 @@
+type meter_state = {
+  m_name : string;
+  mutable current_ua : int;
+  mutable last_change : int; (* cycle of last current change *)
+  mutable ua_cycles : float; (* integrated µA·cycles *)
+}
+
+type meter = meter_state
+
+type t = {
+  mutable now : int;
+  clock_hz : int;
+  events : Event_queue.t;
+  root_rng : Tock_crypto.Prng.t;
+  mutable active_cycles : int;
+  mutable sleep_cycles : int;
+  mutable meters : meter_state list;
+  trace_ring : (int * string) array;
+  mutable trace_pos : int;
+  mutable trace_count : int;
+}
+
+let trace_capacity = 1024
+
+let create ?(seed = 0x70CC_2025L) ?(clock_hz = 16_000_000) () =
+  {
+    now = 0;
+    clock_hz;
+    events = Event_queue.create ();
+    root_rng = Tock_crypto.Prng.create ~seed;
+    active_cycles = 0;
+    sleep_cycles = 0;
+    meters = [];
+    trace_ring = Array.make trace_capacity (0, "");
+    trace_pos = 0;
+    trace_count = 0;
+  }
+
+let now t = t.now
+
+let clock_hz t = t.clock_hz
+
+let rng t = t.root_rng
+
+let settle_meter t m =
+  let dt = t.now - m.last_change in
+  if dt > 0 then m.ua_cycles <- m.ua_cycles +. (float_of_int m.current_ua *. float_of_int dt);
+  m.last_change <- t.now
+
+let run_due_events t =
+  let fired = ref false in
+  let rec loop () =
+    match Event_queue.pop_due t.events ~now:t.now with
+    | Some fn ->
+        fired := true;
+        fn ();
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  !fired
+
+let spend t n =
+  assert (n >= 0);
+  t.now <- t.now + n;
+  t.active_cycles <- t.active_cycles + n;
+  ignore (run_due_events t)
+
+let at t ~delay fn =
+  assert (delay >= 0);
+  Event_queue.schedule t.events ~time:(t.now + delay) fn
+
+let cancel t h = Event_queue.cancel t.events h
+
+let next_event_time t = Event_queue.next_time t.events
+
+let advance_to_next_event t =
+  match Event_queue.next_time t.events with
+  | None -> false
+  | Some deadline ->
+      if deadline > t.now then begin
+        t.sleep_cycles <- t.sleep_cycles + (deadline - t.now);
+        t.now <- deadline
+      end;
+      ignore (run_due_events t);
+      true
+
+let sleep_until t deadline =
+  (* Fire intervening events at their own deadlines. *)
+  let rec loop () =
+    match Event_queue.next_time t.events with
+    | Some e when e <= deadline ->
+        ignore (advance_to_next_event t);
+        loop ()
+    | _ ->
+        if deadline > t.now then begin
+          t.sleep_cycles <- t.sleep_cycles + (deadline - t.now);
+          t.now <- deadline
+        end
+  in
+  loop ();
+  ignore (run_due_events t)
+
+let active_cycles t = t.active_cycles
+
+let sleep_cycles t = t.sleep_cycles
+
+let meter t ~name =
+  let m = { m_name = name; current_ua = 0; last_change = t.now; ua_cycles = 0. } in
+  t.meters <- m :: t.meters;
+  m
+
+let meter_set_ua t m ua =
+  settle_meter t m;
+  m.current_ua <- ua
+
+let microjoules t m =
+  settle_meter t m;
+  (* µA·cycles -> µJ at 3.3 V: I[µA] * t[s] * V = µA·cycles/hz * 3.3 -> µW·s = µJ *)
+  m.ua_cycles /. float_of_int t.clock_hz *. 3.3
+
+let energy_report t =
+  List.rev_map (fun m -> (m.m_name, microjoules t m)) t.meters
+
+let total_microjoules t =
+  List.fold_left (fun acc (_, uj) -> acc +. uj) 0. (energy_report t)
+
+let trace t msg =
+  t.trace_ring.(t.trace_pos) <- (t.now, msg);
+  t.trace_pos <- (t.trace_pos + 1) mod trace_capacity;
+  t.trace_count <- t.trace_count + 1
+
+let recent_trace t n =
+  let available = min t.trace_count trace_capacity in
+  let n = min n available in
+  List.init n (fun i ->
+      let idx =
+        (t.trace_pos - n + i + (2 * trace_capacity)) mod trace_capacity
+      in
+      t.trace_ring.(idx))

@@ -1,0 +1,105 @@
+type polarity = Active_low | Active_high
+
+type cs_capability = Only_active_low | Only_active_high | Configurable
+
+type device = { cs : int; requires : polarity; transfer : bytes -> bytes }
+
+type t = {
+  sim : Sim.t;
+  irq : Irq.t;
+  irq_line : int;
+  capability : cs_capability;
+  cycles_per_byte : int;
+  mutable devices : device list;
+  cs_config : (int, polarity) Hashtbl.t;
+  mutable client : rx:bytes -> unit;
+  mutable busy : bool;
+  mutable completed : bytes option;
+  mutable mispolarized : int;
+}
+
+let create sim irq ~irq_line ~cs_capability ~cycles_per_byte =
+  let t =
+    {
+      sim;
+      irq;
+      irq_line;
+      capability = cs_capability;
+      cycles_per_byte;
+      devices = [];
+      cs_config = Hashtbl.create 8;
+      client = (fun ~rx:_ -> ());
+      busy = false;
+      completed = None;
+      mispolarized = 0;
+    }
+  in
+  Irq.register irq ~line:irq_line ~name:"spi" (fun () ->
+      match t.completed with
+      | Some rx ->
+          t.completed <- None;
+          t.client ~rx
+      | None -> ());
+  Irq.enable irq ~line:irq_line;
+  t
+
+let cs_capability t = t.capability
+
+let add_device t ~cs ~requires ~transfer =
+  let d = { cs; requires; transfer } in
+  t.devices <- d :: t.devices;
+  d
+
+let polarity_supported capability polarity =
+  match (capability, polarity) with
+  | Configurable, _ -> true
+  | Only_active_low, Active_low -> true
+  | Only_active_high, Active_high -> true
+  | Only_active_low, Active_high | Only_active_high, Active_low -> false
+
+let configure_cs t ~cs polarity =
+  if polarity_supported t.capability polarity then begin
+    Hashtbl.replace t.cs_config cs polarity;
+    Ok ()
+  end
+  else Error "controller does not support this chip-select polarity"
+
+let cs_polarity t ~cs =
+  match Hashtbl.find_opt t.cs_config cs with
+  | Some p -> p
+  | None -> (
+      match t.capability with
+      | Only_active_high -> Active_high
+      | Only_active_low | Configurable -> Active_low)
+
+let set_client t fn = t.client <- fn
+
+let busy t = t.busy
+
+let mispolarized_transfers t = t.mispolarized
+
+let read_write t ~cs ~tx ~len =
+  if len < 0 || len > Bytes.length tx then Error "bad length"
+  else if t.busy then Error "spi busy"
+  else begin
+    t.busy <- true;
+    let tx = Bytes.sub tx 0 len in
+    let driven = cs_polarity t ~cs in
+    let rx =
+      match List.find_opt (fun d -> d.cs = cs) t.devices with
+      | Some d when d.requires = driven -> d.transfer tx
+      | Some _ ->
+          (* Device never selected: bus floats high. *)
+          t.mispolarized <- t.mispolarized + 1;
+          Bytes.make len '\xff'
+      | None -> Bytes.make len '\xff'
+    in
+    let rx = if Bytes.length rx < len then Bytes.cat rx (Bytes.make (len - Bytes.length rx) '\xff')
+             else Bytes.sub rx 0 len in
+    ignore
+      (Sim.at t.sim ~delay:(len * t.cycles_per_byte) (fun () ->
+           t.busy <- false;
+           t.completed <- Some rx;
+           Irq.set_pending t.irq ~line:t.irq_line));
+    Ok ()
+  end

@@ -1,0 +1,141 @@
+type parity = No_parity | Even | Odd
+
+let fifo_capacity = 64
+
+type t = {
+  sim : Sim.t;
+  irq : Irq.t;
+  irq_line : int;
+  name : string;
+  mutable baud : int;
+  mutable bits_per_byte : int; (* start + data + parity + stop *)
+  mutable tx_sink : bytes -> unit;
+  mutable tx_client : len:int -> unit;
+  mutable rx_client : bytes -> unit;
+  mutable tx_inflight : (bytes * int) option; (* data, len *)
+  mutable rx_pending : int option; (* wanted length *)
+  fifo : Buffer.t;
+  mutable overruns : int;
+  mutable completed_tx : (int * bytes) option; (* len waiting for top half *)
+  mutable completed_rx : bytes option;
+  meter : Sim.meter;
+  mutable bytes_transmitted : int;
+}
+
+let create sim irq ~irq_line ~name =
+  let t =
+    {
+      sim;
+      irq;
+      irq_line;
+      name;
+      baud = 115200;
+      bits_per_byte = 10;
+      tx_sink = ignore;
+      tx_client = (fun ~len:_ -> ());
+      rx_client = ignore;
+      tx_inflight = None;
+      rx_pending = None;
+      fifo = Buffer.create fifo_capacity;
+      overruns = 0;
+      completed_tx = None;
+      completed_rx = None;
+      meter = Sim.meter sim ~name;
+      bytes_transmitted = 0;
+    }
+  in
+  Irq.register irq ~line:irq_line ~name (fun () ->
+      (match t.completed_tx with
+      | Some (len, data) ->
+          t.completed_tx <- None;
+          t.tx_sink data;
+          t.tx_client ~len
+      | None -> ());
+      match t.completed_rx with
+      | Some data ->
+          t.completed_rx <- None;
+          t.rx_client data
+      | None -> ());
+  Irq.enable irq ~line:irq_line;
+  t
+
+let configure t ~baud ~parity ~stop_bits =
+  if baud < 300 || baud > 4_000_000 then Error "unsupported baud rate"
+  else if stop_bits < 1 || stop_bits > 2 then Error "bad stop bits"
+  else begin
+    t.baud <- baud;
+    t.bits_per_byte <-
+      (1 + 8 + (match parity with No_parity -> 0 | Even | Odd -> 1) + stop_bits);
+    Ok ()
+  end
+
+let baud t = t.baud
+
+let cycles_per_byte t =
+  Sim.clock_hz t.sim * t.bits_per_byte / t.baud
+
+let set_tx_sink t fn = t.tx_sink <- fn
+
+let set_transmit_client t fn = t.tx_client <- fn
+
+let set_receive_client t fn = t.rx_client <- fn
+
+let overruns t = t.overruns
+
+let tx_busy t = t.tx_inflight <> None
+
+let bytes_transmitted t = t.bytes_transmitted
+
+let transmit t buf ~len =
+  if len < 0 || len > Bytes.length buf then Error "bad length"
+  else if t.tx_inflight <> None then Error "transmit busy"
+  else begin
+    let copy = Bytes.sub buf 0 len in
+    t.tx_inflight <- Some (copy, len);
+    Sim.meter_set_ua t.sim t.meter 1500;
+    let delay = len * cycles_per_byte t in
+    ignore
+      (Sim.at t.sim ~delay (fun () ->
+           t.tx_inflight <- None;
+           t.bytes_transmitted <- t.bytes_transmitted + len;
+           Sim.meter_set_ua t.sim t.meter 0;
+           t.completed_tx <- Some (len, copy);
+           Irq.set_pending t.irq ~line:t.irq_line));
+    Ok ()
+  end
+
+(* Try to satisfy a pending receive from the FIFO. *)
+let try_complete_rx t =
+  match t.rx_pending with
+  | Some wanted when Buffer.length t.fifo >= wanted ->
+      let all = Buffer.to_bytes t.fifo in
+      let data = Bytes.sub all 0 wanted in
+      let rest = Bytes.sub all wanted (Bytes.length all - wanted) in
+      Buffer.clear t.fifo;
+      Buffer.add_bytes t.fifo rest;
+      t.rx_pending <- None;
+      (* Model the wire time of the last byte arriving. *)
+      ignore
+        (Sim.at t.sim ~delay:(cycles_per_byte t) (fun () ->
+             t.completed_rx <- Some data;
+             Irq.set_pending t.irq ~line:t.irq_line))
+  | _ -> ()
+
+let rx_inject t data =
+  Bytes.iter
+    (fun c ->
+      if Buffer.length t.fifo < fifo_capacity then Buffer.add_char t.fifo c
+      else t.overruns <- t.overruns + 1)
+    data;
+  try_complete_rx t
+
+let receive t ~len =
+  if len <= 0 then Error "bad length"
+  else if t.rx_pending <> None then Error "receive busy"
+  else begin
+    t.rx_pending <- Some len;
+    try_complete_rx t;
+    Ok ()
+  end
+
+let abort_receive t = t.rx_pending <- None

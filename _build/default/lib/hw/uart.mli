@@ -1,0 +1,65 @@
+(** UART peripheral with DMA-style asynchronous transfer completion.
+
+    Software starts a whole-buffer transmit or receive; the peripheral
+    completes it after the wire time implied by the configured baud rate
+    and asserts its interrupt line. This is the split-phase contract Tock's
+    [hil::uart] expects, and the console stack (UART mux capsule → console
+    capsule → process printing) is layered on top of it.
+
+    The "outside world" ends of the wire are a [tx_sink] callback (where
+    transmitted bytes go — a test harness or the host terminal) and
+    {!rx_inject} (bytes arriving from outside). *)
+
+type t
+
+type parity = No_parity | Even | Odd
+
+val create :
+  Sim.t -> Irq.t -> irq_line:int -> name:string -> t
+(** Starts configured at 115200 baud. *)
+
+val configure :
+  t -> baud:int -> parity:parity -> stop_bits:int -> (unit, string) result
+(** Rejects baud rates outside [300, 4_000_000]. *)
+
+val baud : t -> int
+
+val cycles_per_byte : t -> int
+
+(** {2 Host / environment side} *)
+
+val set_tx_sink : t -> (bytes -> unit) -> unit
+(** Receives a copy of each completed transmit buffer. *)
+
+val rx_inject : t -> bytes -> unit
+(** Push bytes from the outside world into the receive path. Bytes beyond
+    the 64-byte hardware FIFO (when no receive is pending) are dropped and
+    counted in {!overruns}. *)
+
+val overruns : t -> int
+
+(** {2 Driver side (split-phase)} *)
+
+val transmit :
+  t -> bytes -> len:int -> (unit, string) result
+(** Begin transmitting [len] bytes (copied out of the caller's buffer, as
+    DMA would). Fails if a transmit is already in flight. Completion is
+    signalled through the client callback. *)
+
+val set_transmit_client : t -> (len:int -> unit) -> unit
+(** Runs from interrupt context when a transmit completes. *)
+
+val receive : t -> len:int -> (unit, string) result
+(** Begin receiving exactly [len] bytes. Fails if a receive is already
+    pending. *)
+
+val set_receive_client : t -> (bytes -> unit) -> unit
+(** Runs from interrupt context with the received bytes. *)
+
+val abort_receive : t -> unit
+(** Cancel a pending receive; already-buffered bytes stay in the FIFO. *)
+
+val tx_busy : t -> bool
+
+val bytes_transmitted : t -> int
+(** Lifetime count, for stats and power modelling sanity checks. *)

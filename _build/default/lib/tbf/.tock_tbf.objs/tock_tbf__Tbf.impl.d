@@ -1,0 +1,1 @@
+lib/tbf/tbf.ml: Bytes Char Format List Result String Tock_crypto

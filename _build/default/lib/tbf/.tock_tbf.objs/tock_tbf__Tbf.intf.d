@@ -1,0 +1,1 @@
+lib/tbf/tbf.mli: Format Tock_crypto

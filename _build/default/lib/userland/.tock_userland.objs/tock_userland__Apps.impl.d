@@ -1,0 +1,1 @@
+lib/userland/apps.ml: Bytes Driver_num Emu Error Int32 Libtock Libtock_sync List Option Printf Process Syscall Tock

@@ -1,0 +1,1 @@
+lib/userland/apps.mli: Emu Tock

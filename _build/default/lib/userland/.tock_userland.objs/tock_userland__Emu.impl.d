@@ -1,0 +1,1 @@
+lib/userland/emu.ml: Bytes Char Effect Hashtbl Printexc Printf Tock

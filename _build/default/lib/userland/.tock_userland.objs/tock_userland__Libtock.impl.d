@@ -1,0 +1,1 @@
+lib/userland/libtock.ml: Emu Format Tock

@@ -1,0 +1,1 @@
+lib/userland/libtock.mli: Emu Tock

@@ -1,0 +1,1 @@
+lib/userland/libtock_sync.ml: Bytes Driver_num Emu Error Libtock Option Printf String Syscall Tock

@@ -1,0 +1,1 @@
+lib/userland/libtock_sync.mli: Emu Tock

@@ -1,0 +1,257 @@
+open Tock
+
+let to_factory main proc = Emu.spawn main proc
+
+let registry apps name =
+  Option.map to_factory (List.assoc_opt name apps)
+
+let printf app fmt = Printf.ksprintf (fun s -> ignore (Libtock_sync.console_write app s)) fmt
+
+(* ---- basic apps ---- *)
+
+let hello app =
+  Emu.work app 200;
+  printf app "Hello from %s!\r\n" (Process.name (Emu.proc app));
+  Libtock.exit app 0
+
+let counter ~n ~period_ticks app =
+  for i = 1 to n do
+    Emu.work app 100;
+    printf app "%s: count %d\r\n" (Process.name (Emu.proc app)) i;
+    Libtock_sync.sleep_ticks app period_ticks
+  done;
+  Libtock.exit app 0
+
+let blink ~led ~period_ticks ~blinks app =
+  for _ = 1 to blinks do
+    ignore (Libtock.command app ~driver:Driver_num.led ~cmd:3 ~arg1:led ~arg2:0);
+    Libtock_sync.sleep_ticks app period_ticks
+  done;
+  Libtock.exit app 0
+
+let sensor_logger ~samples ~period_ticks app =
+  for i = 1 to samples do
+    let cc = Libtock_sync.temperature_read app in
+    Emu.work app 150;
+    printf app "sample %d: %d.%02d C\r\n" i (cc / 100) (abs cc mod 100);
+    Libtock_sync.sleep_ticks app period_ticks
+  done;
+  Libtock.exit app 0
+
+(* ---- radio apps ---- *)
+
+let radio_beacon ~frames ~period_ticks app =
+  for i = 1 to frames do
+    let cc = Libtock_sync.temperature_read app in
+    let payload = Bytes.create 8 in
+    Bytes.set_int32_le payload 0 (Int32.of_int i);
+    Bytes.set_int32_le payload 4 (Int32.of_int cc);
+    (match Libtock_sync.radio_send app ~dest:0xFFFF payload with
+    | Ok () -> ()
+    | Error e -> printf app "beacon: send failed (%s)\r\n" (Error.to_string e));
+    Libtock_sync.sleep_ticks app period_ticks
+  done;
+  Libtock.exit app 0
+
+let radio_sink ~expect app =
+  Libtock_sync.radio_listen app ~rx_buf_size:32;
+  for _ = 1 to expect do
+    let src, payload = Libtock_sync.radio_next app in
+    if Bytes.length payload >= 8 then begin
+      let seq = Int32.to_int (Bytes.get_int32_le payload 0) in
+      let cc = Int32.to_int (Bytes.get_int32_le payload 4) in
+      printf app "rx from %04x: seq=%d temp=%d\r\n" src seq cc
+    end
+  done;
+  printf app "sink: done\r\n";
+  Libtock.exit app 0
+
+(* ---- 2FA token ---- *)
+
+let token_key = Bytes.of_string "\x10\x32\x54\x76\x98\xba\xdc\xfe\x01\x23\x45\x67\x89\xab\xcd\xef"
+
+let key_magic = "KEY!"
+
+let token_flash_key_offset = 4
+
+let make_token_binary () =
+  let b = Bytes.make 64 '\x00' in
+  Bytes.blit_string key_magic 0 b 0 4;
+  Bytes.blit token_key 0 b token_flash_key_offset 16;
+  Bytes.blit_string "hmac-token-code" 0 b 24 15;
+  b
+
+(* Locate the key inside this app's own flash image (where the TBF binary
+   put it) — never copying it to RAM: the allow-readonly points straight
+   at flash (paper §3.3.3). *)
+let find_flash_key app =
+  match Libtock.memop app ~op:Syscall.memop_flash_start ~arg:0 with
+  | Syscall.Success_u32 fstart -> (
+      match Libtock.memop app ~op:Syscall.memop_flash_end ~arg:0 with
+      | Syscall.Success_u32 fend ->
+          let rec scan addr =
+            if addr + 20 > fend then None
+            else if
+              Bytes.to_string (Emu.read_bytes app ~addr ~len:4) = key_magic
+            then Some (addr + 4)
+            else scan (addr + 4)
+          in
+          scan fstart
+      | _ -> None)
+  | _ -> None
+
+let hmac_flash_key app ~key_addr ~challenge =
+  let daddr = Emu.get_buffer app ~tag:"chal" ~size:8 in
+  Emu.write_u32 app ~addr:daddr ~v:challenge;
+  let oaddr = Emu.get_buffer app ~tag:"tag" ~size:32 in
+  ignore
+    (Libtock.allow_ro app ~driver:Driver_num.hmac ~num:0 ~addr:key_addr ~len:16);
+  ignore (Libtock.allow_ro app ~driver:Driver_num.hmac ~num:1 ~addr:daddr ~len:4);
+  ignore (Libtock.allow_rw app ~driver:Driver_num.hmac ~num:0 ~addr:oaddr ~len:32);
+  let r =
+    Libtock_sync.call_classic app ~driver:Driver_num.hmac ~sub:0 ~cmd:1 ~arg1:0
+      ~arg2:0
+  in
+  Libtock.unallow_ro app ~driver:Driver_num.hmac ~num:0;
+  Libtock.unallow_ro app ~driver:Driver_num.hmac ~num:1;
+  Libtock.unallow_rw app ~driver:Driver_num.hmac ~num:0;
+  match r with
+  | Ok (n, _, _) when n >= 4 -> Some (Emu.read_u32 app ~addr:oaddr)
+  | _ -> None
+
+let hmac_token ~challenges app =
+  match find_flash_key app with
+  | None ->
+      printf app "token: no key in flash!\r\n";
+      Libtock.exit app 1
+  | Some key_addr ->
+      Libtock_sync.ipc_register app;
+      printf app "token: ready\r\n";
+      for _ = 1 to challenges do
+        let sender, challenge = Libtock_sync.ipc_next_notification app in
+        Emu.work app 300;
+        match hmac_flash_key app ~key_addr ~challenge with
+        | Some response ->
+            ignore
+              (Libtock_sync.ipc_notify app ~pid:sender
+                 ~value:(response land 0xFFFF))
+        | None -> ignore (Libtock_sync.ipc_notify app ~pid:sender ~value:0)
+      done;
+      printf app "token: served\r\n";
+      Libtock.exit app 0
+
+let hmac_token_requester ~service ~challenges app =
+  (* Give the token a moment to register. *)
+  let rec discover tries =
+    match Libtock_sync.ipc_discover app service with
+    | Ok pid -> Some pid
+    | Error _ when tries > 0 ->
+        Libtock_sync.sleep_ticks app 32;
+        discover (tries - 1)
+    | Error _ -> None
+  in
+  match discover 50 with
+  | None ->
+      printf app "requester: no token service\r\n";
+      Libtock.exit app 1
+  | Some pid ->
+      for i = 1 to challenges do
+        (match Libtock_sync.ipc_notify app ~pid ~value:(0x1000 + i) with
+        | Ok () ->
+            let _, response = Libtock_sync.ipc_next_notification app in
+            printf app "challenge %d -> %04x\r\n" i response
+        | Error e -> printf app "notify failed: %s\r\n" (Error.to_string e))
+      done;
+      Libtock.exit app 0
+
+let wait_button_press app =
+  let pressed = ref false in
+  ignore
+    (Libtock.subscribe app ~driver:Driver_num.button ~sub:0 (fun _ is_press _ ->
+         if is_press = 1 then pressed := true));
+  ignore (Libtock.command app ~driver:Driver_num.button ~cmd:1 ~arg1:0 ~arg2:0);
+  while not !pressed do
+    Libtock.yield_wait app
+  done;
+  ignore (Libtock.command app ~driver:Driver_num.button ~cmd:2 ~arg1:0 ~arg2:0);
+  Libtock.unsubscribe app ~driver:Driver_num.button ~sub:0
+
+let u2f_token ~challenges app =
+  match find_flash_key app with
+  | None ->
+      printf app "u2f: no key in flash!\r\n";
+      Libtock.exit app 1
+  | Some key_addr ->
+      Libtock_sync.ipc_register app;
+      printf app "u2f: ready\r\n";
+      for _ = 1 to challenges do
+        let sender, challenge = Libtock_sync.ipc_next_notification app in
+        printf app "u2f: touch to approve %04x\r\n" challenge;
+        wait_button_press app;
+        Emu.work app 300;
+        match hmac_flash_key app ~key_addr ~challenge with
+        | Some response ->
+            ignore
+              (Libtock_sync.ipc_notify app ~pid:sender
+                 ~value:(response land 0xFFFF))
+        | None -> ignore (Libtock_sync.ipc_notify app ~pid:sender ~value:0)
+      done;
+      printf app "u2f: served\r\n";
+      Libtock.exit app 0
+
+(* ---- adversarial / fault apps ---- *)
+
+let fault_injector ~delay_ticks app =
+  printf app "faulty: alive\r\n";
+  Libtock_sync.sleep_ticks app delay_ticks;
+  (* Read far outside any region this process owns. *)
+  ignore (Emu.read_u8 app ~addr:0x0000_1000);
+  printf app "faulty: should not get here\r\n";
+  Libtock.exit app 0
+
+let memory_hog app =
+  (* Touch console and alarm first so their grants are allocated before we
+     exhaust the block: grants allocated later on our behalf will fail
+     with NOMEM (contained in this process), but these keep working. *)
+  printf app "hog: starting\r\n";
+  Libtock_sync.sleep_ticks app 8;
+  let grabbed = ref 0 in
+  let rec grab () =
+    match Libtock.memop app ~op:Syscall.memop_sbrk ~arg:1024 with
+    | Syscall.Success_u32 _ ->
+        grabbed := !grabbed + 1024;
+        grab ()
+    | _ -> ()
+  in
+  grab ();
+  printf app "hog: grabbed %d bytes, kernel still alive\r\n" !grabbed;
+  for _ = 1 to 5 do
+    Libtock_sync.sleep_ticks app 64
+  done;
+  Libtock.exit app 0
+
+let spinner app =
+  printf app "spinner: start\r\n";
+  let rec spin () =
+    Emu.work app 1000;
+    spin ()
+  in
+  spin ()
+
+(* ---- kv workload ---- *)
+
+let kv_user ~rounds app =
+  let ok = ref 0 in
+  for i = 1 to rounds do
+    let key = Printf.sprintf "key-%d" (i mod 7) in
+    let value = Bytes.of_string (Printf.sprintf "value-%d-%d" i (i * 31)) in
+    (match Libtock_sync.kv_set app ~key ~value with
+    | Ok () -> (
+        match Libtock_sync.kv_get app ~key with
+        | Ok (Some got) when Bytes.equal got value -> incr ok
+        | _ -> printf app "kv: roundtrip mismatch at %d\r\n" i)
+    | Error e -> printf app "kv: set failed (%s)\r\n" (Error.to_string e));
+    if i mod 5 = 0 then ignore (Libtock_sync.kv_delete app ~key:"key-0")
+  done;
+  printf app "kv: %d/%d roundtrips ok\r\n" !ok rounds;
+  Libtock.exit app 0

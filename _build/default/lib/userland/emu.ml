@@ -1,0 +1,217 @@
+open Effect
+open Effect.Deep
+
+type sys_resume =
+  [ `Regs of int array | `Upcall of int * int * int * int * int ]
+
+type app = {
+  a_proc : Tock.Process.t;
+  mutable alloc_next : int;
+  upcalls : (int, int -> int -> int -> unit) Hashtbl.t;
+  mutable next_fn : int;
+  scratch : (string, int * int) Hashtbl.t; (* tag -> (addr, size) *)
+}
+
+type _ Effect.t +=
+  | Sys : int array -> sys_resume Effect.t
+  | Work_eff : int -> unit Effect.t
+
+exception App_panic_exn of string
+
+exception Mpu_fault of string
+
+let proc app = app.a_proc
+
+let syscall _app regs = perform (Sys regs)
+
+let work _app n = if n > 0 then perform (Work_eff n)
+
+(* ---- MPU-checked memory ---- *)
+
+let ram_offset app ~addr ~len kind =
+  let p = app.a_proc in
+  if not (Tock.Process.check_access p ~addr ~len kind) then
+    raise
+      (Mpu_fault
+         (Printf.sprintf "%s of %d bytes at 0x%x"
+            (match kind with `Read -> "read" | `Write -> "write" | `Execute -> "exec")
+            len addr));
+  addr - Tock.Process.ram_base p
+
+(* Reads may also hit the process's own flash image (code constants). *)
+let read_loc app ~addr ~len =
+  let p = app.a_proc in
+  if addr >= Tock.Process.flash_base p && addr + len <= Tock.Process.flash_end p
+  then `Flash (addr - Tock.Process.flash_base p)
+  else `Ram (ram_offset app ~addr ~len `Read)
+
+let read_u8 app ~addr =
+  match read_loc app ~addr ~len:1 with
+  | `Ram off -> Char.code (Bytes.get (Tock.Process.ram_bytes app.a_proc) off)
+  | `Flash off -> Char.code (Bytes.get (Tock.Process.flash_image app.a_proc) off)
+
+let write_u8 app ~addr ~v =
+  let off = ram_offset app ~addr ~len:1 `Write in
+  Bytes.set (Tock.Process.ram_bytes app.a_proc) off (Char.chr (v land 0xff))
+
+let read_bytes app ~addr ~len =
+  match read_loc app ~addr ~len with
+  | `Ram off -> Bytes.sub (Tock.Process.ram_bytes app.a_proc) off len
+  | `Flash off -> Bytes.sub (Tock.Process.flash_image app.a_proc) off len
+
+let write_bytes app ~addr data =
+  let len = Bytes.length data in
+  let off = ram_offset app ~addr ~len `Write in
+  Bytes.blit data 0 (Tock.Process.ram_bytes app.a_proc) off len
+
+let read_u32 app ~addr =
+  let b = read_bytes app ~addr ~len:4 in
+  Char.code (Bytes.get b 0)
+  lor (Char.code (Bytes.get b 1) lsl 8)
+  lor (Char.code (Bytes.get b 2) lsl 16)
+  lor (Char.code (Bytes.get b 3) lsl 24)
+
+let write_u32 app ~addr ~v =
+  let b = Bytes.init 4 (fun i -> Char.chr ((v lsr (i * 8)) land 0xff)) in
+  write_bytes app ~addr b
+
+(* ---- allocator ---- *)
+
+let align8 n = (n + 7) land lnot 7
+
+let alloc app n =
+  if n < 0 then raise (App_panic_exn "alloc: negative size");
+  let addr = align8 app.alloc_next in
+  let new_next = addr + n in
+  let break = Tock.Process.app_break app.a_proc in
+  if new_next > break then begin
+    (* Grow the break through the real syscall path. *)
+    let want = align8 (new_next + 64) in
+    let regs =
+      Tock.Syscall.encode_call
+        (Tock.Syscall.Memop { op = Tock.Syscall.memop_brk; arg = want })
+    in
+    match syscall app regs with
+    | `Regs ret -> (
+        match Tock.Syscall.decode_ret ret with
+        | Ok Tock.Syscall.Success -> ()
+        | _ -> raise (App_panic_exn "out of memory (brk refused)"))
+    | `Upcall _ -> raise (App_panic_exn "unexpected upcall during brk")
+  end;
+  app.alloc_next <- new_next;
+  addr
+
+let get_buffer app ~tag ~size =
+  match Hashtbl.find_opt app.scratch tag with
+  | Some (addr, have) when have >= size -> addr
+  | _ ->
+      let addr = alloc app size in
+      Hashtbl.replace app.scratch tag (addr, size);
+      addr
+
+(* ---- upcall function table ---- *)
+
+let register_upcall_fn app fn =
+  let id = app.next_fn in
+  app.next_fn <- id + 1;
+  Hashtbl.replace app.upcalls id fn;
+  id
+
+let lookup_upcall_fn app id = Hashtbl.find_opt app.upcalls id
+
+(* ---- the execution harness ---- *)
+
+type suspension =
+  | Not_started of (unit -> unit)
+  | In_syscall of (sys_resume, Tock.Process.trap) continuation
+  | In_tick of (unit, Tock.Process.trap) continuation * int (* leftover work *)
+  | Dead
+
+let implicit_exit =
+  Tock.Process.Trap_syscall
+    (Tock.Syscall.encode_call (Tock.Syscall.Exit { variant = 0; code = 0 }))
+
+let spawn main p =
+  let app =
+    {
+      a_proc = p;
+      alloc_next = Tock.Process.ram_base p;
+      upcalls = Hashtbl.create 16;
+      next_fn = 1;
+      scratch = Hashtbl.create 8;
+    }
+  in
+  let state = ref (Not_started (fun () -> main app)) in
+  let remaining = ref 0 in
+  let used = ref 0 in
+  let handler : (unit, Tock.Process.trap) handler =
+    {
+      retc =
+        (fun () ->
+          state := Dead;
+          implicit_exit);
+      exnc =
+        (fun e ->
+          state := Dead;
+          match e with
+          | Mpu_fault m -> Tock.Process.Trap_fault (Tock.Process.Mpu_violation m)
+          | App_panic_exn m -> Tock.Process.Trap_fault (Tock.Process.App_panic m)
+          | e ->
+              Tock.Process.Trap_fault
+                (Tock.Process.App_panic (Printexc.to_string e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sys regs ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  state := In_syscall k;
+                  Tock.Process.Trap_syscall regs)
+          | Work_eff n ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  if n <= !remaining then begin
+                    remaining := !remaining - n;
+                    used := !used + n;
+                    continue k ()
+                  end
+                  else begin
+                    used := !used + !remaining;
+                    let leftover = n - !remaining in
+                    remaining := 0;
+                    state := In_tick (k, leftover);
+                    Tock.Process.Trap_timeslice_expired
+                  end)
+          | _ -> None);
+    }
+  in
+  let step ~fuel arg =
+    remaining := fuel;
+    used := 0;
+    let trap =
+      match (!state, arg) with
+      | Dead, _ ->
+          Tock.Process.Trap_fault (Tock.Process.App_panic "resumed dead process")
+      | Not_started th, _ -> match_with th () handler
+      | In_syscall k, Tock.Process.Rsyscall_ret regs -> continue k (`Regs regs)
+      | In_syscall k, Tock.Process.Rupcall { fnptr; appdata; arg0; arg1; arg2 }
+        ->
+          continue k (`Upcall (fnptr, appdata, arg0, arg1, arg2))
+      | In_syscall k, (Tock.Process.Rstart | Tock.Process.Rcontinue) ->
+          discontinue k (App_panic_exn "protocol: no syscall return delivered")
+      | In_tick (k, leftover), _ ->
+          if leftover <= fuel then begin
+            remaining := fuel - leftover;
+            used := leftover;
+            continue k ()
+          end
+          else begin
+            used := fuel;
+            state := In_tick (k, leftover - fuel);
+            Tock.Process.Trap_timeslice_expired
+          end
+    in
+    (trap, !used)
+  in
+  let destroy () = state := Dead in
+  { Tock.Process.step; destroy }

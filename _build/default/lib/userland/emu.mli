@@ -1,0 +1,75 @@
+(** Userspace process emulation over OCaml effect handlers.
+
+    A process's "machine code" is an OCaml function running inside an
+    effect handler; performing {!syscall} or {!work} suspends the
+    computation and surfaces a {!Tock.Process.trap} to the kernel, which
+    later resumes it — the software rendering of a hardware trap frame and
+    context switch. The kernel never sees the handler; it programs against
+    {!Tock.Process.execution} only.
+
+    Fidelity points:
+    - Syscalls cross the boundary as *raw registers* (encoded/decoded by
+      {!Libtock}); there is no shortcut OCaml call into the kernel.
+    - Every app memory access is checked against the process's MPU
+      configuration; a violation faults the process exactly like a real
+      memprotect trap. Apps therefore cannot read kernel-owned grant
+      memory even inside their own RAM block.
+    - Preemption happens at {!work} points against the scheduler's fuel
+      budget; leftover work carries across slices.
+    - An app's [main] returning is an implicit [exit 0] syscall.
+
+    The upcall table maps integer "function pointers" to OCaml closures —
+    the analogue of userspace callback addresses passed to subscribe. *)
+
+type app
+(** Handle given to app code: its process, allocator, and upcall table. *)
+
+exception App_panic_exn of string
+(** Raise inside app code to fault the process ("app panic"). *)
+
+val spawn : (app -> unit) -> Tock.Process.t -> Tock.Process.execution
+(** Build an execution for the kernel: [Kernel.create_process ~factory:
+    (Emu.spawn main)]. *)
+
+val proc : app -> Tock.Process.t
+
+(** {2 Traps} *)
+
+val syscall : app -> int array -> [ `Regs of int array
+                                  | `Upcall of int * int * int * int * int ]
+(** Perform a raw syscall (5 registers). Returns either return registers
+    or an upcall delivery [(fnptr, appdata, a0, a1, a2)] — used only by
+    {!Libtock}, which gives these a typed surface. *)
+
+val work : app -> int -> unit
+(** Consume [n] simulated CPU cycles; the only preemption point. *)
+
+(** {2 Memory (MPU-checked)} *)
+
+val alloc : app -> int -> int
+(** Bump-allocate [n] bytes (8-byte aligned) in app RAM and return the
+    *address*. Issues a [brk] memop through the real syscall path when the
+    app break must grow. Faults the process on exhaustion. *)
+
+val get_buffer : app -> tag:string -> size:int -> int
+(** Named reusable buffer: allocated once per tag (re-allocated larger if
+    needed), so loops don't leak the bump allocator. Returns the address. *)
+
+val read_u8 : app -> addr:int -> int
+
+val write_u8 : app -> addr:int -> v:int -> unit
+
+val read_bytes : app -> addr:int -> len:int -> bytes
+
+val write_bytes : app -> addr:int -> bytes -> unit
+
+val read_u32 : app -> addr:int -> int
+
+val write_u32 : app -> addr:int -> v:int -> unit
+
+(** {2 Upcall closures} *)
+
+val register_upcall_fn : app -> (int -> int -> int -> unit) -> int
+(** Returns a fresh nonzero "function pointer" for subscribe. *)
+
+val lookup_upcall_fn : app -> int -> (int -> int -> int -> unit) option

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest QCheck2 QCheck_alcotest String Tock Tock_boards Tock_crypto Tock_hw

@@ -1,0 +1,1 @@
+test/test_adaptors.ml: Adaptors Alcotest Buffer Bytes Char Error Helpers Hil List Subslice Tock Tock_capsules Tock_crypto Tock_hw

@@ -1,0 +1,1 @@
+test/test_alarm_mux.ml: Alcotest Array Helpers Hw_timer Irq List QCheck2 Sim Tock Tock_capsules Tock_hw

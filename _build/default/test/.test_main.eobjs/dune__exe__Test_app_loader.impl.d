@@ -1,0 +1,1 @@
+test/test_app_loader.ml: Alcotest Bytes Error Helpers List Tock Tock_boards Tock_capsules Tock_tbf Tock_userland

@@ -1,0 +1,1 @@
+test/test_boards.ml: Alcotest Array Bytes Filename Helpers List Sys Tock Tock_boards Tock_hw Tock_userland

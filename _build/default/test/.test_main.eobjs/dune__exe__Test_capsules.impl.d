@@ -1,0 +1,1 @@
+test/test_capsules.ml: Alcotest Bytes Capability Error Grant Helpers Printf Process Tock Tock_boards Tock_capsules Tock_crypto Tock_hw Tock_userland

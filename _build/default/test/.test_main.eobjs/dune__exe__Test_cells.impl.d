@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Bytes Cells Helpers List QCheck2 Ring_buffer Subslice Tock

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes128 Alcotest Bytes Char Helpers Hmac Int64 Modmath Prng QCheck2 Schnorr Sha256 Tock_crypto

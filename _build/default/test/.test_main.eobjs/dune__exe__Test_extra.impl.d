@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Bytes Driver_num Error Helpers Kernel List Printf Process Process_loader String Syscall Tock Tock_boards Tock_crypto Tock_hw Tock_tbf Tock_userland

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Bytes Driver_num Error Helpers List Process Syscall Tock Tock_boards Tock_capsules Tock_hw Tock_userland

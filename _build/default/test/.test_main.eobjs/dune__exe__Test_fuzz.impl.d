@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Driver_num Helpers Kernel List Process QCheck2 Tock Tock_boards Tock_userland

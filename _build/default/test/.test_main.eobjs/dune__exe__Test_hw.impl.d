@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Buffer Bytes Char Flash_ctrl Gpio Helpers Hw_timer I2c Irq Mmio Radio Sensors Sim Spi Tock_hw Trng Uart

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Driver_num Error Helpers Kernel List Option Process Scheduler String Syscall Tock Tock_boards Tock_capsules Tock_userland

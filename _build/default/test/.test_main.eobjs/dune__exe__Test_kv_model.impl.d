@@ -1,0 +1,1 @@
+test/test_kv_model.ml: Adaptors Bytes Capability Error Hashtbl Helpers Kernel List Option Printf QCheck2 String Tock Tock_capsules Tock_hw

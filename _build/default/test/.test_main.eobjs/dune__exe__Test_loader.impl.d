@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Bytes Helpers List Option Process Process_loader Tock Tock_boards Tock_capsules Tock_crypto Tock_hw Tock_tbf Tock_userland

@@ -1,0 +1,1 @@
+test/test_mpu.ml: Alcotest Helpers Mpu QCheck2 Tock_hw

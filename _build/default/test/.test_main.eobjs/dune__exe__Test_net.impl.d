@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Driver_num Error Helpers List Option Printf Process Result Syscall Tock Tock_boards Tock_capsules Tock_userland

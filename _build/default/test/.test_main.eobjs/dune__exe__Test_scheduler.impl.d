@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Helpers List Printf Process Scheduler Tock Tock_userland

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Event_queue Helpers Irq List Mmio QCheck2 Sim Tock_hw

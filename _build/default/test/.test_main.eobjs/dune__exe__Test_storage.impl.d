@@ -1,0 +1,1 @@
+test/test_storage.ml: Adaptors Alcotest Bytes Capability Driver_num Error Helpers Kernel Option Printf String Tock Tock_boards Tock_capsules Tock_hw Tock_userland

@@ -1,0 +1,1 @@
+test/test_storage_acl.ml: Alcotest Bytes Driver_num Error Format Helpers Process Process_loader String Syscall Tock Tock_boards Tock_tbf Tock_userland

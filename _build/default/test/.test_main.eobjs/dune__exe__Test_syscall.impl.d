@@ -1,0 +1,1 @@
+test/test_syscall.ml: Alcotest Error Helpers QCheck2 Syscall Tock

@@ -1,0 +1,1 @@
+test/test_tbf.ml: Alcotest Bytes Char Helpers List QCheck2 Tbf Tock_crypto Tock_tbf

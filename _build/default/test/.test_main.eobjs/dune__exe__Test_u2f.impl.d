@@ -1,0 +1,1 @@
+test/test_u2f.ml: Alcotest Bytes Char Error Helpers Int64 List Option QCheck2 Subslice Tock Tock_boards Tock_capsules Tock_crypto Tock_hw Tock_tbf Tock_userland

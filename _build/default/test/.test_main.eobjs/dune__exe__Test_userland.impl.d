@@ -1,0 +1,1 @@
+test/test_userland.ml: Alcotest Driver_num Helpers Kernel Process Scheduler Syscall Tock Tock_boards Tock_userland

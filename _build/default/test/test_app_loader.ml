@@ -1,0 +1,80 @@
+(* Userspace-triggered dynamic installation (paper §3.4): an updater app
+   submits a signed TBF through the app-loader driver; the image travels
+   the same credential-checking path as boot-time apps. *)
+
+open! Helpers
+open Tock
+
+let dnum = Tock_capsules.App_loader.driver_num
+
+let submit a image =
+  let len = Bytes.length image in
+  let addr = Tock_userland.Emu.get_buffer a ~tag:"tbf" ~size:len in
+  Tock_userland.Emu.write_bytes a ~addr image;
+  ignore (Tock_userland.Libtock.allow_ro a ~driver:dnum ~num:0 ~addr ~len);
+  match
+    Tock_userland.Libtock_sync.call_classic a ~driver:dnum ~sub:0 ~cmd:1
+      ~arg1:0 ~arg2:0
+  with
+  | Ok (status, pid, _) -> (status, pid)
+  | Error e -> raise (Tock_userland.Emu.App_panic_exn (Error.to_string e))
+
+let test_userspace_install () =
+  let rot = Tock_boards.Rot_board.create () in
+  let board = rot.Tock_boards.Rot_board.board in
+  let registry =
+    [ ("payload", Tock_userland.Apps.counter ~n:2 ~period_ticks:32) ]
+  in
+  let loader = Tock_boards.Rot_board.enable_app_loader rot ~registry in
+  let good = Tock_tbf.Tbf.serialize (Tock_boards.Rot_board.sign_app rot ~name:"payload" ~min_ram:4096 ()) in
+  let evil =
+    Tock_tbf.Tbf.serialize
+      (Tock_boards.Rot_board.tamper
+         (Tock_boards.Rot_board.sign_app rot ~name:"payload" ()))
+  in
+  let results = ref [] in
+  let updater a =
+    (* a rejected image first, then a good one *)
+    results := submit a evil :: !results;
+    results := submit a good :: !results;
+    Tock_userland.Libtock.exit a 0
+  in
+  ignore
+    (match Tock_boards.Board.add_app board ~name:"updater" ~min_ram:8192 updater with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "add updater: %s" (Error.to_string e));
+  Tock_boards.Board.run_to_completion board ~max_cycles:600_000_000 ();
+  (match List.rev !results with
+  | [ (evil_status, _); (good_status, good_pid) ] ->
+      Alcotest.(check bool) "tampered image rejected" true (evil_status < 0);
+      Alcotest.(check int) "good image running" 0 good_status;
+      Alcotest.(check bool) "fresh pid" true (good_pid > 0)
+  | l -> Alcotest.failf "unexpected results (%d)" (List.length l));
+  Alcotest.(check int) "one install recorded" 1
+    (Tock_capsules.App_loader.installs loader);
+  (* The installed app actually ran. *)
+  check_contains ~msg:"payload output" (Tock_boards.Board.output board)
+    "payload: count 2"
+
+let test_garbage_image_rejected () =
+  let rot = Tock_boards.Rot_board.create () in
+  let board = rot.Tock_boards.Rot_board.board in
+  ignore (Tock_boards.Rot_board.enable_app_loader rot ~registry:[]);
+  let result = ref None in
+  let updater a =
+    result := Some (submit a (Bytes.make 128 '\x5a'));
+    Tock_userland.Libtock.exit a 0
+  in
+  (match Tock_boards.Board.add_app board ~name:"updater" updater with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "add: %s" (Error.to_string e));
+  Tock_boards.Board.run_to_completion board ~max_cycles:200_000_000 ();
+  match !result with
+  | Some (status, _) -> Alcotest.(check bool) "rejected" true (status < 0)
+  | None -> Alcotest.fail "no result"
+
+let suite =
+  [
+    Alcotest.test_case "userspace install" `Quick test_userspace_install;
+    Alcotest.test_case "garbage image rejected" `Quick test_garbage_image_rejected;
+  ]

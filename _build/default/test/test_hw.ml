@@ -1,0 +1,331 @@
+(* Hardware peripheral models: UART, SPI (CS polarity), I2C, GPIO, timer
+   wrap semantics, TRNG, flash NOR semantics, radio medium, sensors. *)
+
+open! Helpers
+open Tock_hw
+
+let setup () =
+  let sim = Sim.create () in
+  let irq = Irq.create sim in
+  (sim, irq)
+
+let pump sim =
+  while Sim.advance_to_next_event sim do
+    ()
+  done
+
+(* ---- UART ---- *)
+
+let test_uart_tx () =
+  let sim, irq = setup () in
+  let u = Uart.create sim irq ~irq_line:1 ~name:"u" in
+  let sent = Buffer.create 16 in
+  Uart.set_tx_sink u (fun b -> Buffer.add_bytes sent b);
+  let done_len = ref 0 in
+  Uart.set_transmit_client u (fun ~len -> done_len := len);
+  (match Uart.transmit u (Bytes.of_string "hello") ~len:5 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "busy while sending" true (Uart.tx_busy u);
+  (match Uart.transmit u (Bytes.of_string "x") ~len:1 with
+  | Error "transmit busy" -> ()
+  | _ -> Alcotest.fail "second transmit should be busy");
+  let t0 = Sim.now sim in
+  pump sim;
+  ignore (Irq.service irq);
+  Alcotest.(check string) "bytes arrived" "hello" (Buffer.contents sent);
+  Alcotest.(check int) "completion length" 5 !done_len;
+  (* Wire time: 5 bytes at 115200 baud, 10 bits/byte, 16 MHz clock. *)
+  let expect = 5 * (16_000_000 * 10 / 115200) in
+  Alcotest.(check int) "wire timing" expect (Sim.now sim - t0)
+
+let test_uart_rx_and_overrun () =
+  let sim, irq = setup () in
+  let u = Uart.create sim irq ~irq_line:1 ~name:"u" in
+  let got = ref Bytes.empty in
+  Uart.set_receive_client u (fun b -> got := b);
+  (* Inject before any receive: bytes buffer in the 64-byte FIFO. *)
+  Uart.rx_inject u (Bytes.of_string "abc");
+  (match Uart.receive u ~len:2 with Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  ignore (Irq.service irq);
+  Alcotest.(check string) "fifo satisfies receive" "ab" (Bytes.to_string !got);
+  (* Overrun: flood more than the FIFO holds. *)
+  Uart.rx_inject u (Bytes.make 100 'z');
+  Alcotest.(check bool) "overruns counted" true (Uart.overruns u > 0)
+
+let test_uart_configure () =
+  let sim, irq = setup () in
+  let u = Uart.create sim irq ~irq_line:1 ~name:"u" in
+  (match Uart.configure u ~baud:9600 ~parity:Uart.Even ~stop_bits:2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "cycles per byte at 9600 8E2"
+    (16_000_000 * 12 / 9600) (Uart.cycles_per_byte u);
+  (match Uart.configure u ~baud:100 ~parity:Uart.No_parity ~stop_bits:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad baud accepted")
+
+(* ---- SPI ---- *)
+
+let test_spi_polarity () =
+  let sim, irq = setup () in
+  let spi =
+    Spi.create sim irq ~irq_line:2 ~cs_capability:Spi.Only_active_low
+      ~cycles_per_byte:8
+  in
+  ignore
+    (Spi.add_device spi ~cs:0 ~requires:Spi.Active_low ~transfer:(fun tx ->
+         Bytes.map (fun c -> Char.chr (Char.code c lxor 0xFF)) tx));
+  ignore
+    (Spi.add_device spi ~cs:1 ~requires:Spi.Active_high ~transfer:(fun tx -> tx));
+  (match Spi.configure_cs spi ~cs:1 Spi.Active_high with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "active-high must be unsupported");
+  let got = ref Bytes.empty in
+  Spi.set_client spi (fun ~rx -> got := rx);
+  (* Good transfer to the active-low device. *)
+  (match Spi.read_write spi ~cs:0 ~tx:(Bytes.of_string "\x01\x02") ~len:2 with
+  | Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  ignore (Irq.service irq);
+  Alcotest.(check string) "device answered" "\xfe\xfd" (Bytes.to_string !got);
+  (* Mis-polarized: device at cs 1 needs active-high, we drive low. *)
+  (match Spi.read_write spi ~cs:1 ~tx:(Bytes.of_string "\x55") ~len:1 with
+  | Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  ignore (Irq.service irq);
+  Alcotest.(check string) "bus floats high" "\xff" (Bytes.to_string !got);
+  Alcotest.(check int) "mispolarized counted" 1 (Spi.mispolarized_transfers spi)
+
+(* ---- I2C ---- *)
+
+let test_i2c () =
+  let sim, irq = setup () in
+  let bus = I2c.create sim irq ~irq_line:3 ~cycles_per_byte:10 in
+  let written = ref Bytes.empty in
+  I2c.add_device bus ~addr:0x42
+    ~on_write:(fun b -> written := b)
+    ~on_read:(fun n -> Bytes.make n 'r');
+  let result = ref None in
+  I2c.set_client bus (fun code rx -> result := Some (code, rx));
+  (match I2c.write_read bus ~addr:0x42 (Bytes.of_string "W") ~read_len:3 with
+  | Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  ignore (Irq.service irq);
+  (match !result with
+  | Some (I2c.Done, rx) ->
+      Alcotest.(check string) "read back" "rrr" (Bytes.to_string rx);
+      Alcotest.(check string) "wrote" "W" (Bytes.to_string !written)
+  | _ -> Alcotest.fail "transaction failed");
+  (* Missing device NACKs. *)
+  (match I2c.read bus ~addr:0x7F ~len:1 with Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  ignore (Irq.service irq);
+  (match !result with
+  | Some (I2c.Nack, _) -> ()
+  | _ -> Alcotest.fail "expected NACK")
+
+(* ---- GPIO ---- *)
+
+let test_gpio_interrupts () =
+  let sim, irq = setup () in
+  let g = Gpio.create sim irq ~irq_line:4 ~pins:8 in
+  let events = ref [] in
+  Gpio.set_mode g ~pin:0 Gpio.Input;
+  Gpio.enable_interrupt g ~pin:0 Gpio.Rising;
+  Gpio.set_pin_client g ~pin:0 (fun level -> events := level :: !events);
+  Gpio.drive g ~pin:0 true;
+  ignore (Irq.service irq);
+  Gpio.drive g ~pin:0 false; (* falling: no interrupt configured *)
+  ignore (Irq.service irq);
+  Gpio.drive g ~pin:0 true;
+  ignore (Irq.service irq);
+  Alcotest.(check (list bool)) "rising edges only" [ true; true ] !events;
+  (* Output pins ignore environment writes of the driver side. *)
+  Gpio.set_mode g ~pin:1 Gpio.Output;
+  Gpio.set g ~pin:1 true;
+  Alcotest.(check bool) "output readable" true (Gpio.read g ~pin:1)
+
+let test_led_button () =
+  let sim, irq = setup () in
+  let g = Gpio.create sim irq ~irq_line:4 ~pins:8 in
+  let led = Gpio.Led.attach g ~pin:2 ~active_high:false in
+  Gpio.Led.on led;
+  Alcotest.(check bool) "lit" true (Gpio.Led.is_lit led);
+  Alcotest.(check bool) "active-low pin level" false (Gpio.read g ~pin:2);
+  Gpio.Led.toggle led;
+  Gpio.Led.toggle led;
+  Alcotest.(check int) "transitions" 3 (Gpio.Led.transitions led);
+  let b = Gpio.Button.attach g ~pin:3 ~active_high:true in
+  Alcotest.(check bool) "released" false (Gpio.Button.is_pressed b);
+  Gpio.Button.press b;
+  Alcotest.(check bool) "pressed" true (Gpio.Button.is_pressed b)
+
+(* ---- timer ---- *)
+
+let test_timer_basic () =
+  let sim, irq = setup () in
+  let t = Hw_timer.create sim irq ~irq_line:5 ~cycles_per_tick:100 in
+  Alcotest.(check int) "frequency" 160_000 (Hw_timer.frequency_hz t);
+  let fired = ref 0 in
+  Hw_timer.set_client t (fun () -> incr fired);
+  Hw_timer.set_alarm t ~reference:(Hw_timer.now_ticks t) ~dt:10;
+  Alcotest.(check bool) "armed" true (Hw_timer.is_armed t);
+  pump sim;
+  ignore (Irq.service irq);
+  Alcotest.(check int) "fired once" 1 !fired;
+  Alcotest.(check bool) "disarmed after fire" false (Hw_timer.is_armed t);
+  Alcotest.(check int) "now" 10 (Hw_timer.now_ticks t);
+  (* MMIO view *)
+  let regs = Hw_timer.registers t in
+  Alcotest.(check int) "VALUE register" 10 (Mmio.read regs "VALUE")
+
+let test_timer_expired_semantics () =
+  Alcotest.(check bool) "not expired" false
+    (Hw_timer.expired ~reference:100 ~dt:50 ~now:120);
+  Alcotest.(check bool) "expired" true
+    (Hw_timer.expired ~reference:100 ~dt:50 ~now:150);
+  (* across the 32-bit wrap *)
+  let near = 0xFFFFFFFF - 10 in
+  Alcotest.(check bool) "wrap not expired" false
+    (Hw_timer.expired ~reference:near ~dt:50 ~now:20);
+  Alcotest.(check bool) "wrap expired" true
+    (Hw_timer.expired ~reference:near ~dt:20 ~now:20)
+
+let test_timer_past_alarm_fires () =
+  let sim, irq = setup () in
+  let t = Hw_timer.create sim irq ~irq_line:5 ~cycles_per_tick:10 in
+  Sim.spend sim 1000; (* now = tick 100 *)
+  let fired = ref false in
+  Hw_timer.set_client t (fun () -> fired := true);
+  (* Alarm whose deadline already passed: fires on the next tick. *)
+  Hw_timer.set_alarm t ~reference:0 ~dt:5;
+  ignore (Sim.advance_to_next_event sim);
+  ignore (Irq.service irq);
+  Alcotest.(check bool) "fired promptly" true !fired
+
+(* ---- TRNG ---- *)
+
+let test_trng () =
+  let sim, irq = setup () in
+  let t = Trng.create sim irq ~irq_line:6 ~cycles_per_word:50 in
+  let got = ref [||] in
+  Trng.set_client t (fun w -> got := w);
+  (match Trng.request t ~count:4 with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Trng.request t ~count:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "busy accepted");
+  pump sim;
+  ignore (Irq.service irq);
+  Alcotest.(check int) "word count" 4 (Array.length !got);
+  Alcotest.(check bool) "32-bit words" true
+    (Array.for_all (fun w -> w >= 0 && w <= 0xFFFFFFFF) !got)
+
+(* ---- flash ---- *)
+
+let test_flash_nor_semantics () =
+  let sim, irq = setup () in
+  let f =
+    Flash_ctrl.create sim irq ~irq_line:7 ~pages:4 ~page_size:64
+      ~read_cycles:10 ~write_cycles:100 ~erase_cycles:500
+  in
+  let events = ref [] in
+  Flash_ctrl.set_client f (fun r -> events := r :: !events);
+  Alcotest.(check char) "erased initially" '\xff'
+    (Bytes.get (Flash_ctrl.read_page_sync f ~page:0) 0);
+  let page = Bytes.make 64 '\xff' in
+  Bytes.set page 0 '\x0f';
+  (match Flash_ctrl.write_page f ~page:0 page with Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim; ignore (Irq.service irq);
+  (* AND semantics: writing 0xf0 over 0x0f gives 0x00, and counts as a
+     dirty write (data lost). *)
+  Bytes.set page 0 '\xf0';
+  (match Flash_ctrl.write_page f ~page:0 page with Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim; ignore (Irq.service irq);
+  Alcotest.(check char) "AND write" '\x00'
+    (Bytes.get (Flash_ctrl.read_page_sync f ~page:0) 0);
+  Alcotest.(check int) "dirty writes counted" 1 (Flash_ctrl.dirty_writes f);
+  (match Flash_ctrl.erase_page f ~page:0 with Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim; ignore (Irq.service irq);
+  Alcotest.(check char) "erase restores" '\xff'
+    (Bytes.get (Flash_ctrl.read_page_sync f ~page:0) 0);
+  Alcotest.(check int) "wear counted" 1 (Flash_ctrl.wear f ~page:0)
+
+(* ---- radio ---- *)
+
+let test_radio_delivery () =
+  let sim, _ = setup () in
+  let irq_a = Irq.create sim and irq_b = Irq.create sim in
+  let ether = Radio.Ether.create sim () in
+  let a = Radio.create ether irq_a ~irq_line:1 ~addr:0xA in
+  let b = Radio.create ether irq_b ~irq_line:1 ~addr:0xB in
+  let got = ref None in
+  Radio.set_receive_client b (fun ~src payload -> got := Some (src, payload));
+  Radio.start_listening b;
+  Radio.start_listening a;
+  (match Radio.transmit a ~dest:0xB (Bytes.of_string "ping") with
+  | Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "transmitting" true (Radio.state a = Radio.Transmitting);
+  pump sim;
+  ignore (Irq.service irq_a);
+  ignore (Irq.service irq_b);
+  (match !got with
+  | Some (0xA, p) -> Alcotest.(check string) "payload" "ping" (Bytes.to_string p)
+  | _ -> Alcotest.fail "frame not delivered");
+  Alcotest.(check int) "delivered" 1 (Radio.Ether.delivered ether);
+  (* Unicast filtering: a frame to someone else is not delivered. *)
+  got := None;
+  (match Radio.transmit a ~dest:0xC (Bytes.of_string "nope") with
+  | Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  ignore (Irq.service irq_b);
+  Alcotest.(check bool) "filtered" true (!got = None);
+  (* Off radio can still transmit (powers up for the frame). *)
+  Radio.stop a;
+  (match Radio.transmit a ~dest:0xB (Bytes.of_string "x") with
+  | Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  Alcotest.(check bool) "back off after tx" true (Radio.state a = Radio.Off)
+
+(* ---- sensors ---- *)
+
+let test_sensors () =
+  let sim, irq = setup () in
+  let bus = I2c.create sim irq ~irq_line:3 ~cycles_per_byte:10 in
+  let env = Sensors.default_env ~clock_hz:(Sim.clock_hz sim) in
+  Sensors.attach sim bus env Sensors.Temperature;
+  let result = ref None in
+  I2c.set_client bus (fun code rx -> result := Some (code, rx));
+  (match
+     I2c.write_read bus ~addr:(Sensors.i2c_addr Sensors.Temperature)
+       (Bytes.of_string "\x00") ~read_len:2
+   with
+  | Ok () -> () | Error e -> Alcotest.fail e);
+  pump sim;
+  ignore (Irq.service irq);
+  match !result with
+  | Some (I2c.Done, rx) ->
+      let v = (Char.code (Bytes.get rx 0) lsl 8) lor Char.code (Bytes.get rx 1) in
+      let expected = env.Sensors.temperature_cc (Sim.now sim) in
+      (* The sensor samples at read time; the env is deterministic. *)
+      Alcotest.(check bool) "plausible reading" true (abs (v - expected) <= 7)
+  | _ -> Alcotest.fail "sensor read failed"
+
+let suite =
+  [
+    Alcotest.test_case "uart tx timing" `Quick test_uart_tx;
+    Alcotest.test_case "uart rx + overrun" `Quick test_uart_rx_and_overrun;
+    Alcotest.test_case "uart configure" `Quick test_uart_configure;
+    Alcotest.test_case "spi polarity" `Quick test_spi_polarity;
+    Alcotest.test_case "i2c" `Quick test_i2c;
+    Alcotest.test_case "gpio interrupts" `Quick test_gpio_interrupts;
+    Alcotest.test_case "led + button" `Quick test_led_button;
+    Alcotest.test_case "timer basics" `Quick test_timer_basic;
+    Alcotest.test_case "timer wrap semantics" `Quick test_timer_expired_semantics;
+    Alcotest.test_case "past alarm fires" `Quick test_timer_past_alarm_fires;
+    Alcotest.test_case "trng" `Quick test_trng;
+    Alcotest.test_case "flash NOR semantics" `Quick test_flash_nor_semantics;
+    Alcotest.test_case "radio delivery" `Quick test_radio_delivery;
+    Alcotest.test_case "sensors" `Quick test_sensors;
+  ]

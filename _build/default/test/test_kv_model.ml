@@ -1,0 +1,94 @@
+(* Model-based property test of the KV store: random operation sequences
+   against a Hashtbl oracle, including compaction-triggering value sizes
+   and simulated reboots (index rebuild from flash). *)
+
+open! Helpers
+open Tock
+
+type op =
+  | Set of string * string
+  | Get of string
+  | Delete of string
+  | Reboot
+
+let gen_key = QCheck2.Gen.(map (Printf.sprintf "k%d") (int_range 0 8))
+
+let gen_value =
+  QCheck2.Gen.(
+    map
+      (fun (c, n) -> String.make n c)
+      (pair (char_range 'a' 'z') (int_range 0 300)))
+
+let gen_op =
+  QCheck2.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Set (k, v)) gen_key gen_value);
+        (3, map (fun k -> Get k) gen_key);
+        (2, map (fun k -> Delete k) gen_key);
+        (1, return Reboot);
+      ])
+
+let run_scenario ops =
+  let sim = Tock_hw.Sim.create () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let kernel = Kernel.create chip in
+  let cap = Capability.Trusted_mint.main_loop () in
+  let flash_hil = Adaptors.flash chip.Tock_hw.Chip.flash in
+  let mk () =
+    Tock_capsules.Kv_store.create kernel flash_hil ~first_page:0 ~pages:8
+  in
+  let kv = ref (mk ()) in
+  let model : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let wait result =
+    ignore
+      (Kernel.run_until kernel ~cap ~max_cycles:500_000_000 (fun () ->
+           !result <> None));
+    Option.get !result
+  in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      if !ok then
+        match op with
+        | Set (k, v) -> (
+            let r = ref None in
+            Tock_capsules.Kv_store.set !kv ~key:(Bytes.of_string k)
+              ~value:(Bytes.of_string v) (fun x -> r := Some x);
+            match wait r with
+            | Ok () -> Hashtbl.replace model k v
+            | Error Error.NOMEM -> () (* full even after compaction: keep model unchanged *)
+            | Error _ -> ok := false)
+        | Get k -> (
+            let r = ref None in
+            Tock_capsules.Kv_store.get !kv ~key:(Bytes.of_string k) (fun x ->
+                r := Some x);
+            match wait r with
+            | Ok got ->
+                let expect = Hashtbl.find_opt model k in
+                if Option.map Bytes.to_string got <> expect then ok := false
+            | Error _ -> ok := false)
+        | Delete k -> (
+            let r = ref None in
+            Tock_capsules.Kv_store.delete !kv ~key:(Bytes.of_string k)
+              (fun x -> r := Some x);
+            match wait r with
+            | Ok present ->
+                if present <> Hashtbl.mem model k then ok := false;
+                Hashtbl.remove model k
+            | Error _ -> ok := false)
+        | Reboot ->
+            (* New instance over the same flash: the rebuilt index must
+               agree with the model. *)
+            kv := mk ();
+            if Tock_capsules.Kv_store.live_keys !kv <> Hashtbl.length model
+            then ok := false)
+    ops;
+  !ok
+
+let kv_model_prop =
+  qcheck ~count:30 "kv store: agrees with a Hashtbl oracle (incl. reboots)"
+    QCheck2.Gen.(list_size (1 -- 40) gen_op)
+    run_scenario
+
+let suite = [ kv_model_prop ]

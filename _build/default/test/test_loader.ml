@@ -1,0 +1,198 @@
+(* Process loading (paper §3.4): synchronous header-only boot,
+   asynchronous credential-checked boot, dynamic install, and rejection
+   paths. *)
+
+open! Helpers
+open Tock
+
+let registry =
+  [
+    ("alpha", Tock_userland.Apps.hello);
+    ("beta", Tock_userland.Apps.counter ~n:2 ~period_ticks:32);
+    ("gamma", Tock_userland.Apps.kv_user ~rounds:3);
+  ]
+
+let mk_tbf ?(name = "alpha") () =
+  Tock_tbf.Tbf.make ~name ~binary:(Bytes.of_string (name ^ "-code")) ()
+
+let test_sync_load () =
+  let board = make_board () in
+  let flash =
+    Bytes.concat Bytes.empty
+      [ Tock_tbf.Tbf.serialize (mk_tbf ~name:"alpha" ());
+        Tock_tbf.Tbf.serialize (mk_tbf ~name:"beta" ()) ]
+  in
+  let summary = Tock_boards.Board.load_tbf_sync board ~flash ~registry in
+  Alcotest.(check int) "two headers" 2 summary.Process_loader.headers_parsed;
+  Alcotest.(check int) "two loaded" 2
+    (List.length
+       (List.filter
+          (function Process_loader.Loaded _ -> true | _ -> false)
+          summary.Process_loader.outcomes));
+  run_done board;
+  check_contains ~msg:"alpha ran" (Tock_boards.Board.output board) "Hello from alpha!";
+  check_contains ~msg:"beta ran" (Tock_boards.Board.output board) "beta: count 2"
+
+let test_sync_load_unknown_app () =
+  let board = make_board () in
+  let flash = Tock_tbf.Tbf.serialize (mk_tbf ~name:"unknown" ()) in
+  let summary = Tock_boards.Board.load_tbf_sync board ~flash ~registry in
+  match summary.Process_loader.outcomes with
+  | [ Process_loader.Rejected { reason; _ } ] ->
+      check_contains ~msg:"reason" reason "registry"
+  | _ -> Alcotest.fail "expected one rejection"
+
+let test_disabled_flag_not_started () =
+  let board = make_board () in
+  let tbf =
+    Tock_tbf.Tbf.make ~flags:0 ~name:"alpha"
+      ~binary:(Bytes.of_string "alpha-code") ()
+  in
+  let summary =
+    Tock_boards.Board.load_tbf_sync board
+      ~flash:(Tock_tbf.Tbf.serialize tbf) ~registry
+  in
+  (match summary.Process_loader.outcomes with
+  | [ Process_loader.Loaded p ] ->
+      Alcotest.(check bool) "unstarted" true (Process.state p = Process.Unstarted)
+  | _ -> Alcotest.fail "expected loaded-but-unstarted");
+  run_done board;
+  Alcotest.(check string) "no output" "" (Tock_boards.Board.output board)
+
+let rot_setup ?policy () = Tock_boards.Rot_board.create ?policy ()
+
+let load_and_wait rot apps =
+  let board = rot.Tock_boards.Rot_board.board in
+  let summary = ref None in
+  Tock_boards.Rot_board.load_signed rot ~apps ~registry ~on_done:(fun s ->
+      summary := Some s);
+  let ok =
+    Tock_boards.Board.run_until board ~max_cycles:200_000_000 (fun () ->
+        !summary <> None)
+  in
+  Alcotest.(check bool) "loader finished" true ok;
+  Option.get !summary
+
+let outcome_names summary =
+  List.map
+    (function
+      | Process_loader.Loaded p -> "ok:" ^ Process.name p
+      | Process_loader.Rejected { app_name; _ } -> "no:" ^ app_name)
+    summary.Process_loader.outcomes
+
+let test_async_signed_load () =
+  let rot = rot_setup () in
+  let good = Tock_boards.Rot_board.sign_app rot ~name:"alpha" () in
+  let evil = Tock_boards.Rot_board.tamper (Tock_boards.Rot_board.sign_app rot ~name:"beta" ()) in
+  let unsigned = mk_tbf ~name:"gamma" () in
+  let summary = load_and_wait rot [ good; evil; unsigned ] in
+  Alcotest.(check (list string)) "verdicts"
+    [ "ok:alpha"; "no:beta"; "no:gamma" ]
+    (outcome_names summary);
+  (* Checker actually used the hardware engines. *)
+  Alcotest.(check int) "three checks" 3
+    (Tock_capsules.Signature_checker.checks_run rot.Tock_boards.Rot_board.checker)
+
+let test_wrong_key_rejected () =
+  let rot = rot_setup () in
+  (* Sign with a different keypair than the board trusts. *)
+  let rogue_rng = Tock_crypto.Prng.create ~seed:0xBADL in
+  let rogue_sk, _ = Tock_crypto.Schnorr.keypair rogue_rng in
+  let tbf = Tock_tbf.Tbf.add_schnorr (mk_tbf ~name:"alpha" ()) ~sk:rogue_sk ~rng:rogue_rng in
+  let summary = load_and_wait rot [ tbf ] in
+  Alcotest.(check (list string)) "rejected" [ "no:alpha" ] (outcome_names summary)
+
+let test_sha_policy () =
+  (* Integrity-only policy accepts a SHA credential and still rejects a
+     tampered image. *)
+  let rot = rot_setup ~policy:`Require_sha256 () in
+  let good = Tock_tbf.Tbf.add_sha256 (mk_tbf ~name:"alpha" ()) in
+  let bad =
+    let t = Tock_tbf.Tbf.add_sha256 (mk_tbf ~name:"beta" ()) in
+    Tock_boards.Rot_board.tamper t
+  in
+  let summary = load_and_wait rot [ good; bad ] in
+  Alcotest.(check (list string)) "sha policy" [ "ok:alpha"; "no:beta" ]
+    (outcome_names summary)
+
+let test_hmac_policy () =
+  let key = Bytes.of_string "vendor-provisioned-key" in
+  let rot = rot_setup ~policy:(`Require_hmac key) () in
+  let good = Tock_tbf.Tbf.add_hmac (mk_tbf ~name:"alpha" ()) ~key_id:1 ~key in
+  let wrong_key =
+    Tock_tbf.Tbf.add_hmac (mk_tbf ~name:"beta" ()) ~key_id:1
+      ~key:(Bytes.of_string "wrong")
+  in
+  let summary = load_and_wait rot [ good; wrong_key ] in
+  Alcotest.(check (list string)) "hmac policy" [ "ok:alpha"; "no:beta" ]
+    (outcome_names summary)
+
+let test_dynamic_install () =
+  let rot = rot_setup () in
+  let board = rot.Tock_boards.Rot_board.board in
+  (* Boot empty; install at "runtime". *)
+  let tbf = Tock_boards.Rot_board.sign_app rot ~name:"beta" () in
+  let result = ref None in
+  Process_loader.install board.Tock_boards.Board.kernel
+    ~cap:board.Tock_boards.Board.ext_cap ~pm_cap:board.Tock_boards.Board.pm_cap
+    ~flash_base:(Tock_boards.Board.flash_app_base + 0x10000)
+    ~tbf:(Tock_tbf.Tbf.serialize tbf)
+    ~lookup:(Tock_userland.Apps.registry registry)
+    ~checker:(Tock_capsules.Signature_checker.checker rot.Tock_boards.Rot_board.checker)
+    ~on_done:(fun r -> result := Some r);
+  let ok =
+    Tock_boards.Board.run_until board ~max_cycles:100_000_000 (fun () ->
+        !result <> None)
+  in
+  Alcotest.(check bool) "install finished" true ok;
+  (match !result with
+  | Some (Ok p) -> Alcotest.(check string) "name" "beta" (Process.name p)
+  | Some (Error e) -> Alcotest.failf "install failed: %s" e
+  | None -> assert false);
+  run_done board;
+  check_contains ~msg:"installed app ran" (Tock_boards.Board.output board)
+    "beta: count 2"
+
+let test_install_rejects_garbage () =
+  let rot = rot_setup () in
+  let board = rot.Tock_boards.Rot_board.board in
+  let result = ref None in
+  Process_loader.install board.Tock_boards.Board.kernel
+    ~cap:board.Tock_boards.Board.ext_cap ~pm_cap:board.Tock_boards.Board.pm_cap
+    ~flash_base:Tock_boards.Board.flash_app_base
+    ~tbf:(Bytes.make 64 '\x99')
+    ~lookup:(Tock_userland.Apps.registry registry)
+    ~checker:Process_loader.accept_all_checker
+    ~on_done:(fun r -> result := Some r);
+  match !result with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "garbage TBF must be rejected synchronously"
+
+let test_async_loader_timing () =
+  (* The async loader takes real simulated time (crypto engine latency);
+     the sync loader is near-instant. This is the shape behind the
+     [e-process-load] experiment. *)
+  let rot = rot_setup () in
+  let board = rot.Tock_boards.Rot_board.board in
+  let t0 = Tock_hw.Sim.now board.Tock_boards.Board.sim in
+  let apps = List.init 4 (fun i ->
+      Tock_boards.Rot_board.sign_app rot ~name:(if i = 0 then "alpha" else "beta") ())
+  in
+  ignore (load_and_wait rot apps);
+  let elapsed = Tock_hw.Sim.now board.Tock_boards.Board.sim - t0 in
+  (* Each verify costs >= 120k cycles on the PKE engine. *)
+  Alcotest.(check bool) "credential checking dominates" true (elapsed > 4 * 120_000)
+
+let suite =
+  [
+    Alcotest.test_case "sync load" `Quick test_sync_load;
+    Alcotest.test_case "sync load unknown app" `Quick test_sync_load_unknown_app;
+    Alcotest.test_case "disabled flag" `Quick test_disabled_flag_not_started;
+    Alcotest.test_case "async signed load" `Quick test_async_signed_load;
+    Alcotest.test_case "wrong key rejected" `Quick test_wrong_key_rejected;
+    Alcotest.test_case "sha-only policy" `Quick test_sha_policy;
+    Alcotest.test_case "hmac policy" `Quick test_hmac_policy;
+    Alcotest.test_case "dynamic install" `Quick test_dynamic_install;
+    Alcotest.test_case "install rejects garbage" `Quick test_install_rejects_garbage;
+    Alcotest.test_case "async loader timing" `Quick test_async_loader_timing;
+  ]

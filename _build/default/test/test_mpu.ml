@@ -1,0 +1,163 @@
+(* MPU models: Cortex-M power-of-two regions with subregions, PMP exact
+   ranges, app-memory growth, and access checking — one of the paper's two
+   "subtle logic bug" subsystems (§5.4), so it gets property tests. *)
+
+open! Helpers
+open Tock_hw
+
+let pow2 n = n land (n - 1) = 0
+
+let test_cortex_region_shape () =
+  let mpu = Mpu.create Mpu.Cortex_m in
+  let c = Mpu.new_config mpu in
+  match
+    Mpu.allocate_region mpu c ~unallocated_start:0x2000_0100
+      ~unallocated_size:0x10000 ~min_size:600 Mpu.rw
+  with
+  | None -> Alcotest.fail "allocation failed"
+  | Some r ->
+      Alcotest.(check bool) "covers request" true (r.Mpu.region_size >= 600);
+      Alcotest.(check bool) "size power of two" true (pow2 r.Mpu.region_size);
+      Alcotest.(check int) "size-aligned" 0 (r.Mpu.region_start mod r.Mpu.region_size);
+      Alcotest.(check bool) "within pool" true
+        (r.Mpu.region_start >= 0x2000_0100
+        && r.Mpu.region_start + r.Mpu.region_size <= 0x2001_0100)
+
+let cortex_region_prop =
+  qcheck "cortex-m: allocated regions are aligned po2 covering min_size"
+    QCheck2.Gen.(pair (int_range 1 8000) (int_range 0 4096))
+    (fun (min_size, start_off) ->
+      let mpu = Mpu.create Mpu.Cortex_m in
+      let c = Mpu.new_config mpu in
+      match
+        Mpu.allocate_region mpu c
+          ~unallocated_start:(0x2000_0000 + start_off)
+          ~unallocated_size:0x40000 ~min_size Mpu.rw
+      with
+      | None -> false
+      | Some r ->
+          r.Mpu.region_size >= min_size
+          && pow2 r.Mpu.region_size
+          && r.Mpu.region_start mod r.Mpu.region_size = 0
+          && r.Mpu.region_start >= 0x2000_0000 + start_off)
+
+let test_pmp_exact () =
+  let mpu = Mpu.create Mpu.Pmp in
+  let c = Mpu.new_config mpu in
+  match
+    Mpu.allocate_region mpu c ~unallocated_start:0x2000_0002
+      ~unallocated_size:0x1000 ~min_size:100 Mpu.r_only
+  with
+  | None -> Alcotest.fail "allocation failed"
+  | Some r ->
+      Alcotest.(check int) "4-aligned start" 0 (r.Mpu.region_start mod 4);
+      Alcotest.(check int) "exact (rounded) size" 100 r.Mpu.region_size
+
+let test_slots_exhaust () =
+  let mpu = Mpu.create ~num_regions:2 Mpu.Cortex_m in
+  let c = Mpu.new_config mpu in
+  let alloc () =
+    Mpu.allocate_region mpu c ~unallocated_start:0x2000_0000
+      ~unallocated_size:0x100000 ~min_size:64 Mpu.rw
+  in
+  Alcotest.(check bool) "slot 1" true (alloc () <> None);
+  Alcotest.(check bool) "slot 2" true (alloc () <> None);
+  Alcotest.(check bool) "no slot 3" true (alloc () = None)
+
+let app_region_setup flavor =
+  let mpu = Mpu.create flavor in
+  let c = Mpu.new_config mpu in
+  match
+    Mpu.allocate_app_memory_region mpu c ~unallocated_start:0x2000_0000
+      ~unallocated_size:0x100000 ~min_memory_size:5000
+      ~initial_app_memory_size:4096 ~initial_kernel_memory_size:512
+  with
+  | None -> Alcotest.fail "app region allocation failed"
+  | Some (start, size) -> (mpu, c, start, size)
+
+let test_app_region_cortex () =
+  let mpu, c, start, size = app_region_setup Mpu.Cortex_m in
+  Alcotest.(check bool) "block covers both" true (size >= 4096 + 512);
+  Alcotest.(check bool) "block po2" true (pow2 size);
+  (* App can touch the initial accessible prefix... *)
+  Alcotest.(check bool) "read low" true (Mpu.check mpu c ~addr:start ~len:64 `Read);
+  Alcotest.(check bool) "write low" true (Mpu.check mpu c ~addr:start ~len:64 `Write);
+  (* ...but not the top of the block (kernel/grant-owned). *)
+  Alcotest.(check bool) "no write at top" false
+    (Mpu.check mpu c ~addr:(start + size - 64) ~len:64 `Write);
+  (* and never executes RAM *)
+  Alcotest.(check bool) "no exec" false (Mpu.check mpu c ~addr:start ~len:4 `Execute)
+
+let test_app_region_growth () =
+  (* PMP blocks are exact-size: min_memory_size 5000 gives a 5000-byte
+     block; the app may grow its accessible prefix within it. *)
+  let mpu, c, start, size = app_region_setup Mpu.Pmp in
+  Alcotest.(check bool) "exact-ish block" true (size >= 5000 && size < 5008);
+  let new_break = start + 4800 in
+  (match
+     Mpu.update_app_memory_region mpu c ~app_break:new_break
+       ~kernel_break:(start + size)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "grow failed: %s" e);
+  Alcotest.(check bool) "grown area accessible" true
+    (Mpu.check mpu c ~addr:(start + 4700) ~len:16 `Write);
+  (* Cannot grow past the kernel break. *)
+  (match
+     Mpu.update_app_memory_region mpu c ~app_break:(start + 4800)
+       ~kernel_break:(start + 4600)
+   with
+  | Ok () -> Alcotest.fail "grow past kernel break must fail"
+  | Error _ -> ());
+  (* Cannot grow past the block end either. *)
+  match
+    Mpu.update_app_memory_region mpu c ~app_break:(start + size + 64)
+      ~kernel_break:(start + size)
+  with
+  | Ok () -> Alcotest.fail "grow past block must fail"
+  | Error _ -> ()
+
+let test_app_region_granularity_conflict () =
+  (* On Cortex-M the accessible prefix moves in subregion strides; a
+     kernel break inside the same stride as the requested app break must
+     be refused (this is the §5.4 bug class). *)
+  let mpu, c, start, size = app_region_setup Mpu.Cortex_m in
+  let sub = size / 8 in
+  let app_break = start + sub + 1 (* just past a stride boundary *) in
+  match
+    Mpu.update_app_memory_region mpu c ~app_break
+      ~kernel_break:(start + sub + 8)
+  with
+  | Ok () -> Alcotest.fail "must refuse: stride would expose kernel memory"
+  | Error _ -> ()
+
+let check_prop =
+  qcheck "mpu: accessible prefix is exactly [start, break_stride)"
+    QCheck2.Gen.(int_range 0 8192)
+    (fun off ->
+      let mpu, c, start, _size = app_region_setup Mpu.Pmp in
+      let ok = Mpu.check mpu c ~addr:(start + off) ~len:1 `Read in
+      let expected =
+        match Mpu.app_accessible_end c with
+        | Some e -> start + off + 1 <= e
+        | None -> false
+      in
+      ok = expected)
+
+let test_zero_len_access () =
+  let mpu, c, _, _ = app_region_setup Mpu.Cortex_m in
+  Alcotest.(check bool) "zero-length anywhere" true
+    (Mpu.check mpu c ~addr:0xDEAD_BEE0 ~len:0 `Write)
+
+let suite =
+  [
+    Alcotest.test_case "cortex region shape" `Quick test_cortex_region_shape;
+    cortex_region_prop;
+    Alcotest.test_case "pmp exact" `Quick test_pmp_exact;
+    Alcotest.test_case "slots exhaust" `Quick test_slots_exhaust;
+    Alcotest.test_case "app region (cortex)" `Quick test_app_region_cortex;
+    Alcotest.test_case "app region growth (pmp)" `Quick test_app_region_growth;
+    Alcotest.test_case "granularity conflict" `Quick test_app_region_granularity_conflict;
+    check_prop;
+    Alcotest.test_case "zero-length access" `Quick test_zero_len_access;
+  ]

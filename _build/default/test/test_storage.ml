@@ -1,0 +1,177 @@
+(* Flash-backed storage: the KV store (log structure, deletion via NOR
+   bit-clearing, compaction, persistence) and per-app nonvolatile storage
+   isolation. *)
+
+open! Helpers
+open Tock
+
+let kv_setup () =
+  let board = make_board () in
+  (board, board.Tock_boards.Board.kv)
+
+(* Drive the kernel loop until a split-phase KV callback lands. *)
+let wait board result =
+  ignore
+    (Tock_boards.Board.run_until board ~max_cycles:200_000_000 (fun () ->
+         !result <> None));
+  match !result with Some r -> r | None -> Alcotest.fail "kv op timed out"
+
+let kv_set board kv ~key ~value =
+  let r = ref None in
+  Tock_capsules.Kv_store.set kv ~key:(Bytes.of_string key)
+    ~value:(Bytes.of_string value) (fun x -> r := Some x);
+  match wait board r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "set %s: %s" key (Error.to_string e)
+
+let kv_get board kv ~key =
+  let r = ref None in
+  Tock_capsules.Kv_store.get kv ~key:(Bytes.of_string key) (fun x -> r := Some x);
+  match wait board r with
+  | Ok v -> Option.map Bytes.to_string v
+  | Error e -> Alcotest.failf "get %s: %s" key (Error.to_string e)
+
+let kv_delete board kv ~key =
+  let r = ref None in
+  Tock_capsules.Kv_store.delete kv ~key:(Bytes.of_string key) (fun x -> r := Some x);
+  match wait board r with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "delete %s: %s" key (Error.to_string e)
+
+let test_kv_roundtrip () =
+  let board, kv = kv_setup () in
+  kv_set board kv ~key:"alpha" ~value:"one";
+  kv_set board kv ~key:"beta" ~value:"two";
+  Alcotest.(check (option string)) "alpha" (Some "one") (kv_get board kv ~key:"alpha");
+  Alcotest.(check (option string)) "beta" (Some "two") (kv_get board kv ~key:"beta");
+  Alcotest.(check (option string)) "missing" None (kv_get board kv ~key:"nope");
+  (* overwrite *)
+  kv_set board kv ~key:"alpha" ~value:"uno";
+  Alcotest.(check (option string)) "overwrite" (Some "uno") (kv_get board kv ~key:"alpha");
+  Alcotest.(check int) "two live keys" 2 (Tock_capsules.Kv_store.live_keys kv)
+
+let test_kv_delete () =
+  let board, kv = kv_setup () in
+  kv_set board kv ~key:"k" ~value:"v";
+  Alcotest.(check bool) "present" true (kv_delete board kv ~key:"k");
+  Alcotest.(check (option string)) "gone" None (kv_get board kv ~key:"k");
+  Alcotest.(check bool) "absent" false (kv_delete board kv ~key:"k")
+
+let test_kv_persistence_across_reboot () =
+  (* Recreate the store over the same flash: the index is rebuilt by
+     scanning, so data survives and deletions stay deleted. Uses a bare
+     kernel (no board) so this store is the flash's only client. *)
+  let sim = Tock_hw.Sim.create () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let kernel = Kernel.create chip in
+  let cap = Capability.Trusted_mint.main_loop () in
+  let flash_hil = Adaptors.flash chip.Tock_hw.Chip.flash in
+  let wait result =
+    ignore (Kernel.run_until kernel ~cap ~max_cycles:200_000_000 (fun () -> !result <> None));
+    match !result with Some r -> r | None -> Alcotest.fail "kv op timed out"
+  in
+  let kv1 = Tock_capsules.Kv_store.create kernel flash_hil ~first_page:100 ~pages:8 in
+  let r = ref None in
+  Tock_capsules.Kv_store.set kv1 ~key:(Bytes.of_string "persist")
+    ~value:(Bytes.of_string "me") (fun x -> r := Some x);
+  (match wait r with Ok () -> () | Error e -> Alcotest.failf "%s" (Error.to_string e));
+  let r = ref None in
+  Tock_capsules.Kv_store.set kv1 ~key:(Bytes.of_string "doomed")
+    ~value:(Bytes.of_string "x") (fun x -> r := Some x);
+  (match wait r with Ok () -> () | Error e -> Alcotest.failf "%s" (Error.to_string e));
+  let r = ref None in
+  Tock_capsules.Kv_store.delete kv1 ~key:(Bytes.of_string "doomed") (fun x -> r := Some x);
+  (match wait r with Ok _ -> () | Error e -> Alcotest.failf "%s" (Error.to_string e));
+  (* "Reboot": new store instance over the same pages. *)
+  let kv2 = Tock_capsules.Kv_store.create kernel flash_hil ~first_page:100 ~pages:8 in
+  Alcotest.(check int) "one live key after rescan" 1
+    (Tock_capsules.Kv_store.live_keys kv2);
+  let r = ref None in
+  Tock_capsules.Kv_store.get kv2 ~key:(Bytes.of_string "persist") (fun x -> r := Some x);
+  (match wait r with
+  | Ok (Some v) -> Alcotest.(check string) "survives" "me" (Bytes.to_string v)
+  | _ -> Alcotest.fail "persist lost");
+  let r = ref None in
+  Tock_capsules.Kv_store.get kv2 ~key:(Bytes.of_string "doomed") (fun x -> r := Some x);
+  match wait r with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "deletion did not persist"
+
+let test_kv_compaction () =
+  let board, kv = kv_setup () in
+  (* Fill well past the region (16 pages x 512B) with overwrites so
+     compaction can reclaim. *)
+  let big = String.make 400 'x' in
+  for i = 1 to 40 do
+    kv_set board kv ~key:(Printf.sprintf "k%d" (i mod 5)) ~value:big
+  done;
+  Alcotest.(check bool) "compacted at least once" true
+    (Tock_capsules.Kv_store.compactions kv >= 1);
+  Alcotest.(check int) "live keys" 5 (Tock_capsules.Kv_store.live_keys kv);
+  for i = 0 to 4 do
+    Alcotest.(check (option string)) "data intact" (Some big)
+      (kv_get board kv ~key:(Printf.sprintf "k%d" i))
+  done;
+  (* Compaction erased pages: wear is visible. *)
+  let chip_flash = board.Tock_boards.Board.chip.Tock_hw.Chip.flash in
+  Alcotest.(check bool) "wear recorded" true
+    (Tock_hw.Flash_ctrl.wear chip_flash ~page:0 >= 1)
+
+let test_nv_isolation () =
+  (* Two apps write to "offset 0" of their NV regions; each reads back its
+     own data, not the other's. *)
+  let board = make_board () in
+  let mk_app tag readback a =
+    let data = Printf.sprintf "data-from-%s" tag in
+    let len = String.length data in
+    let addr = Tock_userland.Emu.get_buffer a ~tag:"nv" ~size:64 in
+    Tock_userland.Emu.write_bytes a ~addr (Bytes.of_string data);
+    ignore
+      (Tock_userland.Libtock.allow_ro a ~driver:Driver_num.nonvolatile_storage
+         ~num:0 ~addr ~len);
+    let rec retry_write tries =
+      match
+        Tock_userland.Libtock_sync.call_classic a
+          ~driver:Driver_num.nonvolatile_storage ~sub:1 ~cmd:3 ~arg1:0 ~arg2:len
+      with
+      | Ok _ -> ()
+      | Error Error.BUSY when tries > 0 ->
+          Tock_userland.Libtock_sync.sleep_ticks a 32;
+          retry_write (tries - 1)
+      | Error e -> raise (Tock_userland.Emu.App_panic_exn (Error.to_string e))
+    in
+    retry_write 50;
+    (* read back *)
+    ignore
+      (Tock_userland.Libtock.allow_rw a ~driver:Driver_num.nonvolatile_storage
+         ~num:0 ~addr ~len:64);
+    let rec retry_read tries =
+      match
+        Tock_userland.Libtock_sync.call_classic a
+          ~driver:Driver_num.nonvolatile_storage ~sub:0 ~cmd:2 ~arg1:0 ~arg2:len
+      with
+      | Ok (got, _, _) ->
+          readback := Bytes.to_string (Tock_userland.Emu.read_bytes a ~addr ~len:got)
+      | Error Error.BUSY when tries > 0 ->
+          Tock_userland.Libtock_sync.sleep_ticks a 32;
+          retry_read (tries - 1)
+      | Error e -> raise (Tock_userland.Emu.App_panic_exn (Error.to_string e))
+    in
+    retry_read 50;
+    Tock_userland.Libtock.exit a 0
+  in
+  let r1 = ref "" and r2 = ref "" in
+  ignore (add_app_exn board ~name:"nv1" (mk_app "nv1" r1));
+  ignore (add_app_exn board ~name:"nv2" (mk_app "nv2" r2));
+  run_done board ~max_cycles:400_000_000;
+  Alcotest.(check string) "app1 sees own data" "data-from-nv1" !r1;
+  Alcotest.(check string) "app2 sees own data" "data-from-nv2" !r2
+
+let suite =
+  [
+    Alcotest.test_case "kv roundtrip" `Quick test_kv_roundtrip;
+    Alcotest.test_case "kv delete" `Quick test_kv_delete;
+    Alcotest.test_case "kv persistence" `Quick test_kv_persistence_across_reboot;
+    Alcotest.test_case "kv compaction" `Quick test_kv_compaction;
+    Alcotest.test_case "nv isolation" `Quick test_nv_isolation;
+  ]

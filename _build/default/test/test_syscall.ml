@@ -1,0 +1,107 @@
+(* The register-level syscall ABI: encode/decode roundtrips for every call
+   and return shape (TRD 104). *)
+
+open! Helpers
+open Tock
+
+let gen_u16 = QCheck2.Gen.int_range 0 0xFFFF
+
+let gen_u32 = QCheck2.Gen.int_range 0 0xFFFFFFF
+
+let gen_call =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return (Syscall.Yield Syscall.Yield_no_wait);
+      return (Syscall.Yield Syscall.Yield_wait);
+      map2
+        (fun driver subscribe_num ->
+          Syscall.Yield (Syscall.Yield_wait_for { driver; subscribe_num }))
+        gen_u32 gen_u16;
+      map (fun (driver, subscribe_num, upcall_fn, appdata) ->
+          Syscall.Subscribe { driver; subscribe_num; upcall_fn; appdata })
+        (quad gen_u32 gen_u16 gen_u32 gen_u32);
+      map (fun (driver, command_num, arg1, arg2) ->
+          Syscall.Command { driver; command_num; arg1; arg2 })
+        (quad gen_u32 gen_u16 gen_u32 gen_u32);
+      map (fun (driver, allow_num, addr, len) ->
+          Syscall.Allow_rw { driver; allow_num; addr; len })
+        (quad gen_u32 gen_u16 gen_u32 gen_u32);
+      map (fun (driver, allow_num, addr, len) ->
+          Syscall.Allow_ro { driver; allow_num; addr; len })
+        (quad gen_u32 gen_u16 gen_u32 gen_u32);
+      map2 (fun op arg -> Syscall.Memop { op; arg }) (int_range 0 10) gen_u32;
+      map2 (fun variant code -> Syscall.Exit { variant; code }) (int_range 0 1) gen_u32;
+      map (fun (driver, command_num, arg1, (arg2, subscribe_num)) ->
+          Syscall.Command_blocking { driver; command_num; arg1; arg2; subscribe_num })
+        (quad gen_u32 gen_u16 gen_u32 (pair gen_u16 gen_u16));
+    ]
+
+let call_roundtrip =
+  qcheck "syscall: decode (encode call) == call" gen_call (fun call ->
+      match Syscall.decode_call (Syscall.encode_call call) with
+      | Ok call' -> call = call'
+      | Error _ -> false)
+
+let gen_error =
+  QCheck2.Gen.oneofl
+    [ Error.FAIL; Error.BUSY; Error.ALREADY; Error.OFF; Error.RESERVE;
+      Error.INVAL; Error.SIZE; Error.CANCEL; Error.NOMEM; Error.NOSUPPORT;
+      Error.NODEVICE; Error.UNINSTALLED; Error.NOACK ]
+
+let gen_ret =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun e -> Syscall.Failure e) gen_error;
+      map2 (fun e a -> Syscall.Failure_u32 (e, a)) gen_error gen_u32;
+      map (fun (e, a, b) -> Syscall.Failure_u32_u32 (e, a, b))
+        (triple gen_error gen_u32 gen_u32);
+      return Syscall.Success;
+      map (fun a -> Syscall.Success_u32 a) gen_u32;
+      map2 (fun a b -> Syscall.Success_u32_u32 (a, b)) gen_u32 gen_u32;
+      map (fun (a, b, c) -> Syscall.Success_u32_u32_u32 (a, b, c))
+        (triple gen_u32 gen_u32 gen_u32);
+    ]
+
+let ret_roundtrip =
+  qcheck "syscall: decode (encode ret) == ret" gen_ret (fun ret ->
+      match Syscall.decode_ret (Syscall.encode_ret ret) with
+      | Ok ret' -> ret = ret'
+      | Error _ -> false)
+
+let test_error_codes () =
+  for i = 1 to 13 do
+    match Error.of_int i with
+    | Some e -> Alcotest.(check int) "of_int . to_int" i (Error.to_int e)
+    | None -> Alcotest.failf "missing error code %d" i
+  done;
+  Alcotest.(check bool) "unknown code" true (Error.of_int 99 = None)
+
+let test_decode_garbage () =
+  (match Syscall.decode_call [| 0x55; 0; 0; 0; 0 |] with
+  | Error Error.NOSUPPORT -> ()
+  | _ -> Alcotest.fail "unknown class must be NOSUPPORT");
+  (match Syscall.decode_call [| 0; 9; 0; 0; 0 |] with
+  | Error Error.INVAL -> ()
+  | _ -> Alcotest.fail "bad yield variant must be INVAL");
+  (match Syscall.decode_call [| 0 |] with
+  | Error Error.INVAL -> ()
+  | _ -> Alcotest.fail "short register file must be INVAL");
+  match Syscall.decode_ret [| 77; 0; 0; 0 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown return tag accepted"
+
+let test_ret_is_success () =
+  Alcotest.(check bool) "success" true (Syscall.ret_is_success Syscall.Success);
+  Alcotest.(check bool) "failure" false
+    (Syscall.ret_is_success (Syscall.Failure Error.BUSY))
+
+let suite =
+  [
+    call_roundtrip;
+    ret_roundtrip;
+    Alcotest.test_case "error codes" `Quick test_error_codes;
+    Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+    Alcotest.test_case "ret_is_success" `Quick test_ret_is_success;
+  ]

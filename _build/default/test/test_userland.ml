@@ -1,0 +1,181 @@
+(* Userland emulation: MPU enforcement on app memory accesses, preemption
+   accounting, buffer reuse, and the three synchronous call patterns whose
+   syscall counts the paper contrasts (§3.2). *)
+
+open! Helpers
+open Tock
+
+let test_mpu_fault_on_wild_access () =
+  let board = make_board () in
+  let app a =
+    ignore (Tock_userland.Emu.read_u8 a ~addr:0x0000_0100);
+    Tock_userland.Libtock.exit a 0
+  in
+  let p = add_app_exn board ~name:"wild" app in
+  run_done board ~max_cycles:100_000_000;
+  match Process.state p with
+  | Process.Faulted (Process.Mpu_violation _) -> ()
+  | _ -> Alcotest.fail "expected MPU fault"
+
+let test_mpu_fault_on_grant_region () =
+  (* The grant region lives inside the process's own RAM block but above
+     the app break: the app must not be able to read it. *)
+  let board = make_board () in
+  let app a =
+    let re = Tock_userland.Libtock.ram_end a in
+    ignore (Tock_userland.Emu.read_u8 a ~addr:(re - 4));
+    Tock_userland.Libtock.exit a 0
+  in
+  let p = add_app_exn board ~name:"snoop" app in
+  run_done board ~max_cycles:100_000_000;
+  match Process.state p with
+  | Process.Faulted (Process.Mpu_violation _) -> ()
+  | _ -> Alcotest.fail "grant region must be inaccessible"
+
+let test_flash_readable_not_writable () =
+  let board = make_board () in
+  let ok = ref false in
+  let app a =
+    match Tock_userland.Libtock.memop a ~op:Syscall.memop_flash_start ~arg:0 with
+    | Syscall.Success_u32 fs ->
+        ignore (Tock_userland.Emu.read_u8 a ~addr:fs);
+        ok := true;
+        (* writing flash must fault *)
+        Tock_userland.Emu.write_u8 a ~addr:fs ~v:0;
+        Tock_userland.Libtock.exit a 0
+    | _ -> Tock_userland.Libtock.exit a 1
+  in
+  let p = add_app_exn board ~name:"flashy" app in
+  run_done board ~max_cycles:100_000_000;
+  Alcotest.(check bool) "flash read ok" true !ok;
+  match Process.state p with
+  | Process.Faulted (Process.Mpu_violation _) -> ()
+  | _ -> Alcotest.fail "flash write must fault"
+
+let test_work_preemption_accounting () =
+  (* A process that works in large chunks is preempted; total consumed
+     cycles equal the requested work. *)
+  let board =
+    make_board
+      ~config:
+        { (Kernel.default_config ()) with
+          Kernel.scheduler = Scheduler.round_robin ~timeslice:1_000 () }
+      ()
+  in
+  let app a =
+    Tock_userland.Emu.work a 10_000;
+    Tock_userland.Libtock.exit a 0
+  in
+  let p = add_app_exn board ~name:"worker" app in
+  run_done board ~max_cycles:100_000_000;
+  (match Process.state p with
+  | Process.Terminated { code = 0 } -> ()
+  | _ -> Alcotest.fail "worker did not finish");
+  (* 10k of work under a 1k timeslice needs at least 10 slices. *)
+  let s = Kernel.stats board.Tock_boards.Board.kernel in
+  Alcotest.(check bool) "many context switches" true (s.Kernel.context_switches >= 10)
+
+let test_get_buffer_reuse () =
+  let board = make_board () in
+  let addrs = ref [] in
+  let app a =
+    let a1 = Tock_userland.Emu.get_buffer a ~tag:"t" ~size:32 in
+    let a2 = Tock_userland.Emu.get_buffer a ~tag:"t" ~size:32 in
+    let a3 = Tock_userland.Emu.get_buffer a ~tag:"t" ~size:64 in
+    let a4 = Tock_userland.Emu.get_buffer a ~tag:"other" ~size:32 in
+    addrs := [ a1; a2; a3; a4 ];
+    Tock_userland.Libtock.exit a 0
+  in
+  ignore (add_app_exn board ~name:"bufs" app);
+  run_done board;
+  match !addrs with
+  | [ a1; a2; a3; a4 ] ->
+      Alcotest.(check int) "same tag same buffer" a1 a2;
+      Alcotest.(check bool) "growth reallocates" true (a3 <> a1);
+      Alcotest.(check bool) "tags distinct" true (a4 <> a3)
+  | _ -> Alcotest.fail "app did not run"
+
+(* The paper's syscall-count contrast (§3.2): classic 4-call sequence vs
+   yield-wait-for vs the Ti50 blocking command. *)
+let syscall_counts_for pattern =
+  let config =
+    { (Kernel.default_config ()) with Kernel.blocking_commands = true }
+  in
+  let board = make_board ~config () in
+  let count = ref (-1) in
+  let app a =
+    let p = Tock_userland.Emu.proc a in
+    (* warm up (grant + subscription allocations) *)
+    (match pattern with
+    | `Waitfor ->
+        let h = Tock_userland.Libtock_sync.waitfor_handle a ~driver:Driver_num.alarm ~sub:0 in
+        ignore (Tock_userland.Libtock_sync.call_waitfor h ~cmd:5 ~arg1:4 ~arg2:0);
+        let before = Process.syscall_count p in
+        ignore (Tock_userland.Libtock_sync.call_waitfor h ~cmd:5 ~arg1:4 ~arg2:0);
+        count := Process.syscall_count p - before
+    | `Classic ->
+        ignore (Tock_userland.Libtock_sync.call_classic a ~driver:Driver_num.alarm ~sub:0 ~cmd:5 ~arg1:4 ~arg2:0);
+        let before = Process.syscall_count p in
+        ignore (Tock_userland.Libtock_sync.call_classic a ~driver:Driver_num.alarm ~sub:0 ~cmd:5 ~arg1:4 ~arg2:0);
+        count := Process.syscall_count p - before
+    | `Blocking ->
+        ignore (Tock_userland.Libtock_sync.call_blocking a ~driver:Driver_num.alarm ~sub:0 ~cmd:5 ~arg1:4 ~arg2:0);
+        let before = Process.syscall_count p in
+        ignore (Tock_userland.Libtock_sync.call_blocking a ~driver:Driver_num.alarm ~sub:0 ~cmd:5 ~arg1:4 ~arg2:0);
+        count := Process.syscall_count p - before);
+    Tock_userland.Libtock.exit a 0
+  in
+  ignore (add_app_exn board ~name:"pat" app);
+  run_done board ~max_cycles:100_000_000;
+  !count
+
+let test_syscall_patterns () =
+  let classic = syscall_counts_for `Classic in
+  let waitfor = syscall_counts_for `Waitfor in
+  let blocking = syscall_counts_for `Blocking in
+  Alcotest.(check int) "classic = 4 syscalls" 4 classic;
+  Alcotest.(check int) "wait-for = 2 syscalls" 2 waitfor;
+  Alcotest.(check int) "blocking = 1 syscall" 1 blocking
+
+let test_upcall_queue_overflow_counted () =
+  (* A capsule flooding a process that never yields overflows the pending
+     queue; drops are counted, the kernel survives. *)
+  let board = make_board () in
+  let k = board.Tock_boards.Board.kernel in
+  let app a =
+    ignore
+      (Tock_userland.Libtock.subscribe a ~driver:Driver_num.console ~sub:1
+         (fun _ _ _ -> ()));
+    (* Never yield; just spin a little then exit. *)
+    Tock_userland.Emu.work a 1000;
+    Tock_userland.Libtock.exit a 0
+  in
+  let p = add_app_exn board ~name:"deaf" app in
+  Tock_boards.Board.run_cycles board 100_000;
+  for _ = 1 to 40 do
+    ignore
+      (Kernel.schedule_upcall k (Process.id p) ~driver:Driver_num.console
+         ~subscribe_num:1 ~args:(0, 0, 0))
+  done;
+  Alcotest.(check bool) "drops counted" true (Process.upcalls_dropped p > 0)
+
+let test_app_exception_is_contained () =
+  let board = make_board () in
+  let app _a = failwith "app bug" in
+  let p = add_app_exn board ~name:"buggy" app in
+  run_done board ~max_cycles:100_000_000;
+  match Process.state p with
+  | Process.Faulted (Process.App_panic _) -> ()
+  | _ -> Alcotest.fail "exception must become an app-panic fault"
+
+let suite =
+  [
+    Alcotest.test_case "mpu fault (wild)" `Quick test_mpu_fault_on_wild_access;
+    Alcotest.test_case "mpu fault (grant region)" `Quick test_mpu_fault_on_grant_region;
+    Alcotest.test_case "flash r/x only" `Quick test_flash_readable_not_writable;
+    Alcotest.test_case "work preemption" `Quick test_work_preemption_accounting;
+    Alcotest.test_case "buffer reuse" `Quick test_get_buffer_reuse;
+    Alcotest.test_case "syscall patterns 4/2/1" `Quick test_syscall_patterns;
+    Alcotest.test_case "upcall queue overflow" `Quick test_upcall_queue_overflow_counted;
+    Alcotest.test_case "app exception contained" `Quick test_app_exception_is_contained;
+  ]
