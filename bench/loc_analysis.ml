@@ -7,99 +7,49 @@
    hardware, the kernel core's memory/capability machinery, and the
    adaptors. Capsules, userland, and boards are "safe" code.
 
+   The trusted/safe split comes from Tock_analysis.Taxonomy — the same
+   classification the architecture linter enforces — so this measurement
+   and the lint gate cannot drift apart.
+
    We measure this repository: lines per library, split trusted vs safe,
    then replay a staged build-out (core first, then capsule groups — the
    way features landed in Tock) to show total LoC growing while trusted
    LoC stays flat. *)
 
-type category = Trusted | Safe
+module Taxonomy = Tock_analysis.Taxonomy
+module Source = Tock_analysis.Source
 
-let classify path =
-  (* Within lib/core, only the modules that touch raw memory, mint
-     capabilities, or drive hardware are trusted; pure data structures
-     (cells, subslice, ring buffer) are safe library code, as in Tock. *)
-  if String.length path >= 7 && String.sub path 0 7 = "lib/hw/" then Trusted
-  else if String.length path >= 9 && String.sub path 0 9 = "lib/core/" then
-    let base = Filename.basename path in
-    if
-      List.mem base
-        [ "cells.ml"; "cells.mli"; "subslice.ml"; "subslice.mli";
-          "ring_buffer.ml"; "ring_buffer.mli"; "error.ml"; "error.mli";
-          "syscall.ml"; "syscall.mli"; "driver.ml"; "driver.mli";
-          "hil.ml"; "hil.mli"; "driver_num.ml"; "driver_num.mli";
-          "univ.ml"; "univ.mli"; "scheduler.ml"; "scheduler.mli";
-          "deferred_call.ml"; "deferred_call.mli" ]
-    then Safe
-    else Trusted
-  else Safe
+let trusted_lines files =
+  List.fold_left
+    (fun a (p, n) ->
+      if Taxonomy.trust_of_path p = Taxonomy.Trusted then a + n else a)
+    0 files
 
-let count_lines file =
-  let ic = open_in file in
-  let n = ref 0 in
-  (try
-     while true do
-       ignore (input_line ic);
-       incr n
-     done
-   with End_of_file -> ());
-  close_in ic;
-  !n
-
-let source_root () =
-  (* dune executes benches inside _build; walk up to the project root. *)
-  let candidates = [ "."; ".."; "../.."; "../../.."; "../../../.." ] in
-  List.find_opt (fun d -> Sys.file_exists (Filename.concat d "lib/core")) candidates
+let total_lines files = List.fold_left (fun a (_, n) -> a + n) 0 files
 
 let scan_dir root rel =
-  let dir = Filename.concat root rel in
-  if not (Sys.file_exists dir) then []
-  else
-    Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f ->
-           Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
-    |> List.map (fun f ->
-           let rel_path = rel ^ "/" ^ f in
-           (rel_path, count_lines (Filename.concat dir f)))
-
-(* Feature stages modelling Tock's growth order: the trusted substrate
-   lands early; a decade of capsules/services lands after. *)
-let stages =
-  [
-    ("2015: substrate + core kernel", [ "lib/hw"; "lib/core" ]);
-    ("2016: console, timers, gpio", []);
-    ("2017: sensors, storage", []);
-    ("2019: crypto services", []);
-    ("2021: ipc, radio, loaders", []);
-    ("2024: tooling + userland", [ "lib/capsules"; "lib/userland"; "lib/boards"; "lib/tbf"; "lib/crypto" ]);
-  ]
+  Source.scan_dir ~root rel
+  |> List.filter_map (fun (f : Source.file) ->
+         match f.Source.kind with
+         | Source.Dune -> None
+         | _ -> Some (f.Source.path, Source.count_lines f.Source.content))
 
 let print () =
-  print_endline "== fig5-trusted-loc: kernel growth vs steady trusted code (paper Fig. 5) ==";
-  match source_root () with
+  print_endline
+    "== fig5-trusted-loc: kernel growth vs steady trusted code (paper Fig. 5) ==";
+  match Source.find_root () with
   | None -> print_endline "   (source tree not found; skipping)"
   | Some root ->
-      let dirs =
-        [ "lib/hw"; "lib/core"; "lib/crypto"; "lib/tbf"; "lib/capsules";
-          "lib/userland"; "lib/boards" ]
-      in
+      let dirs = Taxonomy.kernel_dirs in
       let files = List.concat_map (scan_dir root) dirs in
-      let total = List.fold_left (fun a (_, n) -> a + n) 0 files in
-      let trusted =
-        List.fold_left
-          (fun a (p, n) -> if classify p = Trusted then a + n else a)
-          0 files
-      in
+      let total = total_lines files in
+      let trusted = trusted_lines files in
       Printf.printf "   library breakdown (this repository):\n";
       List.iter
         (fun d ->
           let fs = scan_dir root d in
-          let t = List.fold_left (fun a (_, n) -> a + n) 0 fs in
-          let tr =
-            List.fold_left
-              (fun a (p, n) -> if classify p = Trusted then a + n else a)
-              0 fs
-          in
-          Printf.printf "     %-14s %6d lines  (%5d trusted)\n" d t tr)
+          Printf.printf "     %-14s %6d lines  (%5d trusted)\n" d
+            (total_lines fs) (trusted_lines fs))
         dirs;
       Printf.printf "   total: %d lines, trusted: %d (%.1f%%)\n" total trusted
         (100. *. float_of_int trusted /. float_of_int total);
@@ -110,25 +60,19 @@ let print () =
       let capsule_files = scan_dir root "lib/capsules" in
       let per_stage_capsules = (List.length capsule_files + 3) / 4 in
       let base = List.concat_map (scan_dir root) [ "lib/hw"; "lib/core" ] in
-      let base_total = List.fold_left (fun a (_, n) -> a + n) 0 base in
-      let base_trusted =
-        List.fold_left
-          (fun a (p, n) -> if classify p = Trusted then a + n else a)
-          0 base
-      in
+      let base_total = total_lines base in
+      let base_trusted = trusted_lines base in
       let rest =
         List.concat_map (scan_dir root)
           [ "lib/crypto"; "lib/tbf"; "lib/userland"; "lib/boards" ]
       in
-      let rest_total = List.fold_left (fun a (_, n) -> a + n) 0 rest in
+      let rest_total = total_lines rest in
       let running = ref base_total in
-      ignore stages;
       Printf.printf "     %-34s %8d %8d\n" "stage 0: substrate + core kernel"
         base_total base_trusted;
       List.iteri
         (fun i group ->
-          let add = List.fold_left (fun a (_, n) -> a + n) 0 group in
-          running := !running + add;
+          running := !running + total_lines group;
           Printf.printf "     %-34s %8d %8d\n"
             (Printf.sprintf "stage %d: +%d capsules" (i + 1) (List.length group))
             !running base_trusted)

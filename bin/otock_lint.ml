@@ -1,0 +1,84 @@
+(* otock-lint: architecture-conformance and trust-boundary checker.
+
+   Scans the source tree, checks the layering / capability / unsafe-
+   analogue rules in Tock_analysis.Rules against the committed baseline,
+   and exits non-zero when a *new* violation appears. See DESIGN.md
+   ("Trust taxonomy and architecture lint").
+
+   Usage:
+     otock_lint [--root DIR] [--json] [--baseline FILE]
+                [--no-baseline] [--write-baseline] *)
+
+let default_baseline = "lint_baseline.txt"
+
+let () =
+  let root = ref "" in
+  let as_json = ref false in
+  let baseline_path = ref "" in
+  let no_baseline = ref false in
+  let write_baseline = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default: auto-detect)");
+      ("--json", Arg.Set as_json, " emit machine-readable JSON instead of text");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE baseline file (default: <root>/" ^ default_baseline ^ ")" );
+      ("--no-baseline", Arg.Set no_baseline, " ignore the baseline: report every site");
+      ( "--write-baseline",
+        Arg.Set write_baseline,
+        " rewrite the baseline from the current violations (ratchet)" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "otock_lint: architecture-conformance checker for the otock tree";
+  let root =
+    if !root <> "" then !root
+    else
+      match Tock_analysis.Source.find_root () with
+      | Some r -> r
+      | None ->
+          prerr_endline
+            "otock_lint: cannot locate the source tree (pass --root)";
+          exit 2
+  in
+  let files = Tock_analysis.Source.scan ~root in
+  if files = [] then (
+    prerr_endline ("otock_lint: no sources under " ^ root);
+    exit 2);
+  let result = Tock_analysis.Rules.run files in
+  let bpath =
+    if !baseline_path <> "" then !baseline_path
+    else Filename.concat root default_baseline
+  in
+  let baseline =
+    if !no_baseline || not (Sys.file_exists bpath) then []
+    else
+      match
+        Tock_analysis.Report.baseline_of_string
+          (Tock_analysis.Source.read_file bpath)
+      with
+      | Ok b -> b
+      | Error e ->
+          prerr_endline ("otock_lint: " ^ bpath ^ ": " ^ e);
+          exit 2
+  in
+  let d = Tock_analysis.Report.diff baseline result.Tock_analysis.Rules.violations in
+  if !write_baseline then (
+    let entries =
+      Tock_analysis.Report.of_violations result.Tock_analysis.Rules.violations
+    in
+    let oc = open_out bpath in
+    output_string oc (Tock_analysis.Report.baseline_to_string entries);
+    close_out oc;
+    Printf.printf "otock_lint: wrote %d baseline entr%s to %s\n"
+      (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      bpath)
+  else
+    print_string
+      (if !as_json then Tock_analysis.Report.json ~result ~d
+       else Tock_analysis.Report.text ~result ~d);
+  if d.Tock_analysis.Report.new_violations <> [] && not !write_baseline then
+    exit 1

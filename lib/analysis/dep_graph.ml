@@ -1,0 +1,172 @@
+(* Module-reference graph: resolves the syntactic references Extract
+   found into edges between source files and otock libraries.
+
+   Resolution handles the three ways a foreign module gets named in this
+   tree: fully qualified (`Tock_hw.Uart.write`), as a sibling inside the
+   same wrapped library (`Uart_mux.attach` from another capsule), and
+   through an `open` (`open Tock` then `Kernel.schedule_upcall`).
+   Anything that resolves to no otock library (stdlib, fmt, ...) carries
+   no architectural meaning and produces no edge. *)
+
+type edge = {
+  edge_line : int;
+  edge_lib : Taxonomy.library;  (* target *)
+  edge_submodule : string option;
+  edge_member : string option;
+  edge_via_open : bool;
+}
+
+type node = {
+  node_path : string;
+  node_lib : Taxonomy.library option;  (* owning library, if under lib/ *)
+  node_category : Taxonomy.category option;
+  node_extract : Extract.t;
+  node_edges : edge list;
+}
+
+type dune_stanza = {
+  dune_path : string;  (* repo-relative path of the dune file *)
+  dune_dir : string;
+  stanza : Extract.stanza;
+}
+
+type t = {
+  nodes : node list;
+  stanzas : dune_stanza list;
+  mli_paths : string list;
+}
+
+let module_name_of_path path =
+  String.capitalize_ascii (Taxonomy.module_base path)
+
+(* library name -> module names defined by its sources *)
+let submodule_table files =
+  List.filter_map
+    (fun (f : Source.file) ->
+      match f.Source.kind with
+      | Source.Dune -> None
+      | _ ->
+          Option.map
+            (fun (l : Taxonomy.library) ->
+              (l.Taxonomy.lib_name, module_name_of_path f.Source.path))
+            (Taxonomy.library_of_path f.Source.path))
+    files
+
+let resolve ~table ~own_lib ~(opens : Extract.open_decl list) mods member line =
+  let root = List.hd mods in
+  let sub_of rest = match rest with [] -> None | s :: _ -> Some s in
+  match Taxonomy.library_by_root_module root with
+  | Some lib ->
+      Some
+        {
+          edge_line = line;
+          edge_lib = lib;
+          edge_submodule = sub_of (List.tl mods);
+          edge_member = member;
+          edge_via_open = false;
+        }
+  | None -> (
+      let in_lib lib_name = List.mem (lib_name, root) table in
+      match own_lib with
+      | Some (l : Taxonomy.library) when in_lib l.Taxonomy.lib_name ->
+          (* Sibling module inside the same wrapped library. *)
+          Some
+            {
+              edge_line = line;
+              edge_lib = l;
+              edge_submodule = Some root;
+              edge_member = member;
+              edge_via_open = false;
+            }
+      | _ ->
+          List.find_map
+            (fun (o : Extract.open_decl) ->
+              match o.Extract.open_modules with
+              | [ om ] -> (
+                  match Taxonomy.library_by_root_module om with
+                  | Some lib when in_lib lib.Taxonomy.lib_name ->
+                      Some
+                        {
+                          edge_line = line;
+                          edge_lib = lib;
+                          edge_submodule = Some root;
+                          edge_member = member;
+                          edge_via_open = true;
+                        }
+                  | _ -> None)
+              | _ -> None)
+            opens)
+
+let edges_of_file ~table (f : Source.file) (ex : Extract.t) =
+  let own_lib = Taxonomy.library_of_path f.Source.path in
+  let opens = ex.Extract.opens in
+  let of_ref (r : Extract.reference) =
+    resolve ~table ~own_lib ~opens r.Extract.ref_modules r.Extract.ref_member
+      r.Extract.ref_line
+  in
+  (* `open Tock_hw` (or `open Tock_hw.Uart`) is itself an edge. *)
+  let of_open (o : Extract.open_decl) =
+    match o.Extract.open_modules with
+    | root :: rest -> (
+        match Taxonomy.library_by_root_module root with
+        | Some lib ->
+            Some
+              {
+                edge_line = o.Extract.open_line;
+                edge_lib = lib;
+                edge_submodule = (match rest with [] -> None | s :: _ -> Some s);
+                edge_member = None;
+                edge_via_open = true;
+              }
+        | None -> None)
+    | [] -> None
+  in
+  List.filter_map of_ref ex.Extract.refs
+  @ List.filter_map of_open ex.Extract.opens
+
+let build (files : Source.file list) =
+  let table = submodule_table files in
+  let nodes =
+    List.filter_map
+      (fun (f : Source.file) ->
+        match f.Source.kind with
+        | Source.Dune -> None
+        | _ ->
+            let ex = Extract.of_ml f.Source.content in
+            Some
+              {
+                node_path = f.Source.path;
+                node_lib = Taxonomy.library_of_path f.Source.path;
+                node_category = Taxonomy.categorize f.Source.path;
+                node_extract = ex;
+                node_edges = edges_of_file ~table f ex;
+              })
+      files
+  in
+  let stanzas =
+    List.concat_map
+      (fun (f : Source.file) ->
+        match f.Source.kind with
+        | Source.Dune ->
+            Extract.dune_stanzas f.Source.content
+            |> List.map (fun s ->
+                   {
+                     dune_path = f.Source.path;
+                     dune_dir = Filename.dirname f.Source.path;
+                     stanza = s;
+                   })
+        | _ -> [])
+      files
+  in
+  let mli_paths =
+    List.filter_map
+      (fun (f : Source.file) ->
+        if f.Source.kind = Source.Mli then Some f.Source.path else None)
+      files
+  in
+  { nodes; stanzas; mli_paths }
+
+let nodes_in_dir t dir =
+  List.filter
+    (fun n -> Taxonomy.starts_with (dir ^ "/") n.node_path)
+    t.nodes

@@ -1,0 +1,39 @@
+(** The module-reference graph: source files with their syntactic
+    extraction and resolved edges to otock libraries, plus the dune
+    stanza inventory. *)
+
+type edge = {
+  edge_line : int;
+  edge_lib : Taxonomy.library;
+  edge_submodule : string option;
+      (** [Tock.Kernel.x] gives [Some "Kernel"]; a bare [open Tock]
+          gives [None]. *)
+  edge_member : string option;
+  edge_via_open : bool;
+}
+
+type node = {
+  node_path : string;
+  node_lib : Taxonomy.library option;
+  node_category : Taxonomy.category option;
+  node_extract : Extract.t;
+  node_edges : edge list;
+}
+
+type dune_stanza = {
+  dune_path : string;
+  dune_dir : string;
+  stanza : Extract.stanza;
+}
+
+type t = {
+  nodes : node list;
+  stanzas : dune_stanza list;
+  mli_paths : string list;
+}
+
+val build : Source.file list -> t
+
+val module_name_of_path : string -> string
+
+val nodes_in_dir : t -> string -> node list

@@ -1,0 +1,413 @@
+(* The architecture-conformance rule set, grounded in the paper:
+
+   - layering (§4.1, Fig. 2): capsules reach hardware only through the
+     HIL/adaptors in the core kernel; userland sees only the syscall ABI;
+     crypto primitives are reachable only from the hw engines and TBF.
+   - capability non-forgeability (§4.4, Listing 1): `Trusted_mint` may
+     be named only by trusted board-initialization code and tests.
+   - unsafe-analogue confinement (Fig. 5): `Obj.magic`, warning
+     suppressions, missing interfaces and raw `Subslice` buffer escapes
+     are the OCaml stand-ins for `unsafe` and must stay inside the
+     trusted set.
+   - `Take_cell.take` without a restoring `put`/`replace` in the same
+     file is the buffer-loss bug Tock's ownership types prevent
+     statically; we lint for it heuristically.
+
+   Violations can be suppressed by an inline pragma carrying a
+   justification — `(* otock-lint: allow <rule> <why> *)` on the same or
+   previous line, or `allow-file` for a whole file — or grandfathered in
+   the committed baseline (see Report). *)
+
+type violation = {
+  v_rule : string;
+  v_file : string;
+  v_line : int;
+  v_message : string;
+}
+
+type result = {
+  violations : violation list;  (* not suppressed by a pragma *)
+  suppressed : (violation * Extract.pragma) list;
+}
+
+let v rule file line fmt =
+  Printf.ksprintf
+    (fun m -> { v_rule = rule; v_file = file; v_line = line; v_message = m })
+    fmt
+
+let cat_of (n : Dep_graph.node) = n.Dep_graph.node_category
+
+let edge_target_name (e : Dep_graph.edge) =
+  let open Dep_graph in
+  match e.edge_submodule with
+  | Some s -> e.edge_lib.Taxonomy.lib_root_module ^ "." ^ s
+  | None -> e.edge_lib.Taxonomy.lib_root_module
+
+(* --- layering --------------------------------------------------------- *)
+
+(* Source-level counterpart of Taxonomy.allowed_lib_deps: which otock
+   libraries may a file of the given category name in its code? The
+   capsule set additionally admits tock_tbf (binary-format parsing is
+   data-only; app_loader and the signature checker consume it), which
+   the dune matrix mirrors. *)
+let allowed_source_targets (cat : Taxonomy.category) =
+  match cat with
+  | Taxonomy.Capsule -> Some [ "tock"; "tock_capsules"; "tock_tbf" ]
+  | Taxonomy.Userland -> Some [ "tock"; "tock_userland" ]
+  | _ -> None (* other categories are constrained by specific rules below *)
+
+let rule_capsule_layering (n : Dep_graph.node) =
+  match cat_of n with
+  | Some Taxonomy.Capsule ->
+      List.filter_map
+        (fun (e : Dep_graph.edge) ->
+          let name = e.Dep_graph.edge_lib.Taxonomy.lib_name in
+          match allowed_source_targets Taxonomy.Capsule with
+          | Some allowed when not (List.mem name allowed) ->
+              Some
+                (v "capsule-layering" n.Dep_graph.node_path
+                   e.Dep_graph.edge_line
+                   "capsule references %s; capsules may reach hardware only \
+                    through the core kernel's Hil/Adaptors (paper Fig. 2)"
+                   (edge_target_name e))
+          | _ -> None)
+        n.Dep_graph.node_edges
+  | _ -> []
+
+let rule_userland_internals (n : Dep_graph.node) =
+  match cat_of n with
+  | Some Taxonomy.Userland ->
+      List.filter_map
+        (fun (e : Dep_graph.edge) ->
+          let open Dep_graph in
+          let lib = e.edge_lib.Taxonomy.lib_name in
+          if lib = "tock_userland" then None
+          else if lib <> "tock" then
+            Some
+              (v "userland-kernel-internals" n.node_path e.edge_line
+                 "userland references %s; userland code sees only the \
+                  syscall ABI (paper Fig. 2)"
+                 (edge_target_name e))
+          else
+            match e.edge_submodule with
+            | Some s when List.mem s Taxonomy.userland_core_allowed -> None
+            | Some s ->
+                Some
+                  (v "userland-kernel-internals" n.node_path e.edge_line
+                     "userland references kernel internal Tock.%s; only the \
+                      ABI surface (%s) is permitted"
+                     s
+                     (String.concat ", " Taxonomy.userland_core_allowed))
+            | None ->
+                Some
+                  (v "userland-kernel-internals" n.node_path e.edge_line
+                     "userland opens Tock wholesale; name the ABI modules \
+                      explicitly so the boundary stays visible"))
+        n.Dep_graph.node_edges
+  | _ -> []
+
+let rule_crypto_confinement (n : Dep_graph.node) =
+  match cat_of n with
+  | Some (Taxonomy.Hw | Taxonomy.Tbf | Taxonomy.Crypto | Taxonomy.Tooling) | None
+    ->
+      []
+  | Some cat ->
+      List.filter_map
+        (fun (e : Dep_graph.edge) ->
+          if e.Dep_graph.edge_lib.Taxonomy.lib_name = "tock_crypto" then
+            Some
+              (v "crypto-confinement" n.Dep_graph.node_path
+                 e.Dep_graph.edge_line
+                 "%s code references %s; crypto primitives are reachable \
+                  only from hw engines and tbf"
+                 (Taxonomy.category_name cat) (edge_target_name e))
+          else None)
+        n.Dep_graph.node_edges
+
+(* --- capability non-forgeability -------------------------------------- *)
+
+let mint_allowed path =
+  Taxonomy.starts_with "lib/boards/" path
+  || Taxonomy.starts_with "test/" path
+  || Taxonomy.module_base path = "capability" (* the defining module *)
+     && Taxonomy.starts_with "lib/core/" path
+
+let rule_mint_confinement (n : Dep_graph.node) =
+  if mint_allowed n.Dep_graph.node_path then []
+  else
+    List.filter_map
+      (fun (r : Extract.reference) ->
+        if List.mem "Trusted_mint" r.Extract.ref_modules then
+          Some
+            (v "mint-confinement" n.Dep_graph.node_path r.Extract.ref_line
+               "Trusted_mint referenced outside lib/boards and test/: \
+                capability tokens are forgeable from here (paper §4.4, \
+                Listing 1)")
+        else None)
+      n.Dep_graph.node_extract.Extract.refs
+
+(* --- unsafe-analogue confinement -------------------------------------- *)
+
+let trusted (n : Dep_graph.node) =
+  Taxonomy.trust_of_path n.Dep_graph.node_path = Taxonomy.Trusted
+
+let tooling (n : Dep_graph.node) = cat_of n = Some Taxonomy.Tooling
+
+let rule_obj_magic (n : Dep_graph.node) =
+  if trusted n then []
+  else
+    List.filter_map
+      (fun (r : Extract.reference) ->
+        if r.Extract.ref_modules = [ "Obj" ] then
+          Some
+            (v "obj-magic" n.Dep_graph.node_path r.Extract.ref_line
+               "Obj.%s outside the trusted set: this is the unsafe-analogue \
+                and belongs in lib/hw or trusted lib/core only"
+               (Option.value ~default:"" r.Extract.ref_member))
+        else None)
+      n.Dep_graph.node_extract.Extract.refs
+
+let suppression_attr text =
+  (* [@warning "-..."], [@@@warning "-..."], [@ocaml.warning "-..."] *)
+  let has sub =
+    let ls = String.length sub and lt = String.length text in
+    let rec go i = i + ls <= lt && (String.sub text i ls = sub || go (i + 1)) in
+    go 0
+  in
+  has "warning" && has "\"-"
+
+let rule_warning_suppression (n : Dep_graph.node) =
+  if trusted n || tooling n then []
+  else
+    List.filter_map
+      (fun (a : Extract.attribute) ->
+        if suppression_attr a.Extract.attr_text then
+          Some
+            (v "warning-suppression" n.Dep_graph.node_path a.Extract.attr_line
+               "warning suppression %s outside the trusted set hides exactly \
+                the diagnostics the Fig. 5 discipline depends on"
+               (String.trim a.Extract.attr_text))
+        else None)
+      n.Dep_graph.node_extract.Extract.attributes
+
+let rule_missing_mli (g : Dep_graph.t) =
+  List.filter_map
+    (fun (n : Dep_graph.node) ->
+      let p = n.Dep_graph.node_path in
+      if
+        Taxonomy.starts_with "lib/" p
+        && Filename.check_suffix p ".ml"
+        && not (List.mem (p ^ "i") g.Dep_graph.mli_paths)
+      then
+        Some
+          (v "missing-mli" p 1
+             "library module without an interface: every lib/ module \
+              declares its surface so the trusted boundary is auditable")
+      else None)
+    g.Dep_graph.nodes
+
+let rule_subslice_escape (n : Dep_graph.node) =
+  if trusted n || tooling n then []
+  else
+    List.filter_map
+      (fun (r : Extract.reference) ->
+        match (r.Extract.ref_modules, r.Extract.ref_member) with
+        | mods, Some "underlying" when List.exists (( = ) "Subslice") mods ->
+            Some
+              (v "subslice-escape" n.Dep_graph.node_path r.Extract.ref_line
+                 "Subslice.underlying exposes the raw buffer behind the \
+                  window; outside trusted DMA models use the checked \
+                  window API (paper §4.2)")
+        | _ -> None)
+      n.Dep_graph.node_extract.Extract.refs
+
+(* --- Take_cell discipline --------------------------------------------- *)
+
+let take_cell_ref member (r : Extract.reference) =
+  (match r.Extract.ref_modules with
+  | [] -> false
+  | mods -> List.nth mods (List.length mods - 1) = "Take_cell")
+  && r.Extract.ref_member = Some member
+
+let rule_take_without_restore (n : Dep_graph.node) =
+  if tooling n then []
+  else
+    let refs = n.Dep_graph.node_extract.Extract.refs in
+    let takes = List.filter (take_cell_ref "take") refs in
+    let restores =
+      List.exists (take_cell_ref "put") refs
+      || List.exists (take_cell_ref "replace") refs
+    in
+    if takes = [] || restores then []
+    else
+      List.map
+        (fun (r : Extract.reference) ->
+          v "take-without-restore" n.Dep_graph.node_path r.Extract.ref_line
+            "Take_cell.take with no put/replace anywhere in this file: the \
+             buffer can be lost on every path (use Take_cell.map, or \
+             restore explicitly)")
+        takes
+
+(* --- dune-level rules -------------------------------------------------- *)
+
+(* Category of a stanza: judged by its first module's path so the two
+   bin/ executables (a board-like simulator and the lint tool) classify
+   independently. *)
+let stanza_category (d : Dep_graph.dune_stanza) =
+  let name =
+    match d.Dep_graph.stanza.Extract.stanza_names with
+    | n :: _ -> n
+    | [] -> "x"
+  in
+  Taxonomy.categorize (d.Dep_graph.dune_dir ^ "/" ^ name ^ ".ml")
+
+let rule_dune_layering (d : Dep_graph.dune_stanza) =
+  match stanza_category d with
+  | None -> []
+  | Some cat ->
+      let allowed = Taxonomy.allowed_lib_deps cat in
+      List.filter_map
+        (fun (dep, line) ->
+          match Taxonomy.library_by_name dep with
+          | Some _ when not (List.mem dep allowed) ->
+              Some
+                (v "dune-layering" d.Dep_graph.dune_path line
+                   "%s stanza depends on %s, outside the layering matrix \
+                    for %s code"
+                   d.Dep_graph.stanza.Extract.stanza_kind dep
+                   (Taxonomy.category_name cat))
+          | _ -> None)
+        d.Dep_graph.stanza.Extract.stanza_libraries
+
+(* A stanza's source nodes: files in its directory. (No stanza in this
+   tree uses a (modules ...) partition except bin/, where both
+   executables are single-module and share no deps worth splitting;
+   attribute edges dir-wide.) *)
+let rule_unused_lib_dep (g : Dep_graph.t) (d : Dep_graph.dune_stanza) =
+  let nodes = Dep_graph.nodes_in_dir g d.Dep_graph.dune_dir in
+  let used lib_name =
+    List.exists
+      (fun (n : Dep_graph.node) ->
+        List.exists
+          (fun (e : Dep_graph.edge) ->
+            e.Dep_graph.edge_lib.Taxonomy.lib_name = lib_name
+            && n.Dep_graph.node_lib <> Some e.Dep_graph.edge_lib)
+          n.Dep_graph.node_edges)
+      nodes
+  in
+  List.filter_map
+    (fun (dep, line) ->
+      match Taxonomy.library_by_name dep with
+      | Some _ when not (used dep) ->
+          Some
+            (v "unused-lib-dep" d.Dep_graph.dune_path line
+               "declared dependency %s is never referenced by %s sources; \
+                stale edges hide the real architecture"
+               dep d.Dep_graph.dune_dir)
+      | _ -> None)
+    d.Dep_graph.stanza.Extract.stanza_libraries
+
+(* An otock library referenced in code must be a *declared* (direct)
+   dependency: implicit transitive visibility silently widens the
+   architecture. Own library and stdlib/externals are exempt. Declared
+   deps are unioned across all stanzas of the directory (bin/ holds two
+   single-module executables). *)
+let rule_undeclared_dep (g : Dep_graph.t) dir =
+  let declared =
+    List.concat_map
+      (fun (d : Dep_graph.dune_stanza) ->
+        if d.Dep_graph.dune_dir = dir then
+          List.map fst d.Dep_graph.stanza.Extract.stanza_libraries
+        else [])
+      g.Dep_graph.stanzas
+    @ List.map
+        (fun (l : Taxonomy.library) -> l.Taxonomy.lib_name)
+        (match Taxonomy.library_of_path (dir ^ "/x.ml") with
+        | Some l -> [ l ]
+        | None -> [])
+  in
+  Dep_graph.nodes_in_dir g dir
+  |> List.concat_map (fun (n : Dep_graph.node) ->
+         List.filter_map
+           (fun (e : Dep_graph.edge) ->
+             let name = e.Dep_graph.edge_lib.Taxonomy.lib_name in
+             if List.mem name declared then None
+             else
+               Some
+                 (v "undeclared-dep" n.Dep_graph.node_path
+                    e.Dep_graph.edge_line
+                    "references %s but %s/dune does not declare %s: the \
+                     edge exists only through implicit transitive deps"
+                    (edge_target_name e) dir name))
+           n.Dep_graph.node_edges)
+
+(* --- driver ------------------------------------------------------------ *)
+
+let all_rule_ids =
+  [
+    "capsule-layering"; "userland-kernel-internals"; "crypto-confinement";
+    "mint-confinement"; "obj-magic"; "warning-suppression"; "missing-mli";
+    "subslice-escape"; "take-without-restore"; "dune-layering";
+    "unused-lib-dep"; "undeclared-dep";
+  ]
+
+let apply_pragmas (g : Dep_graph.t) violations =
+  let pragmas_for file =
+    match
+      List.find_opt (fun (n : Dep_graph.node) -> n.Dep_graph.node_path = file)
+        g.Dep_graph.nodes
+    with
+    | Some n -> n.Dep_graph.node_extract.Extract.pragmas
+    | None -> []
+  in
+  let matching viol =
+    List.find_opt
+      (fun (p : Extract.pragma) ->
+        (p.Extract.pragma_rule = viol.v_rule || p.Extract.pragma_rule = "*")
+        && (p.Extract.pragma_file_level
+           || viol.v_line = p.Extract.pragma_line
+           || viol.v_line = p.Extract.pragma_line + 1))
+      (pragmas_for viol.v_file)
+  in
+  List.partition_map
+    (fun viol ->
+      match matching viol with
+      | None -> Left viol
+      | Some p -> Right (viol, p))
+    violations
+
+let run (files : Source.file list) =
+  let g = Dep_graph.build files in
+  let per_node =
+    List.concat_map
+      (fun n ->
+        rule_capsule_layering n @ rule_userland_internals n
+        @ rule_crypto_confinement n @ rule_mint_confinement n
+        @ rule_obj_magic n @ rule_warning_suppression n
+        @ rule_subslice_escape n @ rule_take_without_restore n)
+      g.Dep_graph.nodes
+  in
+  let per_stanza =
+    List.concat_map
+      (fun d -> rule_dune_layering d @ rule_unused_lib_dep g d)
+      g.Dep_graph.stanzas
+  in
+  let dirs =
+    List.sort_uniq compare
+      (List.map (fun d -> d.Dep_graph.dune_dir) g.Dep_graph.stanzas)
+  in
+  let per_dir = List.concat_map (rule_undeclared_dep g) dirs in
+  let all = per_node @ per_stanza @ per_dir @ rule_missing_mli g in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.v_file b.v_file with
+        | 0 -> (
+            match compare a.v_line b.v_line with
+            | 0 -> compare a.v_rule b.v_rule
+            | c -> c)
+        | c -> c)
+      all
+  in
+  let violations, suppressed = apply_pragmas g sorted in
+  { violations; suppressed }

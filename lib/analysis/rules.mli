@@ -1,0 +1,21 @@
+(** The architecture-conformance rule set (see DESIGN.md, "Trust
+    taxonomy and architecture lint"). Rules are pure functions over the
+    {!Dep_graph}; suppression pragmas from source comments are applied
+    before results are returned. *)
+
+type violation = {
+  v_rule : string;
+  v_file : string;
+  v_line : int;
+  v_message : string;
+}
+
+type result = {
+  violations : violation list;  (** Not suppressed by any pragma. *)
+  suppressed : (violation * Extract.pragma) list;
+      (** Allowlisted in-source, with the justifying pragma. *)
+}
+
+val all_rule_ids : string list
+
+val run : Source.file list -> result

@@ -1,0 +1,64 @@
+(* File discovery for the analyzer: walk the taxonomy's directories,
+   load every .ml/.mli/dune file, and keep repo-relative paths so rule
+   output is stable regardless of where the tool runs (dune executes
+   tests and benches from inside _build). *)
+
+type kind = Ml | Mli | Dune
+
+type file = { path : string; kind : kind; content : string }
+
+let kind_of_name name =
+  if name = "dune" then Some Dune
+  else if Filename.check_suffix name ".mli" then Some Mli
+  else if Filename.check_suffix name ".ml" then Some Ml
+  else None
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let count_lines content =
+  let n = ref (if String.length content = 0 then 0 else 1) in
+  String.iter (fun c -> if c = '\n' then incr n) content;
+  (* A trailing newline does not start a new line. *)
+  if String.length content > 0 && content.[String.length content - 1] = '\n'
+  then decr n;
+  !n
+
+(* dune executes tests/benches inside _build; walk up until the source
+   tree is visible. Also accepts being run from the repo root. *)
+let find_root () =
+  let rec up d n =
+    if n > 6 then None
+    else if
+      Sys.file_exists (Filename.concat d "lib/core")
+      && Sys.file_exists (Filename.concat d "dune-project")
+    then Some d
+    else up (Filename.concat d "..") (n + 1)
+  in
+  up "." 0
+
+let scan_dir ~root rel =
+  let dir = Filename.concat root rel in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun name ->
+           match kind_of_name name with
+           | None -> None
+           | Some kind ->
+               let path = rel ^ "/" ^ name in
+               Some { path; kind; content = read_file (Filename.concat dir name) })
+
+let scan ~root = List.concat_map (scan_dir ~root) Taxonomy.scan_dirs
+
+let file ~path ~content =
+  let kind =
+    match kind_of_name (Filename.basename path) with
+    | Some k -> k
+    | None -> Ml
+  in
+  { path; kind; content }

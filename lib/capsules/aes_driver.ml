@@ -26,10 +26,7 @@ let create kernel engine =
             Kernel.with_allow_rw t.kernel pid ~driver:Driver_num.aes
               ~allow_num:0 (fun out ->
                 let m = min len (Subslice.length out) in
-                Subslice.blit_to_bytes sub ~src_off:0
-                  ~dst:(Subslice.underlying out)
-                  ~dst_off:(fst (Subslice.window out))
-                  ~len:m;
+                Subslice.blit ~src:sub ~src_off:0 ~dst:out ~dst_off:0 ~len:m;
                 m)
           in
           let n = match written with Ok n -> n | Error _ -> 0 in

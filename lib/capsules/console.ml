@@ -122,9 +122,7 @@ let create kernel vdev ~grant_cap =
             Kernel.with_allow_rw t.kernel pid ~driver:Driver_num.console
               ~allow_num:allow_rx (fun app_buf ->
                 let m = min got (Subslice.length app_buf) in
-                Subslice.blit_to_bytes sub ~src_off:0
-                  ~dst:(Subslice.underlying app_buf)
-                  ~dst_off:(fst (Subslice.window app_buf))
+                Subslice.blit ~src:sub ~src_off:0 ~dst:app_buf ~dst_off:0
                   ~len:m;
                 m)
           in

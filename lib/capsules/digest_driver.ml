@@ -55,8 +55,8 @@ let feed t =
                   if m <= 0 then 0
                   else begin
                     Subslice.slice_to sub m;
-                    Subslice.blit_to_bytes data ~src_off:op.offset
-                      ~dst:(Subslice.underlying sub) ~dst_off:0 ~len:m;
+                    Subslice.blit ~src:data ~src_off:op.offset ~dst:sub
+                      ~dst_off:0 ~len:m;
                     m
                   end)
             in

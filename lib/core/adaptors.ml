@@ -1,3 +1,7 @@
+(* otock-lint: allow-file crypto-confinement — the PKE adaptor is
+   trusted core: it marshals wire-format keys/signatures into
+   Tock_crypto.Schnorr values on behalf of the modeled engine, exactly
+   the role the hw engines play for the other primitives. *)
 open Cells
 
 let err_of_string = function

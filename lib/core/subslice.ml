@@ -53,6 +53,11 @@ let copy_within src dst =
   let n = min src.len dst.len in
   Bytes.blit src.buf src.start dst.buf dst.start n
 
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  check_range src src_off len;
+  check_range dst dst_off len;
+  Bytes.blit src.buf (src.start + src_off) dst.buf (dst.start + dst_off) len
+
 let to_bytes t = Bytes.sub t.buf t.start t.len
 
 let window t = (t.start, t.len)

@@ -53,6 +53,12 @@ val blit_to_bytes : t -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> u
 val copy_within : t -> t -> unit
 (** Copy [min (length src) (length dst)] bytes between windows. *)
 
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Window-relative copy between two subslices, bounds-checked against
+    both windows. This is the safe way to move bytes between buffers a
+    layer only holds windows into — unlike {!underlying}, it cannot
+    reach outside either window. *)
+
 val to_bytes : t -> bytes
 (** Copy of the active window. *)
 

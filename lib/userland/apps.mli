@@ -5,8 +5,13 @@
     adapts one into the loader/kernel [factory], and {!registry} builds a
     {!Tock.Process_loader.lookup} from named apps. *)
 
+(* otock-lint: allow userland-kernel-internals — the factory adapter is
+   the one seam where an app function is handed to the kernel; only the
+   opaque Process.t/execution types cross it. *)
 val to_factory : (Emu.app -> unit) -> Tock.Process.t -> Tock.Process.execution
 
+(* otock-lint: allow userland-kernel-internals — same seam: a lookup
+   table the trusted loader consumes; apps never call through it. *)
 val registry : (string * (Emu.app -> unit)) list -> Tock.Process_loader.lookup
 
 (** {2 Apps} *)

@@ -1,3 +1,8 @@
+(* otock-lint: allow-file userland-kernel-internals — Emu is the
+   userland/kernel bridge, not app code: it implements Process.execution
+   (the trap frame and context switch) over effect handlers, so it must
+   drive the Process lifecycle directly. App code above it sees only the
+   Libtock ABI. *)
 open Effect
 open Effect.Deep
 
@@ -21,6 +26,8 @@ exception App_panic_exn of string
 exception Mpu_fault of string
 
 let proc app = app.a_proc
+
+let proc_name app = Tock.Process.name app.a_proc
 
 let syscall _app regs = perform (Sys regs)
 

@@ -1,3 +1,7 @@
+(* otock-lint: allow-file userland-kernel-internals — Emu is the
+   userland/kernel bridge: its interface hands Process.execution values
+   to the kernel and Process handles to the harness. *)
+
 (** Userspace process emulation over OCaml effect handlers.
 
     A process's "machine code" is an OCaml function running inside an
@@ -32,6 +36,10 @@ val spawn : (app -> unit) -> Tock.Process.t -> Tock.Process.execution
     (Emu.spawn main)]. *)
 
 val proc : app -> Tock.Process.t
+
+val proc_name : app -> string
+(** Name of the app's process — so app code need not touch
+    {!Tock.Process} itself. *)
 
 (** {2 Traps} *)
 

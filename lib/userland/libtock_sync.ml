@@ -1,4 +1,7 @@
-open Tock
+(* Only the syscall-ABI surface of the core kernel — never internals. *)
+module Error = Tock.Error
+module Syscall = Tock.Syscall
+module Driver_num = Tock.Driver_num
 
 type result3 = (int * int * int, Error.t) result
 

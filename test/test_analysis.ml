@@ -1,0 +1,391 @@
+(* The architecture linter itself: synthetic fixtures exercising each
+   rule, the pragma/baseline machinery, and a live-repo gate asserting
+   that the tree's violations exactly match the committed baseline —
+   this is what makes the lint tier-1 under `dune runtest`. *)
+
+module Taxonomy = Tock_analysis.Taxonomy
+module Source = Tock_analysis.Source
+module Extract = Tock_analysis.Extract
+module Rules = Tock_analysis.Rules
+module Report = Tock_analysis.Report
+
+let file path content = Source.file ~path ~content
+
+(* A minimal well-formed core so fixtures resolve `open Tock` and have
+   the sibling modules the real tree has. *)
+let core_fixture =
+  [
+    file "lib/core/kernel.ml" "let tick () = ()\n";
+    file "lib/core/kernel.mli" "val tick : unit -> unit\n";
+    file "lib/core/hil.ml" "type alarm = unit\n";
+    file "lib/core/hil.mli" "type alarm = unit\n";
+    file "lib/core/dune" "(library\n (name tock))\n";
+    file "lib/hw/uart.ml" "let write () = ()\n";
+    file "lib/hw/uart.mli" "val write : unit -> unit\n";
+    file "lib/hw/dune" "(library\n (name tock_hw))\n";
+  ]
+
+let rules_of files =
+  let r = Rules.run files in
+  List.map (fun (v : Rules.violation) -> v.Rules.v_rule) r.Rules.violations
+
+let count_rule rule files =
+  List.length (List.filter (( = ) rule) (rules_of files))
+
+(* --- per-rule fixtures ------------------------------------------------ *)
+
+let test_layering_breach () =
+  (* A capsule reaching the chip layer directly, three ways: qualified
+     ref, open, and dune dependency. *)
+  let files =
+    core_fixture
+    @ [
+        file "lib/capsules/bad.ml"
+          "let go () = Tock_hw.Uart.write ()\n";
+        file "lib/capsules/bad.mli" "val go : unit -> unit\n";
+        file "lib/capsules/dune"
+          "(library\n (name tock_capsules)\n (libraries tock tock_hw))\n";
+      ]
+  in
+  Alcotest.(check int) "qualified ref flagged" 1
+    (count_rule "capsule-layering" files);
+  Alcotest.(check int) "dune dep flagged" 1 (count_rule "dune-layering" files);
+  (* The same capsule going through the HIL is clean. *)
+  let ok =
+    core_fixture
+    @ [
+        file "lib/capsules/good.ml"
+          "open Tock\nlet go (a : Hil.alarm) = ignore a; Kernel.tick ()\n";
+        file "lib/capsules/good.mli" "val go : Tock.Hil.alarm -> unit\n";
+        file "lib/capsules/dune"
+          "(library\n (name tock_capsules)\n (libraries tock))\n";
+      ]
+  in
+  Alcotest.(check (list string)) "hil-only capsule is clean" [] (rules_of ok)
+
+let test_forged_mint () =
+  let files =
+    core_fixture
+    @ [
+        file "lib/capsules/evil.ml"
+          "let cap () = Capability.Trusted_mint.main_loop ()\n";
+        file "lib/capsules/evil.mli" "val cap : unit -> unit\n";
+        file "lib/capsules/dune"
+          "(library\n (name tock_capsules)\n (libraries tock))\n";
+      ]
+  in
+  Alcotest.(check int) "forged mint flagged" 1
+    (count_rule "mint-confinement" files);
+  (* Boards and tests may mint. *)
+  let board =
+    core_fixture
+    @ [
+        file "lib/boards/board.ml"
+          "let cap () = Capability.Trusted_mint.main_loop ()\n";
+        file "lib/boards/board.mli" "val cap : unit -> unit\n";
+        file "lib/boards/dune"
+          "(library\n (name tock_boards)\n (libraries tock))\n";
+      ]
+  in
+  Alcotest.(check int) "board may mint" 0 (count_rule "mint-confinement" board)
+
+let test_missing_mli () =
+  let files =
+    core_fixture @ [ file "lib/capsules/naked.ml" "let x = 1\n" ]
+  in
+  Alcotest.(check int) "missing mli flagged" 1 (count_rule "missing-mli" files)
+
+let test_take_without_restore () =
+  let bad =
+    core_fixture
+    @ [
+        file "lib/capsules/leaky.ml"
+          "let f c = match Cells.Take_cell.take c with Some b -> ignore b | \
+           None -> ()\n";
+        file "lib/capsules/leaky.mli" "val f : 'a -> unit\n";
+      ]
+  in
+  Alcotest.(check int) "take without restore flagged" 1
+    (count_rule "take-without-restore" bad);
+  let good =
+    core_fixture
+    @ [
+        file "lib/capsules/careful.ml"
+          "let f c = match Cells.Take_cell.take c with Some b -> \
+           Cells.Take_cell.put c b | None -> ()\n";
+        file "lib/capsules/careful.mli" "val f : 'a -> unit\n";
+      ]
+  in
+  Alcotest.(check int) "take with put is clean" 0
+    (count_rule "take-without-restore" good)
+
+let test_unsafe_analogues () =
+  let files =
+    core_fixture
+    @ [
+        file "lib/capsules/sketchy.ml"
+          "let f (x : int) = (Obj.magic x : string)\n\
+           let g s = Subslice.underlying s\n\
+           let h = 1 [@warning \"-32\"]\n";
+        file "lib/capsules/sketchy.mli"
+          "val f : int -> string\n\nval g : 'a -> 'b\n\nval h : int\n";
+      ]
+  in
+  Alcotest.(check int) "Obj.magic flagged" 1 (count_rule "obj-magic" files);
+  Alcotest.(check int) "subslice escape flagged" 1
+    (count_rule "subslice-escape" files);
+  Alcotest.(check int) "warning suppression flagged" 1
+    (count_rule "warning-suppression" files);
+  (* The same constructs inside the trusted hw layer are the point of
+     having a trusted layer. *)
+  let hw =
+    core_fixture
+    @ [
+        file "lib/hw/dma.ml"
+          "let g s = Subslice.underlying s\nlet f x = Obj.magic x\n";
+        file "lib/hw/dma.mli" "val g : 'a -> 'b\n\nval f : 'a -> 'b\n";
+      ]
+  in
+  Alcotest.(check int) "trusted hw exempt (escape)" 0
+    (count_rule "subslice-escape" hw);
+  Alcotest.(check int) "trusted hw exempt (magic)" 0 (count_rule "obj-magic" hw)
+
+let test_crypto_and_userland () =
+  let files =
+    core_fixture
+    @ [
+        file "lib/crypto/aes.ml" "let k = 1\n";
+        file "lib/crypto/aes.mli" "val k : int\n";
+        file "lib/crypto/dune" "(library\n (name tock_crypto))\n";
+        file "lib/capsules/roll_your_own.ml"
+          "let f () = Tock_crypto.Aes.k\n";
+        file "lib/capsules/roll_your_own.mli" "val f : unit -> int\n";
+        file "lib/userland/nosy.ml"
+          "let f () = Tock.Kernel.tick ()\nlet ok (_ : Tock.Syscall.t) = ()\n";
+        file "lib/userland/nosy.mli" "val f : unit -> unit\n\nval ok : 'a -> unit\n";
+      ]
+  in
+  (* the capsule's crypto ref violates both confinement and layering *)
+  Alcotest.(check int) "crypto confinement flagged" 1
+    (count_rule "crypto-confinement" files);
+  Alcotest.(check int) "userland internals flagged (Kernel, not Syscall)" 1
+    (count_rule "userland-kernel-internals" files)
+
+let test_dep_hygiene () =
+  let files =
+    core_fixture
+    @ [
+        file "lib/capsules/quiet.ml" "let x = Tock.Kernel.tick\n";
+        file "lib/capsules/quiet.mli" "val x : unit -> unit\n";
+        file "lib/capsules/dune"
+          "(library\n (name tock_capsules)\n (libraries tock tock_tbf))\n";
+        file "lib/tbf/tbf.ml" "let parse () = ()\n";
+        file "lib/tbf/tbf.mli" "val parse : unit -> unit\n";
+        file "lib/tbf/dune" "(library\n (name tock_tbf))\n";
+      ]
+  in
+  (* tock_tbf is within the capsule layering matrix but unreferenced *)
+  Alcotest.(check int) "unused dep flagged" 1
+    (count_rule "unused-lib-dep" files);
+  let undeclared =
+    core_fixture
+    @ [
+        file "lib/capsules/sneaky.ml" "let f () = Tock_tbf.Tbf.parse ()\n";
+        file "lib/capsules/sneaky.mli" "val f : unit -> unit\n";
+        file "lib/capsules/dune"
+          "(library\n (name tock_capsules)\n (libraries tock))\n";
+        file "lib/tbf/tbf.ml" "let parse () = ()\n";
+        file "lib/tbf/tbf.mli" "val parse : unit -> unit\n";
+        file "lib/tbf/dune" "(library\n (name tock_tbf))\n";
+      ]
+  in
+  Alcotest.(check int) "undeclared transitive dep flagged" 1
+    (count_rule "undeclared-dep" undeclared)
+
+let test_pragma_allowlist () =
+  let files =
+    core_fixture
+    @ [
+        file "lib/capsules/justified.ml"
+          "(* otock-lint: allow capsule-layering -- timing calibration \
+           needs the raw counter *)\n\
+           let f () = Tock_hw.Uart.write ()\n";
+        file "lib/capsules/justified.mli" "val f : unit -> unit\n";
+        file "lib/capsules/dune"
+          "(library\n (name tock_capsules)\n (libraries tock tock_hw))\n";
+      ]
+  in
+  let r = Rules.run files in
+  let rules =
+    List.map (fun (v : Rules.violation) -> v.Rules.v_rule) r.Rules.violations
+  in
+  Alcotest.(check bool) "source site suppressed" false
+    (List.mem "capsule-layering" rules);
+  Alcotest.(check int) "suppression recorded" 1
+    (List.length r.Rules.suppressed);
+  (match r.Rules.suppressed with
+  | [ (_, p) ] ->
+      Alcotest.(check string) "justification kept"
+        "timing calibration needs the raw counter" p.Extract.pragma_note
+  | _ -> Alcotest.fail "expected exactly one suppression");
+  (* dune deps cannot be pragma'd away *)
+  Alcotest.(check int) "dune dep still flagged" 1
+    (List.length (List.filter (( = ) "dune-layering") rules))
+
+let test_comment_and_string_blindness () =
+  (* References inside comments and strings are not references. *)
+  let files =
+    core_fixture
+    @ [
+        file "lib/capsules/chatty.ml"
+          "(* Tock_hw.Uart.write is what we must NOT call *)\n\
+           let doc = \"see Tock_hw.Uart.write and Obj.magic\"\n";
+        file "lib/capsules/chatty.mli" "val doc : string\n";
+      ]
+  in
+  Alcotest.(check (list string)) "no violations from comments/strings" []
+    (rules_of files)
+
+(* --- baseline ratchet ------------------------------------------------- *)
+
+let test_baseline_ratchet () =
+  let viol rule f line =
+    {
+      Rules.v_rule = rule;
+      Rules.v_file = f;
+      Rules.v_line = line;
+      Rules.v_message = "m";
+    }
+  in
+  let current =
+    [ viol "r" "a.ml" 1; viol "r" "a.ml" 2; viol "s" "b.ml" 9 ]
+  in
+  let baseline = Report.of_violations current in
+  (* identical tree: nothing new, nothing stale *)
+  let d = Report.diff baseline current in
+  Alcotest.(check int) "no new" 0 (List.length d.Report.new_violations);
+  Alcotest.(check int) "all grandfathered" 3 d.Report.grandfathered;
+  Alcotest.(check int) "no stale" 0 (List.length d.Report.stale);
+  (* one more site in a baselined file: every site of that key is new *)
+  let d2 = Report.diff baseline (viol "r" "a.ml" 7 :: current) in
+  Alcotest.(check int) "regression detected" 3
+    (List.length d2.Report.new_violations);
+  (* a fixed site makes the baseline stale (ratchet down) *)
+  let d3 = Report.diff baseline [ viol "r" "a.ml" 1; viol "s" "b.ml" 9 ] in
+  Alcotest.(check int) "stale entry" 1 (List.length d3.Report.stale);
+  (* round-trip through the file format *)
+  match Report.baseline_of_string (Report.baseline_to_string baseline) with
+  | Ok b ->
+      Alcotest.(check int) "round-trip" (List.length baseline) (List.length b)
+  | Error e -> Alcotest.fail e
+
+(* --- the live repository ---------------------------------------------- *)
+
+let live_root () =
+  match Source.find_root () with
+  | Some r -> r
+  | None -> Alcotest.fail "cannot locate repository root from test cwd"
+
+let test_live_repo_matches_baseline () =
+  let root = live_root () in
+  let files = Source.scan ~root in
+  Alcotest.(check bool) "scan finds the tree" true (List.length files > 100);
+  let r = Rules.run files in
+  let baseline_file = Filename.concat root "lint_baseline.txt" in
+  let baseline =
+    match Report.baseline_of_string (Source.read_file baseline_file) with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let d = Report.diff baseline r.Rules.violations in
+  let show (v : Rules.violation) =
+    Printf.sprintf "%s:%d [%s] %s" v.Rules.v_file v.Rules.v_line v.Rules.v_rule
+      v.Rules.v_message
+  in
+  Alcotest.(check (list string))
+    "no violations beyond the committed baseline (fix it or allowlist with \
+     a justification; see DESIGN.md)"
+    []
+    (List.map show d.Report.new_violations);
+  Alcotest.(check (list string))
+    "baseline is not stale (a grandfathered violation was fixed: ratchet \
+     down with `dune exec bin/otock_lint.exe -- --write-baseline`)"
+    []
+    (List.map
+       (fun (e : Report.entry) ->
+         Printf.sprintf "%d %s %s" e.Report.b_count e.Report.b_rule
+           e.Report.b_file)
+       d.Report.stale)
+
+let test_live_repo_gate_trips () =
+  (* The acceptance scenario: drop a capsule->hw reference or a forged
+     mint into the real tree and the gate must fail. *)
+  let root = live_root () in
+  let files = Source.scan ~root in
+  let with_bad =
+    files
+    @ [
+        file "lib/capsules/injected.ml"
+          "let f () = Tock_hw.Uart.create ()\n\
+           let c () = Capability.Trusted_mint.main_loop ()\n";
+        file "lib/capsules/injected.mli"
+          "val f : unit -> unit\n\nval c : unit -> unit\n";
+      ]
+  in
+  let r = Rules.run with_bad in
+  let baseline_file = Filename.concat root "lint_baseline.txt" in
+  let baseline =
+    match Report.baseline_of_string (Source.read_file baseline_file) with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let d = Report.diff baseline r.Rules.violations in
+  let new_rules =
+    List.sort_uniq compare
+      (List.map
+         (fun (v : Rules.violation) -> v.Rules.v_rule)
+         d.Report.new_violations)
+  in
+  Alcotest.(check bool) "capsule->hw trips the gate" true
+    (List.mem "capsule-layering" new_rules);
+  Alcotest.(check bool) "forged mint trips the gate" true
+    (List.mem "mint-confinement" new_rules)
+
+let test_taxonomy_shared_with_bench () =
+  (* The Fig. 5 split and the lint trusted-set are the same function. *)
+  Alcotest.(check bool) "hw is trusted" true
+    (Taxonomy.trust_of_path "lib/hw/uart.ml" = Taxonomy.Trusted);
+  Alcotest.(check bool) "grant machinery is trusted" true
+    (Taxonomy.trust_of_path "lib/core/grant.ml" = Taxonomy.Trusted);
+  Alcotest.(check bool) "cells are safe" true
+    (Taxonomy.trust_of_path "lib/core/cells.ml" = Taxonomy.Safe);
+  Alcotest.(check bool) "capsules are safe" true
+    (Taxonomy.trust_of_path "lib/capsules/console.ml" = Taxonomy.Safe);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (d ^ " measured by fig5 is linted")
+        true
+        (List.mem d Taxonomy.scan_dirs))
+    Taxonomy.kernel_dirs
+
+let suite =
+  [
+    Alcotest.test_case "layering breach" `Quick test_layering_breach;
+    Alcotest.test_case "forged mint" `Quick test_forged_mint;
+    Alcotest.test_case "missing mli" `Quick test_missing_mli;
+    Alcotest.test_case "take without restore" `Quick test_take_without_restore;
+    Alcotest.test_case "unsafe analogues" `Quick test_unsafe_analogues;
+    Alcotest.test_case "crypto + userland" `Quick test_crypto_and_userland;
+    Alcotest.test_case "dep hygiene" `Quick test_dep_hygiene;
+    Alcotest.test_case "pragma allowlist" `Quick test_pragma_allowlist;
+    Alcotest.test_case "comment/string blindness" `Quick
+      test_comment_and_string_blindness;
+    Alcotest.test_case "baseline ratchet" `Quick test_baseline_ratchet;
+    Alcotest.test_case "live repo matches baseline" `Quick
+      test_live_repo_matches_baseline;
+    Alcotest.test_case "gate trips on injection" `Quick
+      test_live_repo_gate_trips;
+    Alcotest.test_case "taxonomy shared with fig5" `Quick
+      test_taxonomy_shared_with_bench;
+  ]

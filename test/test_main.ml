@@ -25,4 +25,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("extra", Test_extra.suite);
       ("app-loader", Test_app_loader.suite);
+      ("analysis", Test_analysis.suite);
     ]
