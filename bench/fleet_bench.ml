@@ -1,0 +1,87 @@
+(* Fleet-scaling benchmark: aggregate simulated-cycle throughput
+   (boards x cycles per wall-second) for fleet sizes 1..1024 at 1 domain
+   vs all cores, demonstrating the domain-parallel runner's speedup.
+   Writes BENCH_fleet.json next to the repo root for the acceptance
+   gate (>= 2x aggregate throughput multi-domain vs single-domain at
+   >= 256 independent boards). *)
+
+let cores () =
+  max 1 (Domain.recommended_domain_count ())
+
+type sample = {
+  s_boards : int;
+  s_domains : int;
+  s_cycles : int;     (* aggregate simulated cycles *)
+  s_syscalls : int;
+  s_wall : float;
+}
+
+let measure ~boards ~domains ~cycles =
+  let cfg =
+    { Tock_fleet.Fleet.default with boards; domains; cycles }
+  in
+  (* Warm the minor heap/domain pool once so the first timed run isn't
+     charged for spawn cost the steady state doesn't pay. *)
+  ignore (Tock_fleet.Fleet.run { cfg with boards = min boards 4; cycles = 10_000 });
+  let t0 = Unix.gettimeofday () in
+  let stats = Tock_fleet.Fleet.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    s_boards = boards;
+    s_domains = domains;
+    s_cycles = Tock_fleet.Fleet.total_cycles stats;
+    s_syscalls = Tock_fleet.Fleet.total_syscalls stats;
+    s_wall = wall;
+  }
+
+let throughput s = float_of_int s.s_cycles /. s.s_wall
+
+let json_of_sample s =
+  Printf.sprintf
+    "    {\"boards\": %d, \"domains\": %d, \"agg_cycles\": %d, \
+     \"syscalls\": %d, \"wall_s\": %.4f, \"cycles_per_s\": %.4e}"
+    s.s_boards s.s_domains s.s_cycles s.s_syscalls s.s_wall (throughput s)
+
+let run () =
+  print_endline "== fleet: domain-parallel scaling (boards x cycles / wall-second) ==";
+  let n_cores = cores () in
+  (* Never oversubscribe: domains > cores makes every stop-the-world
+     minor collection wait on a descheduled domain's safepoint, which we
+     measured at >10x slowdown on a single-core host. The determinism
+     test (test/test_fleet.ml) covers multi-domain correctness
+     regardless of core count. *)
+  if n_cores = 1 then
+    print_endline
+      "   note: single-core host; multi-domain speedup not measurable here.";
+  let sizes = [ 1; 16; 256; 1024 ] in
+  let cycles = 1_000_000 in
+  let samples =
+    List.concat_map
+      (fun boards ->
+        let base = measure ~boards ~domains:1 ~cycles in
+        if n_cores = 1 then begin
+          Printf.printf "   %5d boards: 1 domain %8.3fs (%.2e cyc/s)\n%!"
+            boards base.s_wall (throughput base);
+          [ base ]
+        end
+        else begin
+          let par = measure ~boards ~domains:n_cores ~cycles in
+          let speedup = throughput par /. throughput base in
+          Printf.printf
+            "   %5d boards: 1 domain %8.3fs (%.2e cyc/s) | %2d domains \
+             %8.3fs (%.2e cyc/s) | speedup %.2fx\n%!"
+            boards base.s_wall (throughput base) n_cores par.s_wall
+            (throughput par) speedup;
+          [ base; par ]
+        end)
+      sizes
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"fleet_scaling\",\n  \"cycles_per_group\": %d,\n  \
+     \"cores\": %d,\n  \"samples\": [\n%s\n  ]\n}\n"
+    cycles n_cores
+    (String.concat ",\n" (List.map json_of_sample samples));
+  close_out oc;
+  print_endline "   wrote BENCH_fleet.json";
+  print_newline ()

@@ -25,6 +25,7 @@ let experiments =
     ("a-mpu", Ablations.a_mpu);
     ("a-upcall-queue", Ablations.a_upcall_queue);
     ("micro", Micro.run);
+    ("fleet", Fleet_bench.run);
   ]
 
 let () =

@@ -42,6 +42,15 @@ let syscall_codec =
   Test.make ~name:"syscall/encode+decode" (Staged.stage (fun () ->
       ignore (Tock.Syscall.decode_call (Tock.Syscall.encode_call call))))
 
+let syscall_ret_in_place =
+  (* The kernel's actual return path: encode into the per-process scratch
+     buffer, then decode as the process would. *)
+  let ret = Tock.Syscall.Success_u32_u32 (7, 9) in
+  let scratch = Array.make 4 0 in
+  Test.make ~name:"syscall/ret-in-place" (Staged.stage (fun () ->
+      Tock.Syscall.encode_ret_into ret scratch;
+      ignore (Tock.Syscall.decode_ret scratch)))
+
 let take_cell_map =
   let c = Tock.Cells.Take_cell.make 42 in
   Test.make ~name:"take_cell/map" (Staged.stage (fun () ->
@@ -54,6 +63,19 @@ let event_queue_cycle =
       incr t;
       ignore (Tock_hw.Event_queue.schedule q ~time:!t ignore);
       ignore (Tock_hw.Event_queue.pop_due q ~now:!t)))
+
+let event_queue_deep =
+  (* Sift cost with a realistically full queue (timer mux + peripherals
+     across a fleet board): 256 standing events. *)
+  let q = Tock_hw.Event_queue.create () in
+  let t = ref 0 in
+  for i = 1 to 256 do
+    ignore (Tock_hw.Event_queue.schedule q ~time:(1_000_000 + i) ignore)
+  done;
+  Test.make ~name:"event_queue/256-pending" (Staged.stage (fun () ->
+      incr t;
+      ignore (Tock_hw.Event_queue.schedule q ~time:!t ignore);
+      ignore (Tock_hw.Event_queue.run_due q ~now:!t)))
 
 let kernel_step_idle =
   (* The cost of one full simulated kernel step including a process slice. *)
@@ -68,7 +90,8 @@ let kernel_step_idle =
 
 let all =
   [ sha256_64; sha256_4k; aes_block; subslice_ops; ring_buffer_cycle;
-    syscall_codec; take_cell_map; event_queue_cycle; kernel_step_idle ]
+    syscall_codec; syscall_ret_in_place; take_cell_map; event_queue_cycle;
+    event_queue_deep; kernel_step_idle ]
 
 let run () =
   print_endline "== micro: Bechamel host-time microbenchmarks ==";

@@ -3,12 +3,14 @@
    Subcommands:
      run       boot a single board with a selection of apps
      signpost  run the multi-node urban-sensing deployment
+     fleet     run many boards in parallel across domains
      rot       run the signed-boot root-of-trust scenario
      apps      list the available applications
 
    Examples:
      tock_sim run --chip sam4l --app hello --app counter --scheduler mlfq
      tock_sim signpost --nodes 3 --seconds 1
+     tock_sim fleet --boards 256 --domains 8
      tock_sim rot --tamper *)
 
 open Cmdliner
@@ -160,6 +162,36 @@ let signpost_cmd nodes seconds seed =
   Printf.printf "total energy: %.1f uJ\n"
     (Tock_boards.Signpost_board.total_energy_uj net)
 
+(* ---- fleet ---- *)
+
+let fleet_cmd boards domains group_size cycles seed quiet =
+  let cfg =
+    {
+      Tock_fleet.Fleet.boards;
+      domains;
+      group_size;
+      cycles;
+      seed = Int64.of_int seed;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats = Tock_fleet.Fleet.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  if not quiet then
+    Array.iter
+      (fun bs -> Format.printf "%a@." Tock_fleet.Fleet.pp_board_stats bs)
+      stats;
+  let cycles_total = Tock_fleet.Fleet.total_cycles stats in
+  Printf.printf
+    "fleet: %d boards (%d groups) on %d domain(s): %d cycles, %d syscalls, \
+     %.3fs wall, %.2e cycles/s\n"
+    boards
+    (Tock_fleet.Fleet.group_count cfg)
+    domains cycles_total
+    (Tock_fleet.Fleet.total_syscalls stats)
+    wall
+    (float_of_int cycles_total /. wall)
+
 (* ---- rot ---- *)
 
 let rot_cmd tamper =
@@ -228,10 +260,30 @@ let strace_arg =
 let tamper_arg =
   Arg.(value & flag & info [ "tamper" ] ~doc:"Corrupt the token app image after signing.")
 
+let boards_arg =
+  Arg.(value & opt int 64 & info [ "boards" ] ~docv:"N" ~doc:"Total boards in the fleet.")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (1 = sequential).")
+
+let group_size_arg =
+  Arg.(value & opt int 1 & info [ "group-size" ] ~docv:"G"
+       ~doc:"Boards per shared-clock radio group (1 = independent boards).")
+
+let cycles_arg =
+  Arg.(value & opt int 2_000_000 & info [ "cycles" ] ~docv:"C" ~doc:"Cycle budget per group clock.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the aggregate line.")
+
 let run_t =
   Term.(const run_cmd $ chip_arg $ apps_arg $ sched_arg $ seconds_arg $ seed_arg $ strace_arg)
 
 let signpost_t = Term.(const signpost_cmd $ nodes_arg $ seconds_arg $ seed_arg)
+
+let fleet_t =
+  Term.(const fleet_cmd $ boards_arg $ domains_arg $ group_size_arg
+        $ cycles_arg $ seed_arg $ quiet_arg)
 
 let rot_t = Term.(const rot_cmd $ tamper_arg)
 
@@ -241,6 +293,7 @@ let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Boot a single board with apps") run_t;
     Cmd.v (Cmd.info "signpost" ~doc:"Multi-node urban sensing deployment") signpost_t;
+    Cmd.v (Cmd.info "fleet" ~doc:"Domain-parallel multi-board fleet") fleet_t;
     Cmd.v (Cmd.info "rot" ~doc:"Root-of-trust signed boot scenario") rot_t;
     Cmd.v (Cmd.info "apps" ~doc:"List available applications") apps_t;
   ]

@@ -51,6 +51,8 @@ let libraries =
       lib_root_module = "Tock_userland"; lib_category = Userland };
     { lib_name = "tock_boards"; lib_dir = "lib/boards";
       lib_root_module = "Tock_boards"; lib_category = Board };
+    { lib_name = "tock_fleet"; lib_dir = "lib/fleet";
+      lib_root_module = "Tock_fleet"; lib_category = Board };
     { lib_name = "tock_analysis"; lib_dir = "lib/analysis";
       lib_root_module = "Tock_analysis"; lib_category = Tooling };
   ]
@@ -105,7 +107,7 @@ let trust_of_path path =
 (* The directories both the linter and the Fig. 5 bench walk. *)
 let kernel_dirs =
   [ "lib/hw"; "lib/core"; "lib/crypto"; "lib/tbf"; "lib/capsules";
-    "lib/userland"; "lib/boards" ]
+    "lib/userland"; "lib/boards"; "lib/fleet" ]
 
 let scan_dirs =
   kernel_dirs @ [ "lib/analysis"; "bin"; "examples"; "test"; "bench" ]
@@ -128,10 +130,10 @@ let allowed_lib_deps = function
   (* Boards are trusted composition roots: they wire everything. *)
   | Board ->
       [ "tock"; "tock_hw"; "tock_crypto"; "tock_tbf"; "tock_capsules";
-        "tock_userland"; "tock_boards" ]
+        "tock_userland"; "tock_boards"; "tock_fleet" ]
   | Tooling ->
       [ "tock"; "tock_hw"; "tock_crypto"; "tock_tbf"; "tock_capsules";
-        "tock_userland"; "tock_boards"; "tock_analysis" ]
+        "tock_userland"; "tock_boards"; "tock_fleet"; "tock_analysis" ]
 
 (* Core-kernel submodules userland may legitimately name: the syscall
    ABI surface, not the kernel's internals. *)

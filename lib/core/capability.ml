@@ -7,10 +7,12 @@ type memory_allocation = MA
 type external_process = EP
 
 module Trusted_mint = struct
-  let count = ref 0
+  (* Atomic: boards (and their capability mints) may be built on worker
+     domains by the fleet runner. *)
+  let count = Atomic.make 0
 
   let minted v =
-    incr count;
+    Atomic.incr count;
     v
 
   let main_loop () = minted ML
@@ -21,5 +23,5 @@ module Trusted_mint = struct
 
   let external_process () = minted EP
 
-  let mint_count () = !count
+  let mint_count () = Atomic.get count
 end

@@ -8,14 +8,16 @@ type 'a t = {
   key : 'a entry Univ.key;
 }
 
-let next_gid = ref 0
+(* Atomic: grants are created and entered from whichever domain runs the
+   owning board (the fleet runner shards boards across domains). *)
+let next_gid = Atomic.make 0
 
-let refused = ref 0
+let refused = Atomic.make 0
 
 let create ~cap:_ ~name ~size_bytes ~init =
   if size_bytes < 0 then invalid_arg "Grant.create";
-  incr next_gid;
-  { gid = !next_gid; g_name = name; size = size_bytes; init; key = Univ.new_key () }
+  let gid = 1 + Atomic.fetch_and_add next_gid 1 in
+  { gid; g_name = name; size = size_bytes; init; key = Univ.new_key () }
 
 let lookup t proc =
   match Hashtbl.find_opt (Process.grant_table proc) t.gid with
@@ -38,7 +40,7 @@ let enter t proc f =
   | None -> Error Error.NOMEM
   | Some e ->
       if e.entered then begin
-        incr refused;
+        Atomic.incr refused;
         Error Error.ALREADY
       end
       else begin
@@ -60,4 +62,4 @@ let size_bytes t = t.size
 
 let name t = t.g_name
 
-let reentries_refused () = !refused
+let reentries_refused () = Atomic.get refused

@@ -46,6 +46,10 @@ type pentry = {
   proc : Process.t;
   factory : Process.t -> Process.execution;
   mutable pending_resume : Process.resume_arg option;
+  ret_scratch : int array;
+      (* Reused return-register buffer for this process's syscall
+         returns; valid because a process always decodes a return before
+         it can issue the syscall that would overwrite it. *)
 }
 
 type t = {
@@ -54,7 +58,7 @@ type t = {
   k_stats : stats;
   k_deferred : Deferred_call.t;
   drivers : (int, Driver.t) Hashtbl.t;
-  mutable table : pentry list; (* ascending id *)
+  mutable table : pentry array; (* index = pid: ids are dense and never reused *)
   mutable next_pid : int;
   mutable ram_next : int; (* bump pointer into the RAM pool *)
   mutable fault_hook : Process.t -> Process.fault_reason -> unit;
@@ -82,7 +86,7 @@ let create ?config:(cfg = default_config ()) chip =
       };
     k_deferred = Deferred_call.create ();
     drivers = Hashtbl.create 16;
-    table = [];
+    table = [||];
     next_pid = 0;
     ram_next = cfg.ram_base;
     fault_hook = (fun _ _ -> ());
@@ -116,16 +120,21 @@ let find_driver t num = Hashtbl.find_opt t.drivers num
 
 (* ---- process table ---- *)
 
-let entry t pid = List.find_opt (fun pe -> Process.id pe.proc = pid) t.table
+let entry t pid =
+  if pid >= 0 && pid < Array.length t.table then Some t.table.(pid) else None
 
-let processes t = List.map (fun pe -> pe.proc) t.table
+let processes t = Array.to_list (Array.map (fun pe -> pe.proc) t.table)
 
 let find_process t pid = Option.map (fun pe -> pe.proc) (entry t pid)
 
 let find_process_by_name t nm =
-  List.find_map
-    (fun pe -> if Process.name pe.proc = nm then Some pe.proc else None)
-    t.table
+  let n = Array.length t.table in
+  let rec go i =
+    if i >= n then None
+    else if Process.name t.table.(i).proc = nm then Some t.table.(i).proc
+    else go (i + 1)
+  in
+  go 0
 
 let grant_reserve = 640
 (* Kernel-owned suffix reserved per process for grant growth before the
@@ -134,7 +143,7 @@ let grant_reserve = 640
 
 let create_process t ~cap:_ ~name ~flash_base ~flash ~min_ram ?permissions
     ?storage ?(tbf_flags = Tock_tbf.Tbf.flag_enabled) ~factory () =
-  if List.length t.table >= t.k_config.max_processes then Error Error.NOMEM
+  if Array.length t.table >= t.k_config.max_processes then Error Error.NOMEM
   else begin
     let mpu = t.k_chip.Tock_hw.Chip.mpu in
     let mpu_config = Tock_hw.Mpu.new_config mpu in
@@ -162,8 +171,15 @@ let create_process t ~cap:_ ~name ~flash_base ~flash ~min_ram ?permissions
         Process.set_execution proc (factory proc);
         let enabled = tbf_flags land Tock_tbf.Tbf.flag_enabled <> 0 in
         Process.set_state proc (if enabled then Process.Runnable else Process.Unstarted);
-        let pe = { proc; factory; pending_resume = Some Process.Rstart } in
-        t.table <- t.table @ [ pe ];
+        let pe =
+          {
+            proc;
+            factory;
+            pending_resume = Some Process.Rstart;
+            ret_scratch = Array.make 4 0;
+          }
+        in
+        t.table <- Array.append t.table [| pe |];
         Ok proc
   end
 
@@ -257,7 +273,8 @@ let allow_size t pid ~kind ~driver ~allow_num =
   | None -> 0
   | Some pe -> (Process.allow_get pe.proc ~kind ~driver ~allow_num).Process.a_len
 
-let process_ids t = List.map (fun pe -> Process.id pe.proc) t.table
+let process_ids t =
+  Array.to_list (Array.map (fun pe -> Process.id pe.proc) t.table)
 
 let process_state_of t pid = Option.map (fun pe -> Process.state pe.proc) (entry t pid)
 
@@ -490,8 +507,10 @@ let run_slice t pe timeslice =
         | Some pu ->
             let a0, a1, a2 = pu.Process.pu_args in
             t.k_stats.upcalls_delivered <- t.k_stats.upcalls_delivered + 1;
-            Process.Rsyscall_ret
-              (Syscall.encode_ret (Syscall.Success_u32_u32_u32 (a0, a1, a2)))
+            Syscall.encode_ret_into
+              (Syscall.Success_u32_u32_u32 (a0, a1, a2))
+              pe.ret_scratch;
+            Process.Rsyscall_ret pe.ret_scratch
         | None -> Process.Rcontinue)
     | _ -> Process.Rcontinue
   in
@@ -520,8 +539,8 @@ let run_slice t pe timeslice =
           Process.note_syscall proc ~class_num:regs.(0);
         match Syscall.decode_call regs with
         | Error e ->
-            let ret = Syscall.encode_ret (Syscall.Failure e) in
-            continue_or_stash ret remaining
+            Syscall.encode_ret_into (Syscall.Failure e) pe.ret_scratch;
+            continue_or_stash pe.ret_scratch remaining
         | Ok call -> (
             let dispatch = handle_syscall t pe call in
             (match t.trace_hook with
@@ -530,7 +549,9 @@ let run_slice t pe timeslice =
                   (match dispatch with `Return r -> Some r | _ -> None)
             | None -> ());
             match dispatch with
-            | `Return ret -> continue_or_stash (Syscall.encode_ret ret) remaining
+            | `Return ret ->
+                Syscall.encode_ret_into ret pe.ret_scratch;
+                continue_or_stash pe.ret_scratch remaining
             | `Deliver pu ->
                 let arg = deliver_of_pending t pu in
                 if remaining > 0 then go arg remaining
@@ -567,8 +588,14 @@ let step t ~cap:_ =
     ignore (Deferred_call.service t.k_deferred);
     worked := true
   end;
-  let runnable = List.filter deliverable t.table in
-  match t.k_config.scheduler.Scheduler.next (List.map (fun pe -> pe.proc) runnable) with
+  (* One backwards pass builds the runnable list in ascending-pid order
+     without the filter-then-map double traversal. *)
+  let runnable = ref [] in
+  for i = Array.length t.table - 1 downto 0 do
+    let pe = t.table.(i) in
+    if deliverable pe then runnable := pe.proc :: !runnable
+  done;
+  match t.k_config.scheduler.Scheduler.next !runnable with
   | Scheduler.Run { proc; timeslice } ->
       (match entry t (Process.id proc) with
       | Some pe -> run_slice t pe timeslice

@@ -73,39 +73,45 @@ let encode_call c =
       [| class_command_blocking; driver; command_num; arg1; arg2 lor (subscribe_num lsl 16) |]
 
 let decode_call regs =
+  (* Literal-pattern match (not an if-chain over the named constants) so
+     the compiler emits a jump table: decode is on the per-syscall hot
+     path. The length guard makes the unsafe reads in range. *)
   if Array.length regs <> registers then Error Error.INVAL
   else
-    let c = regs.(0) and r0 = regs.(1) and r1 = regs.(2) in
-    let r2 = regs.(3) and r3 = regs.(4) in
-    if c = class_yield then
-      match r0 with
-      | 0 -> Ok (Yield Yield_no_wait)
-      | 1 -> Ok (Yield Yield_wait)
-      | 2 -> Ok (Yield (Yield_wait_for { driver = r1; subscribe_num = r2 }))
-      | _ -> Error Error.INVAL
-    else if c = class_subscribe then
-      Ok
-        (Subscribe
-           { driver = r0; subscribe_num = r1; upcall_fn = r2; appdata = r3 })
-    else if c = class_command then
-      Ok (Command { driver = r0; command_num = r1; arg1 = r2; arg2 = r3 })
-    else if c = class_allow_rw then
-      Ok (Allow_rw { driver = r0; allow_num = r1; addr = r2; len = r3 })
-    else if c = class_allow_ro then
-      Ok (Allow_ro { driver = r0; allow_num = r1; addr = r2; len = r3 })
-    else if c = class_memop then Ok (Memop { op = r0; arg = r1 })
-    else if c = class_exit then Ok (Exit { variant = r0; code = r1 })
-    else if c = class_command_blocking then
-      Ok
-        (Command_blocking
-           {
-             driver = r0;
-             command_num = r1;
-             arg1 = r2;
-             arg2 = r3 land 0xFFFF;
-             subscribe_num = (r3 lsr 16) land 0xFFFF;
-           })
-    else Error Error.NOSUPPORT
+    let c = Array.unsafe_get regs 0
+    and r0 = Array.unsafe_get regs 1
+    and r1 = Array.unsafe_get regs 2 in
+    let r2 = Array.unsafe_get regs 3 and r3 = Array.unsafe_get regs 4 in
+    match c with
+    | 0 (* class_yield *) -> (
+        match r0 with
+        | 0 -> Ok (Yield Yield_no_wait)
+        | 1 -> Ok (Yield Yield_wait)
+        | 2 -> Ok (Yield (Yield_wait_for { driver = r1; subscribe_num = r2 }))
+        | _ -> Error Error.INVAL)
+    | 1 (* class_subscribe *) ->
+        Ok
+          (Subscribe
+             { driver = r0; subscribe_num = r1; upcall_fn = r2; appdata = r3 })
+    | 2 (* class_command *) ->
+        Ok (Command { driver = r0; command_num = r1; arg1 = r2; arg2 = r3 })
+    | 3 (* class_allow_rw *) ->
+        Ok (Allow_rw { driver = r0; allow_num = r1; addr = r2; len = r3 })
+    | 4 (* class_allow_ro *) ->
+        Ok (Allow_ro { driver = r0; allow_num = r1; addr = r2; len = r3 })
+    | 5 (* class_memop *) -> Ok (Memop { op = r0; arg = r1 })
+    | 6 (* class_exit *) -> Ok (Exit { variant = r0; code = r1 })
+    | 0x80 (* class_command_blocking *) ->
+        Ok
+          (Command_blocking
+             {
+               driver = r0;
+               command_num = r1;
+               arg1 = r2;
+               arg2 = r3 land 0xFFFF;
+               subscribe_num = (r3 lsr 16) land 0xFFFF;
+             })
+    | _ -> Error Error.NOSUPPORT
 
 (* Return variant tags, TRD 104. *)
 let tag_failure = 0
@@ -115,6 +121,27 @@ let tag_success = 128
 let tag_success_u32 = 129
 let tag_success_u32_u32 = 130
 let tag_success_u32_u32_u32 = 132
+
+let encode_ret_into ret regs =
+  (* In-place variant for the kernel's per-syscall return path: one
+     4-word array per process is reused instead of allocating per call.
+     Safe because return registers are decoded by the process before its
+     next syscall can encode over them. *)
+  if Array.length regs <> 4 then invalid_arg "Syscall.encode_ret_into";
+  let set a b c d =
+    Array.unsafe_set regs 0 a;
+    Array.unsafe_set regs 1 b;
+    Array.unsafe_set regs 2 c;
+    Array.unsafe_set regs 3 d
+  in
+  match ret with
+  | Failure e -> set tag_failure (Error.to_int e) 0 0
+  | Failure_u32 (e, a) -> set tag_failure_u32 (Error.to_int e) a 0
+  | Failure_u32_u32 (e, a, b) -> set tag_failure_u32_u32 (Error.to_int e) a b
+  | Success -> set tag_success 0 0 0
+  | Success_u32 a -> set tag_success_u32 a 0 0
+  | Success_u32_u32 (a, b) -> set tag_success_u32_u32 a b 0
+  | Success_u32_u32_u32 (a, b, c) -> set tag_success_u32_u32_u32 a b c
 
 let encode_ret = function
   | Failure e -> [| tag_failure; Error.to_int e; 0; 0 |]
@@ -133,18 +160,20 @@ let decode_ret regs =
       | Some e -> Ok e
       | None -> Error "bad error code"
     in
-    let t = regs.(0) in
-    if t = tag_failure then Result.map (fun e -> Failure e) (err regs.(1))
-    else if t = tag_failure_u32 then
-      Result.map (fun e -> Failure_u32 (e, regs.(2))) (err regs.(1))
-    else if t = tag_failure_u32_u32 then
-      Result.map (fun e -> Failure_u32_u32 (e, regs.(2), regs.(3))) (err regs.(1))
-    else if t = tag_success then Ok Success
-    else if t = tag_success_u32 then Ok (Success_u32 regs.(1))
-    else if t = tag_success_u32_u32 then Ok (Success_u32_u32 (regs.(1), regs.(2)))
-    else if t = tag_success_u32_u32_u32 then
-      Ok (Success_u32_u32_u32 (regs.(1), regs.(2), regs.(3)))
-    else Error "unknown return variant"
+    let r1 = Array.unsafe_get regs 1
+    and r2 = Array.unsafe_get regs 2
+    and r3 = Array.unsafe_get regs 3 in
+    match Array.unsafe_get regs 0 with
+    | 0 (* tag_failure *) -> Result.map (fun e -> Failure e) (err r1)
+    | 1 (* tag_failure_u32 *) ->
+        Result.map (fun e -> Failure_u32 (e, r2)) (err r1)
+    | 2 (* tag_failure_u32_u32 *) ->
+        Result.map (fun e -> Failure_u32_u32 (e, r2, r3)) (err r1)
+    | 128 (* tag_success *) -> Ok Success
+    | 129 (* tag_success_u32 *) -> Ok (Success_u32 r1)
+    | 130 (* tag_success_u32_u32 *) -> Ok (Success_u32_u32 (r1, r2))
+    | 132 (* tag_success_u32_u32_u32 *) -> Ok (Success_u32_u32_u32 (r1, r2, r3))
+    | _ -> Error "unknown return variant"
 
 let pp_call fmt = function
   | Yield Yield_no_wait -> Format.fprintf fmt "yield-no-wait"

@@ -61,6 +61,12 @@ val decode_call : int array -> (call, Error.t) result
 val encode_ret : ret -> int array
 (** 4 registers, TRD 104 variant tags (Failure = 0 ... Success = 128...). *)
 
+val encode_ret_into : ret -> int array -> unit
+(** Like {!encode_ret} but writes into a caller-owned 4-register array —
+    the kernel's allocation-free per-syscall return path. The buffer must
+    not be re-encoded before the process has decoded it.
+    @raise Invalid_argument on a wrong-sized buffer. *)
+
 val decode_ret : int array -> (ret, string) result
 
 val pp_call : Format.formatter -> call -> unit

@@ -1,0 +1,218 @@
+(* Fleet simulation engine: hundreds-to-thousands of boards stepped at
+   high aggregate throughput across OCaml 5 domains.
+
+   Boards are deterministic and share no mutable state except the radio
+   medium inside a group, so the unit of parallelism is the *group*: one
+   shared [Sim] clock holding either a single independent board
+   (group_size = 1) or a small radio network (group_size > 1, the
+   Signpost deployment shape). Groups are sharded round-robin across
+   domains and the per-board results are merged back in board order, so
+   the output is byte-identical whatever the domain count. *)
+
+type config = {
+  boards : int;
+  domains : int;
+  group_size : int;  (* boards per shared-clock radio group; 1 = independent *)
+  cycles : int;      (* simulated-cycle budget per group clock *)
+  seed : int64;
+}
+
+type board_stats = {
+  bs_board : int;
+  bs_seed : int64;
+  bs_cycles : int;
+  bs_active_cycles : int;
+  bs_sleep_cycles : int;
+  bs_syscalls : int;
+  bs_context_switches : int;
+  bs_upcalls : int;
+  bs_output_bytes : int;
+  bs_output_digest : string;
+}
+
+let default =
+  {
+    boards = 16;
+    domains = 1;
+    group_size = 1;
+    cycles = 2_000_000;
+    seed = 0xF1EE_2026L;
+  }
+
+(* Per-group seed: a pure SplitMix64-style mix of the fleet seed and the
+   group's first board index, so any board's behaviour is independent of
+   which domain runs it and of every other group. *)
+let group_seed base idx =
+  let open Int64 in
+  let z = add base (mul (of_int (idx + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  logxor z (shift_right_logical z 27)
+
+(* Deterministic per-board workload: rotate through app mixes by
+   absolute board index so fleet composition doesn't depend on grouping
+   arithmetic. *)
+let load_workload board idx =
+  let add name app =
+    match Tock_boards.Board.add_app board ~name app with
+    | Ok _ -> ()
+    | Error e ->
+        failwith
+          (Printf.sprintf "fleet: board %d app %s: %s" idx name
+             (Tock.Error.to_string e))
+  in
+  let jitter = idx mod 7 in
+  match idx mod 3 with
+  | 0 ->
+      add "counter" (Tock_userland.Apps.counter ~n:8 ~period_ticks:(200 + (17 * jitter)));
+      add "hello" Tock_userland.Apps.hello
+  | 1 ->
+      add "blink"
+        (Tock_userland.Apps.blink ~led:0 ~period_ticks:(150 + (13 * jitter)) ~blinks:10);
+      add "sensors"
+        (Tock_userland.Apps.sensor_logger ~samples:4 ~period_ticks:(900 + (31 * jitter)))
+  | _ ->
+      add "kv" (Tock_userland.Apps.kv_user ~rounds:4);
+      add "hello" Tock_userland.Apps.hello
+
+let stats_of ~idx ~seed (b : Tock_boards.Board.t) =
+  let s = Tock.Kernel.stats b.Tock_boards.Board.kernel in
+  let sim = b.Tock_boards.Board.sim in
+  let out = Tock_boards.Board.output b in
+  {
+    bs_board = idx;
+    bs_seed = seed;
+    bs_cycles = Tock_hw.Sim.now sim;
+    bs_active_cycles = Tock_hw.Sim.active_cycles sim;
+    bs_sleep_cycles = Tock_hw.Sim.sleep_cycles sim;
+    bs_syscalls = s.Tock.Kernel.syscalls;
+    bs_context_switches = s.Tock.Kernel.context_switches;
+    bs_upcalls = s.Tock.Kernel.upcalls_delivered;
+    bs_output_bytes = String.length out;
+    (* Stdlib MD5, not Tock_crypto: fleet is board-layer code and the
+       crypto-confinement lint keeps crypto primitives out of boards.
+       This digest only fingerprints output for determinism checks. *)
+    bs_output_digest = Digest.to_hex (Digest.string out);
+  }
+
+(* One independent board on its own clock: tracing off, full cycle
+   budget (the run ends early only if the simulation stalls). *)
+let run_single cfg ~idx ~seed =
+  let sim = Tock_hw.Sim.create ~seed ~trace_capacity:0 () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let board = Tock_boards.Board.build chip in
+  load_workload board idx;
+  ignore (Tock_boards.Board.run_until board ~max_cycles:cfg.cycles (fun () -> false));
+  [ stats_of ~idx ~seed board ]
+
+(* A radio group: one shared clock and medium, first board is the
+   gateway sink, the rest are beacons (the Signpost deployment). *)
+let run_radio_group cfg ~lo ~n ~seed =
+  let net =
+    Tock_boards.Signpost_board.create ~seed ~loss_prob:0.02 ~nodes:n ()
+  in
+  let gateway, sensors =
+    match net.Tock_boards.Signpost_board.nodes with
+    | g :: rest -> (g, rest)
+    | [] -> assert false
+  in
+  (match
+     Tock_boards.Board.add_app gateway.Tock_boards.Signpost_board.node_board
+       ~name:"sink"
+       (Tock_userland.Apps.radio_sink ~expect:(3 * (n - 1)))
+   with
+  | Ok _ -> ()
+  | Error e ->
+      failwith ("fleet: gateway sink: " ^ Tock.Error.to_string e));
+  List.iteri
+    (fun i node ->
+      match
+        Tock_boards.Board.add_app node.Tock_boards.Signpost_board.node_board
+          ~name:(Printf.sprintf "beacon%d" i)
+          (Tock_userland.Apps.radio_beacon ~frames:3
+             ~period_ticks:(700 + (61 * i)))
+      with
+      | Ok _ -> ()
+      | Error e ->
+          failwith ("fleet: beacon: " ^ Tock.Error.to_string e))
+    sensors;
+  Tock_boards.Signpost_board.run_all net ~max_cycles:cfg.cycles;
+  List.mapi
+    (fun i node ->
+      stats_of ~idx:(lo + i) ~seed
+        node.Tock_boards.Signpost_board.node_board)
+    net.Tock_boards.Signpost_board.nodes
+
+let group_count cfg = (cfg.boards + cfg.group_size - 1) / cfg.group_size
+
+let run_group cfg g =
+  let lo = g * cfg.group_size in
+  let hi = min cfg.boards ((g + 1) * cfg.group_size) in
+  let n = hi - lo in
+  let seed = group_seed cfg.seed lo in
+  if n = 1 then run_single cfg ~idx:lo ~seed
+  else run_radio_group cfg ~lo ~n ~seed
+
+let validate cfg =
+  if cfg.boards <= 0 then invalid_arg "Fleet.run: boards <= 0";
+  if cfg.group_size <= 0 then invalid_arg "Fleet.run: group_size <= 0";
+  if cfg.domains <= 0 then invalid_arg "Fleet.run: domains <= 0";
+  if cfg.cycles <= 0 then invalid_arg "Fleet.run: cycles <= 0"
+
+let run cfg =
+  validate cfg;
+  let ngroups = group_count cfg in
+  let domains = min cfg.domains ngroups in
+  (* Round-robin sharding: domain d owns groups d, d+domains, ... Each
+     group's simulation is self-contained, so placement affects wall
+     time only, never results. *)
+  let run_shard d () =
+    let acc = ref [] in
+    let g = ref d in
+    while !g < ngroups do
+      acc := List.rev_append (run_group cfg !g) !acc;
+      g := !g + domains
+    done;
+    !acc
+  in
+  let shards =
+    if domains = 1 then [ run_shard 0 () ]
+    else
+      let workers = Array.init domains (fun d -> Domain.spawn (run_shard d)) in
+      Array.to_list (Array.map Domain.join workers)
+  in
+  (* Merge in board order: the per-domain result queues are unordered
+     relative to each other, the board index is the total order. *)
+  let merged =
+    Array.make cfg.boards
+      {
+        bs_board = -1;
+        bs_seed = 0L;
+        bs_cycles = 0;
+        bs_active_cycles = 0;
+        bs_sleep_cycles = 0;
+        bs_syscalls = 0;
+        bs_context_switches = 0;
+        bs_upcalls = 0;
+        bs_output_bytes = 0;
+        bs_output_digest = "";
+      }
+  in
+  List.iter (List.iter (fun bs -> merged.(bs.bs_board) <- bs)) shards;
+  Array.iteri
+    (fun i bs -> if bs.bs_board <> i then failwith "Fleet.run: missing board")
+    merged;
+  merged
+
+let total_cycles stats =
+  Array.fold_left (fun acc bs -> acc + bs.bs_cycles) 0 stats
+
+let total_syscalls stats =
+  Array.fold_left (fun acc bs -> acc + bs.bs_syscalls) 0 stats
+
+let pp_board_stats fmt bs =
+  Format.fprintf fmt
+    "board %4d seed=%016Lx cycles=%d active=%d sleep=%d syscalls=%d \
+     switches=%d upcalls=%d out=%dB %s"
+    bs.bs_board bs.bs_seed bs.bs_cycles bs.bs_active_cycles bs.bs_sleep_cycles
+    bs.bs_syscalls bs.bs_context_switches bs.bs_upcalls bs.bs_output_bytes
+    (String.sub bs.bs_output_digest 0 12)

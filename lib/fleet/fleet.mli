@@ -1,0 +1,52 @@
+(** Fleet simulation: run many deterministic boards in parallel across
+    OCaml 5 domains (paper §1: "10 million computers" — the simulator
+    side of that scale).
+
+    The unit of parallelism is the {e group}: one shared simulation
+    clock holding either a single independent board ([group_size = 1])
+    or a small Signpost-style radio network ([group_size > 1]). Groups
+    share no mutable state with each other, are sharded round-robin
+    across domains, and results are merged in board order — so
+    [run cfg] returns byte-identical stats for every value of
+    [cfg.domains]. *)
+
+type config = {
+  boards : int;      (** total boards in the fleet *)
+  domains : int;     (** worker domains; 1 = run inline on this domain *)
+  group_size : int;  (** boards per shared-clock radio group; 1 = independent *)
+  cycles : int;      (** simulated-cycle budget per group clock *)
+  seed : int64;      (** fleet seed; per-group seeds are derived purely *)
+}
+
+type board_stats = {
+  bs_board : int;
+  bs_seed : int64;          (** the group seed this board ran under *)
+  bs_cycles : int;          (** final simulated time of the board's clock *)
+  bs_active_cycles : int;
+  bs_sleep_cycles : int;
+  bs_syscalls : int;
+  bs_context_switches : int;
+  bs_upcalls : int;
+  bs_output_bytes : int;
+  bs_output_digest : string;  (** MD5 hex of the uart0 capture *)
+}
+
+val default : config
+(** 16 independent boards, 1 domain, 2M cycles. *)
+
+val group_seed : int64 -> int -> int64
+(** [group_seed fleet_seed first_board_index]: pure SplitMix64-style
+    derivation, independent of grouping/sharding arithmetic. *)
+
+val group_count : config -> int
+
+val run : config -> board_stats array
+(** Run the whole fleet; [Invalid_argument] on non-positive config
+    fields. The result array is indexed by board number and is
+    deterministic given [config] minus [domains]. *)
+
+val total_cycles : board_stats array -> int
+
+val total_syscalls : board_stats array -> int
+
+val pp_board_stats : Format.formatter -> board_stats -> unit

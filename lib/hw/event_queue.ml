@@ -1,3 +1,11 @@
+(* 4-ary min-heap keyed on (time, seq). A 4-ary layout halves the tree
+   depth of the old binary heap, so sift_down — the cost of every pop —
+   touches fewer cache lines; sift_up compares against one parent either
+   way. Cancelled entries stay in the heap (lazy cancel) and are dropped
+   when they surface, but when they outnumber the live entries the whole
+   heap is compacted in place so a cancel-heavy workload (alarm muxes
+   re-arming) cannot grow the array without bound. *)
+
 type entry = {
   time : int;
   seq : int; (* FIFO tiebreak for equal deadlines *)
@@ -11,38 +19,57 @@ type t = {
   mutable heap : entry array;
   mutable len : int;
   mutable next_seq : int;
-  mutable live : int;
+  mutable live : int; (* non-cancelled entries still in the heap *)
 }
 
 let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true }
 
 let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; live = 0 }
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let[@inline] before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+let sift_up t i =
+  let e = Array.unsafe_get t.heap i in
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 4 in
+    let p = Array.unsafe_get t.heap parent in
+    if before e p then begin
+      Array.unsafe_set t.heap !i p;
+      i := parent
     end
-  end
+    else continue_ := false
+  done;
+  Array.unsafe_set t.heap !i e
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+let sift_down t i =
+  let e = Array.unsafe_get t.heap i in
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ do
+    let first = (4 * !i) + 1 in
+    if first >= t.len then continue_ := false
+    else begin
+      (* Smallest of up to four children. *)
+      let last = min (first + 3) (t.len - 1) in
+      let best = ref first in
+      let best_e = ref (Array.unsafe_get t.heap first) in
+      for c = first + 1 to last do
+        let ce = Array.unsafe_get t.heap c in
+        if before ce !best_e then begin
+          best := c;
+          best_e := ce
+        end
+      done;
+      if before !best_e e then begin
+        Array.unsafe_set t.heap !i !best_e;
+        i := !best
+      end
+      else continue_ := false
+    end
+  done;
+  Array.unsafe_set t.heap !i e
 
 let grow t =
   let bigger = Array.make (2 * Array.length t.heap) dummy in
@@ -59,10 +86,33 @@ let schedule t ~time fn =
   sift_up t (t.len - 1);
   e
 
+(* Rebuild the heap keeping only live entries. Heap order is a function
+   of the total (time, seq) order alone, so compaction never changes the
+   pop sequence — only the array layout. *)
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e = t.heap.(i) in
+    if not e.cancelled then begin
+      t.heap.(!j) <- e;
+      incr j
+    end
+  done;
+  for i = !j to t.len - 1 do
+    t.heap.(i) <- dummy
+  done;
+  t.len <- !j;
+  (* Floyd heapify: sift_down from the last internal node. *)
+  for i = ((t.len - 2) / 4) downto 0 do
+    sift_down t i
+  done
+
 let cancel t e =
   if not e.cancelled then begin
     e.cancelled <- true;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    (* Lazy-cancel compaction: once dead weight dominates, rebuild. *)
+    if t.len >= 64 && 2 * t.live < t.len then compact t
   end
 
 let pop t =
@@ -84,14 +134,37 @@ let next_time t =
   drop_cancelled t;
   if t.len = 0 then None else Some t.heap.(0).time
 
+let next_deadline t =
+  drop_cancelled t;
+  if t.len = 0 then max_int else t.heap.(0).time
+
 let pop_due t ~now =
   drop_cancelled t;
   if t.len > 0 && t.heap.(0).time <= now then begin
     let e = pop t in
+    (* Mark fired entries dead so a late cancel of this handle is the
+       documented no-op rather than corrupting the live count. *)
+    e.cancelled <- true;
     t.live <- t.live - 1;
     Some e.fn
   end
   else None
+
+let run_due t ~now =
+  let fired = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    drop_cancelled t;
+    if t.len > 0 && t.heap.(0).time <= now then begin
+      let e = pop t in
+      e.cancelled <- true;
+      t.live <- t.live - 1;
+      incr fired;
+      e.fn ()
+    end
+    else continue_ := false
+  done;
+  !fired
 
 let is_empty t =
   drop_cancelled t;

@@ -1,4 +1,5 @@
-(** Time-ordered future-event queue (binary min-heap).
+(** Time-ordered future-event queue (4-ary min-heap, lazy cancellation
+    with compaction once cancelled entries dominate).
 
     The simulation's single source of asynchrony: peripherals schedule
     completion events here and the clock only ever advances to event
@@ -21,8 +22,17 @@ val cancel : t -> handle -> unit
 val next_time : t -> int option
 (** Deadline of the earliest live event, if any. *)
 
+val next_deadline : t -> int
+(** Like {!next_time} but allocation-free: [max_int] when empty. *)
+
 val pop_due : t -> now:int -> (unit -> unit) option
 (** Remove and return the earliest event with [time <= now]. *)
+
+val run_due : t -> now:int -> int
+(** Pop and run every event with [time <= now] in deadline order,
+    allocation-free (the hot path under {!Sim.spend}). Events fired may
+    schedule further events; those are run too if already due. Returns
+    the number of events fired. *)
 
 val is_empty : t -> bool
 

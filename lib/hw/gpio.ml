@@ -53,7 +53,9 @@ let mode t ~pin:i = (pin t i).pin_mode
 let set t ~pin:i v =
   let p = pin t i in
   if p.pin_mode = Output then p.level <- v
-  else Sim.trace t.sim (Printf.sprintf "gpio: write to input pin %d ignored" i)
+  else
+    Sim.tracef t.sim (fun () ->
+        Printf.sprintf "gpio: write to input pin %d ignored" i)
 
 let toggle t ~pin:i =
   let p = pin t i in

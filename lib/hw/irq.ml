@@ -72,7 +72,7 @@ let service t =
           t.pending_count <- t.pending_count - 1;
           t.serviced <- t.serviced + 1;
           incr ran;
-          Sim.trace t.sim (Printf.sprintf "irq %d (%s)" i l.name);
+          Sim.tracef t.sim (fun () -> Printf.sprintf "irq %d (%s)" i l.name);
           match l.handler with Some fn -> fn () | None -> ()
         end)
       t.lines

@@ -15,14 +15,24 @@ type t = {
   mutable active_cycles : int;
   mutable sleep_cycles : int;
   mutable meters : meter_state list;
+  trace_cap : int;
   trace_ring : (int * string) array;
   mutable trace_pos : int;
   mutable trace_count : int;
+  mutable next_due : int;
+      (* Cached lower bound on the earliest event deadline ([max_int] =
+         none known). [spend] only probes the queue once [now] crosses
+         it, so the no-event-due common case is a single comparison. The
+         bound may be stale-early after a cancel (a spurious probe), but
+         never stale-late: every [at] lowers it and every probe
+         re-synchronises it. *)
 }
 
-let trace_capacity = 1024
+let default_trace_capacity = 1024
 
-let create ?(seed = 0x70CC_2025L) ?(clock_hz = 16_000_000) () =
+let create ?(seed = 0x70CC_2025L) ?(clock_hz = 16_000_000)
+    ?(trace_capacity = default_trace_capacity) () =
+  if trace_capacity < 0 then invalid_arg "Sim.create: trace_capacity < 0";
   {
     now = 0;
     clock_hz;
@@ -31,9 +41,11 @@ let create ?(seed = 0x70CC_2025L) ?(clock_hz = 16_000_000) () =
     active_cycles = 0;
     sleep_cycles = 0;
     meters = [];
-    trace_ring = Array.make trace_capacity (0, "");
+    trace_cap = trace_capacity;
+    trace_ring = Array.make (max 1 trace_capacity) (0, "");
     trace_pos = 0;
     trace_count = 0;
+    next_due = max_int;
   }
 
 let now t = t.now
@@ -47,59 +59,68 @@ let settle_meter t m =
   if dt > 0 then m.ua_cycles <- m.ua_cycles +. (float_of_int m.current_ua *. float_of_int dt);
   m.last_change <- t.now
 
-let run_due_events t =
-  let fired = ref false in
-  let rec loop () =
-    match Event_queue.pop_due t.events ~now:t.now with
-    | Some fn ->
-        fired := true;
-        fn ();
-        loop ()
-    | None -> ()
-  in
-  loop ();
-  !fired
+(* Fire everything due and re-synchronise the cached deadline. Events
+   fired may schedule new events (updating [next_due] through [at]);
+   [Event_queue.run_due] keeps draining until the head is in the
+   future, so the final probe is exact. *)
+let fire_due t =
+  let fired = Event_queue.run_due t.events ~now:t.now in
+  t.next_due <- Event_queue.next_deadline t.events;
+  fired > 0
+
+let run_due_events t = if t.now < t.next_due then false else fire_due t
 
 let spend t n =
   assert (n >= 0);
   t.now <- t.now + n;
   t.active_cycles <- t.active_cycles + n;
-  ignore (run_due_events t)
+  if t.now >= t.next_due then ignore (fire_due t)
 
 let at t ~delay fn =
   assert (delay >= 0);
-  Event_queue.schedule t.events ~time:(t.now + delay) fn
+  let time = t.now + delay in
+  if time < t.next_due then t.next_due <- time;
+  Event_queue.schedule t.events ~time fn
 
 let cancel t h = Event_queue.cancel t.events h
 
 let next_event_time t = Event_queue.next_time t.events
 
 let advance_to_next_event t =
-  match Event_queue.next_time t.events with
-  | None -> false
-  | Some deadline ->
+  let deadline = Event_queue.next_deadline t.events in
+  if deadline = max_int then false
+  else begin
+    if deadline > t.now then begin
+      t.sleep_cycles <- t.sleep_cycles + (deadline - t.now);
+      t.now <- deadline
+    end;
+    ignore (fire_due t);
+    true
+  end
+
+let sleep_until t deadline =
+  (* Fire intervening events at their own deadlines: one queue probe per
+     fired batch (the probe that found the deadline is the same one that
+     positions the clock), not a probe-then-re-probe per iteration. *)
+  let rec loop () =
+    let e = Event_queue.next_deadline t.events in
+    if e <= deadline then begin
+      if e > t.now then begin
+        t.sleep_cycles <- t.sleep_cycles + (e - t.now);
+        t.now <- e
+      end;
+      ignore (fire_due t);
+      loop ()
+    end
+    else begin
       if deadline > t.now then begin
         t.sleep_cycles <- t.sleep_cycles + (deadline - t.now);
         t.now <- deadline
       end;
-      ignore (run_due_events t);
-      true
-
-let sleep_until t deadline =
-  (* Fire intervening events at their own deadlines. *)
-  let rec loop () =
-    match Event_queue.next_time t.events with
-    | Some e when e <= deadline ->
-        ignore (advance_to_next_event t);
-        loop ()
-    | _ ->
-        if deadline > t.now then begin
-          t.sleep_cycles <- t.sleep_cycles + (deadline - t.now);
-          t.now <- deadline
-        end
+      t.next_due <- e
+    end
   in
-  loop ();
-  ignore (run_due_events t)
+  loop ()
 
 let active_cycles t = t.active_cycles
 
@@ -125,16 +146,25 @@ let energy_report t =
 let total_microjoules t =
   List.fold_left (fun acc (_, uj) -> acc +. uj) 0. (energy_report t)
 
+let trace_enabled t = t.trace_cap > 0
+
 let trace t msg =
-  t.trace_ring.(t.trace_pos) <- (t.now, msg);
-  t.trace_pos <- (t.trace_pos + 1) mod trace_capacity;
-  t.trace_count <- t.trace_count + 1
+  if t.trace_cap > 0 then begin
+    t.trace_ring.(t.trace_pos) <- (t.now, msg);
+    t.trace_pos <- (t.trace_pos + 1) mod t.trace_cap;
+    t.trace_count <- t.trace_count + 1
+  end
+
+let tracef t thunk = if t.trace_cap > 0 then trace t (thunk ())
 
 let recent_trace t n =
-  let available = min t.trace_count trace_capacity in
-  let n = min n available in
-  List.init n (fun i ->
-      let idx =
-        (t.trace_pos - n + i + (2 * trace_capacity)) mod trace_capacity
-      in
-      t.trace_ring.(idx))
+  if t.trace_cap = 0 then []
+  else begin
+    let available = min t.trace_count t.trace_cap in
+    let n = min n available in
+    List.init n (fun i ->
+        let idx =
+          (t.trace_pos - n + i + (2 * t.trace_cap)) mod t.trace_cap
+        in
+        t.trace_ring.(idx))
+  end

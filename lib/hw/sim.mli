@@ -22,9 +22,10 @@ type t
 type meter
 (** A registered power consumer. *)
 
-val create : ?seed:int64 -> ?clock_hz:int -> unit -> t
+val create : ?seed:int64 -> ?clock_hz:int -> ?trace_capacity:int -> unit -> t
 (** Default clock: 16 MHz. The seed feeds every PRNG derived from this
-    context. *)
+    context. [trace_capacity] bounds the trace ring (default 1024);
+    [0] disables tracing entirely, making {!trace}/{!tracef} free. *)
 
 val now : t -> int
 (** Current time in cycles since boot. *)
@@ -82,7 +83,16 @@ val total_microjoules : t -> float
 (** {2 Tracing} *)
 
 val trace : t -> string -> unit
-(** Append a timestamped line to the trace ring (kept bounded). *)
+(** Append a timestamped line to the trace ring (kept bounded). No-op
+    when tracing is disabled — but the argument has already been built;
+    prefer {!tracef} when the line needs formatting. *)
+
+val tracef : t -> (unit -> string) -> unit
+(** Like {!trace}, but the line is built lazily: the thunk is only
+    forced when tracing is enabled, so a disabled ring allocates
+    nothing. *)
+
+val trace_enabled : t -> bool
 
 val recent_trace : t -> int -> (int * string) list
 (** Up to [n] most recent trace entries, oldest first. *)

@@ -1,0 +1,196 @@
+(* Property tests for the 4-ary event queue: FIFO tiebreak, live
+   accounting under cancellation, and model-based equivalence against a
+   sorted-list reference implementation. *)
+
+open Helpers
+
+module Eq = Tock_hw.Event_queue
+
+(* --- FIFO tiebreak: equal deadlines fire in insertion order --- *)
+
+let fifo_tiebreak =
+  qcheck ~count:200 "equal deadlines fire in insertion order"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 3))
+    (fun times ->
+      let q = Eq.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i time ->
+          ignore (Eq.schedule q ~time (fun () -> fired := (time, i) :: !fired)))
+        times;
+      ignore (Eq.run_due q ~now:3);
+      let got = List.rev !fired in
+      (* Expected: stable sort by time; insertion index breaks ties. *)
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      got = expected)
+
+(* --- live accounting under interleaved schedule/cancel/pop --- *)
+
+type op = Schedule of int | Cancel of int | Pop of int
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun t -> Schedule t) (int_range 0 100);
+        map (fun i -> Cancel i) (int_range 0 30);
+        map (fun now -> Pop now) (int_range 0 100);
+      ])
+
+let live_accounting =
+  qcheck ~count:300 "size tracks live events under schedule/cancel/pop"
+    QCheck2.Gen.(list_size (int_range 1 200) op_gen)
+    (fun ops ->
+      let q = Eq.create () in
+      (* Mirror of live events: (handle, time, id), in insertion order. *)
+      let handles = ref [] in
+      let next_id = ref 0 in
+      let live = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Schedule t ->
+              let id = !next_id in
+              incr next_id;
+              let h = Eq.schedule q ~time:t (fun () -> Hashtbl.remove live id) in
+              Hashtbl.replace live id t;
+              handles := (h, id) :: !handles
+          | Cancel i -> (
+              (* Cancel the i-th most recent handle (possibly already
+                 fired or cancelled: must be a no-op). *)
+              match List.nth_opt !handles i with
+              | Some (h, id) ->
+                  Eq.cancel q h;
+                  Hashtbl.remove live id
+              | None -> ())
+          | Pop now -> ignore (Eq.run_due q ~now))
+        ops;
+      Eq.size q = Hashtbl.length live
+      && Eq.is_empty q = (Hashtbl.length live = 0))
+
+(* --- model-based equivalence against a sorted-list reference --- *)
+
+module Model = struct
+  (* Reference: association list of (time, seq) kept unsorted; pop scans
+     for the minimum (time, seq). Semantics only, no performance. *)
+  type t = { mutable events : (int * int) list; mutable seq : int }
+
+  let create () = { events = []; seq = 0 }
+
+  let schedule m ~time =
+    let s = m.seq in
+    m.seq <- s + 1;
+    m.events <- (time, s) :: m.events;
+    s
+
+  let cancel m s = m.events <- List.filter (fun (_, s') -> s' <> s) m.events
+
+  let next_time m =
+    match m.events with
+    | [] -> None
+    | _ -> Some (List.fold_left (fun acc (t, _) -> min acc t) max_int m.events)
+
+  let pop_due m ~now =
+    let due = List.filter (fun (t, _) -> t <= now) m.events in
+    match List.stable_sort compare due with
+    | [] -> None
+    | ((_, s) as e) :: _ ->
+        m.events <- List.filter (fun e' -> e' <> e) m.events;
+        Some s
+end
+
+let model_equivalence =
+  qcheck ~count:300 "heap matches sorted-list reference model"
+    QCheck2.Gen.(list_size (int_range 1 150) op_gen)
+    (fun ops ->
+      let q = Eq.create () in
+      let m = Model.create () in
+      (* seq -> (heap handle, fired flag); fired events record their seq. *)
+      let handles = Hashtbl.create 16 in
+      let heap_fired = ref [] in
+      let order = ref [] in
+      let ok = ref true in
+      let check_agree () =
+        if Eq.size q <> List.length m.Model.events then ok := false;
+        if Eq.next_time q <> Model.next_time m then ok := false;
+        if Eq.next_deadline q
+           <> Option.value (Model.next_time m) ~default:max_int
+        then ok := false
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Schedule t ->
+              let s = Model.schedule m ~time:t in
+              let h = Eq.schedule q ~time:t (fun () -> heap_fired := s :: !heap_fired) in
+              Hashtbl.replace handles s h;
+              order := s :: !order
+          | Cancel i -> (
+              match List.nth_opt !order i with
+              | Some s ->
+                  Eq.cancel q (Hashtbl.find handles s);
+                  Model.cancel m s
+              | None -> ())
+          | Pop now ->
+              (* Drain one at a time so each pop is compared. *)
+              let rec drain () =
+                let before = !heap_fired in
+                match (Eq.pop_due q ~now, Model.pop_due m ~now) with
+                | None, None -> ()
+                | Some f, Some s ->
+                    f ();
+                    (match !heap_fired with
+                    | s' :: _ when s' <> s || List.tl !heap_fired != before ->
+                        ok := false
+                    | [] -> ok := false
+                    | _ -> ());
+                    drain ()
+                | _ -> ok := false
+              in
+              drain ());
+          check_agree ())
+        ops;
+      !ok)
+
+let test_compaction_keeps_order () =
+  (* Force the lazy-cancel compaction path: schedule many, cancel most,
+     check survivors still fire in deadline order. *)
+  let q = Eq.create () in
+  let fired = ref [] in
+  let handles =
+    List.init 512 (fun i ->
+        (i, Eq.schedule q ~time:(1000 + (i * 3)) (fun () -> fired := i :: !fired)))
+  in
+  List.iter (fun (i, h) -> if i mod 4 <> 0 then Eq.cancel q h) handles;
+  Alcotest.(check int) "live after cancel" 128 (Eq.size q);
+  ignore (Eq.run_due q ~now:10_000);
+  let got = List.rev !fired in
+  let expected = List.filter (fun i -> i mod 4 = 0) (List.init 512 Fun.id) in
+  Alcotest.(check (list int)) "survivors in order" expected got;
+  Alcotest.(check bool) "empty" true (Eq.is_empty q)
+
+let test_run_due_reentrant () =
+  (* An event scheduling another already-due event: fired same call. *)
+  let q = Eq.create () in
+  let log = ref [] in
+  ignore
+    (Eq.schedule q ~time:5 (fun () ->
+         log := "outer" :: !log;
+         ignore (Eq.schedule q ~time:6 (fun () -> log := "inner" :: !log))));
+  let n = Eq.run_due q ~now:10 in
+  Alcotest.(check int) "both fired" 2 n;
+  Alcotest.(check (list string)) "order" [ "outer"; "inner" ] (List.rev !log)
+
+let suite =
+  [
+    fifo_tiebreak;
+    live_accounting;
+    model_equivalence;
+    Alcotest.test_case "compaction keeps deadline order" `Quick
+      test_compaction_keeps_order;
+    Alcotest.test_case "run_due fires newly-due events" `Quick
+      test_run_due_reentrant;
+  ]

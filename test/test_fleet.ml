@@ -1,0 +1,91 @@
+(* The domain-parallel fleet runner: deterministic results independent
+   of the domain count, plus a small multi-domain smoke run. *)
+
+open! Helpers
+
+module Fleet = Tock_fleet.Fleet
+
+let small cfg = { cfg with Fleet.cycles = 200_000 }
+
+let check_identical name a b =
+  Alcotest.(check int) (name ^ ": board count") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (x : Fleet.board_stats) ->
+      let y = b.(i) in
+      if x <> y then
+        Alcotest.failf "%s: board %d diverged:\n  1 domain:  %s\n  N domains: %s"
+          name i
+          (Format.asprintf "%a" Fleet.pp_board_stats x)
+          (Format.asprintf "%a" Fleet.pp_board_stats y))
+    a
+
+let test_deterministic_across_domains () =
+  (* Independent boards: same fleet at 1 and 4 domains must produce
+     byte-identical per-board stats (including output digests). *)
+  let cfg = small { Fleet.default with boards = 9; group_size = 1 } in
+  let seq = Fleet.run { cfg with domains = 1 } in
+  let par = Fleet.run { cfg with domains = 4 } in
+  check_identical "independent" seq par
+
+let test_deterministic_radio_groups () =
+  (* Radio groups (shared Ether within a group) sharded across domains. *)
+  let cfg = small { Fleet.default with boards = 8; group_size = 4 } in
+  let seq = Fleet.run { cfg with domains = 1 } in
+  let par = Fleet.run { cfg with domains = 2 } in
+  check_identical "radio groups" seq par
+
+let test_fleet_smoke () =
+  (* Tiny 2-domain fleet: every board makes progress and reports sane
+     accounting. *)
+  let cfg =
+    small { Fleet.default with boards = 4; domains = 2; group_size = 1 }
+  in
+  let stats = Fleet.run cfg in
+  Array.iter
+    (fun (bs : Fleet.board_stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "board %d ran" bs.Fleet.bs_board)
+        true (bs.Fleet.bs_cycles > 0);
+      Alcotest.(check bool) "made syscalls" true (bs.Fleet.bs_syscalls > 0);
+      Alcotest.(check int) "cycles = active + sleep" bs.Fleet.bs_cycles
+        (bs.Fleet.bs_active_cycles + bs.Fleet.bs_sleep_cycles);
+      Alcotest.(check int) "digest is md5 hex" 32
+        (String.length bs.Fleet.bs_output_digest))
+    stats;
+  Alcotest.(check bool) "aggregate cycles" true (Fleet.total_cycles stats > 0)
+
+let test_seed_independent_of_grouping () =
+  (* group_seed depends only on the fleet seed and first board index. *)
+  let s = Fleet.group_seed 42L 0 in
+  Alcotest.(check bool) "distinct per index" true
+    (s <> Fleet.group_seed 42L 1);
+  Alcotest.(check bool) "distinct per fleet seed" true
+    (s <> Fleet.group_seed 43L 0);
+  Alcotest.(check int64) "pure" s (Fleet.group_seed 42L 0)
+
+let test_bad_config_rejected () =
+  List.iter
+    (fun cfg ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (Fleet.run cfg);
+           false
+         with Invalid_argument _ -> true))
+    [
+      { Fleet.default with boards = 0 };
+      { Fleet.default with domains = 0 };
+      { Fleet.default with group_size = -1 };
+      { Fleet.default with cycles = 0 };
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "deterministic across domain counts" `Quick
+      test_deterministic_across_domains;
+    Alcotest.test_case "deterministic radio groups" `Quick
+      test_deterministic_radio_groups;
+    Alcotest.test_case "fleet-smoke (2 domains)" `Quick test_fleet_smoke;
+    Alcotest.test_case "group seeds are pure" `Quick
+      test_seed_independent_of_grouping;
+    Alcotest.test_case "bad configs rejected" `Quick test_bad_config_rejected;
+  ]

@@ -3,6 +3,7 @@ let () =
     [
       ("crypto", Test_crypto.suite);
       ("sim", Test_sim.suite);
+      ("event-queue", Test_event_queue.suite);
       ("mpu", Test_mpu.suite);
       ("cells", Test_cells.suite);
       ("hw", Test_hw.suite);
@@ -15,6 +16,7 @@ let () =
       ("userland", Test_userland.suite);
       ("storage", Test_storage.suite);
       ("boards", Test_boards.suite);
+      ("fleet", Test_fleet.suite);
       ("scheduler", Test_scheduler.suite);
       ("adaptors", Test_adaptors.suite);
       ("kv-model", Test_kv_model.suite);

@@ -165,6 +165,68 @@ let test_mmio_bad_decl () =
     (try ignore (Mmio.field ~name:"f" ~offset:30 ~width:4); false
      with Invalid_argument _ -> true)
 
+let test_sleep_accounting () =
+  (* Regression for the single-probe sleep_until/advance_to_next_event
+     path: sleep/active cycle totals must match the event timeline
+     exactly, including events that reschedule themselves. *)
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let rec periodic n () =
+    fired := Sim.now sim :: !fired;
+    if n > 1 then ignore (Sim.at sim ~delay:100 (periodic (n - 1)))
+  in
+  Sim.spend sim 40;
+  ignore (Sim.at sim ~delay:60 (periodic 3));
+  (* 100, 200, 300 *)
+  Sim.sleep_until sim 250;
+  Alcotest.(check int) "woke at deadline" 250 (Sim.now sim);
+  Alcotest.(check (list int)) "two fired" [ 100; 200 ] (List.rev !fired);
+  Alcotest.(check int) "active" 40 (Sim.active_cycles sim);
+  Alcotest.(check int) "sleep" 210 (Sim.sleep_cycles sim);
+  Alcotest.(check bool) "third pending" true (Sim.advance_to_next_event sim);
+  Alcotest.(check int) "at third" 300 (Sim.now sim);
+  Alcotest.(check (list int)) "all fired" [ 100; 200; 300 ] (List.rev !fired);
+  Alcotest.(check int) "sleep after advance" 260 (Sim.sleep_cycles sim);
+  (* No events left: sleep_until just burns sleep cycles. *)
+  Alcotest.(check bool) "no more events" false (Sim.advance_to_next_event sim);
+  Sim.sleep_until sim 500;
+  Alcotest.(check int) "final time" 500 (Sim.now sim);
+  Alcotest.(check int) "final sleep" 460 (Sim.sleep_cycles sim);
+  Alcotest.(check int) "active unchanged" 40 (Sim.active_cycles sim)
+
+let test_cancelled_next_due () =
+  (* A cancelled earliest event must not stop later events from firing
+     (the cached next-deadline may be stale-early, never stale-late). *)
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.at sim ~delay:10 (fun () -> Alcotest.fail "cancelled fired") in
+  ignore (Sim.at sim ~delay:20 (fun () -> fired := true));
+  Sim.cancel sim h;
+  Sim.spend sim 30;
+  Alcotest.(check bool) "later event fired" true !fired
+
+let test_trace_disabled () =
+  let sim = Sim.create ~trace_capacity:0 () in
+  Alcotest.(check bool) "disabled" false (Sim.trace_enabled sim);
+  Sim.trace sim "dropped";
+  let forced = ref false
+  in
+  Sim.tracef sim (fun () ->
+      forced := true;
+      "never built");
+  Alcotest.(check bool) "thunk not forced when disabled" false !forced;
+  Alcotest.(check (list (pair int string))) "ring empty" []
+    (Sim.recent_trace sim 10);
+  (* And the default-capacity ring does force the thunk. *)
+  let sim2 = Sim.create () in
+  let forced2 = ref false in
+  Sim.tracef sim2 (fun () ->
+      forced2 := true;
+      "built");
+  Alcotest.(check bool) "thunk forced when enabled" true !forced2;
+  Alcotest.(check (list (pair int string))) "recorded" [ (0, "built") ]
+    (Sim.recent_trace sim2 10)
+
 let test_trace () =
   let sim = Sim.create () in
   Sim.spend sim 7;
