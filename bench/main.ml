@@ -25,6 +25,8 @@ let experiments =
     ("a-mpu", Ablations.a_mpu);
     ("a-upcall-queue", Ablations.a_upcall_queue);
     ("micro", Micro.run);
+    ("datapath", Datapath.run);
+    ("datapath-smoke", Datapath.run_smoke);
     ("fleet", Fleet_bench.run);
   ]
 

@@ -23,8 +23,11 @@ let frag_chunk = max_payload - frag_header
 
 let max_fragments = 8
 
-(* CRC-16/CCITT-FALSE *)
-let crc16 b ~off ~len =
+(* CRC-16/CCITT-FALSE. The bitwise version is the oracle; every frame on
+   the wire is checksummed twice (send and receive), so the real
+   computation runs byte-at-a-time over a 256-entry table derived from it
+   at module init. *)
+let crc16_ref b ~off ~len =
   let crc = ref 0xFFFF in
   for i = off to off + len - 1 do
     crc := !crc lxor (Char.code (Bytes.get b i) lsl 8);
@@ -32,6 +35,26 @@ let crc16 b ~off ~len =
       if !crc land 0x8000 <> 0 then crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
       else crc := (!crc lsl 1) land 0xFFFF
     done
+  done;
+  !crc
+
+let crc16_table =
+  Array.init 256 (fun byte ->
+      let crc = ref (byte lsl 8) in
+      for _ = 1 to 8 do
+        if !crc land 0x8000 <> 0 then
+          crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+        else crc := (!crc lsl 1) land 0xFFFF
+      done;
+      !crc)
+
+let crc16 b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Net_stack.crc16";
+  let crc = ref 0xFFFF in
+  for i = off to off + len - 1 do
+    let idx = (!crc lsr 8) lxor Char.code (Bytes.unsafe_get b i) in
+    crc := ((!crc lsl 8) lxor Array.unsafe_get crc16_table idx) land 0xFFFF
   done;
   !crc
 

@@ -72,4 +72,9 @@ val acks_sent : t -> int
 val datagrams_reassembled : t -> int
 
 val crc16 : bytes -> off:int -> len:int -> int
-(** CRC-16/CCITT-FALSE, exposed for tests. *)
+(** CRC-16/CCITT-FALSE, exposed for tests. Table-driven (256-entry table
+    built at module init). *)
+
+val crc16_ref : bytes -> off:int -> len:int -> int
+(** The bitwise CRC the table is derived from — the equivalence oracle
+    and speedup baseline for {!crc16}. *)

@@ -52,6 +52,23 @@ type allow_entry = { a_addr : int; a_len : int }
 
 let zero_allow = { a_addr = 0; a_len = 0 }
 
+(* Last-hit MPU access cache, one per access kind. The emulated data
+   plane funnels every load/store through [check_access]; the common case
+   is a run of accesses inside the same protection region, so we remember
+   the permitting [c_lo, c_hi) range and the MPU configuration generation
+   it was observed at. A hit is three integer compares — no region-table
+   scan. Any mutation of the MPU config (region allocation, brk, restart)
+   bumps the generation and implicitly invalidates all three entries;
+   caching a range across a generation change is exactly the stale-MPU
+   bug class of paper §5.4, so validity is checked on every lookup. *)
+type access_cache = {
+  mutable c_gen : int; (* -1 = never primed *)
+  mutable c_lo : int;
+  mutable c_hi : int;
+}
+
+let fresh_cache () = { c_gen = -1; c_lo = 0; c_hi = 0 }
+
 let upcall_queue_capacity = 16
 
 type t = {
@@ -67,6 +84,9 @@ type t = {
   flash : bytes;
   mpu : Tock_hw.Mpu.t;
   mpu_config : Tock_hw.Mpu.config;
+  cache_read : access_cache;
+  cache_write : access_cache;
+  cache_exec : access_cache;
   upcall_slots : (int * int, upcall) Hashtbl.t;
   pending : pending_upcall Ring_buffer.t;
   allows_rw : (int * int, allow_entry) Hashtbl.t;
@@ -106,6 +126,9 @@ let create ~id ~name ~ram_base ~ram_size ~initial_app_break ~flash_base ~flash
     flash;
     mpu;
     mpu_config;
+    cache_read = fresh_cache ();
+    cache_write = fresh_cache ();
+    cache_exec = fresh_cache ();
     upcall_slots = Hashtbl.create 16;
     pending = Ring_buffer.create ~capacity:upcall_queue_capacity ~dummy:dummy_pending;
     allows_rw = Hashtbl.create 16;
@@ -193,7 +216,26 @@ let mem_view t ~addr ~len =
 let ram_bytes t = t.ram
 
 let check_access t ~addr ~len kind =
-  Tock_hw.Mpu.check t.mpu t.mpu_config ~addr ~len kind
+  if len < 0 then false
+  else if len = 0 then true
+  else begin
+    let c =
+      match kind with
+      | `Read -> t.cache_read
+      | `Write -> t.cache_write
+      | `Execute -> t.cache_exec
+    in
+    let gen = Tock_hw.Mpu.generation t.mpu_config in
+    if c.c_gen = gen && addr >= c.c_lo && addr + len <= c.c_hi then true
+    else
+      match Tock_hw.Mpu.check_with_range t.mpu t.mpu_config ~addr ~len kind with
+      | Some (lo, hi) ->
+          c.c_lo <- lo;
+          c.c_hi <- hi;
+          c.c_gen <- gen;
+          true
+      | None -> false
+  end
 
 (* ---- upcalls ---- *)
 

@@ -36,7 +36,68 @@ let sbox, inv_sbox =
 
 let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
 
-type key = { rounds : int array array (* 11 round keys of 16 bytes *) }
+(* ---- T-tables ----
+
+   The fast data path works on four 32-bit column words (big-endian byte
+   order, matching FIPS 197's state layout) and folds SubBytes +
+   ShiftRows + MixColumns into four 256-entry table lookups per word.
+   The tables are derived at module init from the same first-principles
+   sbox and gf_mul as the byte-wise reference kernel, so there is still
+   no hand-typed constant to get wrong; the reference kernel is retained
+   below (module {!Reference}) as the oracle the fast path is tested and
+   benchmarked against. *)
+
+let mask32 = 0xFFFFFFFF
+
+let ror8 w = ((w lsr 8) lor (w lsl 24)) land mask32
+
+let te0, te1, te2, te3, td0, td1, td2, td3 =
+  let te0 = Array.make 256 0 and te1 = Array.make 256 0 in
+  let te2 = Array.make 256 0 and te3 = Array.make 256 0 in
+  let td0 = Array.make 256 0 and td1 = Array.make 256 0 in
+  let td2 = Array.make 256 0 and td3 = Array.make 256 0 in
+  for x = 0 to 255 do
+    let s = sbox.(x) in
+    (* MixColumns contribution of a row-0 byte: column (2s, s, s, 3s). *)
+    let w =
+      (gf_mul s 2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor gf_mul s 3
+    in
+    te0.(x) <- w;
+    te1.(x) <- ror8 w;
+    te2.(x) <- ror8 (ror8 w);
+    te3.(x) <- ror8 (ror8 (ror8 w));
+    let si = inv_sbox.(x) in
+    (* InvMixColumns contribution: column (14s, 9s, 13s, 11s). *)
+    let wi =
+      (gf_mul si 14 lsl 24) lor (gf_mul si 9 lsl 16) lor (gf_mul si 13 lsl 8)
+      lor gf_mul si 11
+    in
+    td0.(x) <- wi;
+    td1.(x) <- ror8 wi;
+    td2.(x) <- ror8 (ror8 wi);
+    td3.(x) <- ror8 (ror8 (ror8 wi))
+  done;
+  (te0, te1, te2, te3, td0, td1, td2, td3)
+
+(* InvMixColumns of one column word — used to derive the equivalent
+   inverse cipher's round keys (FIPS 197 §5.3.5). *)
+let inv_mix_word w =
+  let a0 = (w lsr 24) land 0xff
+  and a1 = (w lsr 16) land 0xff
+  and a2 = (w lsr 8) land 0xff
+  and a3 = w land 0xff in
+  ((gf_mul a0 14 lxor gf_mul a1 11 lxor gf_mul a2 13 lxor gf_mul a3 9) lsl 24)
+  lor ((gf_mul a0 9 lxor gf_mul a1 14 lxor gf_mul a2 11 lxor gf_mul a3 13)
+      lsl 16)
+  lor ((gf_mul a0 13 lxor gf_mul a1 9 lxor gf_mul a2 14 lxor gf_mul a3 11)
+      lsl 8)
+  lor (gf_mul a0 11 lxor gf_mul a1 13 lxor gf_mul a2 9 lxor gf_mul a3 14)
+
+type key = {
+  rounds : int array array; (* 11 round keys of 16 bytes (reference path) *)
+  enc_w : int array; (* the same 44 round-key words, for the T-table path *)
+  dec_w : int array; (* equivalent-inverse-cipher round-key words *)
+}
 
 let expand_key kb =
   if Bytes.length kb <> 16 then invalid_arg "Aes128.expand_key: need 16 bytes";
@@ -70,7 +131,20 @@ let expand_key kb =
     Array.init 11 (fun r ->
         Array.init 16 (fun b -> w.((r * 4) + (b / 4)).(b mod 4)))
   in
-  { rounds }
+  let word r c =
+    (rounds.(r).(4 * c) lsl 24)
+    lor (rounds.(r).((4 * c) + 1) lsl 16)
+    lor (rounds.(r).((4 * c) + 2) lsl 8)
+    lor rounds.(r).((4 * c) + 3)
+  in
+  let enc_w = Array.init 44 (fun i -> word (i / 4) (i mod 4)) in
+  let dec_w =
+    Array.init 44 (fun i ->
+        let r = i / 4 and c = i mod 4 in
+        let src = word (10 - r) c in
+        if r = 0 || r = 10 then src else inv_mix_word src)
+  in
+  { rounds; enc_w; dec_w }
 
 let add_round_key state rk =
   for i = 0 to 15 do
@@ -136,7 +210,9 @@ let load_state src off =
 let store_state state =
   Bytes.init 16 (fun i -> Char.chr state.(i))
 
-let encrypt_block key src ~off =
+(* ---- byte-wise reference kernels (the oracle) ---- *)
+
+let encrypt_block_ref key src ~off =
   if off < 0 || off + 16 > Bytes.length src then
     invalid_arg "Aes128.encrypt_block";
   let state = load_state src off in
@@ -152,7 +228,7 @@ let encrypt_block key src ~off =
   add_round_key state key.rounds.(10);
   store_state state
 
-let decrypt_block key src ~off =
+let decrypt_block_ref key src ~off =
   if off < 0 || off + 16 > Bytes.length src then
     invalid_arg "Aes128.decrypt_block";
   let state = load_state src off in
@@ -167,6 +243,130 @@ let decrypt_block key src ~off =
   sub_bytes state inv_sbox;
   add_round_key state key.rounds.(0);
   store_state state
+
+module Reference = struct
+  let encrypt_block = encrypt_block_ref
+
+  let decrypt_block = decrypt_block_ref
+end
+
+(* ---- T-table fast path ---- *)
+
+(* Load the column word at [off + 4c] big-endian. Bounds are validated
+   once per block by the callers, so the byte reads are unchecked. *)
+let ld src off i =
+  (Char.code (Bytes.unsafe_get src (off + i)) lsl 24)
+  lor (Char.code (Bytes.unsafe_get src (off + i + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get src (off + i + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get src (off + i + 3))
+
+let st out i v =
+  Bytes.unsafe_set out i (Char.unsafe_chr (v lsr 24));
+  Bytes.unsafe_set out (i + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set out (i + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set out (i + 3) (Char.unsafe_chr (v land 0xff))
+
+let encrypt_block key src ~off =
+  if off < 0 || off + 16 > Bytes.length src then
+    invalid_arg "Aes128.encrypt_block";
+  let w = key.enc_w in
+  let s0 = ref (ld src off 0 lxor Array.unsafe_get w 0)
+  and s1 = ref (ld src off 4 lxor Array.unsafe_get w 1)
+  and s2 = ref (ld src off 8 lxor Array.unsafe_get w 2)
+  and s3 = ref (ld src off 12 lxor Array.unsafe_get w 3) in
+  for r = 1 to 9 do
+    let a0 = !s0 and a1 = !s1 and a2 = !s2 and a3 = !s3 in
+    let b = r * 4 in
+    s0 :=
+      Array.unsafe_get te0 (a0 lsr 24)
+      lxor Array.unsafe_get te1 ((a1 lsr 16) land 0xff)
+      lxor Array.unsafe_get te2 ((a2 lsr 8) land 0xff)
+      lxor Array.unsafe_get te3 (a3 land 0xff)
+      lxor Array.unsafe_get w b;
+    s1 :=
+      Array.unsafe_get te0 (a1 lsr 24)
+      lxor Array.unsafe_get te1 ((a2 lsr 16) land 0xff)
+      lxor Array.unsafe_get te2 ((a3 lsr 8) land 0xff)
+      lxor Array.unsafe_get te3 (a0 land 0xff)
+      lxor Array.unsafe_get w (b + 1);
+    s2 :=
+      Array.unsafe_get te0 (a2 lsr 24)
+      lxor Array.unsafe_get te1 ((a3 lsr 16) land 0xff)
+      lxor Array.unsafe_get te2 ((a0 lsr 8) land 0xff)
+      lxor Array.unsafe_get te3 (a1 land 0xff)
+      lxor Array.unsafe_get w (b + 2);
+    s3 :=
+      Array.unsafe_get te0 (a3 lsr 24)
+      lxor Array.unsafe_get te1 ((a0 lsr 16) land 0xff)
+      lxor Array.unsafe_get te2 ((a1 lsr 8) land 0xff)
+      lxor Array.unsafe_get te3 (a2 land 0xff)
+      lxor Array.unsafe_get w (b + 3)
+  done;
+  let a0 = !s0 and a1 = !s1 and a2 = !s2 and a3 = !s3 in
+  let fin x0 x1 x2 x3 rk =
+    (Array.unsafe_get sbox (x0 lsr 24) lsl 24)
+    lor (Array.unsafe_get sbox ((x1 lsr 16) land 0xff) lsl 16)
+    lor (Array.unsafe_get sbox ((x2 lsr 8) land 0xff) lsl 8)
+    lor Array.unsafe_get sbox (x3 land 0xff)
+    lxor rk
+  in
+  let out = Bytes.create 16 in
+  st out 0 (fin a0 a1 a2 a3 (Array.unsafe_get w 40));
+  st out 4 (fin a1 a2 a3 a0 (Array.unsafe_get w 41));
+  st out 8 (fin a2 a3 a0 a1 (Array.unsafe_get w 42));
+  st out 12 (fin a3 a0 a1 a2 (Array.unsafe_get w 43));
+  out
+
+let decrypt_block key src ~off =
+  if off < 0 || off + 16 > Bytes.length src then
+    invalid_arg "Aes128.decrypt_block";
+  let w = key.dec_w in
+  let s0 = ref (ld src off 0 lxor Array.unsafe_get w 0)
+  and s1 = ref (ld src off 4 lxor Array.unsafe_get w 1)
+  and s2 = ref (ld src off 8 lxor Array.unsafe_get w 2)
+  and s3 = ref (ld src off 12 lxor Array.unsafe_get w 3) in
+  for r = 1 to 9 do
+    let a0 = !s0 and a1 = !s1 and a2 = !s2 and a3 = !s3 in
+    let b = r * 4 in
+    s0 :=
+      Array.unsafe_get td0 (a0 lsr 24)
+      lxor Array.unsafe_get td1 ((a3 lsr 16) land 0xff)
+      lxor Array.unsafe_get td2 ((a2 lsr 8) land 0xff)
+      lxor Array.unsafe_get td3 (a1 land 0xff)
+      lxor Array.unsafe_get w b;
+    s1 :=
+      Array.unsafe_get td0 (a1 lsr 24)
+      lxor Array.unsafe_get td1 ((a0 lsr 16) land 0xff)
+      lxor Array.unsafe_get td2 ((a3 lsr 8) land 0xff)
+      lxor Array.unsafe_get td3 (a2 land 0xff)
+      lxor Array.unsafe_get w (b + 1);
+    s2 :=
+      Array.unsafe_get td0 (a2 lsr 24)
+      lxor Array.unsafe_get td1 ((a1 lsr 16) land 0xff)
+      lxor Array.unsafe_get td2 ((a0 lsr 8) land 0xff)
+      lxor Array.unsafe_get td3 (a3 land 0xff)
+      lxor Array.unsafe_get w (b + 2);
+    s3 :=
+      Array.unsafe_get td0 (a3 lsr 24)
+      lxor Array.unsafe_get td1 ((a2 lsr 16) land 0xff)
+      lxor Array.unsafe_get td2 ((a1 lsr 8) land 0xff)
+      lxor Array.unsafe_get td3 (a0 land 0xff)
+      lxor Array.unsafe_get w (b + 3)
+  done;
+  let a0 = !s0 and a1 = !s1 and a2 = !s2 and a3 = !s3 in
+  let fin x0 x1 x2 x3 rk =
+    (Array.unsafe_get inv_sbox (x0 lsr 24) lsl 24)
+    lor (Array.unsafe_get inv_sbox ((x1 lsr 16) land 0xff) lsl 16)
+    lor (Array.unsafe_get inv_sbox ((x2 lsr 8) land 0xff) lsl 8)
+    lor Array.unsafe_get inv_sbox (x3 land 0xff)
+    lxor rk
+  in
+  let out = Bytes.create 16 in
+  st out 0 (fin a0 a3 a2 a1 (Array.unsafe_get w 40));
+  st out 4 (fin a1 a0 a3 a2 (Array.unsafe_get w 41));
+  st out 8 (fin a2 a1 a0 a3 (Array.unsafe_get w 42));
+  st out 12 (fin a3 a2 a1 a0 (Array.unsafe_get w 43));
+  out
 
 let ecb_map f key src =
   let len = Bytes.length src in

@@ -26,5 +26,24 @@ val digest_bytes : bytes -> bytes
 
 val digest_string : string -> bytes
 
+val compress : t -> bytes -> off:int -> unit
+(** Run the (unrolled) compression function over one 64-byte block at
+    [off], updating the chaining state in place. Exposed so the
+    [datapath] bench and the equivalence tests can drive the gated
+    primitive directly; normal callers use {!feed}/{!finalize}. *)
+
+(** One-shot digests over the byte-wise textbook compression function —
+    the oracle the unrolled fast path is property-tested against, and the
+    baseline its speedup is measured from. *)
+module Reference : sig
+  val digest_bytes : bytes -> bytes
+
+  val digest_string : string -> bytes
+
+  val compress : t -> bytes -> off:int -> unit
+  (** Per-block textbook compression on the same context type — the
+      denominator of the [datapath] speedup gate. *)
+end
+
 val hex : bytes -> string
 (** Lowercase hexadecimal rendering of a digest (or any byte string). *)

@@ -21,6 +21,14 @@ type app_region = {
 type config = {
   slots : region option array;
   mutable app : app_region option;
+  (* Bumped on every mutation of the protection state (region allocation,
+     app-break movement, reset). Callers that cache the result of a check
+     validate against this counter, so stale protection state can never be
+     honored — the §5.4 bug class this design must not reintroduce. *)
+  mutable generation : int;
+  (* Full-table lookups performed (diagnostics: lets tests prove that a
+     cached-hit path really skipped the region scan). *)
+  mutable scans : int;
 }
 
 type t = { mpu_flavor : flavor; num_regions : int }
@@ -29,11 +37,19 @@ let create ?(num_regions = 8) mpu_flavor = { mpu_flavor; num_regions }
 
 let flavor t = t.mpu_flavor
 
-let new_config t = { slots = Array.make t.num_regions None; app = None }
+let new_config t =
+  { slots = Array.make t.num_regions None; app = None; generation = 0; scans = 0 }
+
+let generation c = c.generation
+
+let scan_count c = c.scans
+
+let bump c = c.generation <- c.generation + 1
 
 let reset_config _t c =
   Array.fill c.slots 0 (Array.length c.slots) None;
-  c.app <- None
+  c.app <- None;
+  bump c
 
 let free_slot c =
   let n = Array.length c.slots in
@@ -61,6 +77,7 @@ let allocate_region t c ~unallocated_start ~unallocated_size ~min_size perms =
             else begin
               let r = { region_start = start; region_size = size; region_perms = perms } in
               c.slots.(slot) <- Some r;
+              bump c;
               Some r
             end
         | Cortex_m ->
@@ -71,6 +88,7 @@ let allocate_region t c ~unallocated_start ~unallocated_size ~min_size perms =
             else begin
               let r = { region_start = start; region_size = size; region_perms = perms } in
               c.slots.(slot) <- Some r;
+              bump c;
               Some r
             end)
 
@@ -96,6 +114,7 @@ let allocate_app_memory_region t c ~unallocated_start ~unallocated_size
             }
           in
           c.app <- Some app;
+          bump c;
           Some (start, size)
         end
     | Cortex_m ->
@@ -124,6 +143,7 @@ let allocate_app_memory_region t c ~unallocated_start ~unallocated_size
             }
           in
           c.app <- Some app;
+          bump c;
           Some (start, size)
         end
 
@@ -147,6 +167,7 @@ let update_app_memory_region t c ~app_break ~kernel_break =
           Error "protection granularity would expose kernel memory"
         else begin
           app.accessible <- accessible;
+          bump c;
           Ok ()
         end
       end
@@ -157,30 +178,37 @@ let region_allows r kind =
   | `Write -> r.region_perms.write
   | `Execute -> r.region_perms.execute
 
-let check _t c ~addr ~len kind =
-  if len = 0 then true
-  else if len < 0 then false
-  else
+let check_with_range _t c ~addr ~len kind =
+  if len = 0 then Some (addr, addr)
+  else if len < 0 then None
+  else begin
+    c.scans <- c.scans + 1;
     let lo = addr and hi = addr + len in
-    let in_slot =
-      Array.exists
-        (function
-          | Some r ->
-              lo >= r.region_start
-              && hi <= r.region_start + r.region_size
-              && region_allows r kind
-          | None -> false)
-        c.slots
+    let n = Array.length c.slots in
+    let rec slot i =
+      if i >= n then None
+      else
+        match c.slots.(i) with
+        | Some r
+          when lo >= r.region_start
+               && hi <= r.region_start + r.region_size
+               && region_allows r kind ->
+            Some (r.region_start, r.region_start + r.region_size)
+        | _ -> slot (i + 1)
     in
-    let in_app =
-      match c.app with
-      | Some app ->
-          (kind = `Read || kind = `Write)
-          && lo >= app.block_start
-          && hi <= app.block_start + app.accessible
-      | None -> false
-    in
-    in_slot || in_app
+    match slot 0 with
+    | Some _ as s -> s
+    | None -> (
+        match c.app with
+        | Some app
+          when (kind = `Read || kind = `Write)
+               && lo >= app.block_start
+               && hi <= app.block_start + app.accessible ->
+            Some (app.block_start, app.block_start + app.accessible)
+        | _ -> None)
+  end
+
+let check t c ~addr ~len kind = check_with_range t c ~addr ~len kind <> None
 
 let regions c =
   Array.to_list c.slots |> List.filter_map Fun.id

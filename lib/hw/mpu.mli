@@ -82,6 +82,31 @@ val check : t -> config -> addr:int -> len:int -> [ `Read | `Write | `Execute ] 
 (** Would the access fault? [true] = allowed. Zero-length accesses are
     allowed anywhere (matching "no access performed"). *)
 
+val check_with_range :
+  t ->
+  config ->
+  addr:int ->
+  len:int ->
+  [ `Read | `Write | `Execute ] ->
+  (int * int) option
+(** Like {!check}, but on success returns the permitting half-open range
+    [\[lo, hi)]: any access of the same kind falling entirely inside it is
+    also allowed *as long as the configuration's {!generation} has not
+    changed*. This is the contract the per-process fast-path cache in
+    [Process.check_access] is built on. A zero-length access returns the
+    empty range [(addr, addr)], which can never satisfy a later hit. *)
+
+val generation : config -> int
+(** Monotonic counter bumped by every successful mutation of the
+    protection state ({!allocate_region}, {!allocate_app_memory_region},
+    {!update_app_memory_region}, {!reset_config}). Cached check results
+    are valid only while the generation is unchanged. *)
+
+val scan_count : config -> int
+(** Number of full region-table lookups performed against this config
+    (each {!check}/{!check_with_range} with nonzero length counts one).
+    Lets tests assert that a cache-hit path did not rescan the table. *)
+
 val regions : config -> region list
 (** Live regions, for diagnostics. *)
 

@@ -76,6 +76,15 @@ let token_key = Bytes.of_string "\x10\x32\x54\x76\x98\xba\xdc\xfe\x01\x23\x45\x6
 
 let key_magic = "KEY!"
 
+(* The magic as the little-endian u32 an app reads back from flash, so
+   the scan loop compares one immediate word per step instead of cutting
+   a fresh 4-byte buffer per candidate address. *)
+let key_magic_u32 =
+  Char.code key_magic.[0]
+  lor (Char.code key_magic.[1] lsl 8)
+  lor (Char.code key_magic.[2] lsl 16)
+  lor (Char.code key_magic.[3] lsl 24)
+
 let token_flash_key_offset = 4
 
 let make_token_binary () =
@@ -95,9 +104,7 @@ let find_flash_key app =
       | Syscall.Success_u32 fend ->
           let rec scan addr =
             if addr + 20 > fend then None
-            else if
-              Bytes.to_string (Emu.read_bytes app ~addr ~len:4) = key_magic
-            then Some (addr + 4)
+            else if Emu.read_u32 app ~addr = key_magic_u32 then Some (addr + 4)
             else scan (addr + 4)
           in
           scan fstart

@@ -45,42 +45,74 @@ let ram_offset app ~addr ~len kind =
             len addr));
   addr - Tock.Process.ram_base p
 
-(* Reads may also hit the process's own flash image (code constants). *)
-let read_loc app ~addr ~len =
-  let p = app.a_proc in
-  if addr >= Tock.Process.flash_base p && addr + len <= Tock.Process.flash_end p
-  then `Flash (addr - Tock.Process.flash_base p)
-  else `Ram (ram_offset app ~addr ~len `Read)
+(* The scalar loads/stores below are the simulator's data-plane inner
+   loop: every emulated memory access funnels through them. They are
+   written to allocate nothing — no intermediate buffer, no boxed int32
+   (we compose u32s from immediate uint16 reads), and no variant for the
+   flash/RAM dispatch — so a tight copy loop in an app costs only the
+   cached MPU check plus the byte accesses, like the hardware it models. *)
 
+let in_flash p ~addr ~len =
+  addr >= Tock.Process.flash_base p && addr + len <= Tock.Process.flash_end p
+
+(* Reads may also hit the process's own flash image (code constants). *)
 let read_u8 app ~addr =
-  match read_loc app ~addr ~len:1 with
-  | `Ram off -> Char.code (Bytes.get (Tock.Process.ram_bytes app.a_proc) off)
-  | `Flash off -> Char.code (Bytes.get (Tock.Process.flash_image app.a_proc) off)
+  let p = app.a_proc in
+  if in_flash p ~addr ~len:1 then
+    Char.code (Bytes.get (Tock.Process.flash_image p) (addr - Tock.Process.flash_base p))
+  else
+    Char.code (Bytes.get (Tock.Process.ram_bytes p) (ram_offset app ~addr ~len:1 `Read))
 
 let write_u8 app ~addr ~v =
   let off = ram_offset app ~addr ~len:1 `Write in
   Bytes.set (Tock.Process.ram_bytes app.a_proc) off (Char.chr (v land 0xff))
 
-let read_bytes app ~addr ~len =
-  match read_loc app ~addr ~len with
-  | `Ram off -> Bytes.sub (Tock.Process.ram_bytes app.a_proc) off len
-  | `Flash off -> Bytes.sub (Tock.Process.flash_image app.a_proc) off len
-
-let write_bytes app ~addr data =
-  let len = Bytes.length data in
-  let off = ram_offset app ~addr ~len `Write in
-  Bytes.blit data 0 (Tock.Process.ram_bytes app.a_proc) off len
+let get_u32_le b off =
+  Bytes.get_uint16_le b off lor (Bytes.get_uint16_le b (off + 2) lsl 16)
 
 let read_u32 app ~addr =
-  let b = read_bytes app ~addr ~len:4 in
-  Char.code (Bytes.get b 0)
-  lor (Char.code (Bytes.get b 1) lsl 8)
-  lor (Char.code (Bytes.get b 2) lsl 16)
-  lor (Char.code (Bytes.get b 3) lsl 24)
+  let p = app.a_proc in
+  if in_flash p ~addr ~len:4 then
+    get_u32_le (Tock.Process.flash_image p) (addr - Tock.Process.flash_base p)
+  else get_u32_le (Tock.Process.ram_bytes p) (ram_offset app ~addr ~len:4 `Read)
 
 let write_u32 app ~addr ~v =
-  let b = Bytes.init 4 (fun i -> Char.chr ((v lsr (i * 8)) land 0xff)) in
-  write_bytes app ~addr b
+  let off = ram_offset app ~addr ~len:4 `Write in
+  let b = Tock.Process.ram_bytes app.a_proc in
+  Bytes.set_uint16_le b off (v land 0xffff);
+  Bytes.set_uint16_le b (off + 2) ((v lsr 16) land 0xffff)
+
+let read_into app ~addr ~len ~dst ~dst_off =
+  if dst_off < 0 || len < 0 || dst_off + len > Bytes.length dst then
+    raise (App_panic_exn "read_into: bad destination range");
+  let p = app.a_proc in
+  if in_flash p ~addr ~len then
+    Bytes.blit (Tock.Process.flash_image p)
+      (addr - Tock.Process.flash_base p)
+      dst dst_off len
+  else
+    Bytes.blit (Tock.Process.ram_bytes p)
+      (ram_offset app ~addr ~len `Read)
+      dst dst_off len
+
+let read_bytes app ~addr ~len =
+  let b = Bytes.create len in
+  read_into app ~addr ~len ~dst:b ~dst_off:0;
+  b
+
+let write_from app ~addr ~src ~src_off ~len =
+  if src_off < 0 || len < 0 || src_off + len > Bytes.length src then
+    raise (App_panic_exn "write_from: bad source range");
+  let off = ram_offset app ~addr ~len `Write in
+  Bytes.blit src src_off (Tock.Process.ram_bytes app.a_proc) off len
+
+let write_bytes app ~addr data =
+  write_from app ~addr ~src:data ~src_off:0 ~len:(Bytes.length data)
+
+let write_string app ~addr s =
+  let len = String.length s in
+  let off = ram_offset app ~addr ~len `Write in
+  Bytes.blit_string s 0 (Tock.Process.ram_bytes app.a_proc) off len
 
 (* ---- allocator ---- *)
 
@@ -111,9 +143,20 @@ let alloc app n =
 let get_buffer app ~tag ~size =
   match Hashtbl.find_opt app.scratch tag with
   | Some (addr, have) when have >= size -> addr
-  | _ ->
-      let addr = alloc app size in
-      Hashtbl.replace app.scratch tag (addr, size);
+  | prev ->
+      (* Growth leaks the old block down the bump allocator (there is no
+         free), so allocate whole 8-byte granules — recording the size we
+         actually own, not the size requested — and at least double any
+         previous buffer, so alternating request sizes settle instead of
+         leaking a fresh block on every flip. *)
+      let want =
+        match prev with
+        | Some (_, have) -> max size (have * 2)
+        | None -> size
+      in
+      let n = align8 want in
+      let addr = alloc app n in
+      Hashtbl.replace app.scratch tag (addr, n);
       addr
 
 (* ---- upcall function table ---- *)

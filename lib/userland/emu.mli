@@ -61,19 +61,40 @@ val alloc : app -> int -> int
 
 val get_buffer : app -> tag:string -> size:int -> int
 (** Named reusable buffer: allocated once per tag (re-allocated larger if
-    needed), so loops don't leak the bump allocator. Returns the address. *)
+    needed), so loops don't leak the bump allocator. The recorded size is
+    what was actually allocated (whole 8-byte granules, at least double
+    the outgrown buffer), so near-miss and alternating request sizes
+    reuse instead of leaking. Returns the address. *)
 
 val read_u8 : app -> addr:int -> int
 
 val write_u8 : app -> addr:int -> v:int -> unit
 
 val read_bytes : app -> addr:int -> len:int -> bytes
+(** Copying read: returns a fresh buffer. Prefer {!read_into} on hot
+    paths. *)
 
 val write_bytes : app -> addr:int -> bytes -> unit
 
 val read_u32 : app -> addr:int -> int
+(** Little-endian, any alignment. Allocation-free: the scalar loads and
+    stores are the data-plane inner loop, so they build the word from
+    immediate [uint16] reads instead of boxing an [int32] or cutting a
+    4-byte buffer. *)
 
 val write_u32 : app -> addr:int -> v:int -> unit
+(** Little-endian, any alignment, allocation-free (see {!read_u32}). *)
+
+val read_into : app -> addr:int -> len:int -> dst:bytes -> dst_off:int -> unit
+(** Non-copying read: blit app memory (RAM or flash) straight into
+    [dst] at [dst_off]. One MPU check, one blit, no allocation. *)
+
+val write_from : app -> addr:int -> src:bytes -> src_off:int -> len:int -> unit
+(** Non-copying write: blit [len] bytes of [src] into app RAM. *)
+
+val write_string : app -> addr:int -> string -> unit
+(** Blit a string into app RAM without an intermediate [Bytes.of_string]
+    copy. *)
 
 (** {2 Upcall closures} *)
 

@@ -98,7 +98,7 @@ let console_write app s =
   if len = 0 then 0
   else begin
     let addr = Emu.get_buffer app ~tag:"console-tx" ~size:(max len 64) in
-    Emu.write_bytes app ~addr (Bytes.of_string s);
+    Emu.write_string app ~addr s;
     match
       Libtock.allow_ro app ~driver:Driver_num.console ~num:1 ~addr ~len
     with
@@ -210,7 +210,7 @@ let aes_ctr app ~key ~iv data =
 let kv_call app ~cmd ~key ~value =
   let klen = String.length key in
   let kaddr = Emu.get_buffer app ~tag:"kv-key" ~size:(max klen 16) in
-  Emu.write_bytes app ~addr:kaddr (Bytes.of_string key);
+  Emu.write_string app ~addr:kaddr key;
   ignore
     (Libtock.allow_ro app ~driver:Driver_num.kv_store ~num:0 ~addr:kaddr
        ~len:klen);
@@ -298,7 +298,7 @@ let ipc_register app =
 let ipc_discover app name =
   let len = String.length name in
   let addr = Emu.get_buffer app ~tag:"ipc-name" ~size:(max len 16) in
-  Emu.write_bytes app ~addr (Bytes.of_string name);
+  Emu.write_string app ~addr name;
   ignore (Libtock.allow_ro app ~driver:Driver_num.ipc ~num:0 ~addr ~len);
   let r = Libtock.command app ~driver:Driver_num.ipc ~cmd:1 ~arg1:0 ~arg2:0 in
   Libtock.unallow_ro app ~driver:Driver_num.ipc ~num:0;

@@ -149,6 +149,148 @@ let test_zero_len_access () =
   Alcotest.(check bool) "zero-length anywhere" true
     (Mpu.check mpu c ~addr:0xDEAD_BEE0 ~len:0 `Write)
 
+(* ---- check_access caching ----
+
+   [Process.check_access] caches the permitting [lo, hi) range per
+   access kind, validated against the config's generation counter.
+   Stale MPU state is the recurring-bug surface of §5.4, so the cache's
+   invalidation story gets explicit regressions: a [brk] that moves the
+   accessible prefix must flip a re-checked access, and caches must
+   never alias across processes. *)
+
+let make_cached_proc ?(id = 1) ?(ram_base = 0x2000_0000) () =
+  let mpu = Mpu.create Mpu.Cortex_m in
+  let cfg = Mpu.new_config mpu in
+  let flash_base = 0x0004_0000 and flash_size = 2048 in
+  (match
+     Mpu.allocate_region mpu cfg ~unallocated_start:flash_base
+       ~unallocated_size:flash_size ~min_size:flash_size Mpu.rx
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "flash region allocation failed");
+  match
+    Mpu.allocate_app_memory_region mpu cfg ~unallocated_start:ram_base
+      ~unallocated_size:65_536 ~min_memory_size:8_192
+      ~initial_app_memory_size:4_096 ~initial_kernel_memory_size:1_024
+  with
+  | None -> Alcotest.fail "app memory allocation failed"
+  | Some (block_start, _block_size) ->
+      let p =
+        Tock.Process.create ~id
+          ~name:(Printf.sprintf "cache-%d" id)
+          ~ram_base:block_start ~ram_size:8_192
+          ~initial_app_break:(block_start + 4_096)
+          ~flash_base
+          ~flash:(Bytes.create flash_size)
+          ~mpu ~mpu_config:cfg ~permissions:None ~storage:None ~tbf_flags:0
+      in
+      (p, mpu, cfg, block_start)
+
+let test_cache_brk_invalidation () =
+  let p, _, cfg, start = make_cached_proc () in
+  let addr = start + 4_000 in
+  Alcotest.(check bool) "initially accessible" true
+    (Tock.Process.check_access p ~addr ~len:4 `Write);
+  (* Steady state: the cached range answers without rescanning. *)
+  let scans = Mpu.scan_count cfg in
+  Alcotest.(check bool) "cache hit" true
+    (Tock.Process.check_access p ~addr ~len:4 `Write);
+  Alcotest.(check int) "hit does not scan" scans (Mpu.scan_count cfg);
+  (* brk shrink moves the accessible prefix below [addr]: the cached
+     range is now stale and must not be honored. *)
+  (match Tock.Process.brk p (start + 8) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "brk shrink failed");
+  Alcotest.(check bool) "stale cache not honored after shrink" false
+    (Tock.Process.check_access p ~addr ~len:4 `Write);
+  (* And growing back re-permits it (through a fresh scan). *)
+  (match Tock.Process.brk p (start + 4_096) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "brk grow failed");
+  Alcotest.(check bool) "accessible again after grow" true
+    (Tock.Process.check_access p ~addr ~len:4 `Write)
+
+let test_cache_no_cross_process_aliasing () =
+  let p1, _, _, s1 = make_cached_proc ~id:1 ~ram_base:0x2000_0000 () in
+  let p2, _, _, s2 = make_cached_proc ~id:2 ~ram_base:0x3000_0000 () in
+  let a1 = s1 + 128 and a2 = s2 + 128 in
+  Alcotest.(check bool) "p1 own ram" true
+    (Tock.Process.check_access p1 ~addr:a1 ~len:4 `Read);
+  Alcotest.(check bool) "p2 own ram" true
+    (Tock.Process.check_access p2 ~addr:a2 ~len:4 `Read);
+  (* Both caches are primed; a leaked range would answer yes here. *)
+  Alcotest.(check bool) "p1 cannot read p2 ram" false
+    (Tock.Process.check_access p1 ~addr:a2 ~len:4 `Read);
+  Alcotest.(check bool) "p2 cannot read p1 ram" false
+    (Tock.Process.check_access p2 ~addr:a1 ~len:4 `Read);
+  (* p1's brk bumps p1's generation only; p2's cache stays valid. *)
+  (match Tock.Process.brk p1 (s1 + 8) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "brk failed");
+  Alcotest.(check bool) "p2 unaffected by p1 brk" true
+    (Tock.Process.check_access p2 ~addr:a2 ~len:4 `Read);
+  Alcotest.(check bool) "p1 shrunk" false
+    (Tock.Process.check_access p1 ~addr:(s1 + 4_000) ~len:4 `Read)
+
+let test_generation_bumps () =
+  let mpu = Mpu.create Mpu.Cortex_m in
+  let cfg = Mpu.new_config mpu in
+  let g0 = Mpu.generation cfg in
+  (match
+     Mpu.allocate_region mpu cfg ~unallocated_start:0x0004_0000
+       ~unallocated_size:2048 ~min_size:2048 Mpu.rx
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "allocate_region failed");
+  let g1 = Mpu.generation cfg in
+  Alcotest.(check bool) "allocate_region bumps" true (g1 > g0);
+  match
+    Mpu.allocate_app_memory_region mpu cfg ~unallocated_start:0x2000_0000
+      ~unallocated_size:65_536 ~min_memory_size:8_192
+      ~initial_app_memory_size:4_096 ~initial_kernel_memory_size:1_024
+  with
+  | None -> Alcotest.fail "allocate_app_memory_region failed"
+  | Some (start, size) ->
+      let g2 = Mpu.generation cfg in
+      Alcotest.(check bool) "allocate_app_memory_region bumps" true (g2 > g1);
+      (match
+         Mpu.update_app_memory_region mpu cfg ~app_break:(start + 2_048)
+           ~kernel_break:(start + size - 1_024)
+       with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "update_app_memory_region failed");
+      let g3 = Mpu.generation cfg in
+      Alcotest.(check bool) "update_app_memory_region bumps" true (g3 > g2);
+      Mpu.reset_config mpu cfg;
+      Alcotest.(check bool) "reset_config bumps" true (Mpu.generation cfg > g3)
+
+let cache_coherence_prop =
+  qcheck ~count:200
+    "process cache: check_access == uncached Mpu.check under brk churn"
+    QCheck2.Gen.(
+      list_size (1 -- 40)
+        (triple (int_range 0 10_000) (int_range 0 64) (int_range 0 3)))
+    (fun ops ->
+      let p, mpu, cfg, start = make_cached_proc () in
+      List.for_all
+        (fun (off, len, sel) ->
+          if sel = 3 then begin
+            (* Move the break around; failures (beyond kernel break,
+               stride conflicts) are fine — only successful moves bump
+               the generation. *)
+            ignore (Tock.Process.brk p (start + (off mod 8_192)));
+            true
+          end
+          else begin
+            let addr = start - 2_048 + off in
+            let kind =
+              match sel with 0 -> `Read | 1 -> `Write | _ -> `Execute
+            in
+            Tock.Process.check_access p ~addr ~len kind
+            = Mpu.check mpu cfg ~addr ~len kind
+          end)
+        ops)
+
 let suite =
   [
     Alcotest.test_case "cortex region shape" `Quick test_cortex_region_shape;
@@ -160,4 +302,9 @@ let suite =
     Alcotest.test_case "granularity conflict" `Quick test_app_region_granularity_conflict;
     check_prop;
     Alcotest.test_case "zero-length access" `Quick test_zero_len_access;
+    Alcotest.test_case "cache: brk invalidation" `Quick test_cache_brk_invalidation;
+    Alcotest.test_case "cache: no cross-process aliasing" `Quick
+      test_cache_no_cross_process_aliasing;
+    Alcotest.test_case "cache: generation bumps" `Quick test_generation_bumps;
+    cache_coherence_prop;
   ]

@@ -16,6 +16,18 @@ let test_crc16_vector () =
   Alcotest.(check bool) "bit flip detected" true
     (Tock_capsules.Net_stack.crc16 b ~off:0 ~len:9 <> c0)
 
+let crc16_reference_equiv_prop =
+  (* The table-driven crc16 must agree with the retained bit-wise oracle
+     on arbitrary slices, not just the check vector. *)
+  qcheck "crc16: table-driven == bit-wise reference"
+    QCheck2.Gen.(map Bytes.of_string (string_size (0 -- 300)))
+    (fun b ->
+      let total = Bytes.length b in
+      let off = total / 3 in
+      let len = total - off in
+      Tock_capsules.Net_stack.crc16 b ~off ~len
+      = Tock_capsules.Net_stack.crc16_ref b ~off ~len)
+
 let two_nodes ?(loss_prob = 0.0) () =
   let net = Tock_boards.Signpost_board.create ~loss_prob ~nodes:2 () in
   match net.Tock_boards.Signpost_board.nodes with
@@ -308,6 +320,7 @@ let test_adc_driver () =
 let suite =
   [
     Alcotest.test_case "crc16 vector" `Quick test_crc16_vector;
+    crc16_reference_equiv_prop;
     Alcotest.test_case "reliable over 30% loss" `Quick test_reliable_over_lossy_medium;
     Alcotest.test_case "gives up without receiver" `Quick test_gives_up_without_receiver;
     Alcotest.test_case "broadcast" `Quick test_broadcast_fire_and_forget;

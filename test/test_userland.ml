@@ -83,16 +83,20 @@ let test_get_buffer_reuse () =
     let a2 = Tock_userland.Emu.get_buffer a ~tag:"t" ~size:32 in
     let a3 = Tock_userland.Emu.get_buffer a ~tag:"t" ~size:64 in
     let a4 = Tock_userland.Emu.get_buffer a ~tag:"other" ~size:32 in
-    addrs := [ a1; a2; a3; a4 ];
+    (* After growth the recorded allocation is >= 64 bytes, so a smaller
+       same-tag request must reuse it rather than reallocate. *)
+    let a5 = Tock_userland.Emu.get_buffer a ~tag:"t" ~size:48 in
+    addrs := [ a1; a2; a3; a4; a5 ];
     Tock_userland.Libtock.exit a 0
   in
   ignore (add_app_exn board ~name:"bufs" app);
   run_done board;
   match !addrs with
-  | [ a1; a2; a3; a4 ] ->
+  | [ a1; a2; a3; a4; a5 ] ->
       Alcotest.(check int) "same tag same buffer" a1 a2;
       Alcotest.(check bool) "growth reallocates" true (a3 <> a1);
-      Alcotest.(check bool) "tags distinct" true (a4 <> a3)
+      Alcotest.(check bool) "tags distinct" true (a4 <> a3);
+      Alcotest.(check int) "smaller request reuses larger buffer" a3 a5
   | _ -> Alcotest.fail "app did not run"
 
 (* The paper's syscall-count contrast (§3.2): classic 4-call sequence vs
