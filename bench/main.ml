@@ -27,6 +27,8 @@ let experiments =
     ("micro", Micro.run);
     ("datapath", Datapath.run);
     ("datapath-smoke", Datapath.run_smoke);
+    ("iopath", Iopath.run);
+    ("iopath-smoke", Iopath.run_smoke);
     ("fleet", Fleet_bench.run);
   ]
 

@@ -120,6 +120,60 @@ let event_queue_deep =
       ignore (Tock_hw.Event_queue.schedule q ~time:!t ignore);
       ignore (Tock_hw.Event_queue.run_due q ~now:!t)))
 
+let allow_window_setup () =
+  (* The per-allow cost the zero-copy path moved to syscall time: resolve
+     the range against process memory, build the base-bounded window,
+     swap it into the allow table. *)
+  let p, _, ram_base, _ = Lazy.force Datapath.mpu_context in
+  Test.make ~name:"allow/window-setup"
+    (Staged.stage (fun () ->
+         match
+           Tock.Process.make_allow_entry p ~addr:(ram_base + 64) ~len:128
+         with
+         | Some e ->
+             ignore
+               (Tock.Process.allow_swap p ~kind:`Ro ~driver:1 ~allow_num:0 e)
+         | None -> failwith "micro: allow window setup failed"))
+
+(* Batched vs byte-wise UART transmit: the same 64 bytes as one
+   scatter-gather operation (one schedule, one interrupt) versus 64
+   single-byte transmits (the pre-batching console drain pattern). *)
+let uart_tx_fixture =
+  lazy
+    (let sim = Tock_hw.Sim.create () in
+     let irq = Tock_hw.Irq.create sim in
+     let u = Tock_hw.Uart.create sim irq ~irq_line:0 ~name:"micro-uart" in
+     Tock_hw.Uart.set_tx_sink u (fun _ -> ());
+     (sim, irq, u))
+
+let drive_uart sim irq u =
+  while Tock_hw.Uart.tx_busy u do
+    ignore (Tock_hw.Sim.advance_to_next_event sim)
+  done;
+  ignore (Tock_hw.Irq.service irq)
+
+let uart_tx_batched () =
+  let sim, irq, u = Lazy.force uart_tx_fixture in
+  let buf = Bytes.make 64 'b' in
+  Test.make ~name:"uart/tx-64B-batched"
+    (Staged.stage (fun () ->
+         (match Tock_hw.Uart.transmit_segs u [ (buf, 0, 64) ] with
+         | Ok () -> ()
+         | Error e -> failwith e);
+         drive_uart sim irq u))
+
+let uart_tx_bytewise () =
+  let sim, irq, u = Lazy.force uart_tx_fixture in
+  let buf = Bytes.make 1 'b' in
+  Test.make ~name:"uart/tx-64B-bytewise"
+    (Staged.stage (fun () ->
+         for _ = 1 to 64 do
+           (match Tock_hw.Uart.transmit u buf ~len:1 with
+           | Ok () -> ()
+           | Error e -> failwith e);
+           drive_uart sim irq u
+         done))
+
 let kernel_step_idle =
   (* The cost of one full simulated kernel step including a process slice. *)
   let sim = Tock_hw.Sim.create () in
@@ -136,7 +190,8 @@ let all () =
     crc16_frame; emu_read_u32 (); emu_write_u32 (); mpu_check_hit ();
     mpu_check_miss (); subslice_ops; ring_buffer_cycle; syscall_codec;
     syscall_ret_in_place; take_cell_map; event_queue_cycle;
-    event_queue_deep; kernel_step_idle ]
+    event_queue_deep; allow_window_setup (); uart_tx_batched ();
+    uart_tx_bytewise (); kernel_step_idle ]
 
 let run () =
   print_endline "== micro: Bechamel host-time microbenchmarks ==";

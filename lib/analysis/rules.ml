@@ -221,6 +221,30 @@ let rule_subslice_escape (n : Dep_graph.node) =
         | _ -> None)
       n.Dep_graph.node_extract.Extract.refs
 
+(* A capsule reaching for [Bytes.sub]/[Bytes.copy] is copying payload the
+   allow-window discipline says it should window in place: the zero-copy
+   I/O path (paper §4.2) moves buffers from syscall to hardware as
+   [Subslice] windows, and a fresh heap copy on the data plane is exactly
+   the cost it eliminates. Deliberate copies (retained copying oracles,
+   rare compaction, load-time snapshots) carry a pragma'd justification. *)
+let rule_capsule_byte_copy (n : Dep_graph.node) =
+  match cat_of n with
+  | Some Taxonomy.Capsule ->
+      List.filter_map
+        (fun (r : Extract.reference) ->
+          match (r.Extract.ref_modules, r.Extract.ref_member) with
+          | [ "Bytes" ], Some (("sub" | "copy") as m) ->
+              Some
+                (v "capsule-byte-copy" n.Dep_graph.node_path
+                   r.Extract.ref_line
+                   "Bytes.%s in a capsule: data-plane code operates on \
+                    allow windows in place (Subslice); justify deliberate \
+                    copies with a pragma"
+                   m)
+          | _ -> None)
+        n.Dep_graph.node_extract.Extract.refs
+  | _ -> []
+
 (* --- Take_cell discipline --------------------------------------------- *)
 
 let take_cell_ref member (r : Extract.reference) =
@@ -347,8 +371,8 @@ let all_rule_ids =
   [
     "capsule-layering"; "userland-kernel-internals"; "crypto-confinement";
     "mint-confinement"; "obj-magic"; "warning-suppression"; "missing-mli";
-    "subslice-escape"; "take-without-restore"; "dune-layering";
-    "unused-lib-dep"; "undeclared-dep";
+    "subslice-escape"; "capsule-byte-copy"; "take-without-restore";
+    "dune-layering"; "unused-lib-dep"; "undeclared-dep";
   ]
 
 let apply_pragmas (g : Dep_graph.t) violations =
@@ -384,7 +408,8 @@ let run (files : Source.file list) =
         rule_capsule_layering n @ rule_userland_internals n
         @ rule_crypto_confinement n @ rule_mint_confinement n
         @ rule_obj_magic n @ rule_warning_suppression n
-        @ rule_subslice_escape n @ rule_take_without_restore n)
+        @ rule_subslice_escape n @ rule_capsule_byte_copy n
+        @ rule_take_without_restore n)
       g.Dep_graph.nodes
   in
   let per_stanza =

@@ -1,7 +1,5 @@
 open Tock
 
-let tx_buffer_size = 256
-
 let allow_tx = 1
 
 let allow_rx = 1
@@ -16,10 +14,8 @@ type t = {
   kernel : Kernel.t;
   vdev : Uart_mux.vdev;
   grant : grant_state Grant.t;
-  tx_cell : Subslice.t Cells.Take_cell.t;
   mutable tx_owner : Process.id option;
   mutable wait_queue : Process.id list;
-  rx_cell : Subslice.t Cells.Take_cell.t;
   mutable rx_owner : (Process.id * int) option;
   mutable writes : int;
   mutable bytes : int;
@@ -32,42 +28,34 @@ let enter_grant t pid f =
   | Some p -> Grant.enter t.grant p f
   | None -> Result.Error Error.NODEVICE
 
-(* Copy the process's allowed buffer into the static transmit buffer and
-   hand it to the UART mux. The caller guarantees the tx cell is full. *)
+let finish_failed_write t pid =
+  ignore (enter_grant t pid (fun g -> g.pending_write <- 0));
+  ignore
+    (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
+       ~subscribe_num:sub_tx_done ~args:(0, 0, 0))
+
+(* Hand the process's allowed bytes to the UART mux in place: the
+   transmit window is a clone of the allow window over process memory,
+   so the write crosses the syscall boundary without a staging copy.
+   [t.tx_owner] doubles as the busy token — one write in flight. *)
 let start_write t pid len =
-  match Cells.Take_cell.take t.tx_cell with
-  | None -> ()
-  | Some sub -> (
-      Subslice.reset sub;
-      let n = min len (Subslice.length sub) in
-      let copied =
-        Kernel.with_allow_ro t.kernel pid ~driver:Driver_num.console
-          ~allow_num:allow_tx (fun app_buf ->
-            let m = min n (Subslice.length app_buf) in
-            Subslice.slice_to sub m;
-            Subslice.copy_within app_buf sub;
-            m)
-      in
-      match copied with
-      | Ok m when m > 0 -> (
-          t.tx_owner <- Some pid;
-          match Uart_mux.transmit t.vdev sub with
-          | Ok () -> ()
-          | Error (_e, sub) ->
-              Subslice.reset sub;
-              Cells.Take_cell.put t.tx_cell sub;
-              t.tx_owner <- None;
-              ignore (enter_grant t pid (fun g -> g.pending_write <- 0));
-              ignore
-                (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
-                   ~subscribe_num:sub_tx_done ~args:(0, 0, 0)))
-      | _ ->
-          Subslice.reset sub;
-          Cells.Take_cell.put t.tx_cell sub;
-          ignore (enter_grant t pid (fun g -> g.pending_write <- 0));
-          ignore
-            (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
-               ~subscribe_num:sub_tx_done ~args:(0, 0, 0)))
+  match
+    Kernel.allow_window t.kernel pid ~kind:`Ro ~driver:Driver_num.console
+      ~allow_num:allow_tx
+  with
+  | None -> finish_failed_write t pid
+  | Some w -> (
+      let n = min len (Subslice.length w) in
+      if n <= 0 then finish_failed_write t pid
+      else begin
+        Subslice.slice_to w n;
+        t.tx_owner <- Some pid;
+        match Uart_mux.transmit t.vdev w with
+        | Ok () -> ()
+        | Error (_e, _w) ->
+            t.tx_owner <- None;
+            finish_failed_write t pid
+      end)
 
 let create kernel vdev ~grant_cap =
   let grant =
@@ -79,10 +67,8 @@ let create kernel vdev ~grant_cap =
       kernel;
       vdev;
       grant;
-      tx_cell = Cells.Take_cell.make (Subslice.create tx_buffer_size);
       tx_owner = None;
       wait_queue = [];
-      rx_cell = Cells.Take_cell.make (Subslice.create 64);
       rx_owner = None;
       writes = 0;
       bytes = 0;
@@ -90,8 +76,6 @@ let create kernel vdev ~grant_cap =
   in
   Uart_mux.set_transmit_client vdev (fun sub ->
       let len = Subslice.length sub in
-      Subslice.reset sub;
-      Cells.Take_cell.put t.tx_cell sub;
       (match t.tx_owner with
       | Some pid ->
           t.tx_owner <- None;
@@ -114,25 +98,16 @@ let create kernel vdev ~grant_cap =
       in
       next ());
   Uart_mux.set_receive_client vdev (fun sub ->
-      (match t.rx_owner with
+      (* The bytes already landed in the process's allow window — the
+         receive buffer IS that window, so delivery is just the upcall. *)
+      match t.rx_owner with
       | Some (pid, wanted) ->
           t.rx_owner <- None;
-          let got = min wanted (Subslice.length sub) in
-          let res =
-            Kernel.with_allow_rw t.kernel pid ~driver:Driver_num.console
-              ~allow_num:allow_rx (fun app_buf ->
-                let m = min got (Subslice.length app_buf) in
-                Subslice.blit ~src:sub ~src_off:0 ~dst:app_buf ~dst_off:0
-                  ~len:m;
-                m)
-          in
-          let delivered = match res with Ok m -> m | Error _ -> 0 in
+          let delivered = min wanted (Subslice.length sub) in
           ignore
             (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
                ~subscribe_num:sub_rx_done ~args:(delivered, 0, 0))
       | None -> ());
-      Subslice.reset sub;
-      Cells.Take_cell.put t.rx_cell sub);
   t
 
 let command t proc ~command_num ~arg1 ~arg2:_ =
@@ -154,35 +129,31 @@ let command t proc ~command_num ~arg1 ~arg2:_ =
                   end)
         with
         | Ok true ->
-            if Cells.Take_cell.is_none t.tx_cell then
-              t.wait_queue <- t.wait_queue @ [ pid ]
+            if t.tx_owner <> None then t.wait_queue <- t.wait_queue @ [ pid ]
             else start_write t pid len;
             Syscall.Success
         | Ok false -> Syscall.Failure Error.BUSY
         | Error e -> Syscall.Failure e)
   | 2 -> (
-      (* read arg1 bytes *)
+      (* read arg1 bytes straight into the allowed rx buffer *)
       if t.rx_owner <> None then Syscall.Failure Error.BUSY
       else
-        let wanted =
-          min arg1 (Kernel.allow_size t.kernel pid ~kind:`Rw
-                      ~driver:Driver_num.console ~allow_num:allow_rx)
-        in
-        if wanted <= 0 then Syscall.Failure Error.RESERVE
-        else
-          match Cells.Take_cell.take t.rx_cell with
-          | None -> Syscall.Failure Error.BUSY
-          | Some sub -> (
-              Subslice.reset sub;
-              Subslice.slice_to sub (min wanted (Subslice.length sub));
-              match Uart_mux.receive t.vdev sub with
+        match
+          Kernel.allow_window t.kernel pid ~kind:`Rw ~driver:Driver_num.console
+            ~allow_num:allow_rx
+        with
+        | None -> Syscall.Failure Error.RESERVE
+        | Some w -> (
+            let wanted = min arg1 (Subslice.length w) in
+            if wanted <= 0 then Syscall.Failure Error.RESERVE
+            else begin
+              Subslice.slice_to w wanted;
+              match Uart_mux.receive t.vdev w with
               | Ok () ->
                   t.rx_owner <- Some (pid, wanted);
                   Syscall.Success
-              | Error (e, sub) ->
-                  Subslice.reset sub;
-                  Cells.Take_cell.put t.rx_cell sub;
-                  Syscall.Failure e))
+              | Error (e, _w) -> Syscall.Failure e
+            end))
   | 3 ->
       (match t.rx_owner with
       | Some (owner, _) when owner = pid ->

@@ -1,37 +1,42 @@
 open Tock
 
-let ring_capacity = 32
+let ring_capacity = 512
+
+let tx_buffer_size = 256
 
 type t = {
   vdev : Uart_mux.vdev;
-  ring : string Ring_buffer.t;
+  ring : Ring_buffer.Bytes_ring.t;
   tx : Subslice.t Cells.Take_cell.t;
+  mutable dropped_msgs : int;
 }
 
+(* Drain the whole backlog (up to the transmit buffer) in one batched
+   UART operation instead of one transmit per message. *)
 let pump t =
   match Cells.Take_cell.take t.tx with
   | None -> ()
-  | Some sub -> (
-      match Ring_buffer.pop t.ring with
-      | None -> Cells.Take_cell.put t.tx sub
-      | Some msg -> (
-          Subslice.reset sub;
-          let n = min (String.length msg) (Subslice.length sub) in
-          Subslice.blit_from_bytes ~src:(Bytes.of_string msg) ~src_off:0 sub
-            ~dst_off:0 ~len:n;
-          Subslice.slice_to sub n;
-          match Uart_mux.transmit t.vdev sub with
-          | Ok () -> ()
-          | Error (_, sub) ->
-              Subslice.reset sub;
-              Cells.Take_cell.put t.tx sub))
+  | Some sub ->
+      if Ring_buffer.Bytes_ring.is_empty t.ring then
+        Cells.Take_cell.put t.tx sub
+      else begin
+        Subslice.reset sub;
+        let n = Ring_buffer.Bytes_ring.pop_into t.ring sub in
+        Subslice.slice_to sub n;
+        match Uart_mux.transmit t.vdev sub with
+        | Ok () -> ()
+        | Error (_, sub) ->
+            Subslice.reset sub;
+            Cells.Take_cell.put t.tx sub
+      end
 
 let create vdev =
   let t =
     {
       vdev;
-      ring = Ring_buffer.create ~capacity:ring_capacity ~dummy:"";
-      tx = Cells.Take_cell.make (Subslice.create 128);
+      ring = Ring_buffer.Bytes_ring.create ~capacity:ring_capacity;
+      tx = Cells.Take_cell.make (Subslice.create tx_buffer_size);
+      dropped_msgs = 0;
     }
   in
   Uart_mux.set_transmit_client vdev (fun sub ->
@@ -41,11 +46,16 @@ let create vdev =
   t
 
 let write t msg =
-  ignore (Ring_buffer.push t.ring (msg ^ "\r\n"));
+  let msg = msg ^ "\r\n" in
+  (* whole messages or nothing: a truncated log line is worse than a
+     counted drop *)
+  if Ring_buffer.Bytes_ring.free t.ring >= String.length msg then
+    ignore (Ring_buffer.Bytes_ring.push_string t.ring msg)
+  else t.dropped_msgs <- t.dropped_msgs + 1;
   pump t
 
 let printf t fmt = Printf.ksprintf (fun s -> write t s) fmt
 
-let dropped t = Ring_buffer.drops t.ring
+let dropped t = t.dropped_msgs
 
-let pending t = Ring_buffer.length t.ring
+let pending t = Ring_buffer.Bytes_ring.length t.ring

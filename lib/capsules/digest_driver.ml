@@ -12,7 +12,7 @@ type op = {
 type t = {
   kernel : Kernel.t;
   engine : Hil.digest;
-  chunk : Subslice.t Cells.Take_cell.t;
+  mutable chunk_in_flight : bool;
   mutable current : op option;
   mutable ops : int;
 }
@@ -33,7 +33,9 @@ let fail_current t e =
   | None -> ()
 
 (* Feed the next DMA-sized chunk of the process's data buffer, or run the
-   finalization when everything has been absorbed. *)
+   finalization when everything has been absorbed. The chunk handed to the
+   engine is a window over the allow buffer itself — the engine reads
+   process memory in place, no staging copy. *)
 let feed t =
   match t.current with
   | None -> ()
@@ -42,51 +44,36 @@ let feed t =
         match t.engine.Hil.digest_run () with
         | Ok () -> ()
         | Error e -> fail_current t e)
+      else if t.chunk_in_flight then ()
       else (
-        match Cells.Take_cell.take t.chunk with
-        | None -> () (* chunk in flight; the data client continues *)
-        | Some sub -> (
-            Subslice.reset sub;
+        match
+          Kernel.allow_window t.kernel op.op_pid ~kind:`Ro
+            ~driver:op.op_driver ~allow_num:allow_data
+        with
+        | None -> fail_current t Error.RESERVE
+        | Some data ->
             let n = min chunk_size (op.data_len - op.offset) in
-            let copied =
-              Kernel.with_allow_ro t.kernel op.op_pid ~driver:op.op_driver
-                ~allow_num:allow_data (fun data ->
-                  let m = min n (Subslice.length data - op.offset) in
-                  if m <= 0 then 0
-                  else begin
-                    Subslice.slice_to sub m;
-                    Subslice.blit ~src:data ~src_off:op.offset ~dst:sub
-                      ~dst_off:0 ~len:m;
-                    m
-                  end)
-            in
-            match copied with
-            | Ok m when m > 0 -> (
-                op.offset <- op.offset + m;
-                match t.engine.Hil.digest_add_data sub with
-                | Ok () -> ()
-                | Error (e, sub) ->
-                    Subslice.reset sub;
-                    Cells.Take_cell.put t.chunk sub;
-                    fail_current t e)
-            | _ ->
-                Subslice.reset sub;
-                Cells.Take_cell.put t.chunk sub;
-                fail_current t Error.RESERVE))
+            let m = min n (Subslice.length data - op.offset) in
+            if m <= 0 then fail_current t Error.RESERVE
+            else begin
+              Subslice.slice ~pos:op.offset ~len:m data;
+              op.offset <- op.offset + m;
+              t.chunk_in_flight <- true;
+              match t.engine.Hil.digest_add_data data with
+              | Ok () -> ()
+              | Error (e, _sub) ->
+                  t.chunk_in_flight <- false;
+                  fail_current t e
+            end)
 
 let create kernel engine =
   let t =
-    {
-      kernel;
-      engine;
-      chunk = Cells.Take_cell.make (Subslice.create chunk_size);
-      current = None;
-      ops = 0;
-    }
+    { kernel; engine; chunk_in_flight = false; current = None; ops = 0 }
   in
-  engine.Hil.digest_set_data_client (fun sub ->
-      Subslice.reset sub;
-      Cells.Take_cell.put t.chunk sub;
+  engine.Hil.digest_set_data_client (fun _sub ->
+      (* the returned window was a clone over the allow buffer; nothing to
+         recycle *)
+      t.chunk_in_flight <- false;
       feed t);
   engine.Hil.digest_set_digest_client (fun digest ->
       match t.current with

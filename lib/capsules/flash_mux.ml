@@ -1,13 +1,11 @@
 open Tock
 
-type vclient = {
-  mutable client :
-    [ `Read_done of bytes | `Write_done of Subslice.t | `Erase_done ] -> unit;
-}
+type vclient = { mutable client : Hil.flash_event -> unit }
 
 type op =
   | Op_read of int
   | Op_write of int * Subslice.t
+  | Op_program of int * int * Subslice.t array
   | Op_erase of int
 
 type t = {
@@ -21,24 +19,28 @@ let rec pump t =
   | None, (vc, op) :: rest -> (
       let started =
         match op with
-        | Op_read page -> Result.map_error (fun e -> (e, None)) (t.hw.Hil.flash_read ~page)
+        | Op_read page -> Result.map_error (fun e -> e) (t.hw.Hil.flash_read ~page)
         | Op_write (page, sub) ->
-            Result.map_error (fun (e, s) -> (e, Some s)) (t.hw.Hil.flash_write ~page sub)
-        | Op_erase page -> Result.map_error (fun e -> (e, None)) (t.hw.Hil.flash_erase ~page)
+            Result.map_error (fun (e, _) -> e) (t.hw.Hil.flash_write ~page sub)
+        | Op_program (page, off, iov) ->
+            Result.map_error (fun (e, _) -> e)
+              (t.hw.Hil.flash_program ~page ~off iov)
+        | Op_erase page -> Result.map_error (fun e -> e) (t.hw.Hil.flash_erase ~page)
       in
       match started with
       | Ok () ->
           t.queue <- rest;
           t.inflight <- Some vc
-      | Error (Error.BUSY, _) -> () (* retry on next completion *)
-      | Error (_, sub) ->
+      | Error Error.BUSY -> () (* retry on next completion *)
+      | Error _ ->
           (* Surface the failure as a completion so the client makes
              progress. *)
           t.queue <- rest;
-          (match (op, sub) with
-          | Op_write _, Some s -> vc.client (`Write_done s)
-          | Op_read _, _ -> vc.client (`Read_done Bytes.empty)
-          | _, _ -> vc.client `Erase_done);
+          (match op with
+          | Op_write (_, s) -> vc.client (`Write_done s)
+          | Op_program (_, _, iov) -> vc.client (`Program_done iov)
+          | Op_read _ -> vc.client (`Read_done Bytes.empty)
+          | Op_erase _ -> vc.client `Erase_done);
           pump t)
   | _ -> ()
 
@@ -66,6 +68,11 @@ let new_client t =
     flash_write =
       (fun ~page sub ->
         t.queue <- t.queue @ [ (vc, Op_write (page, sub)) ];
+        pump t;
+        Ok ());
+    flash_program =
+      (fun ~page ~off iov ->
+        t.queue <- t.queue @ [ (vc, Op_program (page, off, iov)) ];
         pump t;
         Ok ());
     flash_erase =

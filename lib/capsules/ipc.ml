@@ -49,32 +49,31 @@ let command t proc ~command_num ~arg1 ~arg2 =
         Syscall.Success
       end
   | 4 ->
-      (* copy a message to process arg1: sender allow-ro 1 -> receiver
+      (* move a message to process arg1: sender allow-ro 1 -> receiver
          allow-rw 1, both windows resolved through the kernel tables so
-         neither process touches the other's memory *)
+         neither process touches the other's memory. One window-to-window
+         blit — no kernel staging buffer in between. *)
       if Kernel.find_process t.kernel arg1 = None then
         Syscall.Failure Error.NODEVICE
       else begin
-        let payload =
+        let src =
           match
-            Kernel.with_allow_ro t.kernel pid ~driver:Driver_num.ipc
-              ~allow_num:1 (fun b ->
-                let n = min arg2 (Subslice.length b) in
-                Subslice.slice_to b n;
-                Subslice.to_bytes b)
+            Kernel.allow_window t.kernel pid ~kind:`Ro ~driver:Driver_num.ipc
+              ~allow_num:1
           with
-          | Ok b -> b
-          | Error _ -> Bytes.empty
+          | Some w ->
+              Subslice.slice_to w (min arg2 (Subslice.length w));
+              w
+          | None -> Subslice.of_bytes Bytes.empty
         in
-        if Bytes.length payload = 0 then Syscall.Failure Error.RESERVE
+        if Subslice.length src = 0 then Syscall.Failure Error.RESERVE
         else
           let copied =
             match
               Kernel.with_allow_rw t.kernel arg1 ~driver:Driver_num.ipc
                 ~allow_num:1 (fun dst ->
-                  let n = min (Bytes.length payload) (Subslice.length dst) in
-                  Subslice.blit_from_bytes ~src:payload ~src_off:0 dst
-                    ~dst_off:0 ~len:n;
+                  let n = min (Subslice.length src) (Subslice.length dst) in
+                  Subslice.blit ~src ~src_off:0 ~dst ~dst_off:0 ~len:n;
                   n)
             with
             | Ok n -> n

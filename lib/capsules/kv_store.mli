@@ -24,9 +24,28 @@ val create : Tock.Kernel.t -> Tock.Hil.flash -> first_page:int -> pages:int -> t
 (** Scans the region and rebuilds the index. *)
 
 val get : t -> key:bytes -> ((bytes option, Tock.Error.t) result -> unit) -> unit
-(** [Ok None] = key absent. *)
+(** [Ok None] = key absent. Copies the value out; {!get_sub} hands back
+    the window instead. *)
+
+val get_sub :
+  t ->
+  key:bytes ->
+  ((Tock.Subslice.t option, Tock.Error.t) result -> unit) ->
+  unit
+(** Zero-copy read: the value arrives as a window over the page image the
+    flash read delivered; blit it where it belongs. The window is only
+    valid inside the callback. *)
 
 val set : t -> key:bytes -> value:bytes -> ((unit, Tock.Error.t) result -> unit) -> unit
+
+val set_sub :
+  t ->
+  key:bytes ->
+  value:Tock.Subslice.t ->
+  ((unit, Tock.Error.t) result -> unit) ->
+  unit
+(** Zero-copy write: the value window rides in the flash program iovec in
+    place. The bytes must stay stable until the callback fires. *)
 
 val delete : t -> key:bytes -> ((bool, Tock.Error.t) result -> unit) -> unit
 (** [Ok false] = key was absent. *)

@@ -3,8 +3,9 @@
     third parties but cannot audit (§3.5), so Tock-style systems write
     their own.
 
-    Frame format (prepended to the payload in one SubSlice, Fig.-4 style —
-    the payload is never copied):
+    Frame format (the frame on the air is a scatter-gather iovec: staged
+    header and trailer windows around the caller's payload window, which
+    is never copied — the radio's DMA gather serializes them):
 
     {v  'T' 'K' | seq u8 | flags u8 | src u16le | dst u16le | len u8 | payload | crc16le  v}
 
@@ -45,7 +46,16 @@ val send :
   t -> dest:int -> bytes -> on_result:((unit, Tock.Error.t) result -> unit) ->
   (unit, Tock.Error.t) result
 (** Reliable unicast (or fire-and-forget broadcast to 0xFFFF). BUSY if a
-    send is in flight. *)
+    send is in flight. Wraps the buffer in a window and calls
+    {!send_sub}; the bytes must not be mutated until [on_result]. *)
+
+val send_sub :
+  t -> dest:int -> Tock.Subslice.t ->
+  on_result:((unit, Tock.Error.t) result -> unit) ->
+  (unit, Tock.Error.t) result
+(** Zero-copy send: the window's bytes ride in the transmit iovec (and
+    its retransmissions, and its fragments) in place. The caller must
+    keep the bytes stable until [on_result] fires. *)
 
 val set_receive : t -> (src:int -> bytes -> unit) -> unit
 
@@ -72,9 +82,43 @@ val acks_sent : t -> int
 val datagrams_reassembled : t -> int
 
 val crc16 : bytes -> off:int -> len:int -> int
-(** CRC-16/CCITT-FALSE, exposed for tests. Table-driven (256-entry table
-    built at module init). *)
+(** CRC-16/CCITT-FALSE — an alias for the shared {!Tock.Crc16.digest}
+    (table-driven), kept for tests. *)
 
 val crc16_ref : bytes -> off:int -> len:int -> int
-(** The bitwise CRC the table is derived from — the equivalence oracle
-    and speedup baseline for {!crc16}. *)
+(** The bitwise oracle ({!Tock.Crc16.Reference.digest}) the tables are
+    derived from. *)
+
+(** {2 Round-trip oracles (tests and benchmarks)} *)
+
+val max_payload : int
+(** Largest single-frame payload (100 bytes). *)
+
+val frag_chunk : int
+(** Payload bytes carried per fragment. *)
+
+val max_fragments : int
+(** Fragments per datagram, bounding [send] at
+    [max_fragments * frag_chunk] bytes. *)
+
+val round_trip :
+  src:int -> dst:int -> Tock.Subslice.t -> Tock.Subslice.t -> int
+(** Single-frame compose→wire→parse→deliver pipeline over the current
+    zero-copy path: iovec compose with the incremental CRC, one hardware
+    gather, in-place parse, one delivery blit into the out window.
+    Returns the delivered length (0 = frame rejected). *)
+
+(** The pre-zero-copy pipeline, byte for byte: copy out of the sender's
+    buffer, build an owned frame, blit it through a staging buffer, parse
+    with the byte-at-a-time table CRC, cut the body out, blit it into the
+    receiver's buffer. Equivalence oracle and speedup baseline for
+    {!round_trip}. *)
+module Reference : sig
+  val build_frame :
+    seq:int -> flags:int -> src:int -> dst:int -> bytes -> bytes
+
+  val parse_frame : bytes -> (int * bytes) option
+  (** [Some (src, payload)] for a well-formed frame. *)
+
+  val round_trip : src:int -> dst:int -> bytes -> bytes -> int
+end

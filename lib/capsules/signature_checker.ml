@@ -36,6 +36,8 @@ let hw_digest t mode region k =
   match t.digest.Hil.digest_set_mode mode with
   | Error e -> k (Error e)
   | Ok () ->
+      (* otock-lint: allow capsule-byte-copy — load-time check: hash a
+         stable snapshot of the region, once per process load *)
       let sub = Subslice.of_bytes (Bytes.copy region) in
       let total = Bytes.length region in
       let offset = ref 0 in

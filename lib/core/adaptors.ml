@@ -22,15 +22,34 @@ let alarm (hw : Tock_hw.Hw_timer.t) : Hil.alarm =
     alarm_set_client = (fun fn -> Tock_hw.Hw_timer.set_client hw fn);
   }
 
+(* The raw (buffer, offset, length) triple behind a window: the DMA
+   descriptor the hardware gathers from. Trusted-code-only use of
+   [Subslice.underlying], and deliberately uncounted by the copy
+   accounting — the hardware's own latch copy is not a software copy. *)
+let seg_of sub =
+  let off, len = Subslice.window sub in
+  (Subslice.underlying sub, off, len)
+
+let segs_of_iov iov = Array.to_list (Array.map seg_of iov)
+
 let uart (hw : Tock_hw.Uart.t) : Hil.uart =
   let tx_inflight : Subslice.t Take_cell.t = Take_cell.empty () in
+  let tx_iov_inflight : Subslice.t array Take_cell.t = Take_cell.empty () in
   let rx_inflight : Subslice.t Take_cell.t = Take_cell.empty () in
   let tx_client = ref (fun (_ : Subslice.t) -> ()) in
+  let tx_iov_client = ref (fun (_ : Subslice.t array) -> ()) in
   let rx_client = ref (fun (_ : Subslice.t) -> ()) in
+  let tx_busy () =
+    not (Take_cell.is_none tx_inflight && Take_cell.is_none tx_iov_inflight)
+  in
   Tock_hw.Uart.set_transmit_client hw (fun ~len:_ ->
+      (* The hardware serializes: at most one of the cells is full. *)
       match Take_cell.take tx_inflight with
       | Some sub -> !tx_client sub
-      | None -> ());
+      | None -> (
+          match Take_cell.take tx_iov_inflight with
+          | Some iov -> !tx_iov_client iov
+          | None -> ()));
   Tock_hw.Uart.set_receive_client hw (fun data ->
       match Take_cell.take rx_inflight with
       | Some sub ->
@@ -41,15 +60,24 @@ let uart (hw : Tock_hw.Uart.t) : Hil.uart =
   {
     uart_transmit =
       (fun sub ->
-        if not (Take_cell.is_none tx_inflight) then Error (Error.BUSY, sub)
+        if tx_busy () then Error (Error.BUSY, sub)
         else
-          let data = Subslice.to_bytes sub in
-          match Tock_hw.Uart.transmit hw data ~len:(Bytes.length data) with
+          match Tock_hw.Uart.transmit_segs hw [ seg_of sub ] with
           | Ok () ->
               Take_cell.put tx_inflight sub;
               Ok ()
           | Error e -> Error (err_of_string e, sub));
     uart_set_transmit_client = (fun fn -> tx_client := fn);
+    uart_transmit_iov =
+      (fun iov ->
+        if tx_busy () then Error (Error.BUSY, iov)
+        else
+          match Tock_hw.Uart.transmit_segs hw (segs_of_iov iov) with
+          | Ok () ->
+              Take_cell.put tx_iov_inflight iov;
+              Ok ()
+          | Error e -> Error (err_of_string e, iov));
+    uart_set_transmit_iov_client = (fun fn -> tx_iov_client := fn);
     uart_receive =
       (fun sub ->
         if not (Take_cell.is_none rx_inflight) then Error (Error.BUSY, sub)
@@ -160,15 +188,18 @@ let pke (hw : Tock_hw.Pke_engine.t) : Hil.pke =
 
 let flash (hw : Tock_hw.Flash_ctrl.t) : Hil.flash =
   let inflight : Subslice.t Take_cell.t = Take_cell.empty () in
-  let client =
-    ref (fun (_ : [ `Read_done of bytes | `Write_done of Subslice.t | `Erase_done ]) -> ())
-  in
+  let iov_inflight : Subslice.t array Take_cell.t = Take_cell.empty () in
+  let client = ref (fun (_ : Hil.flash_event) -> ()) in
   Tock_hw.Flash_ctrl.set_client hw (fun r ->
       match r with
       | Tock_hw.Flash_ctrl.Read_done b -> !client (`Read_done b)
       | Tock_hw.Flash_ctrl.Write_done -> (
           match Take_cell.take inflight with
           | Some sub -> !client (`Write_done sub)
+          | None -> ())
+      | Tock_hw.Flash_ctrl.Program_done -> (
+          match Take_cell.take iov_inflight with
+          | Some iov -> !client (`Program_done iov)
           | None -> ())
       | Tock_hw.Flash_ctrl.Erase_done -> !client `Erase_done);
   {
@@ -179,7 +210,8 @@ let flash (hw : Tock_hw.Flash_ctrl.t) : Hil.flash =
         Result.map_error err_of_string (Tock_hw.Flash_ctrl.read_page hw ~page));
     flash_write =
       (fun ~page sub ->
-        if not (Take_cell.is_none inflight) then Error (Error.BUSY, sub)
+        if not (Take_cell.is_none inflight && Take_cell.is_none iov_inflight)
+        then Error (Error.BUSY, sub)
         else begin
           (* Pad the window to a full page, as the DMA engine requires. *)
           let page_buf = Bytes.make (Tock_hw.Flash_ctrl.page_size hw) '\xff' in
@@ -191,6 +223,18 @@ let flash (hw : Tock_hw.Flash_ctrl.t) : Hil.flash =
               Ok ()
           | Error e -> Error (err_of_string e, sub)
         end);
+    flash_program =
+      (fun ~page ~off iov ->
+        if not (Take_cell.is_none inflight && Take_cell.is_none iov_inflight)
+        then Error (Error.BUSY, iov)
+        else
+          match
+            Tock_hw.Flash_ctrl.program_region hw ~page ~off (segs_of_iov iov)
+          with
+          | Ok () ->
+              Take_cell.put iov_inflight iov;
+              Ok ()
+          | Error e -> Error (err_of_string e, iov));
     flash_erase =
       (fun ~page ->
         Result.map_error err_of_string (Tock_hw.Flash_ctrl.erase_page hw ~page));
@@ -200,24 +244,46 @@ let flash (hw : Tock_hw.Flash_ctrl.t) : Hil.flash =
 
 let radio (hw : Tock_hw.Radio.t) : Hil.radio =
   let inflight : Subslice.t Take_cell.t = Take_cell.empty () in
+  let iov_inflight : Subslice.t array Take_cell.t = Take_cell.empty () in
   let tx_client = ref (fun (_ : Subslice.t) -> ()) in
+  let tx_iov_client = ref (fun (_ : Subslice.t array) -> ()) in
+  let tx_busy () =
+    not (Take_cell.is_none inflight && Take_cell.is_none iov_inflight)
+  in
+  let map_err e =
+    match e with
+    | "radio off" -> Error.OFF
+    | "already transmitting" -> Error.BUSY
+    | _ -> Error.SIZE
+  in
   Tock_hw.Radio.set_transmit_client hw (fun () ->
       match Take_cell.take inflight with
       | Some sub -> !tx_client sub
-      | None -> ());
+      | None -> (
+          match Take_cell.take iov_inflight with
+          | Some iov -> !tx_iov_client iov
+          | None -> ()));
   {
     radio_transmit =
       (fun ~dest sub ->
-        if not (Take_cell.is_none inflight) then Error (Error.BUSY, sub)
+        if tx_busy () then Error (Error.BUSY, sub)
         else
-          match Tock_hw.Radio.transmit hw ~dest (Subslice.to_bytes sub) with
+          match Tock_hw.Radio.transmit_segs hw ~dest [ seg_of sub ] with
           | Ok () ->
               Take_cell.put inflight sub;
               Ok ()
-          | Error "radio off" -> Error (Error.OFF, sub)
-          | Error "already transmitting" -> Error (Error.BUSY, sub)
-          | Error _ -> Error (Error.SIZE, sub));
+          | Error e -> Error (map_err e, sub));
     radio_set_transmit_client = (fun fn -> tx_client := fn);
+    radio_transmit_iov =
+      (fun ~dest iov ->
+        if tx_busy () then Error (Error.BUSY, iov)
+        else
+          match Tock_hw.Radio.transmit_segs hw ~dest (segs_of_iov iov) with
+          | Ok () ->
+              Take_cell.put iov_inflight iov;
+              Ok ()
+          | Error e -> Error (map_err e, iov));
+    radio_set_transmit_iov_client = (fun fn -> tx_iov_client := fn);
     radio_set_receive_client = (fun fn -> Tock_hw.Radio.set_receive_client hw fn);
     radio_start_listening = (fun () -> Tock_hw.Radio.start_listening hw);
     radio_stop = (fun () -> Tock_hw.Radio.stop hw);

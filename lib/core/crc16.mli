@@ -1,0 +1,15 @@
+(* otock-lint: allow-file crypto-confinement — this module IS the
+   sanctioned kernel re-export of the shared checksum; capsules reach it
+   as Tock.Crc16 instead of depending on the crypto layer. *)
+
+(** Kernel-side view of the shared CRC-16/CCITT-FALSE checksum
+    ({!Tock_crypto.Crc16}), re-exported so capsules can checksum frames
+    without reaching into the crypto layer, extended with an
+    incremental update over {!Subslice} windows for scatter-gather
+    frames: a checksum over an iovec is folded one window at a time
+    without materializing the frame. *)
+
+include module type of Tock_crypto.Crc16
+
+val update_sub : int -> Subslice.t -> int
+(** Fold the bytes of the window into the CRC state (no copy). *)

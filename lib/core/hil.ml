@@ -10,6 +10,8 @@ type alarm = {
 type uart = {
   uart_transmit : Subslice.t -> (unit, Error.t * Subslice.t) result;
   uart_set_transmit_client : (Subslice.t -> unit) -> unit;
+  uart_transmit_iov : Subslice.t array -> (unit, Error.t * Subslice.t array) result;
+  uart_set_transmit_iov_client : (Subslice.t array -> unit) -> unit;
   uart_receive : Subslice.t -> (unit, Error.t * Subslice.t) result;
   uart_set_receive_client : (Subslice.t -> unit) -> unit;
   uart_abort_receive : unit -> unit;
@@ -45,21 +47,31 @@ type pke = {
   pke_set_client : (bool -> unit) -> unit;
 }
 
+type flash_event =
+  [ `Read_done of bytes
+  | `Write_done of Subslice.t
+  | `Program_done of Subslice.t array
+  | `Erase_done ]
+
 type flash = {
   flash_pages : int;
   flash_page_size : int;
   flash_read : page:int -> (unit, Error.t) result;
   flash_write : page:int -> Subslice.t -> (unit, Error.t * Subslice.t) result;
+  flash_program :
+    page:int -> off:int -> Subslice.t array ->
+    (unit, Error.t * Subslice.t array) result;
   flash_erase : page:int -> (unit, Error.t) result;
-  flash_set_client :
-    ([ `Read_done of bytes | `Write_done of Subslice.t | `Erase_done ] -> unit) ->
-    unit;
+  flash_set_client : (flash_event -> unit) -> unit;
   flash_read_sync : page:int -> bytes;
 }
 
 type radio = {
   radio_transmit : dest:int -> Subslice.t -> (unit, Error.t * Subslice.t) result;
   radio_set_transmit_client : (Subslice.t -> unit) -> unit;
+  radio_transmit_iov :
+    dest:int -> Subslice.t array -> (unit, Error.t * Subslice.t array) result;
+  radio_set_transmit_iov_client : (Subslice.t array -> unit) -> unit;
   radio_set_receive_client : (src:int -> bytes -> unit) -> unit;
   radio_start_listening : unit -> unit;
   radio_stop : unit -> unit;

@@ -28,6 +28,12 @@ type uart = {
       (** Transmit the active window. *)
   uart_set_transmit_client : (Subslice.t -> unit) -> unit;
       (** Buffer returned with its window intact. *)
+  uart_transmit_iov : Subslice.t array -> (unit, Error.t * Subslice.t array) result;
+      (** Scatter-gather transmit: the windows are serialized back to
+          back as one hardware operation with a single completion (the
+          batched console drain). Ownership of the whole vector moves,
+          as for single-buffer transmit. *)
+  uart_set_transmit_iov_client : (Subslice.t array -> unit) -> unit;
   uart_receive : Subslice.t -> (unit, Error.t * Subslice.t) result;
       (** Receive exactly the window length. *)
   uart_set_receive_client : (Subslice.t -> unit) -> unit;
@@ -65,15 +71,27 @@ type pke = {
   pke_set_client : (bool -> unit) -> unit;
 }
 
+type flash_event =
+  [ `Read_done of bytes
+  | `Write_done of Subslice.t
+  | `Program_done of Subslice.t array
+  | `Erase_done ]
+
 type flash = {
   flash_pages : int;
   flash_page_size : int;
   flash_read : page:int -> (unit, Error.t) result;
   flash_write : page:int -> Subslice.t -> (unit, Error.t * Subslice.t) result;
+  flash_program :
+    page:int -> off:int -> Subslice.t array ->
+    (unit, Error.t * Subslice.t array) result;
+      (** Scatter-gather program: the windows are laid end to end
+          starting at byte [off] of [page] (NOR semantics — bits only
+          clear), leaving the rest of the page untouched. One
+          completion ([`Program_done]) per batch. This is the log-append
+          primitive: no read-modify-write of the whole page. *)
   flash_erase : page:int -> (unit, Error.t) result;
-  flash_set_client :
-    ([ `Read_done of bytes | `Write_done of Subslice.t | `Erase_done ] -> unit) ->
-    unit;
+  flash_set_client : (flash_event -> unit) -> unit;
   flash_read_sync : page:int -> bytes;
       (** Memory-mapped read (synchronous, allowed by the hardware). *)
 }
@@ -81,6 +99,13 @@ type flash = {
 type radio = {
   radio_transmit : dest:int -> Subslice.t -> (unit, Error.t * Subslice.t) result;
   radio_set_transmit_client : (Subslice.t -> unit) -> unit;
+  radio_transmit_iov :
+    dest:int -> Subslice.t array -> (unit, Error.t * Subslice.t array) result;
+      (** Scatter-gather frame transmit: header, payload window(s) and
+          trailer go to the radio as one frame without being gathered
+          into a staging buffer first (the net-stack zero-copy tx
+          path). *)
+  radio_set_transmit_iov_client : (Subslice.t array -> unit) -> unit;
   radio_set_receive_client : (src:int -> bytes -> unit) -> unit;
   radio_start_listening : unit -> unit;
   radio_stop : unit -> unit;

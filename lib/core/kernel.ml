@@ -243,30 +243,44 @@ let schedule_upcall t pid ~driver ~subscribe_num ~args =
 
 let empty_subslice = Subslice.of_bytes Bytes.empty
 
+(* Zero-copy, zero-alloc fast path: the window was materialized (and the
+   range validated) at allow time, so the hit path is a hashtable lookup
+   plus a window reset — the reset restores the *base* window, i.e. the
+   allowed range, so a previous borrower's narrowing never leaks and the
+   capsule can never widen past what the process allowed (§5.1). *)
 let with_allow t pid ~kind ~driver ~allow_num f =
   match entry t pid with
   | None -> Error Error.NODEVICE
-  | Some pe ->
-      let proc = pe.proc in
-      let e = Process.allow_get proc ~kind ~driver ~allow_num in
-      if e.Process.a_len = 0 then Ok (f empty_subslice)
-      else (
-        match Process.mem_view proc ~addr:e.Process.a_addr ~len:e.Process.a_len with
-        | Some (`Ram off) ->
-            let sub = Subslice.of_bytes (Process.ram_bytes proc) in
-            Subslice.slice sub ~pos:off ~len:e.Process.a_len;
-            Ok (f sub)
-        | Some (`Flash off) when kind = `Ro ->
-            let sub = Subslice.of_bytes (Process.flash_image proc) in
-            Subslice.slice sub ~pos:off ~len:e.Process.a_len;
-            Ok (f sub)
-        | _ -> Error Error.INVAL)
+  | Some pe -> (
+      let e = Process.allow_get pe.proc ~kind ~driver ~allow_num in
+      match e.Process.a_window with
+      | None -> Ok (f empty_subslice)
+      | Some w ->
+          Subslice.reset w;
+          Ok (f w))
 
 let with_allow_rw t pid ~driver ~allow_num f =
   with_allow t pid ~kind:`Rw ~driver ~allow_num f
 
 let with_allow_ro t pid ~driver ~allow_num f =
   with_allow t pid ~kind:`Ro ~driver ~allow_num f
+
+(* For capsules that hold the buffer across a split-phase operation
+   (console tx, net tx, digest feed): a clone shares the bytes and the
+   base bound but narrows independently, so in-flight I/O and the
+   syscall-path borrows cannot disturb each other's windows. *)
+let allow_window t pid ~kind ~driver ~allow_num =
+  match entry t pid with
+  | None -> None
+  | Some pe -> (
+      match
+        (Process.allow_get pe.proc ~kind ~driver ~allow_num).Process.a_window
+      with
+      | None -> None
+      | Some w ->
+          let c = Subslice.clone w in
+          Subslice.reset c;
+          Some c)
 
 let allow_size t pid ~kind ~driver ~allow_num =
   match entry t pid with
@@ -288,8 +302,7 @@ type dispatch =
   | `Blocked
   | `Dead ]
 
-let validate_allow t proc ~kind (e : Process.allow_entry) =
-  let { Process.a_addr = addr; a_len = len } = e in
+let validate_allow t proc ~kind ~addr ~len =
   if len = 0 then begin
     (* Zero-length revocation/initial allow: any address is accepted but a
        null-pointer slice would be a Rust niche violation — count the
@@ -306,7 +319,10 @@ let validate_allow t proc ~kind (e : Process.allow_entry) =
     in
     let region_ok = match kind with `Rw -> in_app_ram | `Ro -> in_app_ram || in_flash in
     if not region_ok then Error Error.INVAL
-    else if Process.allow_overlaps proc ~kind e then (
+    else if
+      Process.allow_overlaps proc ~kind
+        { Process.a_addr = addr; a_len = len; a_window = None }
+    then (
       match t.k_config.aliasing_policy with
       | Reject_overlap ->
           t.k_stats.overlap_rejected <- t.k_stats.overlap_rejected + 1;
@@ -318,24 +334,31 @@ let validate_allow t proc ~kind (e : Process.allow_entry) =
   end
 
 let handle_allow t proc ~kind ~driver ~allow_num ~addr ~len : dispatch =
-  let entry = { Process.a_addr = addr; a_len = len } in
   match find_driver t driver with
   | None -> `Return (Syscall.Failure_u32_u32 (Error.NODEVICE, addr, len))
   | Some d -> (
-      match validate_allow t proc ~kind entry with
+      match validate_allow t proc ~kind ~addr ~len with
       | Error e -> `Return (Syscall.Failure_u32_u32 (e, addr, len))
       | Ok () -> (
-          let hook =
-            match kind with
-            | `Rw -> d.Driver.allow_rw_hook
-            | `Ro -> d.Driver.allow_ro_hook
-          in
-          match hook proc ~allow_num entry with
-          | Error e -> `Return (Syscall.Failure_u32_u32 (e, addr, len))
-          | Ok () ->
-              let old = Process.allow_swap proc ~kind ~driver ~allow_num entry in
-              `Return
-                (Syscall.Success_u32_u32 (old.Process.a_addr, old.Process.a_len))))
+          (* Materialize the window once, at the allow boundary; every
+             later capsule access reuses it without translation. *)
+          match Process.make_allow_entry proc ~addr ~len with
+          | None -> `Return (Syscall.Failure_u32_u32 (Error.INVAL, addr, len))
+          | Some entry -> (
+              let hook =
+                match kind with
+                | `Rw -> d.Driver.allow_rw_hook
+                | `Ro -> d.Driver.allow_ro_hook
+              in
+              match hook proc ~allow_num entry with
+              | Error e -> `Return (Syscall.Failure_u32_u32 (e, addr, len))
+              | Ok () ->
+                  let old =
+                    Process.allow_swap proc ~kind ~driver ~allow_num entry
+                  in
+                  `Return
+                    (Syscall.Success_u32_u32
+                       (old.Process.a_addr, old.Process.a_len)))))
 
 let handle_memop proc ~op ~arg : dispatch =
   let open Syscall in

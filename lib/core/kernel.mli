@@ -165,6 +165,19 @@ val with_allow_ro :
 val allow_size : t -> Process.id -> kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> int
 (** Length of the currently shared buffer (0 if none). *)
 
+val allow_window :
+  t -> Process.id -> kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> Subslice.t option
+(** A {!Subslice.clone} of the currently-allowed window, reset to the
+    full allowed range, for capsules that hold the buffer across a
+    split-phase operation (zero-copy tx/feed paths). The clone shares
+    the process's bytes — no copy — but narrows independently of the
+    [with_allow_*] borrow, and its base bound still confines it to the
+    allowed range. [None] if nothing (or zero length) is allowed. Note
+    the Tock divergence: real Tock capsules copy out of the process
+    buffer before a split-phase op; here the window stays live, so a
+    process that re-allows or restarts mid-flight sees the in-place
+    semantics documented in DESIGN.md. *)
+
 val process_ids : t -> Process.id list
 (** Live process ids (the capsule-visible analogue of grant iteration —
     Tock capsules can likewise enumerate their grant regions). *)

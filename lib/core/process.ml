@@ -48,9 +48,14 @@ type pending_upcall = {
   pu_args : int * int * int;
 }
 
-type allow_entry = { a_addr : int; a_len : int }
+(* An allowed buffer, materialized as a window over process memory at
+   allow time (§4.2): [a_window] is a base-bounded Subslice the kernel
+   hands to capsules in place — no per-access translation, no copy, and
+   no way to widen past the allowed range. [None] iff the allow is
+   zero-length (a Tock 2.0 revocation). *)
+type allow_entry = { a_addr : int; a_len : int; a_window : Subslice.t option }
 
-let zero_allow = { a_addr = 0; a_len = 0 }
+let zero_allow = { a_addr = 0; a_len = 0; a_window = None }
 
 (* Last-hit MPU access cache, one per access kind. The emulated data
    plane funnels every load/store through [check_access]; the common case
@@ -310,6 +315,23 @@ let ranges_overlap a b =
 let allow_overlaps t ~kind entry =
   let tbl = allow_table t kind in
   Hashtbl.fold (fun _ e acc -> acc || ranges_overlap e entry) tbl false
+
+(* Materialize the window at allow time: this is the single point where
+   an (addr, len) pair crosses from process arithmetic into a checked
+   byte window, so every later capsule access is already bounds-safe. *)
+let make_allow_entry t ~addr ~len =
+  if len = 0 then Some { a_addr = addr; a_len = 0; a_window = None }
+  else
+    match mem_view t ~addr ~len with
+    | Some (`Ram off) ->
+        Some
+          { a_addr = addr; a_len = len;
+            a_window = Some (Subslice.of_bytes_window t.ram ~pos:off ~len) }
+    | Some (`Flash off) ->
+        Some
+          { a_addr = addr; a_len = len;
+            a_window = Some (Subslice.of_bytes_window t.flash ~pos:off ~len) }
+    | None -> None
 
 let iter_allows t f =
   Hashtbl.iter

@@ -77,7 +77,10 @@ type pending_upcall = {
   pu_args : int * int * int;
 }
 
-type allow_entry = { a_addr : int; a_len : int }
+type allow_entry = { a_addr : int; a_len : int; a_window : Subslice.t option }
+(** An allowed buffer. [a_window] is the zero-copy window over process
+    memory materialized at allow time ({!make_allow_entry}); [None] iff
+    the allow is zero-length (Tock 2.0 revocation). *)
 
 type t
 
@@ -191,6 +194,14 @@ val allow_get : t -> kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> allow_
 val allow_overlaps : t -> kind:[ `Ro | `Rw ] -> allow_entry -> bool
 (** Does the entry overlap any *other* currently-allowed buffer of that
     kind? (Paper §5.1.1: mutable aliasing detection.) *)
+
+val make_allow_entry : t -> addr:int -> len:int -> allow_entry option
+(** Materialize an allow entry: resolve the range to process RAM or
+    flash and build the base-bounded window capsules will operate on in
+    place. [None] if the range escapes process memory; zero-length
+    ranges yield an entry with no window. The kernel calls this after
+    policy validation; it is also the unit the iopath micro-bench
+    measures as "allow-window setup". *)
 
 val iter_allows : t -> (kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> allow_entry -> unit) -> unit
 

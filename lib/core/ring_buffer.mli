@@ -34,3 +34,37 @@ val find_remove : 'a t -> ('a -> bool) -> 'a option
 (** Remove and return the first (oldest) matching element, preserving the
     order of the rest. Used by yield-waitfor to pluck a matching upcall
     out of the queue. *)
+
+(** Fixed-capacity byte ring with bulk transfers: the element ring above
+    moves one value per call, this one moves whole spans (at most two
+    blits each way, for the wrap), so a producer can batch many small
+    writes into one hardware operation on drain. *)
+module Bytes_ring : sig
+  type t
+
+  val create : capacity:int -> t
+
+  val capacity : t -> int
+
+  val length : t -> int
+  (** Bytes queued. *)
+
+  val free : t -> int
+
+  val is_empty : t -> bool
+
+  val push_slice : t -> bytes -> pos:int -> len:int -> int
+  (** Append up to [len] bytes from [src.(pos ..)]; returns the count
+      accepted. Overflow is dropped-new and counted per byte. *)
+
+  val push_string : t -> string -> int
+
+  val pop_into : t -> Subslice.t -> int
+  (** Drain up to the window's length into it (from offset 0); returns
+      the count drained. *)
+
+  val dropped : t -> int
+  (** Bytes lost to overflow. *)
+
+  val clear : t -> unit
+end

@@ -1,12 +1,54 @@
-type t = { buf : bytes; mutable start : int; mutable len : int }
+type t = {
+  buf : bytes;
+  base_start : int;
+  base_len : int;
+  mutable start : int;
+  mutable len : int;
+}
 
-let of_bytes buf = { buf; start = 0; len = Bytes.length buf }
+(* Module-wide copy accounting (§4.2 / iopath bench): every operation
+   that moves window bytes between buffers bumps these. Trusted DMA
+   models gather via [underlying]/[window] and are deliberately not
+   counted — the counters measure data-plane copies the kernel or a
+   capsule performs, which is exactly what the zero-copy gates assert
+   to be 0. *)
+let copies = ref 0
+let copied = ref 0
+
+let count len =
+  if len > 0 then begin
+    incr copies;
+    copied := !copied + len
+  end
+
+let copy_count () = !copies
+let copied_bytes () = !copied
+
+let reset_copy_counters () =
+  copies := 0;
+  copied := 0
+
+let of_bytes_window buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Subslice.of_bytes_window: outside buffer";
+  { buf; base_start = pos; base_len = len; start = pos; len }
+
+let of_bytes buf = of_bytes_window buf ~pos:0 ~len:(Bytes.length buf)
 
 let create n = of_bytes (Bytes.make n '\x00')
 
+let clone t =
+  {
+    buf = t.buf;
+    base_start = t.base_start;
+    base_len = t.base_len;
+    start = t.start;
+    len = t.len;
+  }
+
 let length t = t.len
 
-let full_length t = Bytes.length t.buf
+let full_length t = t.base_len
 
 let slice t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.len then
@@ -19,8 +61,8 @@ let slice_from t pos = slice t ~pos ~len:(t.len - pos)
 let slice_to t len = slice t ~pos:0 ~len
 
 let reset t =
-  t.start <- 0;
-  t.len <- Bytes.length t.buf
+  t.start <- t.base_start;
+  t.len <- t.base_len
 
 let check t i =
   if i < 0 || i >= t.len then invalid_arg "Subslice: index outside window"
@@ -43,22 +85,28 @@ let check_range t off len =
 
 let blit_from_bytes ~src ~src_off t ~dst_off ~len =
   check_range t dst_off len;
+  count len;
   Bytes.blit src src_off t.buf (t.start + dst_off) len
 
 let blit_to_bytes t ~src_off ~dst ~dst_off ~len =
   check_range t src_off len;
+  count len;
   Bytes.blit t.buf (t.start + src_off) dst dst_off len
 
 let copy_within src dst =
   let n = min src.len dst.len in
+  count n;
   Bytes.blit src.buf src.start dst.buf dst.start n
 
 let blit ~src ~src_off ~dst ~dst_off ~len =
   check_range src src_off len;
   check_range dst dst_off len;
+  count len;
   Bytes.blit src.buf (src.start + src_off) dst.buf (dst.start + dst_off) len
 
-let to_bytes t = Bytes.sub t.buf t.start t.len
+let to_bytes t =
+  count t.len;
+  Bytes.sub t.buf t.start t.len
 
 let window t = (t.start, t.len)
 

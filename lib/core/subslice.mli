@@ -5,27 +5,48 @@
     payload, the bytes still to write) without forfeiting the rest of the
     buffer. A [Subslice.t] carries the full underlying buffer plus an
     active window; layers narrow the window with {!slice} and any holder
-    can {!reset} back to the complete buffer before returning it upward.
+    can {!reset} back to the *base* window before returning it upward.
+
+    The base window is fixed at construction: for {!of_bytes} it is the
+    whole buffer, for {!of_bytes_window} an arbitrary range. This is how
+    allowed process buffers stay sound when handed out zero-copy — a
+    capsule holding a window over process RAM can narrow and reset at
+    will but can never widen past the range the process allowed (§5.1).
 
     All indexed operations are window-relative and bounds-checked against
     the window, so a layer cannot reach bytes outside the range it was
     given (Tock gets this from slice types; we check dynamically and the
-    invariant is property-tested). *)
+    invariant is property-tested).
+
+    Every operation that copies window bytes between buffers is counted
+    in module-wide copy counters; the iopath bench asserts these stay at
+    0 across the zero-copy fast paths. *)
 
 type t
 
 val of_bytes : bytes -> t
-(** Window = entire buffer. The buffer is shared, not copied (ownership
-    moves with the value, as in Tock). *)
+(** Base window = entire buffer. The buffer is shared, not copied
+    (ownership moves with the value, as in Tock). *)
+
+val of_bytes_window : bytes -> pos:int -> len:int -> t
+(** Base window = [pos, pos+len) of [buf]. {!reset} restores to this
+    range, never the whole buffer. Raises [Invalid_argument] if the
+    range is outside the buffer. *)
 
 val create : int -> t
 (** Fresh zeroed buffer of the given size. *)
+
+val clone : t -> t
+(** A new independent window record over the *same* bytes (no copy):
+    same base, same current window, but narrowing/resetting the clone
+    does not disturb the original. This is how capsules hold an allowed
+    window across split-phase operations. *)
 
 val length : t -> int
 (** Active window length. *)
 
 val full_length : t -> int
-(** Underlying buffer length. *)
+(** Base window length (= buffer length for {!of_bytes}). *)
 
 val slice : t -> pos:int -> len:int -> unit
 (** Narrow the window to [pos, pos+len) *relative to the current window*.
@@ -36,7 +57,7 @@ val slice_from : t -> int -> unit
 val slice_to : t -> int -> unit
 
 val reset : t -> unit
-(** Restore the window to the whole underlying buffer. *)
+(** Restore the window to the base window. *)
 
 val get : t -> int -> char
 
@@ -70,3 +91,17 @@ val underlying : t -> bytes
 
 val fill : t -> char -> unit
 (** Fill the active window. *)
+
+(** {2 Copy accounting}
+
+    Module-wide counters over {!blit_from_bytes}, {!blit_to_bytes},
+    {!copy_within}, {!blit} and {!to_bytes}. Zero-length operations do
+    not count. *)
+
+val copy_count : unit -> int
+(** Copies performed since the last {!reset_copy_counters}. *)
+
+val copied_bytes : unit -> int
+(** Bytes moved since the last {!reset_copy_counters}. *)
+
+val reset_copy_counters : unit -> unit

@@ -1,4 +1,4 @@
-type op_result = Read_done of bytes | Write_done | Erase_done
+type op_result = Read_done of bytes | Write_done | Program_done | Erase_done
 
 type t = {
   sim : Sim.t;
@@ -91,6 +91,47 @@ let write_page t ~page data =
             done;
             if !lost then t.dirty_writes <- t.dirty_writes + 1;
             Write_done))
+
+(* Scatter-gather partial-page program: the segments are gathered into
+   the write latch at start (DMA), then NOR-programmed into
+   [off, off+total) of the page — bits only clear, the rest of the page
+   untouched. Program time scales with the programmed span, so a log
+   append pays for the bytes it writes, not the whole page. *)
+let program_region t ~page ~off segs =
+  if t.busy then Error "flash busy"
+  else
+    let ok =
+      List.for_all
+        (fun (b, o, l) -> o >= 0 && l >= 0 && o + l <= Bytes.length b)
+        segs
+    in
+    if not ok then Error "bad segment"
+    else begin
+      let total = List.fold_left (fun acc (_, _, l) -> acc + l) 0 segs in
+      if off < 0 || off + total > t.page_size then Error "bad program range"
+      else
+        Result.bind (check_page t page) (fun () ->
+            let data = Bytes.create total in
+            let pos = ref 0 in
+            List.iter
+              (fun (b, o, l) ->
+                Bytes.blit b o data !pos l;
+                pos := !pos + l)
+              segs;
+            let delay = max 1 (t.write_cycles * total / t.page_size) in
+            start t ~delay (fun () ->
+                let dst = t.store.(page) in
+                let lost = ref false in
+                for i = 0 to total - 1 do
+                  let old = Char.code (Bytes.get dst (off + i)) in
+                  let wanted = Char.code (Bytes.get data i) in
+                  let stored = old land wanted in
+                  if stored <> wanted then lost := true;
+                  Bytes.set dst (off + i) (Char.chr stored)
+                done;
+                if !lost then t.dirty_writes <- t.dirty_writes + 1;
+                Program_done))
+    end
 
 let erase_page t ~page =
   if t.busy then Error "flash busy"

@@ -10,7 +10,7 @@
 
 type t
 
-type op_result = Read_done of bytes | Write_done | Erase_done
+type op_result = Read_done of bytes | Write_done | Program_done | Erase_done
 
 val create :
   Sim.t -> Irq.t -> irq_line:int ->
@@ -30,6 +30,14 @@ val read_page : t -> page:int -> (unit, string) result
 val write_page : t -> page:int -> bytes -> (unit, string) result
 (** AND-writes the full page (buffer must be exactly [page_size]).
     Completion via client. *)
+
+val program_region :
+  t -> page:int -> off:int -> (bytes * int * int) list -> (unit, string) result
+(** Scatter-gather partial-page program: the [(buf, off, len)] segments
+    are gathered into the write latch at start and AND-programmed back
+    to back into the page starting at byte [off]; the rest of the page
+    is untouched. Program time scales with the programmed span.
+    Completion via client ([Program_done]). *)
 
 val erase_page : t -> page:int -> (unit, string) result
 

@@ -131,7 +131,9 @@ let air_cycles t len =
   (* preamble + header ~ 12 bytes of overhead per frame *)
   (len + 12) * Sim.clock_hz t.sim / bytes_per_second
 
-let transmit t ~dest payload =
+(* [payload] is the frame as serialized onto the air: already a private
+   copy owned by the radio (the DMA latch), never aliased by software. *)
+let transmit_air t ~dest payload =
   let ether = t.ether in
   if Bytes.length payload > max_payload then Error "payload too long"
   else
@@ -151,7 +153,6 @@ let transmit t ~dest payload =
         set_state t Transmitting;
         t.tx_until <- now + air;
         t.sent <- t.sent + 1;
-        let payload = Bytes.copy payload in
         let channel = t.channel in
         ignore
           (Sim.at t.sim ~delay:air (fun () ->
@@ -177,3 +178,31 @@ let transmit t ~dest payload =
                    ether.radios
                else ether.lost <- ether.lost + 1));
         Ok ()
+
+let transmit t ~dest payload = transmit_air t ~dest (Bytes.copy payload)
+
+(* Scatter-gather transmit: the frame segments (header, payload window,
+   trailer) are serialized straight into the air copy — the single DMA
+   gather the hardware performs — and sent as one frame with one
+   completion interrupt. *)
+let transmit_segs t ~dest segs =
+  let ok =
+    List.for_all
+      (fun (b, off, len) -> off >= 0 && len >= 0 && off + len <= Bytes.length b)
+      segs
+  in
+  if not ok then Error "bad segment"
+  else begin
+    let total = List.fold_left (fun acc (_, _, len) -> acc + len) 0 segs in
+    if total > max_payload then Error "payload too long"
+    else begin
+      let air = Bytes.create total in
+      let pos = ref 0 in
+      List.iter
+        (fun (b, off, len) ->
+          Bytes.blit b off air !pos len;
+          pos := !pos + len)
+        segs;
+      transmit_air t ~dest air
+    end
+  end

@@ -48,6 +48,14 @@ val transmit : t -> dest:int -> bytes -> (unit, string) result
     powers up for the frame and returns to [Off]; a listening radio
     resumes listening. Completion via [set_transmit_client]. *)
 
+val transmit_segs :
+  t -> dest:int -> (bytes * int * int) list -> (unit, string) result
+(** Scatter-gather transmit: each [(buf, off, len)] segment is
+    serialized in order into the frame's air copy (the hardware's own
+    DMA gather), then sent exactly like {!transmit}. One completion for
+    the whole batch. Fails on a malformed segment or if the total
+    exceeds 127 bytes. *)
+
 val set_transmit_client : t -> (unit -> unit) -> unit
 
 val set_receive_client : t -> (src:int -> bytes -> unit) -> unit

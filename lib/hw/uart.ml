@@ -86,23 +86,43 @@ let tx_busy t = t.tx_inflight <> None
 
 let bytes_transmitted t = t.bytes_transmitted
 
-let transmit t buf ~len =
-  if len < 0 || len > Bytes.length buf then Error "bad length"
+(* Scatter-gather transmit: the segments are serialized back to back
+   into the shift-register latch (the one DMA copy the hardware itself
+   performs) and clocked out as a single operation — one schedule, one
+   interrupt, one completion, however many segments. *)
+let transmit_segs t segs =
+  let ok =
+    List.for_all
+      (fun (b, off, len) -> off >= 0 && len >= 0 && off + len <= Bytes.length b)
+      segs
+  in
+  if not ok then Error "bad length"
   else if t.tx_inflight <> None then Error "transmit busy"
   else begin
-    let copy = Bytes.sub buf 0 len in
-    t.tx_inflight <- Some (copy, len);
+    let total = List.fold_left (fun acc (_, _, len) -> acc + len) 0 segs in
+    let copy = Bytes.create total in
+    let pos = ref 0 in
+    List.iter
+      (fun (b, off, len) ->
+        Bytes.blit b off copy !pos len;
+        pos := !pos + len)
+      segs;
+    t.tx_inflight <- Some (copy, total);
     Sim.meter_set_ua t.sim t.meter 1500;
-    let delay = len * cycles_per_byte t in
+    let delay = total * cycles_per_byte t in
     ignore
       (Sim.at t.sim ~delay (fun () ->
            t.tx_inflight <- None;
-           t.bytes_transmitted <- t.bytes_transmitted + len;
+           t.bytes_transmitted <- t.bytes_transmitted + total;
            Sim.meter_set_ua t.sim t.meter 0;
-           t.completed_tx <- Some (len, copy);
+           t.completed_tx <- Some (total, copy);
            Irq.set_pending t.irq ~line:t.irq_line));
     Ok ()
   end
+
+let transmit t buf ~len =
+  if len < 0 || len > Bytes.length buf then Error "bad length"
+  else transmit_segs t [ (buf, 0, len) ]
 
 (* Try to satisfy a pending receive from the FIFO. *)
 let try_complete_rx t =

@@ -46,6 +46,13 @@ val transmit :
     DMA would). Fails if a transmit is already in flight. Completion is
     signalled through the client callback. *)
 
+val transmit_segs : t -> (bytes * int * int) list -> (unit, string) result
+(** Scatter-gather transmit: the [(buf, off, len)] segments are
+    serialized back to back into the shift-register latch and clocked
+    out as one operation — one completion callback for the whole batch,
+    with [len] = total bytes. Fails on a malformed segment or if a
+    transmit is in flight. *)
+
 val set_transmit_client : t -> (len:int -> unit) -> unit
 (** Runs from interrupt context when a transmit completes. *)
 

@@ -82,9 +82,35 @@ let write_u32 app ~addr ~v =
   Bytes.set_uint16_le b off (v land 0xffff);
   Bytes.set_uint16_le b (off + 2) ((v lsr 16) land 0xffff)
 
+(* ---- copy accounting ----
+
+   Every bulk transfer across the app/kernel boundary is tallied here,
+   the userland mirror of [Subslice]'s counters: the iopath bench diffs
+   them around a syscall to prove a path really is zero-copy. Scalar
+   accesses are register traffic, not copies, and stay uncounted. *)
+
+let copies = ref 0
+
+let bytes_moved = ref 0
+
+let copy_count () = !copies
+
+let copied_bytes () = !bytes_moved
+
+let reset_copy_counters () =
+  copies := 0;
+  bytes_moved := 0
+
+let count_copy len =
+  if len > 0 then begin
+    incr copies;
+    bytes_moved := !bytes_moved + len
+  end
+
 let read_into app ~addr ~len ~dst ~dst_off =
   if dst_off < 0 || len < 0 || dst_off + len > Bytes.length dst then
     raise (App_panic_exn "read_into: bad destination range");
+  count_copy len;
   let p = app.a_proc in
   if in_flash p ~addr ~len then
     Bytes.blit (Tock.Process.flash_image p)
@@ -103,6 +129,7 @@ let read_bytes app ~addr ~len =
 let write_from app ~addr ~src ~src_off ~len =
   if src_off < 0 || len < 0 || src_off + len > Bytes.length src then
     raise (App_panic_exn "write_from: bad source range");
+  count_copy len;
   let off = ram_offset app ~addr ~len `Write in
   Bytes.blit src src_off (Tock.Process.ram_bytes app.a_proc) off len
 
@@ -111,6 +138,7 @@ let write_bytes app ~addr data =
 
 let write_string app ~addr s =
   let len = String.length s in
+  count_copy len;
   let off = ram_offset app ~addr ~len `Write in
   Bytes.blit_string s 0 (Tock.Process.ram_bytes app.a_proc) off len
 

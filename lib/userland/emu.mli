@@ -96,6 +96,20 @@ val write_string : app -> addr:int -> string -> unit
 (** Blit a string into app RAM without an intermediate [Bytes.of_string]
     copy. *)
 
+(** {2 Copy accounting}
+
+    Bulk app-memory transfers ({!read_into}, {!read_bytes}, {!write_from},
+    {!write_bytes}, {!write_string}) are tallied globally, mirroring
+    [Tock.Subslice]'s counters on the kernel side. The iopath benchmark
+    diffs these around a syscall to prove a path is zero-copy. Scalar
+    accesses are register traffic and stay uncounted. *)
+
+val copy_count : unit -> int
+
+val copied_bytes : unit -> int
+
+val reset_copy_counters : unit -> unit
+
 (** {2 Upcall closures} *)
 
 val register_upcall_fn : app -> (int -> int -> int -> unit) -> int

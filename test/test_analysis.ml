@@ -119,6 +119,41 @@ let test_take_without_restore () =
   Alcotest.(check int) "take with put is clean" 0
     (count_rule "take-without-restore" good)
 
+let test_capsule_byte_copy () =
+  (* A capsule copying payload with Bytes.sub/Bytes.copy is flagged; the
+     same code with a justifying pragma, or in non-capsule code, is not. *)
+  let bad =
+    core_fixture
+    @ [
+        file "lib/capsules/copier.ml"
+          "let f b = Bytes.sub b 0 4\nlet g b = Bytes.copy b\n";
+        file "lib/capsules/copier.mli"
+          "val f : bytes -> bytes\nval g : bytes -> bytes\n";
+      ]
+  in
+  Alcotest.(check int) "sub and copy flagged" 2
+    (count_rule "capsule-byte-copy" bad);
+  let pragmad =
+    core_fixture
+    @ [
+        file "lib/capsules/justified.ml"
+          "(* otock-lint: allow capsule-byte-copy compaction snapshot *)\n\
+           let f b = Bytes.sub b 0 4\n";
+        file "lib/capsules/justified.mli" "val f : bytes -> bytes\n";
+      ]
+  in
+  Alcotest.(check int) "pragma suppresses" 0
+    (count_rule "capsule-byte-copy" pragmad);
+  let core =
+    core_fixture
+    @ [
+        file "lib/core/staging.ml" "let f b = Bytes.sub b 0 4\n";
+        file "lib/core/staging.mli" "val f : bytes -> bytes\n";
+      ]
+  in
+  Alcotest.(check int) "core code not in scope" 0
+    (count_rule "capsule-byte-copy" core)
+
 let test_unsafe_analogues () =
   let files =
     core_fixture
@@ -375,6 +410,7 @@ let suite =
     Alcotest.test_case "forged mint" `Quick test_forged_mint;
     Alcotest.test_case "missing mli" `Quick test_missing_mli;
     Alcotest.test_case "take without restore" `Quick test_take_without_restore;
+    Alcotest.test_case "capsule byte copy" `Quick test_capsule_byte_copy;
     Alcotest.test_case "unsafe analogues" `Quick test_unsafe_analogues;
     Alcotest.test_case "crypto + userland" `Quick test_crypto_and_userland;
     Alcotest.test_case "dep hygiene" `Quick test_dep_hygiene;

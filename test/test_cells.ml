@@ -156,6 +156,68 @@ let ring_fifo_prop =
       in
       drain [] = xs)
 
+(* ---- bytes ring (bulk byte FIFO for batched UART drains) ---- *)
+
+let test_bytes_ring_basic () =
+  let r = Ring_buffer.Bytes_ring.create ~capacity:8 in
+  Alcotest.(check int) "accepts all" 5
+    (Ring_buffer.Bytes_ring.push_string r "hello");
+  Alcotest.(check int) "length" 5 (Ring_buffer.Bytes_ring.length r);
+  Alcotest.(check int) "free" 3 (Ring_buffer.Bytes_ring.free r);
+  let dst = Subslice.create 3 in
+  Alcotest.(check int) "partial pop" 3 (Ring_buffer.Bytes_ring.pop_into r dst);
+  Alcotest.(check string) "fifo bytes" "hel"
+    (Bytes.to_string (Subslice.to_bytes dst));
+  let dst2 = Subslice.create 8 in
+  Alcotest.(check int) "drains rest" 2 (Ring_buffer.Bytes_ring.pop_into r dst2);
+  Alcotest.(check bool) "empty" true (Ring_buffer.Bytes_ring.is_empty r)
+
+let test_bytes_ring_wrap_and_drop () =
+  let r = Ring_buffer.Bytes_ring.create ~capacity:8 in
+  (* Advance head so subsequent pushes wrap around the end. *)
+  ignore (Ring_buffer.Bytes_ring.push_string r "abcdef");
+  let d = Subslice.create 5 in
+  ignore (Ring_buffer.Bytes_ring.pop_into r d);
+  Alcotest.(check int) "wrapping push accepted" 6
+    (Ring_buffer.Bytes_ring.push_slice r (Bytes.of_string "ghijkl") ~pos:0
+       ~len:6);
+  (* Ring now holds "fghijkl" (7 of 8); a 4-byte push only half fits. *)
+  Alcotest.(check int) "partial accept" 1
+    (Ring_buffer.Bytes_ring.push_string r "wxyz");
+  Alcotest.(check int) "overflow counted" 3
+    (Ring_buffer.Bytes_ring.dropped r);
+  let out = Subslice.create 8 in
+  Alcotest.(check int) "wrapped pop" 8 (Ring_buffer.Bytes_ring.pop_into r out);
+  Alcotest.(check string) "wrapped contents in order" "fghijklw"
+    (Bytes.to_string (Subslice.to_bytes out))
+
+let bytes_ring_stream_prop =
+  qcheck "bytes ring: popped stream equals accepted pushed stream"
+    QCheck2.Gen.(
+      pair (int_range 1 32)
+        (list_size (0 -- 20) (pair (string_size (0 -- 24)) (int_range 1 16))))
+    (fun (cap, ops) ->
+      let r = Ring_buffer.Bytes_ring.create ~capacity:cap in
+      let pushed = Buffer.create 64 in
+      let popped = Buffer.create 64 in
+      List.iter
+        (fun (s, pop_n) ->
+          let accepted =
+            Ring_buffer.Bytes_ring.push_string r s
+          in
+          Buffer.add_substring pushed s 0 accepted;
+          let dst = Subslice.create pop_n in
+          let n = Ring_buffer.Bytes_ring.pop_into r dst in
+          Subslice.slice_to dst n;
+          Buffer.add_string popped (Bytes.to_string (Subslice.to_bytes dst)))
+        ops;
+      (* Drain the remainder. *)
+      let dst = Subslice.create cap in
+      let n = Ring_buffer.Bytes_ring.pop_into r dst in
+      Subslice.slice_to dst n;
+      Buffer.add_string popped (Bytes.to_string (Subslice.to_bytes dst));
+      Buffer.contents pushed = Buffer.contents popped)
+
 let suite =
   [
     Alcotest.test_case "cell" `Quick test_cell;
@@ -172,4 +234,7 @@ let suite =
     Alcotest.test_case "ring buffer" `Quick test_ring_basic;
     Alcotest.test_case "ring find_remove" `Quick test_ring_find_remove;
     ring_fifo_prop;
+    Alcotest.test_case "bytes ring" `Quick test_bytes_ring_basic;
+    Alcotest.test_case "bytes ring wrap/drop" `Quick test_bytes_ring_wrap_and_drop;
+    bytes_ring_stream_prop;
   ]
