@@ -29,6 +29,8 @@ let experiments =
     ("datapath-smoke", Datapath.run_smoke);
     ("iopath", Iopath.run);
     ("iopath-smoke", Iopath.run_smoke);
+    ("obs", Obs_bench.run);
+    ("obs-smoke", Obs_bench.run_smoke);
     ("fleet", Fleet_bench.run);
   ]
 

@@ -1,0 +1,64 @@
+(* A frozen copy of the pre-observability Sim hot loop (the seed of the
+   obs PR): the same record fields in the same order — including the old
+   printf-style trace ring the structured buffer replaced — and verbatim
+   [spend]/[fire_due]/[at] bodies. The obs bench times the same
+   spend/fire workload against this and the real [Tock_hw.Sim] to gate
+   the disabled-mode overhead of the instrumented simulator.
+
+   This lives in its own library (not a module of bench/main) so both
+   sides of the comparison are cross-library calls: a bench-local copy
+   measures systematically faster than the identical code behind a
+   library boundary, which would poison a 3% gate. Never add
+   observability state here — the whole point is to preserve the seed's
+   cost. *)
+
+type t = {
+  mutable now : int;
+  clock_hz : int;
+  events : Tock_hw.Event_queue.t;
+  root_rng : unit;
+  mutable active_cycles : int;
+  mutable sleep_cycles : int;
+  mutable meters : unit list;
+  trace_cap : int;
+  trace_ring : (int * string) array;
+  mutable trace_pos : int;
+  mutable trace_count : int;
+  mutable next_due : int;
+}
+[@@warning "-69"]
+
+let create ?(trace_capacity = 1024) () =
+  {
+    now = 0;
+    clock_hz = 16_000_000;
+    events = Tock_hw.Event_queue.create ();
+    root_rng = ();
+    active_cycles = 0;
+    sleep_cycles = 0;
+    meters = [];
+    trace_cap = trace_capacity;
+    trace_ring = Array.make (max 1 trace_capacity) (0, "");
+    trace_pos = 0;
+    trace_count = 0;
+    next_due = max_int;
+  }
+
+let fire_due t =
+  let fired = Tock_hw.Event_queue.run_due t.events ~now:t.now in
+  t.next_due <- Tock_hw.Event_queue.next_deadline t.events;
+  fired > 0
+
+let spend t n =
+  assert (n >= 0);
+  t.now <- t.now + n;
+  t.active_cycles <- t.active_cycles + n;
+  if t.now >= t.next_due then ignore (fire_due t)
+
+let at t ~delay fn =
+  assert (delay >= 0);
+  let time = t.now + delay in
+  if time < t.next_due then t.next_due <- time;
+  ignore (Tock_hw.Event_queue.schedule t.events ~time fn)
+
+let now t = t.now

@@ -73,10 +73,51 @@ let print_processes board =
         (Tock.Process.syscall_count p))
     (Tock.Kernel.processes board.Tock_boards.Board.kernel)
 
+(* Combined metrics surface: the kernel registry (syscalls, drivers,
+   processes) merged with the Sim's hardware-side registry (IRQ latency,
+   timer fires, trace drops). *)
+let print_metrics board =
+  let snap =
+    Tock_obs.Metrics.merge
+      [
+        Tock.Kernel.metrics_snapshot board.Tock_boards.Board.kernel;
+        Tock_obs.Metrics.snapshot
+          (Tock_hw.Sim.metrics board.Tock_boards.Board.sim);
+      ]
+  in
+  Printf.printf "--- metrics ---\n%s" (Tock_obs.Metrics.render_text snap)
+
+let write_trace board path =
+  let kernel = board.Tock_boards.Board.kernel in
+  let sim = board.Tock_boards.Board.sim in
+  let tid_names =
+    (-1, "kernel")
+    :: List.map
+         (fun p -> (Tock.Process.id p, Tock.Process.name p))
+         (Tock.Kernel.processes kernel)
+  in
+  let json =
+    Tock_obs.Trace.to_chrome_json ~pid:0 ~process_name:"board" ~tid_names
+      ~clock_hz:(Tock_hw.Sim.clock_hz sim)
+      (Tock_hw.Sim.trace_events sim)
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "trace: %d events (%d dropped) -> %s\n"
+    (Tock_obs.Trace.retained (Tock_hw.Sim.trace_events sim))
+    (Tock_hw.Sim.trace_dropped sim)
+    path
+
 (* ---- run ---- *)
 
-let run_cmd chip_name apps scheduler seconds seed strace =
-  let sim = Tock_hw.Sim.create ~seed:(Int64.of_int seed) () in
+let run_cmd chip_name apps scheduler seconds seed strace metrics trace_out =
+  (* A deep trace ring when we are exporting; the default ring is sized
+     for the [recent_trace] debugging surface, not a full timeline. *)
+  let trace_capacity =
+    match trace_out with Some _ -> 262_144 | None -> 1024
+  in
+  let sim = Tock_hw.Sim.create ~seed:(Int64.of_int seed) ~trace_capacity () in
   let chip =
     match chip_name with
     | "sam4l" -> Tock_hw.Chip.sam4l_like sim
@@ -120,7 +161,9 @@ let run_cmd chip_name apps scheduler seconds seed strace =
          Tock_boards.Board.all_processes_done board));
   Printf.printf "--- console ---\n%s" (Tock_boards.Board.output board);
   print_processes board;
-  print_stats board
+  print_stats board;
+  if metrics then print_metrics board;
+  Option.iter (write_trace board) trace_out
 
 (* ---- signpost ---- *)
 
@@ -164,7 +207,7 @@ let signpost_cmd nodes seconds seed =
 
 (* ---- fleet ---- *)
 
-let fleet_cmd boards domains group_size cycles seed quiet =
+let fleet_cmd boards domains group_size cycles seed quiet metrics =
   let cfg =
     {
       Tock_fleet.Fleet.boards;
@@ -190,7 +233,10 @@ let fleet_cmd boards domains group_size cycles seed quiet =
     domains cycles_total
     (Tock_fleet.Fleet.total_syscalls stats)
     wall
-    (float_of_int cycles_total /. wall)
+    (float_of_int cycles_total /. wall);
+  if metrics then
+    Printf.printf "--- fleet metrics (all boards) ---\n%s"
+      (Tock_obs.Metrics.render_text (Tock_fleet.Fleet.merged_metrics stats))
 
 (* ---- rot ---- *)
 
@@ -257,6 +303,16 @@ let nodes_arg =
 let strace_arg =
   Arg.(value & flag & info [ "strace" ] ~doc:"Trace every system call.")
 
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+       ~doc:"Print the metrics registry (counters, gauges, latency histograms).")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the structured event trace as Chrome trace-event \
+                 JSON (load in Perfetto or chrome://tracing).")
+
 let tamper_arg =
   Arg.(value & flag & info [ "tamper" ] ~doc:"Corrupt the token app image after signing.")
 
@@ -277,13 +333,14 @@ let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the aggregate line.")
 
 let run_t =
-  Term.(const run_cmd $ chip_arg $ apps_arg $ sched_arg $ seconds_arg $ seed_arg $ strace_arg)
+  Term.(const run_cmd $ chip_arg $ apps_arg $ sched_arg $ seconds_arg
+        $ seed_arg $ strace_arg $ metrics_arg $ trace_out_arg)
 
 let signpost_t = Term.(const signpost_cmd $ nodes_arg $ seconds_arg $ seed_arg)
 
 let fleet_t =
   Term.(const fleet_cmd $ boards_arg $ domains_arg $ group_size_arg
-        $ cycles_arg $ seed_arg $ quiet_arg)
+        $ cycles_arg $ seed_arg $ quiet_arg $ metrics_arg)
 
 let rot_t = Term.(const rot_cmd $ tamper_arg)
 

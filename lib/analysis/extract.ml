@@ -244,7 +244,19 @@ let of_ml content =
       if List.length mods > 1 || member <> None then
         refs := { ref_modules = mods; ref_member = member; ref_line = l0 } :: !refs)
     else if is_lower c then (
+      let kw_line = !line in
       let kw = read_ident () in
+      (match kw with
+      | "print_string" | "print_endline" | "print_newline" | "print_char"
+      | "print_int" | "prerr_string" | "prerr_endline" | "prerr_newline" ->
+          (* Bare stdout/stderr writers: recorded as Stdlib references so
+             rules can police raw console output. "Stdlib" names no otock
+             library, so these never become dependency edges. *)
+          refs :=
+            { ref_modules = [ "Stdlib" ]; ref_member = Some kw;
+              ref_line = kw_line }
+            :: !refs
+      | _ -> ());
       if kw = "open" || kw = "include" then (
         let j = !i in
         let saved_line = !line in

@@ -52,7 +52,7 @@ let edge_target_name (e : Dep_graph.edge) =
    the dune matrix mirrors. *)
 let allowed_source_targets (cat : Taxonomy.category) =
   match cat with
-  | Taxonomy.Capsule -> Some [ "tock"; "tock_capsules"; "tock_tbf" ]
+  | Taxonomy.Capsule -> Some [ "tock"; "tock_capsules"; "tock_tbf"; "tock_obs" ]
   | Taxonomy.Userland -> Some [ "tock"; "tock_userland" ]
   | _ -> None (* other categories are constrained by specific rules below *)
 
@@ -245,6 +245,47 @@ let rule_capsule_byte_copy (n : Dep_graph.node) =
         n.Dep_graph.node_extract.Extract.refs
   | _ -> []
 
+(* A kernel or capsule module writing straight to the host's stdout is
+   bypassing both the console capsule and the structured observability
+   layer: on a real board there is no stdout, and in the simulator the
+   bytes vanish from every trace and metric. Debug output goes through
+   [Debug_writer] (which owns the escape hatch) or the Tock_obs trace;
+   deliberate cases carry a pragma. *)
+let raw_print_members = [ "printf"; "eprintf" ]
+
+let bare_print_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "prerr_string"; "prerr_endline"; "prerr_newline";
+  ]
+
+let rule_capsule_raw_print (n : Dep_graph.node) =
+  match cat_of n with
+  | Some (Taxonomy.Core | Taxonomy.Capsule)
+    when Taxonomy.module_base n.Dep_graph.node_path <> "debug_writer" ->
+      List.filter_map
+        (fun (r : Extract.reference) ->
+          let flag what =
+            Some
+              (v "capsule-raw-print" n.Dep_graph.node_path r.Extract.ref_line
+                 "%s writes to the host console from kernel/capsule code; \
+                  route debug output through Debug_writer or the Tock_obs \
+                  trace (pragma deliberate cases)"
+                 what)
+          in
+          match (r.Extract.ref_modules, r.Extract.ref_member) with
+          | [ "Stdlib" ], Some m when List.mem m bare_print_idents -> flag m
+          | mods, Some m
+            when mods <> []
+                 && List.mem (List.nth mods (List.length mods - 1))
+                      [ "Printf"; "Format" ]
+                 && List.mem m raw_print_members ->
+              flag
+                (List.nth mods (List.length mods - 1) ^ "." ^ m)
+          | _ -> None)
+        n.Dep_graph.node_extract.Extract.refs
+  | _ -> []
+
 (* --- Take_cell discipline --------------------------------------------- *)
 
 let take_cell_ref member (r : Extract.reference) =
@@ -371,8 +412,9 @@ let all_rule_ids =
   [
     "capsule-layering"; "userland-kernel-internals"; "crypto-confinement";
     "mint-confinement"; "obj-magic"; "warning-suppression"; "missing-mli";
-    "subslice-escape"; "capsule-byte-copy"; "take-without-restore";
-    "dune-layering"; "unused-lib-dep"; "undeclared-dep";
+    "subslice-escape"; "capsule-byte-copy"; "capsule-raw-print";
+    "take-without-restore"; "dune-layering"; "unused-lib-dep";
+    "undeclared-dep";
   ]
 
 let apply_pragmas (g : Dep_graph.t) violations =
@@ -409,7 +451,7 @@ let run (files : Source.file list) =
         @ rule_crypto_confinement n @ rule_mint_confinement n
         @ rule_obj_magic n @ rule_warning_suppression n
         @ rule_subslice_escape n @ rule_capsule_byte_copy n
-        @ rule_take_without_restore n)
+        @ rule_capsule_raw_print n @ rule_take_without_restore n)
       g.Dep_graph.nodes
   in
   let per_stanza =

@@ -14,6 +14,7 @@ type category =
   | Capsule
   | Userland
   | Board
+  | Obs
   | Tooling
 
 type trust = Trusted | Safe
@@ -26,6 +27,7 @@ let category_name = function
   | Capsule -> "capsule"
   | Userland -> "userland"
   | Board -> "board"
+  | Obs -> "obs"
   | Tooling -> "tooling"
 
 type library = {
@@ -53,6 +55,8 @@ let libraries =
       lib_root_module = "Tock_boards"; lib_category = Board };
     { lib_name = "tock_fleet"; lib_dir = "lib/fleet";
       lib_root_module = "Tock_fleet"; lib_category = Board };
+    { lib_name = "tock_obs"; lib_dir = "lib/obs";
+      lib_root_module = "Tock_obs"; lib_category = Obs };
     { lib_name = "tock_analysis"; lib_dir = "lib/analysis";
       lib_root_module = "Tock_analysis"; lib_category = Tooling };
   ]
@@ -107,7 +111,7 @@ let trust_of_path path =
 (* The directories both the linter and the Fig. 5 bench walk. *)
 let kernel_dirs =
   [ "lib/hw"; "lib/core"; "lib/crypto"; "lib/tbf"; "lib/capsules";
-    "lib/userland"; "lib/boards"; "lib/fleet" ]
+    "lib/userland"; "lib/boards"; "lib/fleet"; "lib/obs" ]
 
 let scan_dirs =
   kernel_dirs @ [ "lib/analysis"; "bin"; "examples"; "test"; "bench" ]
@@ -116,24 +120,28 @@ let scan_dirs =
    on which at the dune `libraries` level. External libraries (fmt, logs,
    alcotest, ...) are unconstrained. *)
 let allowed_lib_deps = function
-  | Core -> [ "tock_hw"; "tock_tbf"; "tock_crypto" ]
-  | Hw -> [ "tock_crypto" ]
+  | Core -> [ "tock_hw"; "tock_tbf"; "tock_crypto"; "tock_obs" ]
+  | Hw -> [ "tock_crypto"; "tock_obs" ]
   | Crypto -> []
   | Tbf -> [ "tock_crypto" ]
+  (* Observability is a zero-dependency leaf: anyone may record into
+     it, it depends on nobody. *)
+  | Obs -> []
   (* Capsules program against the HIL/adaptor records in the core
      kernel only — never the chip layer itself. TBF parsing is
      data-only (app_loader, signature checker). *)
-  | Capsule -> [ "tock"; "tock_tbf" ]
+  | Capsule -> [ "tock"; "tock_tbf"; "tock_obs" ]
   (* Userland speaks the syscall ABI; it links the core kernel for the
      Syscall/Error types but nothing below it. *)
   | Userland -> [ "tock" ]
   (* Boards are trusted composition roots: they wire everything. *)
   | Board ->
       [ "tock"; "tock_hw"; "tock_crypto"; "tock_tbf"; "tock_capsules";
-        "tock_userland"; "tock_boards"; "tock_fleet" ]
+        "tock_userland"; "tock_boards"; "tock_fleet"; "tock_obs" ]
   | Tooling ->
       [ "tock"; "tock_hw"; "tock_crypto"; "tock_tbf"; "tock_capsules";
-        "tock_userland"; "tock_boards"; "tock_fleet"; "tock_analysis" ]
+        "tock_userland"; "tock_boards"; "tock_fleet"; "tock_analysis";
+        "tock_obs" ]
 
 (* Core-kernel submodules userland may legitimately name: the syscall
    ABI surface, not the kernel's internals. *)

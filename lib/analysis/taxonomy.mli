@@ -11,6 +11,7 @@ type category =
   | Capsule  (** lib/capsules — untrusted drivers above the HIL. *)
   | Userland  (** lib/userland — syscall-ABI client code. *)
   | Board  (** lib/boards, bin/, examples/ — trusted composition roots. *)
+  | Obs  (** lib/obs — zero-dependency observability leaf. *)
   | Tooling  (** test/, bench/, lib/analysis — outside the kernel. *)
 
 type trust = Trusted | Safe

@@ -46,7 +46,7 @@ let build ?config ?(with_sensors = true) (chip : Tock_hw.Chip.t) =
   let flash = Adaptors.flash chip.Tock_hw.Chip.flash in
   (* Virtualizers. *)
   let umux = Uart_mux.create uart0 in
-  let amux = Alarm_mux.create alarm_hil in
+  let amux = Alarm_mux.create ~obs:(Kernel.obs kernel) alarm_hil in
   let fmux = Flash_mux.create flash in
   (* Capsules. *)
   let console = Console.create kernel (Uart_mux.new_device umux) ~grant_cap in

@@ -21,6 +21,8 @@ and t = {
   mutable alarms : valarm list;
   mutable in_fire : bool;
   mutable fired : int;
+  o : Tock_obs.Ctx.t;
+  c_fired : Tock_obs.Metrics.counter;
 }
 
 let rec rearm t =
@@ -57,6 +59,15 @@ and fire t () =
       (fun v -> v.armed && expired ~reference:v.reference ~dt:v.dt ~now)
       t.alarms
   in
+  (match ready with
+  | [] -> ()
+  | _ ->
+      let n = List.length ready in
+      Tock_obs.Metrics.add t.c_fired n;
+      let tr = t.o.Tock_obs.Ctx.trace in
+      if Tock_obs.Trace.on tr then
+        Tock_obs.Trace.emit tr ~ts:(Tock_obs.Ctx.now t.o) ~tid:(-1)
+          Tock_obs.Trace.Alarm_fire Tock_obs.Trace.Instant ~arg:n ~text:"mux");
   List.iter
     (fun v ->
       v.armed <- false;
@@ -66,8 +77,12 @@ and fire t () =
   t.in_fire <- false;
   rearm t
 
-let create hw =
-  let t = { hw; alarms = []; in_fire = false; fired = 0 } in
+let create ?(obs = Tock_obs.Ctx.disabled) hw =
+  let t =
+    { hw; alarms = []; in_fire = false; fired = 0; o = obs;
+      c_fired = Tock_obs.Metrics.counter obs.Tock_obs.Ctx.metrics
+                  "alarm_mux.fired" }
+  in
   hw.Tock.Hil.alarm_set_client (fire t);
   t
 

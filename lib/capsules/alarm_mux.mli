@@ -18,8 +18,11 @@ type t
 
 type valarm
 
-val create : Tock.Hil.alarm -> t
-(** Claims the hardware alarm's client slot. *)
+val create : ?obs:Tock_obs.Ctx.t -> Tock.Hil.alarm -> t
+(** Claims the hardware alarm's client slot. [obs] (typically the owning
+    kernel's {!Tock.Kernel.obs}) receives an [alarm_mux.fired] counter
+    and per-sweep [Alarm_fire] trace instants; defaults to
+    {!Tock_obs.Ctx.disabled}. *)
 
 val new_alarm : t -> valarm
 

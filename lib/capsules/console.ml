@@ -17,8 +17,8 @@ type t = {
   mutable tx_owner : Process.id option;
   mutable wait_queue : Process.id list;
   mutable rx_owner : (Process.id * int) option;
-  mutable writes : int;
-  mutable bytes : int;
+  c_writes : Tock_obs.Metrics.counter;
+  c_bytes : Tock_obs.Metrics.counter;
 }
 
 (* Enter this capsule's grant for a process known only by id (the id is
@@ -62,6 +62,7 @@ let create kernel vdev ~grant_cap =
     Grant.create ~cap:grant_cap ~name:"console" ~size_bytes:16 ~init:(fun () ->
         { pending_write = 0 })
   in
+  let reg = Kernel.metrics kernel in
   let t =
     {
       kernel;
@@ -70,8 +71,8 @@ let create kernel vdev ~grant_cap =
       tx_owner = None;
       wait_queue = [];
       rx_owner = None;
-      writes = 0;
-      bytes = 0;
+      c_writes = Tock_obs.Metrics.counter reg "console.tx_writes";
+      c_bytes = Tock_obs.Metrics.counter reg "console.tx_bytes";
     }
   in
   Uart_mux.set_transmit_client vdev (fun sub ->
@@ -79,8 +80,8 @@ let create kernel vdev ~grant_cap =
       (match t.tx_owner with
       | Some pid ->
           t.tx_owner <- None;
-          t.writes <- t.writes + 1;
-          t.bytes <- t.bytes + len;
+          Tock_obs.Metrics.incr t.c_writes;
+          Tock_obs.Metrics.add t.c_bytes len;
           ignore (enter_grant t pid (fun g -> g.pending_write <- 0));
           ignore
             (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.console
@@ -167,6 +168,6 @@ let driver t =
   Driver.make ~driver_num:Driver_num.console ~name:"console"
     (fun proc ~command_num ~arg1 ~arg2 -> command t proc ~command_num ~arg1 ~arg2)
 
-let writes_completed t = t.writes
+let writes_completed t = Tock_obs.Metrics.counter_value t.c_writes
 
-let bytes_written t = t.bytes
+let bytes_written t = Tock_obs.Metrics.counter_value t.c_bytes

@@ -88,6 +88,9 @@ type t = {
   (* reassembly: (src, dgram_id) -> arena *)
   reassembly : (int * int, reasm) Hashtbl.t;
   mutable reassembled : int;
+  c_tx_frames : Tock_obs.Metrics.counter;
+  c_rx_frames : Tock_obs.Metrics.counter;
+  c_retries : Tock_obs.Metrics.counter;
 }
 
 let fill_header w ~seq ~flags ~src ~dst ~plen =
@@ -128,6 +131,7 @@ let transmit_iov t tag iov =
     match t.radio.Hil.radio_transmit_iov ~dest:0xFFFF iov with
     | Ok () ->
         t.current_tx <- tag;
+        Tock_obs.Metrics.incr t.c_tx_frames;
         Ok ()
     | Error (e, _) -> Error e
 
@@ -146,6 +150,7 @@ let rec retransmit t =
       if inf.tries > t.max_retries then finish_inflight t (Error Error.NOACK)
       else begin
         t.retx <- t.retx + 1;
+        Tock_obs.Metrics.incr t.c_retries;
         inf.tries <- inf.tries + 1;
         (* The staging windows still hold this frame: acks stage apart,
            and a new send is refused while we are inflight. *)
@@ -346,6 +351,7 @@ let deliver_up t ~src payload =
   deliver_to_listeners t ~src payload
 
 let create ?(max_retries = 3) kernel radio amux ~ack_timeout_ticks =
+  let reg = Kernel.metrics kernel in
   let t =
     {
       kernel;
@@ -375,6 +381,9 @@ let create ?(max_retries = 3) kernel radio amux ~ack_timeout_ticks =
       next_dgram_id = 1;
       reassembly = Hashtbl.create 8;
       reassembled = 0;
+      c_tx_frames = Tock_obs.Metrics.counter reg "net.tx_frames";
+      c_rx_frames = Tock_obs.Metrics.counter reg "net.rx_frames";
+      c_retries = Tock_obs.Metrics.counter reg "net.retries";
     }
   in
   radio.Hil.radio_set_transmit_client (fun sub ->
@@ -393,6 +402,7 @@ let create ?(max_retries = 3) kernel radio amux ~ack_timeout_ticks =
              the staging windows were already free — nothing to recycle *)
           t.current_tx <- `None);
   radio.Hil.radio_set_receive_client (fun ~src frame ->
+      Tock_obs.Metrics.incr t.c_rx_frames;
       match handle_frame t ~src frame with
       | `Raw -> t.raw_rx_client ~src frame
       | `Dropped -> ()

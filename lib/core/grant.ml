@@ -45,6 +45,14 @@ let enter t proc f =
       end
       else begin
         e.entered <- true;
+        Process.note_grant_enter proc;
+        let o = Process.obs proc in
+        let tr = o.Tock_obs.Ctx.trace in
+        if Tock_obs.Trace.on tr then
+          Tock_obs.Trace.emit tr
+            ~ts:(Tock_obs.Ctx.now o)
+            ~tid:(Process.id proc) Tock_obs.Trace.Grant_enter
+            Tock_obs.Trace.Instant ~arg:t.gid ~text:t.g_name;
         let finish () = e.entered <- false in
         let r =
           try f e.value

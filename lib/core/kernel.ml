@@ -42,6 +42,40 @@ type stats = {
 
 exception Panic of string
 
+(* The kernel's counters live in its metrics registry (the single stats
+   surface); this record caches the resolved handles so hot-path updates
+   are plain field writes. [stats] below is a compatibility view built
+   from the same series. *)
+type kcounters = {
+  c_syscalls : Tock_obs.Metrics.counter;
+  c_context_switches : Tock_obs.Metrics.counter;
+  c_upcalls_delivered : Tock_obs.Metrics.counter;
+  c_sleeps : Tock_obs.Metrics.counter;
+  c_loop_iterations : Tock_obs.Metrics.counter;
+  c_aliased_allows : Tock_obs.Metrics.counter;
+  c_zero_len_allows : Tock_obs.Metrics.counter;
+  c_overlap_rejected : Tock_obs.Metrics.counter;
+  c_faults : Tock_obs.Metrics.counter;
+  c_restarts : Tock_obs.Metrics.counter;
+  c_filtered_commands : Tock_obs.Metrics.counter;
+}
+
+(* Syscall classes, indexed for the per-class latency histograms. *)
+let class_names =
+  [| "yield"; "subscribe"; "command"; "allow_rw"; "allow_ro"; "memop";
+     "exit"; "command_blocking" |]
+
+let class_index (call : Syscall.call) =
+  match call with
+  | Syscall.Yield _ -> 0
+  | Syscall.Subscribe _ -> 1
+  | Syscall.Command _ -> 2
+  | Syscall.Allow_rw _ -> 3
+  | Syscall.Allow_ro _ -> 4
+  | Syscall.Memop _ -> 5
+  | Syscall.Exit _ -> 6
+  | Syscall.Command_blocking _ -> 7
+
 type pentry = {
   proc : Process.t;
   factory : Process.t -> Process.execution;
@@ -50,12 +84,21 @@ type pentry = {
       (* Reused return-register buffer for this process's syscall
          returns; valid because a process always decodes a return before
          it can issue the syscall that would overwrite it. *)
+  c_cycles : Tock_obs.Metrics.counter;
+      (* cycles attributed to this process's slices (app + syscall work) *)
 }
 
 type t = {
   k_chip : Tock_hw.Chip.t;
   k_config : config;
-  k_stats : stats;
+  k_reg : Tock_obs.Metrics.t;
+      (* Kernel-owned registry: one per kernel, so per-board series stay
+         separate even when boards share a Sim (radio groups). *)
+  k_obs : Tock_obs.Ctx.t;
+  kc : kcounters;
+  h_sys : Tock_obs.Metrics.histogram array; (* indexed by class_index *)
+  drv_ctrs : (int, Tock_obs.Metrics.counter * Tock_obs.Metrics.counter) Hashtbl.t;
+      (* driver_num -> (commands, cycles) *)
   k_deferred : Deferred_call.t;
   drivers : (int, Driver.t) Hashtbl.t;
   mutable table : pentry array; (* index = pid: ids are dense and never reused *)
@@ -67,31 +110,73 @@ type t = {
 }
 
 let create ?config:(cfg = default_config ()) chip =
-  {
-    k_chip = chip;
-    k_config = cfg;
-    k_stats =
-      {
-        syscalls = 0;
-        context_switches = 0;
-        upcalls_delivered = 0;
-        sleeps = 0;
-        loop_iterations = 0;
-        aliased_allows = 0;
-        zero_len_allows = 0;
-        overlap_rejected = 0;
-        faults = 0;
-        restarts = 0;
-        filtered_commands = 0;
-      };
-    k_deferred = Deferred_call.create ();
-    drivers = Hashtbl.create 16;
-    table = [||];
-    next_pid = 0;
-    ram_next = cfg.ram_base;
-    fault_hook = (fun _ _ -> ());
-    trace_hook = None;
-  }
+  let sim = chip.Tock_hw.Chip.sim in
+  let reg = Tock_obs.Metrics.create () in
+  let c name = Tock_obs.Metrics.counter reg ("kernel." ^ name) in
+  let kc =
+    {
+      c_syscalls = c "syscalls";
+      c_context_switches = c "context_switches";
+      c_upcalls_delivered = c "upcalls_delivered";
+      c_sleeps = c "sleeps";
+      c_loop_iterations = c "loop_iterations";
+      c_aliased_allows = c "aliased_allows";
+      c_zero_len_allows = c "zero_len_allows";
+      c_overlap_rejected = c "overlap_rejected";
+      c_faults = c "faults";
+      c_restarts = c "restarts";
+      c_filtered_commands = c "filtered_commands";
+    }
+  in
+  let h_sys =
+    Array.map
+      (fun nm -> Tock_obs.Metrics.histogram reg ("kernel.syscall_cycles." ^ nm))
+      class_names
+  in
+  let t =
+    {
+      k_chip = chip;
+      k_config = cfg;
+      k_reg = reg;
+      k_obs =
+        {
+          Tock_obs.Ctx.trace = Tock_hw.Sim.trace_events sim;
+          metrics = reg;
+          clock = (fun () -> Tock_hw.Sim.now sim);
+        };
+      kc;
+      h_sys;
+      drv_ctrs = Hashtbl.create 16;
+      k_deferred = Deferred_call.create ();
+      drivers = Hashtbl.create 16;
+      table = [||];
+      next_pid = 0;
+      ram_next = cfg.ram_base;
+      fault_hook = (fun _ _ -> ());
+      trace_hook = None;
+    }
+  in
+  (* Per-process gauges, published when a snapshot is taken — never from
+     the main loop. Gauge handles are looked up per snapshot (idempotent
+     by name), so restarts and late-created processes just work. *)
+  Tock_obs.Metrics.on_snapshot reg (fun () ->
+      Array.iter
+        (fun pe ->
+          let p = pe.proc in
+          let g suffix v =
+            Tock_obs.Metrics.set
+              (Tock_obs.Metrics.gauge reg
+                 ("process." ^ Process.name p ^ "." ^ suffix))
+              v
+          in
+          g "syscalls" (Process.syscall_count p);
+          g "grant_enters" (Process.grant_enter_count p);
+          g "grant_bytes" (Process.grant_bytes_used p);
+          g "restarts" (Process.restart_count p);
+          g "mpu_scans" (Process.mpu_scan_count p);
+          g "upcalls_dropped" (Process.upcalls_dropped p))
+        t.table);
+  t
 
 let chip t = t.k_chip
 
@@ -99,7 +184,29 @@ let sim t = t.k_chip.Tock_hw.Chip.sim
 
 let config t = t.k_config
 
-let stats t = t.k_stats
+let metrics t = t.k_reg
+
+let metrics_snapshot t = Tock_obs.Metrics.snapshot t.k_reg
+
+let obs t = t.k_obs
+
+(* Compatibility view over the registry: a fresh record per call, read
+   straight from the counters. *)
+let stats t =
+  let v c = Tock_obs.Metrics.counter_value c in
+  {
+    syscalls = v t.kc.c_syscalls;
+    context_switches = v t.kc.c_context_switches;
+    upcalls_delivered = v t.kc.c_upcalls_delivered;
+    sleeps = v t.kc.c_sleeps;
+    loop_iterations = v t.kc.c_loop_iterations;
+    aliased_allows = v t.kc.c_aliased_allows;
+    zero_len_allows = v t.kc.c_zero_len_allows;
+    overlap_rejected = v t.kc.c_overlap_rejected;
+    faults = v t.kc.c_faults;
+    restarts = v t.kc.c_restarts;
+    filtered_commands = v t.kc.c_filtered_commands;
+  }
 
 let deferred t = t.k_deferred
 
@@ -114,7 +221,12 @@ let spend t n = Tock_hw.Sim.spend (sim t) n
 (* ---- drivers ---- *)
 
 let register_driver t (d : Driver.t) =
-  Hashtbl.replace t.drivers d.Driver.driver_num d
+  Hashtbl.replace t.drivers d.Driver.driver_num d;
+  Hashtbl.replace t.drv_ctrs d.Driver.driver_num
+    ( Tock_obs.Metrics.counter t.k_reg
+        ("driver." ^ d.Driver.driver_name ^ ".commands"),
+      Tock_obs.Metrics.counter t.k_reg
+        ("driver." ^ d.Driver.driver_name ^ ".cycles") )
 
 let find_driver t num = Hashtbl.find_opt t.drivers num
 
@@ -171,12 +283,15 @@ let create_process t ~cap:_ ~name ~flash_base ~flash ~min_ram ?permissions
         Process.set_execution proc (factory proc);
         let enabled = tbf_flags land Tock_tbf.Tbf.flag_enabled <> 0 in
         Process.set_state proc (if enabled then Process.Runnable else Process.Unstarted);
+        Process.set_obs proc t.k_obs;
         let pe =
           {
             proc;
             factory;
             pending_resume = Some Process.Rstart;
             ret_scratch = Array.make 4 0;
+            c_cycles =
+              Tock_obs.Metrics.counter t.k_reg ("process." ^ name ^ ".cycles");
           }
         in
         t.table <- Array.append t.table [| pe |];
@@ -185,7 +300,7 @@ let create_process t ~cap:_ ~name ~flash_base ~flash ~min_ram ?permissions
 
 let do_restart t pe =
   let proc = pe.proc in
-  t.k_stats.restarts <- t.k_stats.restarts + 1;
+  Tock_obs.Metrics.incr t.kc.c_restarts;
   Process.note_restart proc;
   Process.destroy_execution proc;
   Process.reset_syscall_state proc;
@@ -307,7 +422,7 @@ let validate_allow t proc ~kind ~addr ~len =
     (* Zero-length revocation/initial allow: any address is accepted but a
        null-pointer slice would be a Rust niche violation — count the
        dynamic fix-up (paper §5.1.2). *)
-    if addr <> 0 then t.k_stats.zero_len_allows <- t.k_stats.zero_len_allows + 1;
+    if addr <> 0 then Tock_obs.Metrics.incr t.kc.c_zero_len_allows;
     Ok ()
   end
   else begin
@@ -325,10 +440,10 @@ let validate_allow t proc ~kind ~addr ~len =
     then (
       match t.k_config.aliasing_policy with
       | Reject_overlap ->
-          t.k_stats.overlap_rejected <- t.k_stats.overlap_rejected + 1;
+          Tock_obs.Metrics.incr t.kc.c_overlap_rejected;
           Error Error.INVAL
       | Cell_semantics ->
-          t.k_stats.aliased_allows <- t.k_stats.aliased_allows + 1;
+          Tock_obs.Metrics.incr t.kc.c_aliased_allows;
           Ok ())
     else Ok ()
   end
@@ -376,8 +491,14 @@ let handle_memop proc ~op ~arg : dispatch =
   else if op = memop_ram_end then `Return (Success_u32 (Process.ram_end proc))
   else `Return (Failure Error.NOSUPPORT)
 
-let deliver_of_pending t pu =
-  t.k_stats.upcalls_delivered <- t.k_stats.upcalls_delivered + 1;
+let deliver_of_pending t proc pu =
+  Tock_obs.Metrics.incr t.kc.c_upcalls_delivered;
+  let tr = Tock_hw.Sim.trace_events (sim t) in
+  if Tock_obs.Trace.on tr then
+    Tock_obs.Trace.emit tr
+      ~ts:(Tock_hw.Sim.now (sim t))
+      ~tid:(Process.id proc) Tock_obs.Trace.Upcall Tock_obs.Trace.Instant
+      ~arg:pu.Process.pu_driver ~text:"";
   let a0, a1, a2 = pu.Process.pu_args in
   Process.Rupcall
     {
@@ -387,6 +508,18 @@ let deliver_of_pending t pu =
       arg1 = a1;
       arg2 = a2;
     }
+
+(* Run a driver command, attributing its wall cycles and call count to
+   the driver's registry series. *)
+let timed_command t (d : Driver.t) proc ~command_num ~arg1 ~arg2 =
+  let t0 = Tock_hw.Sim.now (sim t) in
+  let r = d.Driver.command proc ~command_num ~arg1 ~arg2 in
+  (match Hashtbl.find_opt t.drv_ctrs d.Driver.driver_num with
+  | Some (calls, cycles) ->
+      Tock_obs.Metrics.incr calls;
+      Tock_obs.Metrics.add cycles (Tock_hw.Sim.now (sim t) - t0)
+  | None -> ());
+  r
 
 let handle_syscall t pe (call : Syscall.call) : dispatch =
   let proc = pe.proc in
@@ -405,7 +538,7 @@ let handle_syscall t pe (call : Syscall.call) : dispatch =
       match Process.pop_upcall_for proc ~driver ~subscribe_num with
       | Some pu ->
           let a0, a1, a2 = pu.Process.pu_args in
-          t.k_stats.upcalls_delivered <- t.k_stats.upcalls_delivered + 1;
+          Tock_obs.Metrics.incr t.kc.c_upcalls_delivered;
           `Return (Syscall.Success_u32_u32_u32 (a0, a1, a2))
       | None ->
           Process.set_state proc (Process.Yielded_for { driver; subscribe_num });
@@ -428,10 +561,10 @@ let handle_syscall t pe (call : Syscall.call) : dispatch =
       | None -> `Return (Syscall.Failure Error.NODEVICE)
       | Some d ->
           if not (Process.command_allowed proc ~driver ~command_num) then begin
-            t.k_stats.filtered_commands <- t.k_stats.filtered_commands + 1;
+            Tock_obs.Metrics.incr t.kc.c_filtered_commands;
             `Return (Syscall.Failure Error.NODEVICE)
           end
-          else `Return (d.Driver.command proc ~command_num ~arg1 ~arg2))
+          else `Return (timed_command t d proc ~command_num ~arg1 ~arg2))
   | Syscall.Allow_rw { driver; allow_num; addr; len } ->
       handle_allow t proc ~kind:`Rw ~driver ~allow_num ~addr ~len
   | Syscall.Allow_ro { driver; allow_num; addr; len } ->
@@ -454,11 +587,11 @@ let handle_syscall t pe (call : Syscall.call) : dispatch =
         | None -> `Return (Syscall.Failure Error.NODEVICE)
         | Some d -> (
             if not (Process.command_allowed proc ~driver ~command_num) then begin
-              t.k_stats.filtered_commands <- t.k_stats.filtered_commands + 1;
+              Tock_obs.Metrics.incr t.kc.c_filtered_commands;
               `Return (Syscall.Failure Error.NODEVICE)
             end
             else
-              let r = d.Driver.command proc ~command_num ~arg1 ~arg2 in
+              let r = timed_command t d proc ~command_num ~arg1 ~arg2 in
               if not (Syscall.ret_is_success r) then `Return r
               else
                 match Process.pop_upcall_for proc ~driver ~subscribe_num with
@@ -472,7 +605,7 @@ let handle_syscall t pe (call : Syscall.call) : dispatch =
 
 let handle_fault t pe reason =
   let proc = pe.proc in
-  t.k_stats.faults <- t.k_stats.faults + 1;
+  Tock_obs.Metrics.incr t.kc.c_faults;
   t.fault_hook proc reason;
   let describe = function
     | Process.Mpu_violation s -> "MPU violation: " ^ s
@@ -510,8 +643,14 @@ let deliverable pe =
 
 let run_slice t pe timeslice =
   let proc = pe.proc in
+  let pid = Process.id proc in
   let tm = timing t in
-  t.k_stats.context_switches <- t.k_stats.context_switches + 1;
+  let tr = Tock_hw.Sim.trace_events (sim t) in
+  Tock_obs.Metrics.incr t.kc.c_context_switches;
+  let slice_t0 = Tock_hw.Sim.now (sim t) in
+  if Tock_obs.Trace.on tr then
+    Tock_obs.Trace.emit tr ~ts:slice_t0 ~tid:pid Tock_obs.Trace.Schedule
+      Tock_obs.Trace.Begin ~arg:pid ~text:(Process.name proc);
   spend t tm.Tock_hw.Chip.context_switch;
   (* Initial resume argument for this slice. *)
   let initial_arg =
@@ -522,14 +661,14 @@ let run_slice t pe timeslice =
         a
     | Process.Yielded -> (
         match Process.pop_upcall proc with
-        | Some pu -> deliver_of_pending t pu
+        | Some pu -> deliver_of_pending t proc pu
         | None -> Process.Rcontinue (* raced away; treat as spurious wake *))
     | Process.Yielded_for { driver; subscribe_num }
     | Process.Blocked_command { driver; subscribe_num } -> (
         match Process.pop_upcall_for proc ~driver ~subscribe_num with
         | Some pu ->
             let a0, a1, a2 = pu.Process.pu_args in
-            t.k_stats.upcalls_delivered <- t.k_stats.upcalls_delivered + 1;
+            Tock_obs.Metrics.incr t.kc.c_upcalls_delivered;
             Syscall.encode_ret_into
               (Syscall.Success_u32_u32_u32 (a0, a1, a2))
               pe.ret_scratch;
@@ -546,6 +685,7 @@ let run_slice t pe timeslice =
   let rec go arg remaining =
     let trap, used = Process.run proc ~fuel:remaining arg in
     spend t used;
+    Tock_obs.Metrics.add pe.c_cycles used;
     let remaining = remaining - used in
     match trap with
     | Process.Trap_timeslice_expired ->
@@ -555,7 +695,8 @@ let run_slice t pe timeslice =
         handle_fault t pe reason;
         t.k_config.scheduler.Scheduler.charge proc Scheduler.Yielded_early
     | Process.Trap_syscall regs -> (
-        t.k_stats.syscalls <- t.k_stats.syscalls + 1;
+        Tock_obs.Metrics.incr t.kc.c_syscalls;
+        let sys_t0 = Tock_hw.Sim.now (sim t) in
         spend t tm.Tock_hw.Chip.syscall_overhead;
         let remaining = remaining - tm.Tock_hw.Chip.syscall_overhead in
         if Array.length regs = Syscall.registers then
@@ -565,18 +706,32 @@ let run_slice t pe timeslice =
             Syscall.encode_ret_into (Syscall.Failure e) pe.ret_scratch;
             continue_or_stash pe.ret_scratch remaining
         | Ok call -> (
+            let idx = class_index call in
+            if Tock_obs.Trace.on tr then
+              Tock_obs.Trace.emit tr ~ts:sys_t0 ~tid:pid
+                Tock_obs.Trace.Syscall Tock_obs.Trace.Begin ~arg:idx
+                ~text:class_names.(idx);
             let dispatch = handle_syscall t pe call in
             (match t.trace_hook with
             | Some trace ->
                 trace proc call
                   (match dispatch with `Return r -> Some r | _ -> None)
             | None -> ());
+            (* Latency from trap entry to dispatch completion: includes
+               the architectural syscall overhead and any driver work. *)
+            let sys_end = Tock_hw.Sim.now (sim t) in
+            Tock_obs.Metrics.observe t.h_sys.(idx) (sys_end - sys_t0);
+            Tock_obs.Metrics.add pe.c_cycles (sys_end - sys_t0);
+            if Tock_obs.Trace.on tr then
+              Tock_obs.Trace.emit tr ~ts:sys_end ~tid:pid
+                Tock_obs.Trace.Syscall Tock_obs.Trace.End ~arg:idx
+                ~text:class_names.(idx);
             match dispatch with
             | `Return ret ->
                 Syscall.encode_ret_into ret pe.ret_scratch;
                 continue_or_stash pe.ret_scratch remaining
             | `Deliver pu ->
-                let arg = deliver_of_pending t pu in
+                let arg = deliver_of_pending t proc pu in
                 if remaining > 0 then go arg remaining
                 else begin
                   pe.pending_resume <- Some arg;
@@ -594,11 +749,16 @@ let run_slice t pe timeslice =
       t.k_config.scheduler.Scheduler.charge pe.proc Scheduler.Used_full_slice
     end
   in
-  go initial_arg budget
+  go initial_arg budget;
+  if Tock_obs.Trace.on tr then
+    Tock_obs.Trace.emit tr
+      ~ts:(Tock_hw.Sim.now (sim t))
+      ~tid:pid Tock_obs.Trace.Schedule Tock_obs.Trace.End ~arg:pid
+      ~text:(Process.name proc)
 
 let step t ~cap:_ =
   let tm = timing t in
-  t.k_stats.loop_iterations <- t.k_stats.loop_iterations + 1;
+  Tock_obs.Metrics.incr t.kc.c_loop_iterations;
   spend t tm.Tock_hw.Chip.kernel_loop_overhead;
   let irq = t.k_chip.Tock_hw.Chip.irq in
   let worked = ref false in
@@ -628,11 +788,24 @@ let step t ~cap:_ =
       if !worked then `Worked
       else begin
         (* Nothing to do: deep sleep until the next hardware event. *)
+        let sleep_t0 = Tock_hw.Sim.now (sim t) in
         Tock_hw.Chip.cpu_set_active t.k_chip false;
         let advanced = Tock_hw.Sim.advance_to_next_event (sim t) in
         Tock_hw.Chip.cpu_set_active t.k_chip true;
         if advanced then begin
-          t.k_stats.sleeps <- t.k_stats.sleeps + 1;
+          Tock_obs.Metrics.incr t.kc.c_sleeps;
+          let tr = Tock_hw.Sim.trace_events (sim t) in
+          if Tock_obs.Trace.on tr then begin
+            (* The span is emitted after the fact (we only know it was a
+               sleep once an event fired); the exporter's stable sort
+               re-orders it before the events that fired at wake-up. *)
+            Tock_obs.Trace.emit tr ~ts:sleep_t0 ~tid:(-1)
+              Tock_obs.Trace.Sleep Tock_obs.Trace.Begin ~arg:0 ~text:"idle";
+            Tock_obs.Trace.emit tr
+              ~ts:(Tock_hw.Sim.now (sim t))
+              ~tid:(-1) Tock_obs.Trace.Sleep Tock_obs.Trace.End ~arg:0
+              ~text:"idle"
+          end;
           `Slept
         end
         else `Stalled

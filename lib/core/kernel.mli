@@ -47,6 +47,9 @@ val default_config : unit -> config
 (** Round-robin, restart-on-fault (3), cell semantics, no blocking
     commands, 8 processes, 128 kB RAM at 0x2000_0000. *)
 
+(** Compatibility view over the kernel's metrics registry: every field
+    mirrors a [kernel.*] counter (see {!metrics}). {!stats} builds a
+    fresh record per call — mutating it affects nothing. *)
 type stats = {
   mutable syscalls : int;
   mutable context_switches : int;
@@ -73,6 +76,28 @@ val sim : t -> Tock_hw.Sim.t
 val config : t -> config
 
 val stats : t -> stats
+
+(** {2 Observability}
+
+    Each kernel owns a {!Tock_obs.Metrics} registry — separate from the
+    Sim's hardware-side registry, so boards sharing a Sim (radio groups)
+    keep distinct per-board series. Series families:
+    - [kernel.*] counters (syscalls, context_switches, faults, ...);
+    - [kernel.syscall_cycles.<class>] latency histograms;
+    - [driver.<name>.{commands,cycles}] per-driver attribution;
+    - [process.<name>.*] per-process cycles counter plus gauges
+      published at snapshot time. *)
+
+val metrics : t -> Tock_obs.Metrics.t
+
+val metrics_snapshot : t -> Tock_obs.Metrics.snapshot
+(** Runs the registry's sync hooks (publishing per-process gauges) and
+    returns the sorted snapshot. *)
+
+val obs : t -> Tock_obs.Ctx.t
+(** The kernel's trace buffer (shared with its Sim), metrics registry
+    and clock, bundled for capsules constructed without a kernel
+    handle. *)
 
 val deferred : t -> Deferred_call.t
 (** The kernel's deferred-call manager (capsules register handles here at

@@ -103,6 +103,10 @@ type t = {
   mutable restarts : int;
   mutable syscalls : int;
   syscalls_by_class : (int, int) Hashtbl.t;
+  mutable grant_enters : int;
+  mutable p_obs : Tock_obs.Ctx.t;
+      (* Kernel-installed observability context; [Ctx.disabled] until the
+         owning kernel adopts the process, so recording is always safe. *)
   p_permissions : (int * int) list option;
   p_storage : (int * int list) option;
   p_tbf_flags : int;
@@ -145,12 +149,18 @@ let create ~id ~name ~ram_base ~ram_size ~initial_app_break ~flash_base ~flash
     restarts = 0;
     syscalls = 0;
     syscalls_by_class = Hashtbl.create 8;
+    grant_enters = 0;
+    p_obs = Tock_obs.Ctx.disabled;
     p_permissions = permissions;
     p_storage = storage;
     p_tbf_flags = tbf_flags;
   }
 
 let set_execution t e = t.exec <- Some e
+
+let set_obs t ctx = t.p_obs <- ctx
+
+let obs t = t.p_obs
 
 let id t = t.p_id
 
@@ -232,14 +242,38 @@ let check_access t ~addr ~len kind =
     in
     let gen = Tock_hw.Mpu.generation t.mpu_config in
     if c.c_gen = gen && addr >= c.c_lo && addr + len <= c.c_hi then true
-    else
-      match Tock_hw.Mpu.check_with_range t.mpu t.mpu_config ~addr ~len kind with
-      | Some (lo, hi) ->
-          c.c_lo <- lo;
-          c.c_hi <- hi;
-          c.c_gen <- gen;
-          true
-      | None -> false
+    else begin
+      let granted =
+        match
+          Tock_hw.Mpu.check_with_range t.mpu t.mpu_config ~addr ~len kind
+        with
+        | Some (lo, hi) ->
+            c.c_lo <- lo;
+            c.c_hi <- hi;
+            c.c_gen <- gen;
+            true
+        | None -> false
+      in
+      (* Slow path only: cache hits are the data-plane common case and
+         must stay three compares. *)
+      let tr = t.p_obs.Tock_obs.Ctx.trace in
+      if Tock_obs.Trace.on tr then begin
+        let text =
+          match (kind, granted) with
+          | `Read, true -> "read"
+          | `Write, true -> "write"
+          | `Execute, true -> "exec"
+          | `Read, false -> "read denied"
+          | `Write, false -> "write denied"
+          | `Execute, false -> "exec denied"
+        in
+        Tock_obs.Trace.emit tr
+          ~ts:(Tock_obs.Ctx.now t.p_obs)
+          ~tid:t.p_id Tock_obs.Trace.Mpu_check Tock_obs.Trace.Instant ~arg:addr
+          ~text
+      end;
+      granted
+    end
   end
 
 (* ---- upcalls ---- *)
@@ -382,6 +416,14 @@ let note_syscall t ~class_num =
   t.syscalls <- t.syscalls + 1;
   let cur = Option.value (Hashtbl.find_opt t.syscalls_by_class class_num) ~default:0 in
   Hashtbl.replace t.syscalls_by_class class_num (cur + 1)
+
+let note_grant_enter t = t.grant_enters <- t.grant_enters + 1
+
+let grant_enter_count t = t.grant_enters
+
+let mpu_generation t = Tock_hw.Mpu.generation t.mpu_config
+
+let mpu_scan_count t = Tock_hw.Mpu.scan_count t.mpu_config
 
 let syscall_count t = t.syscalls
 

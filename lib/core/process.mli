@@ -103,6 +103,13 @@ val create :
 
 val set_execution : t -> execution -> unit
 
+val set_obs : t -> Tock_obs.Ctx.t -> unit
+(** Install the owning kernel's observability context (trace buffer,
+    metrics registry, clock). Defaults to {!Tock_obs.Ctx.disabled}, so
+    an unadopted process records nothing. *)
+
+val obs : t -> Tock_obs.Ctx.t
+
 val id : t -> id
 
 val name : t -> string
@@ -229,6 +236,18 @@ val reset_syscall_state : t -> unit
     pool; the break resets to its initial position. *)
 
 val note_syscall : t -> class_num:int -> unit
+
+val note_grant_enter : t -> unit
+
+val grant_enter_count : t -> int
+
+val mpu_generation : t -> int
+(** Current MPU configuration generation for this process (bumped on
+    every region mutation). *)
+
+val mpu_scan_count : t -> int
+(** Region-table scans performed on behalf of this process, i.e. MPU
+    check-cache misses (see {!check_access}). *)
 
 val syscall_count : t -> int
 

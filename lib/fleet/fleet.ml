@@ -28,6 +28,9 @@ type board_stats = {
   bs_upcalls : int;
   bs_output_bytes : int;
   bs_output_digest : string;
+  bs_metrics : Tock_obs.Metrics.snapshot;
+      (* the board's kernel-registry snapshot; per-board even when boards
+         share a Sim (radio groups keep hw-side series group-level) *)
 }
 
 let default =
@@ -92,6 +95,7 @@ let stats_of ~idx ~seed (b : Tock_boards.Board.t) =
        crypto-confinement lint keeps crypto primitives out of boards.
        This digest only fingerprints output for determinism checks. *)
     bs_output_digest = Digest.to_hex (Digest.string out);
+    bs_metrics = Tock.Kernel.metrics_snapshot b.Tock_boards.Board.kernel;
   }
 
 (* One independent board on its own clock: tracing off, full cycle
@@ -195,6 +199,7 @@ let run cfg =
         bs_upcalls = 0;
         bs_output_bytes = 0;
         bs_output_digest = "";
+        bs_metrics = [];
       }
   in
   List.iter (List.iter (fun bs -> merged.(bs.bs_board) <- bs)) shards;
@@ -202,6 +207,12 @@ let run cfg =
     (fun i bs -> if bs.bs_board <> i then failwith "Fleet.run: missing board")
     merged;
   merged
+
+(* Board order is the total order and Metrics.merge sorts by name, so
+   the merged snapshot is byte-identical at any domain count. *)
+let merged_metrics stats =
+  Tock_obs.Metrics.merge
+    (Array.to_list (Array.map (fun bs -> bs.bs_metrics) stats))
 
 let total_cycles stats =
   Array.fold_left (fun acc bs -> acc + bs.bs_cycles) 0 stats

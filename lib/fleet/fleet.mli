@@ -29,6 +29,9 @@ type board_stats = {
   bs_upcalls : int;
   bs_output_bytes : int;
   bs_output_digest : string;  (** MD5 hex of the uart0 capture *)
+  bs_metrics : Tock_obs.Metrics.snapshot;
+      (** the board kernel's registry snapshot (kernel/driver/process
+          series; hardware-side series stay with the group's Sim) *)
 }
 
 val default : config
@@ -44,6 +47,11 @@ val run : config -> board_stats array
 (** Run the whole fleet; [Invalid_argument] on non-positive config
     fields. The result array is indexed by board number and is
     deterministic given [config] minus [domains]. *)
+
+val merged_metrics : board_stats array -> Tock_obs.Metrics.snapshot
+(** Sum the per-board snapshots into one fleet-wide snapshot. Sorted by
+    series name, so the rendering is byte-identical for every value of
+    [config.domains]. *)
 
 val total_cycles : board_stats array -> int
 

@@ -15,6 +15,8 @@ type t = {
   mutable armed : Event_queue.handle option;
   mutable compare : int;
   regs : Mmio.map;
+  c_alarms_set : Tock_obs.Metrics.counter;
+  c_fires : Tock_obs.Metrics.counter;
 }
 
 let now_ticks_raw sim cycles_per_tick =
@@ -32,9 +34,12 @@ let create sim irq ~irq_line ~cycles_per_tick =
           [ Mmio.field ~name:"EN" ~offset:0 ~width:1 ];
       ]
   in
+  let reg = Sim.metrics sim in
   let t =
     { sim; irq; irq_line; cycles_per_tick; client = ignore; armed = None;
-      compare = 0; regs }
+      compare = 0; regs;
+      c_alarms_set = Tock_obs.Metrics.counter reg "hw_timer.alarms_set";
+      c_fires = Tock_obs.Metrics.counter reg "hw_timer.fires" }
   in
   Irq.register irq ~line:irq_line ~name:"timer" (fun () -> t.client ());
   Irq.enable irq ~line:irq_line;
@@ -53,6 +58,7 @@ let disarm t =
 
 let set_alarm t ~reference ~dt =
   disarm t;
+  Tock_obs.Metrics.incr t.c_alarms_set;
   let reference = reference land mask32 and dt = dt land mask32 in
   let target = wrapping_add reference dt in
   t.compare <- target;
@@ -75,6 +81,12 @@ let set_alarm t ~reference ~dt =
         Mmio.hw_set_field t.regs "CTRL"
           (Mmio.field ~name:"EN" ~offset:0 ~width:1)
           0;
+        Tock_obs.Metrics.incr t.c_fires;
+        let tr = Sim.trace_events t.sim in
+        if Tock_obs.Trace.on tr then
+          Tock_obs.Trace.emit tr ~ts:(Sim.now t.sim) ~tid:(-1)
+            Tock_obs.Trace.Alarm_fire Tock_obs.Trace.Instant ~arg:t.compare
+            ~text:"hw-timer";
         Irq.set_pending t.irq ~line:t.irq_line)
   in
   t.armed <- Some handle

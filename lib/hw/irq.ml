@@ -3,6 +3,11 @@ type line_state = {
   mutable enabled : bool;
   mutable handler : (unit -> unit) option;
   mutable name : string;
+  mutable raised_at : int;
+      (* cycle the line last became pending-and-enabled; dispatch
+         latency = service time - raised_at *)
+  mutable ctr : Tock_obs.Metrics.counter option;
+      (* per-line serviced counter, registered with the line's name *)
 }
 
 type t = {
@@ -10,16 +15,23 @@ type t = {
   lines : line_state array;
   mutable pending_count : int; (* pending AND enabled *)
   mutable serviced : int;
+  c_serviced : Tock_obs.Metrics.counter;
+  h_latency : Tock_obs.Metrics.histogram;
+      (* raise->dispatch latency in cycles, all lines *)
 }
 
 let create ?(lines = 64) sim =
+  let reg = Sim.metrics sim in
   {
     sim;
     lines =
       Array.init lines (fun _ ->
-          { pending = false; enabled = false; handler = None; name = "?" });
+          { pending = false; enabled = false; handler = None; name = "?";
+            raised_at = 0; ctr = None });
     pending_count = 0;
     serviced = 0;
+    c_serviced = Tock_obs.Metrics.counter reg "irq.serviced";
+    h_latency = Tock_obs.Metrics.histogram reg "irq.dispatch_cycles";
   }
 
 let check_line t line =
@@ -28,14 +40,28 @@ let check_line t line =
 let register t ~line ~name fn =
   check_line t line;
   t.lines.(line).handler <- Some fn;
-  t.lines.(line).name <- name
+  t.lines.(line).name <- name;
+  t.lines.(line).ctr <-
+    Some
+      (Tock_obs.Metrics.counter (Sim.metrics t.sim)
+         ("irq." ^ name ^ ".serviced"))
+
+let note_raise t i (l : line_state) =
+  l.raised_at <- Sim.now t.sim;
+  let tr = Sim.trace_events t.sim in
+  if Tock_obs.Trace.on tr then
+    Tock_obs.Trace.emit tr ~ts:l.raised_at ~tid:(-1) Tock_obs.Trace.Irq_raise
+      Tock_obs.Trace.Instant ~arg:i ~text:l.name
 
 let set_pending t ~line =
   check_line t line;
   let l = t.lines.(line) in
   if not l.pending then begin
     l.pending <- true;
-    if l.enabled then t.pending_count <- t.pending_count + 1
+    if l.enabled then begin
+      t.pending_count <- t.pending_count + 1;
+      note_raise t line l
+    end
   end
 
 let enable t ~line =
@@ -43,7 +69,12 @@ let enable t ~line =
   let l = t.lines.(line) in
   if not l.enabled then begin
     l.enabled <- true;
-    if l.pending then t.pending_count <- t.pending_count + 1
+    if l.pending then begin
+      t.pending_count <- t.pending_count + 1;
+      (* Latched while masked: the dispatch-latency clock starts at
+         unmask, as on real hardware. *)
+      note_raise t line l
+    end
   end
 
 let disable t ~line =
@@ -62,6 +93,7 @@ let has_pending t = t.pending_count > 0
 
 let service t =
   let ran = ref 0 in
+  let tr = Sim.trace_events t.sim in
   (* Keep sweeping until no enabled line is pending; handlers may assert
      new lines. *)
   while t.pending_count > 0 do
@@ -72,7 +104,14 @@ let service t =
           t.pending_count <- t.pending_count - 1;
           t.serviced <- t.serviced + 1;
           incr ran;
-          Sim.tracef t.sim (fun () -> Printf.sprintf "irq %d (%s)" i l.name);
+          let now = Sim.now t.sim in
+          Tock_obs.Metrics.incr t.c_serviced;
+          (match l.ctr with Some c -> Tock_obs.Metrics.incr c | None -> ());
+          Tock_obs.Metrics.observe t.h_latency (now - l.raised_at);
+          if Tock_obs.Trace.on tr then
+            Tock_obs.Trace.emit tr ~ts:now ~tid:(-1)
+              Tock_obs.Trace.Irq_dispatch Tock_obs.Trace.Instant ~arg:i
+              ~text:l.name;
           match l.handler with Some fn -> fn () | None -> ()
         end)
       t.lines

@@ -15,10 +15,9 @@ type t = {
   mutable active_cycles : int;
   mutable sleep_cycles : int;
   mutable meters : meter_state list;
-  trace_cap : int;
-  trace_ring : (int * string) array;
-  mutable trace_pos : int;
-  mutable trace_count : int;
+  tr : Tock_obs.Trace.t;
+  reg : Tock_obs.Metrics.t;
+  mutable obs_ctx : Tock_obs.Ctx.t;
   mutable next_due : int;
       (* Cached lower bound on the earliest event deadline ([max_int] =
          none known). [spend] only probes the queue once [now] crosses
@@ -33,20 +32,41 @@ let default_trace_capacity = 1024
 let create ?(seed = 0x70CC_2025L) ?(clock_hz = 16_000_000)
     ?(trace_capacity = default_trace_capacity) () =
   if trace_capacity < 0 then invalid_arg "Sim.create: trace_capacity < 0";
-  {
-    now = 0;
-    clock_hz;
-    events = Event_queue.create ();
-    root_rng = Tock_crypto.Prng.create ~seed;
-    active_cycles = 0;
-    sleep_cycles = 0;
-    meters = [];
-    trace_cap = trace_capacity;
-    trace_ring = Array.make (max 1 trace_capacity) (0, "");
-    trace_pos = 0;
-    trace_count = 0;
-    next_due = max_int;
-  }
+  let reg = Tock_obs.Metrics.create () in
+  let t =
+    {
+      now = 0;
+      clock_hz;
+      events = Event_queue.create ();
+      root_rng = Tock_crypto.Prng.create ~seed;
+      active_cycles = 0;
+      sleep_cycles = 0;
+      meters = [];
+      tr = Tock_obs.Trace.create ~capacity:trace_capacity;
+      reg;
+      obs_ctx = Tock_obs.Ctx.disabled;
+      next_due = max_int;
+    }
+  in
+  t.obs_ctx <-
+    { Tock_obs.Ctx.trace = t.tr; metrics = reg; clock = (fun () -> t.now) };
+  (* Hardware-side gauges published at snapshot time, never from the
+     hot loop. *)
+  Tock_obs.Metrics.on_snapshot reg (fun () ->
+      Tock_obs.Metrics.set (Tock_obs.Metrics.gauge reg "sim.now") t.now;
+      Tock_obs.Metrics.set
+        (Tock_obs.Metrics.gauge reg "sim.active_cycles")
+        t.active_cycles;
+      Tock_obs.Metrics.set
+        (Tock_obs.Metrics.gauge reg "sim.sleep_cycles")
+        t.sleep_cycles;
+      Tock_obs.Metrics.set
+        (Tock_obs.Metrics.gauge reg "sim.trace_events")
+        (Tock_obs.Trace.total t.tr);
+      Tock_obs.Metrics.set
+        (Tock_obs.Metrics.gauge reg "sim.trace_dropped")
+        (Tock_obs.Trace.dropped t.tr));
+  t
 
 let now t = t.now
 
@@ -146,25 +166,26 @@ let energy_report t =
 let total_microjoules t =
   List.fold_left (fun acc (_, uj) -> acc +. uj) 0. (energy_report t)
 
-let trace_enabled t = t.trace_cap > 0
+let trace_enabled t = Tock_obs.Trace.on t.tr
 
-let trace t msg =
-  if t.trace_cap > 0 then begin
-    t.trace_ring.(t.trace_pos) <- (t.now, msg);
-    t.trace_pos <- (t.trace_pos + 1) mod t.trace_cap;
-    t.trace_count <- t.trace_count + 1
-  end
+let trace t msg = Tock_obs.Trace.note t.tr ~ts:t.now msg
 
-let tracef t thunk = if t.trace_cap > 0 then trace t (thunk ())
+let tracef t thunk = if Tock_obs.Trace.on t.tr then trace t (thunk ())
 
 let recent_trace t n =
-  if t.trace_cap = 0 then []
-  else begin
-    let available = min t.trace_count t.trace_cap in
-    let n = min n available in
-    List.init n (fun i ->
-        let idx =
-          (t.trace_pos - n + i + (2 * t.trace_cap)) mod t.trace_cap
-        in
-        t.trace_ring.(idx))
-  end
+  let available = Tock_obs.Trace.retained t.tr in
+  let keep = min n available in
+  let acc = ref [] and seen = ref 0 in
+  Tock_obs.Trace.iter t.tr (fun e ->
+      if !seen >= available - keep then
+        acc := (e.Tock_obs.Trace.e_ts, Tock_obs.Trace.label e) :: !acc;
+      incr seen);
+  List.rev !acc
+
+let trace_dropped t = Tock_obs.Trace.dropped t.tr
+
+let trace_events t = t.tr
+
+let metrics t = t.reg
+
+let obs t = t.obs_ctx

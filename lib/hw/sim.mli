@@ -80,10 +80,15 @@ val energy_report : t -> (string * float) list
 
 val total_microjoules : t -> float
 
-(** {2 Tracing} *)
+(** {2 Observability}
+
+    The context owns one structured trace buffer and one hardware-side
+    metrics registry (see {!Tock_obs}); kernels layer their own registry
+    on top. The legacy [trace]/[tracef] calls record {!Tock_obs.Trace}
+    [Note] events into the same buffer. *)
 
 val trace : t -> string -> unit
-(** Append a timestamped line to the trace ring (kept bounded). No-op
+(** Append a timestamped note to the trace ring (kept bounded). No-op
     when tracing is disabled — but the argument has already been built;
     prefer {!tracef} when the line needs formatting. *)
 
@@ -95,4 +100,19 @@ val tracef : t -> (unit -> string) -> unit
 val trace_enabled : t -> bool
 
 val recent_trace : t -> int -> (int * string) list
-(** Up to [n] most recent trace entries, oldest first. *)
+(** Up to [n] most recent trace entries as [(cycles, label)], oldest
+    first. Structured events render through {!Tock_obs.Trace.label}. *)
+
+val trace_dropped : t -> int
+(** Events lost to ring wrap-around since boot. *)
+
+val trace_events : t -> Tock_obs.Trace.t
+(** The underlying structured event buffer (for exporters). *)
+
+val metrics : t -> Tock_obs.Metrics.t
+(** The hardware-side metrics registry (IRQ latency, timer fires, trace
+    drop gauges). Kernel-side series live in {!Tock.Kernel.metrics}. *)
+
+val obs : t -> Tock_obs.Ctx.t
+(** Trace buffer + hw registry + cycle clock, bundled for subsystems
+    that cannot name the [Sim] directly. *)

@@ -1,0 +1,21 @@
+(* The observability context threaded through instrumented subsystems:
+   one trace buffer, one metrics registry, and a clock closure reading
+   the owning simulation's cycle counter. Code that can't name the Sim
+   (grants, processes, capsules below the board layer) records against
+   this instead.
+
+   [disabled] is a shared inert context (zero-capacity trace, throwaway
+   registry, clock pinned to 0) used as the default before a kernel
+   attaches the real one — recording against it is a guarded no-op. *)
+
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  clock : unit -> int; (* current simulation time, in cycles *)
+}
+
+let disabled =
+  { trace = Trace.create ~capacity:0; metrics = Metrics.create ();
+    clock = (fun () -> 0) }
+
+let now t = t.clock ()

@@ -1,0 +1,16 @@
+(** The observability context threaded through instrumented subsystems:
+    a trace buffer, a metrics registry, and a clock closure reading the
+    owning simulation's cycle counter (never advancing it). *)
+
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  clock : unit -> int;  (** current simulation time, in cycles *)
+}
+
+val disabled : t
+(** Shared inert context: zero-capacity trace, throwaway registry,
+    clock pinned to 0. The default before a kernel attaches a real
+    one. *)
+
+val now : t -> int

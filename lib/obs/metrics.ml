@@ -1,0 +1,232 @@
+(* The metrics registry: named counters, gauges, and log2-bucketed
+   histograms, designed for hot-path recording.
+
+   - Handles are resolved by name once, at registration time; the record
+     operations ([incr]/[add]/[set]/[observe]) are plain field updates
+     with no hashing, no allocation, and no branching beyond bounds.
+   - Registration is idempotent by name, so independent subsystems that
+     agree on a name share one series (used deliberately: the two boards
+     of a radio group share their sim-level hardware counters).
+   - Snapshots are deterministic: entries sorted by name, with values
+     copied out, so a fleet of boards renders byte-identical output for
+     identical work regardless of registration order or domain placement.
+
+   Histograms bucket by log2: bucket 0 holds values <= 0, bucket b >= 1
+   holds [2^(b-1), 2^b). 64 buckets cover the whole int range; cycle
+   latencies at any plausible clock rate fit with room to spare. *)
+
+let buckets = 64
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  h_buckets : int array; (* length [buckets] *)
+}
+
+type metric = Mc of counter | Mg of gauge | Mh of histogram
+
+type t = {
+  by_name : (string, metric) Hashtbl.t;
+  mutable sync_hooks : (unit -> unit) list; (* run (in registration order)
+                                               before every snapshot *)
+}
+
+let create () = { by_name = Hashtbl.create 64; sync_hooks = [] }
+
+let clash name = invalid_arg ("Metrics: " ^ name ^ " registered with another type")
+
+let counter t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Mc c) -> c
+  | Some _ -> clash name
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace t.by_name name (Mc c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Mg g) -> g
+  | Some _ -> clash name
+  | None ->
+      let g = { g_name = name; g_value = 0 } in
+      Hashtbl.replace t.by_name name (Mg g);
+      g
+
+let histogram t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some (Mh h) -> h
+  | Some _ -> clash name
+  | None ->
+      let h =
+        { h_name = name; h_count = 0; h_sum = 0; h_buckets = Array.make buckets 0 }
+      in
+      Hashtbl.replace t.by_name name (Mh h);
+      h
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n = c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+
+let counter_name c = c.c_name
+
+let set g v = g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let gauge_name g = g.g_name
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    (* floor(log2 v) + 1, clamped: v=1 -> 1, v in [2^(b-1), 2^b) -> b. *)
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      i := !i + 1;
+      v := !v lsr 1
+    done;
+    if !i > buckets - 1 then buckets - 1 else !i
+  end
+
+let bucket_lower_bound b =
+  if b <= 0 then min_int else 1 lsl (b - 1)
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  let b = bucket_index v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let histogram_count h = h.h_count
+
+let histogram_sum h = h.h_sum
+
+let histogram_name h = h.h_name
+
+let on_snapshot t hook = t.sync_hooks <- t.sync_hooks @ [ hook ]
+
+(* ---- snapshots ---- *)
+
+type hist_snapshot = { hs_count : int; hs_sum : int; hs_buckets : int array }
+
+type value = Counter of int | Gauge of int | Histogram of hist_snapshot
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  List.iter (fun hook -> hook ()) t.sync_hooks;
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Mc c -> Counter c.c_value
+        | Mg g -> Gauge g.g_value
+        | Mh h ->
+            Histogram
+              { hs_count = h.h_count; hs_sum = h.h_sum;
+                hs_buckets = Array.copy h.h_buckets }
+      in
+      (name, v) :: acc)
+    t.by_name []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let quantile hs q =
+  (* Upper bound of the bucket holding the q-quantile observation: exact
+     enough for latency reporting (within 2x), monotone in q. *)
+  if hs.hs_count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int hs.hs_count)) in
+      if r < 1 then 1 else if r > hs.hs_count then hs.hs_count else r
+    in
+    let b = ref 0 and seen = ref 0 in
+    (try
+       for i = 0 to buckets - 1 do
+         seen := !seen + hs.hs_buckets.(i);
+         if !seen >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !b = 0 then 0
+    else if !b >= buckets - 1 then max_int
+    else (1 lsl !b) - 1
+  end
+
+let merge_value name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x + y)
+  | Histogram x, Histogram y ->
+      Histogram
+        {
+          hs_count = x.hs_count + y.hs_count;
+          hs_sum = x.hs_sum + y.hs_sum;
+          hs_buckets = Array.init buckets (fun i -> x.hs_buckets.(i) + y.hs_buckets.(i));
+        }
+  | _ -> invalid_arg ("Metrics.merge: " ^ name ^ " has conflicting types")
+
+let merge snaps =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt tbl name with
+         | None -> Hashtbl.replace tbl name v
+         | Some prev -> Hashtbl.replace tbl name (merge_value name prev v)))
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---- rendering ---- *)
+
+let render_text snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Buffer.add_string buf (Printf.sprintf "%-44s %12d\n" name n)
+      | Gauge n ->
+          Buffer.add_string buf (Printf.sprintf "%-44s %12d (gauge)\n" name n)
+      | Histogram hs ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-44s count=%d sum=%d p50<=%d p99<=%d\n" name
+               hs.hs_count hs.hs_sum (quantile hs 0.5) (quantile hs 0.99)))
+    snap;
+  Buffer.contents buf
+
+let render_json snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      (match v with
+      | Counter n -> Buffer.add_string buf (Printf.sprintf "  %S: %d" name n)
+      | Gauge n -> Buffer.add_string buf (Printf.sprintf "  %S: %d" name n)
+      | Histogram hs ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %S: {\"count\": %d, \"sum\": %d, \"buckets\": ["
+               name hs.hs_count hs.hs_sum);
+          let firstb = ref true in
+          Array.iteri
+            (fun i n ->
+              if n > 0 then begin
+                if not !firstb then Buffer.add_string buf ", ";
+                firstb := false;
+                Buffer.add_string buf (Printf.sprintf "[%d, %d]" i n)
+              end)
+            hs.hs_buckets;
+          Buffer.add_string buf "]}"))
+    snap;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

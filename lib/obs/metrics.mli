@@ -1,0 +1,85 @@
+(** Metrics registry: named counters, gauges, and log2-bucketed
+    histograms, cheaply recordable from simulation hot paths.
+
+    Handles resolve their name once, at registration; every record
+    operation afterwards is a plain field update (no hashing, no
+    allocation). Registration is idempotent by name — two subsystems
+    registering the same name share one series — and clashing on the
+    metric type raises [Invalid_argument].
+
+    Snapshots are deterministic (sorted by name, values copied out), so
+    fleets of identical boards render byte-identical output regardless
+    of registration order or domain placement. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+val gauge_name : gauge -> string
+
+val observe : histogram -> int -> unit
+(** Record one value: count, sum, and the log2 bucket. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+val histogram_name : histogram -> string
+
+val buckets : int
+(** Number of histogram buckets (64). *)
+
+val bucket_index : int -> int
+(** [bucket_index v]: 0 for [v <= 0]; otherwise [floor(log2 v) + 1],
+    clamped to [buckets - 1] — i.e. bucket [b >= 1] holds values in
+    [\[2^(b-1), 2^b)]. *)
+
+val bucket_lower_bound : int -> int
+(** Smallest value a bucket can hold ([min_int] for bucket 0). *)
+
+val on_snapshot : t -> (unit -> unit) -> unit
+(** Register a sync hook run (in registration order) at the start of
+    every {!snapshot} — used to publish externally-held state (process
+    tables, ring drop counts) as gauges without touching hot paths. *)
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = { hs_count : int; hs_sum : int; hs_buckets : int array }
+
+type value = Counter of int | Gauge of int | Histogram of hist_snapshot
+
+type snapshot = (string * value) list
+(** Sorted by name. *)
+
+val snapshot : t -> snapshot
+
+val quantile : hist_snapshot -> float -> int
+(** Upper bound of the bucket holding the q-quantile observation
+    (0 when empty, [max_int] from the top bucket): within 2x of the
+    true quantile, monotone in q. *)
+
+val merge : snapshot list -> snapshot
+(** Merge by name: counters and gauges sum, histograms add bucket-wise.
+    [Invalid_argument] if one name carries two metric types. *)
+
+val render_text : snapshot -> string
+(** Aligned human-readable table, histograms as count/sum/p50/p99. *)
+
+val render_json : snapshot -> string
+(** Deterministic JSON object keyed by metric name; histograms as
+    [{"count", "sum", "buckets": [[index, n], ...]}] (empty buckets
+    omitted). *)

@@ -1,0 +1,218 @@
+(* Structured trace events: a bounded ring of typed begin/end spans and
+   instants, replacing the printf-style string ring.
+
+   Recording is allocation-free: the ring is an array of mutable event
+   records preallocated at creation, and [emit] overwrites fields in
+   place. Wrapping drops the oldest events and counts the drops — the
+   exporters report that in their metadata rather than silently losing
+   history.
+
+   Timestamps are simulation cycles, supplied by the caller (the trace
+   layer never advances or reads the clock itself: instrumentation must
+   not perturb simulated time). tid -1 is kernel/hardware context; a
+   process's tid is its pid. Exporters: Chrome trace-event JSON
+   (chrome://tracing / Perfetto, ts in microseconds) and a plain text
+   timeline. *)
+
+type kind =
+  | Syscall
+  | Irq_raise
+  | Irq_dispatch
+  | Grant_enter
+  | Alarm_fire
+  | Mpu_check
+  | Schedule
+  | Sleep
+  | Upcall
+  | Note
+
+type phase = Begin | End | Instant
+
+type event = {
+  mutable e_ts : int;
+  mutable e_tid : int;
+  mutable e_kind : kind;
+  mutable e_phase : phase;
+  mutable e_arg : int;
+  mutable e_text : string;
+}
+
+type t = {
+  cap : int;
+  ring : event array; (* length max(1, cap); reused in place *)
+  mutable pos : int;  (* next write index *)
+  mutable total : int; (* events ever emitted *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Trace.create: capacity < 0";
+  {
+    cap = capacity;
+    ring =
+      Array.init (max 1 capacity) (fun _ ->
+          { e_ts = 0; e_tid = 0; e_kind = Note; e_phase = Instant; e_arg = 0;
+            e_text = "" });
+    pos = 0;
+    total = 0;
+  }
+
+let on t = t.cap > 0
+
+let capacity t = t.cap
+
+let total t = t.total
+
+let retained t = min t.total t.cap
+
+let dropped t = if t.total > t.cap then t.total - t.cap else 0
+
+let emit t ~ts ~tid kind phase ~arg ~text =
+  if t.cap > 0 then begin
+    let e = t.ring.(t.pos) in
+    e.e_ts <- ts;
+    e.e_tid <- tid;
+    e.e_kind <- kind;
+    e.e_phase <- phase;
+    e.e_arg <- arg;
+    e.e_text <- text;
+    t.pos <- (t.pos + 1) mod t.cap;
+    t.total <- t.total + 1
+  end
+
+let note t ~ts text = emit t ~ts ~tid:(-1) Note Instant ~arg:0 ~text
+
+(* Oldest-first iteration over retained events. The callback sees the
+   live (reused) record: read it, don't stash it. *)
+let iter t f =
+  let n = retained t in
+  for i = 0 to n - 1 do
+    f t.ring.((t.pos - n + i + (2 * t.cap)) mod max 1 t.cap)
+  done
+
+let kind_name = function
+  | Syscall -> "syscall"
+  | Irq_raise -> "irq-raise"
+  | Irq_dispatch -> "irq"
+  | Grant_enter -> "grant-enter"
+  | Alarm_fire -> "alarm-fire"
+  | Mpu_check -> "mpu-check"
+  | Schedule -> "schedule"
+  | Sleep -> "sleep"
+  | Upcall -> "upcall"
+  | Note -> "note"
+
+(* Human label. Notes render as their exact text so the legacy
+   [Sim.recent_trace] view is unchanged. *)
+let label e =
+  match e.e_kind with
+  | Note -> e.e_text
+  | Irq_dispatch | Irq_raise ->
+      Printf.sprintf "%s %d (%s)" (kind_name e.e_kind) e.e_arg e.e_text
+  | _ ->
+      if e.e_text = "" then kind_name e.e_kind
+      else kind_name e.e_kind ^ " " ^ e.e_text
+
+(* Retained events sorted by timestamp (stable, so same-cycle events
+   keep emission order). Sorting matters because spans are emitted at
+   their begin time, possibly after nested events were recorded. *)
+let sorted_events t =
+  let n = retained t in
+  let arr = Array.make n None in
+  let i = ref 0 in
+  iter t (fun e ->
+      arr.(!i) <- Some e;
+      incr i);
+  let evs = Array.map (fun e -> Option.get e) arr in
+  (* stable sort by ts only *)
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare evs.(a).e_ts evs.(b).e_ts with 0 -> compare a b | c -> c)
+    idx;
+  Array.map (fun i -> evs.(i)) idx
+
+let to_text ~clock_hz t =
+  let buf = Buffer.create 4096 in
+  let evs = sorted_events t in
+  if dropped t > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "# %d older events dropped (ring capacity %d)\n"
+         (dropped t) t.cap);
+  Array.iter
+    (fun e ->
+      let us = float_of_int e.e_ts *. 1e6 /. float_of_int clock_hz in
+      let ph =
+        match e.e_phase with Begin -> "B" | End -> "E" | Instant -> "." in
+      Buffer.add_string buf
+        (Printf.sprintf "[%12d cyc %12.3f us] tid=%-3d %s %s\n" e.e_ts us
+           e.e_tid ph (label e)))
+    evs;
+  Buffer.contents buf
+
+(* Chrome trace-event JSON ("JSON object format"): loadable in
+   chrome://tracing and Perfetto. pid = board, tid = process (+1 so the
+   kernel's -1 maps to thread 0); metadata events name both, and
+   otherData carries the drop count and clock rate. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json ?(pid = 0) ?(process_name = "board")
+    ?(tid_names = [ (-1, "kernel") ]) ~clock_hz t =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "{\n\"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"otherData\": {\"clock_hz\": %d, \"dropped_events\": %d, \
+        \"total_events\": %d},\n"
+       clock_hz (dropped t) (total t));
+  Buffer.add_string buf "\"traceEvents\": [\n";
+  let first = ref true in
+  let add line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  add
+    (Printf.sprintf
+       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": 0, \
+        \"args\": {\"name\": \"%s\"}}"
+       pid (escape process_name));
+  List.iter
+    (fun (tid, name) ->
+      add
+        (Printf.sprintf
+           "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": \
+            %d, \"args\": {\"name\": \"%s\"}}"
+           pid (tid + 1) (escape name)))
+    tid_names;
+  let evs = sorted_events t in
+  Array.iter
+    (fun e ->
+      let us = float_of_int e.e_ts *. 1e6 /. float_of_int clock_hz in
+      let ph, extra =
+        match e.e_phase with
+        | Begin -> ("B", "")
+        | End -> ("E", "")
+        | Instant -> ("i", ", \"s\": \"t\"")
+      in
+      add
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\"%s, \"ts\": \
+            %.3f, \"pid\": %d, \"tid\": %d, \"args\": {\"arg\": %d, \
+            \"cycles\": %d}}"
+           (escape (label e)) (kind_name e.e_kind) ph extra us pid
+           (e.e_tid + 1) e.e_arg e.e_ts))
+    evs;
+  Buffer.add_string buf "\n]\n}\n";
+  Buffer.contents buf

@@ -154,6 +154,53 @@ let test_capsule_byte_copy () =
   Alcotest.(check int) "core code not in scope" 0
     (count_rule "capsule-byte-copy" core)
 
+let test_capsule_raw_print () =
+  (* Kernel/capsule code writing to the host console directly — via
+     Printf/Format or the bare Stdlib print idents — is flagged;
+     Debug_writer itself and pragma'd call sites are not. *)
+  let bad =
+    core_fixture
+    @ [
+        file "lib/capsules/chatty.ml"
+          "let f () = Printf.printf \"hi\"\nlet g () = print_endline \"yo\"\n";
+        file "lib/capsules/chatty.mli"
+          "val f : unit -> unit\nval g : unit -> unit\n";
+        file "lib/core/loud.ml" "let h () = Format.eprintf \"oops\"\n";
+        file "lib/core/loud.mli" "val h : unit -> unit\n";
+      ]
+  in
+  Alcotest.(check int) "printf, bare print, eprintf flagged" 3
+    (count_rule "capsule-raw-print" bad);
+  let exempt =
+    core_fixture
+    @ [
+        file "lib/capsules/debug_writer.ml"
+          "let f () = Printf.printf \"debug sink\"\n";
+        file "lib/capsules/debug_writer.mli" "val f : unit -> unit\n";
+        file "lib/capsules/justified.ml"
+          "(* otock-lint: allow capsule-raw-print boot banner *)\n\
+           let f () = print_endline \"boot\"\n";
+        file "lib/capsules/justified.mli" "val f : unit -> unit\n";
+        (* sprintf formats a string without touching the console *)
+        file "lib/capsules/quiet.ml"
+          "let f () = Printf.sprintf \"x=%d\" 3\n";
+        file "lib/capsules/quiet.mli" "val f : unit -> string\n";
+      ]
+  in
+  Alcotest.(check int) "debug_writer, pragma, sprintf all clean" 0
+    (count_rule "capsule-raw-print" exempt);
+  (* Board-layer code is outside the rule's scope. *)
+  let board =
+    core_fixture
+    @ [
+        file "lib/boards/panic.ml" "let f () = print_endline \"panic\"\n";
+        file "lib/boards/panic.mli" "val f : unit -> unit\n";
+        file "lib/boards/dune" "(library\n (name tock_boards)\n (libraries tock))\n";
+      ]
+  in
+  Alcotest.(check int) "boards not in scope" 0
+    (count_rule "capsule-raw-print" board)
+
 let test_unsafe_analogues () =
   let files =
     core_fixture
@@ -411,6 +458,7 @@ let suite =
     Alcotest.test_case "missing mli" `Quick test_missing_mli;
     Alcotest.test_case "take without restore" `Quick test_take_without_restore;
     Alcotest.test_case "capsule byte copy" `Quick test_capsule_byte_copy;
+    Alcotest.test_case "capsule raw print" `Quick test_capsule_raw_print;
     Alcotest.test_case "unsafe analogues" `Quick test_unsafe_analogues;
     Alcotest.test_case "crypto + userland" `Quick test_crypto_and_userland;
     Alcotest.test_case "dep hygiene" `Quick test_dep_hygiene;

@@ -27,5 +27,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("extra", Test_extra.suite);
       ("app-loader", Test_app_loader.suite);
+      ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
     ]

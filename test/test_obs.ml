@@ -1,0 +1,488 @@
+(* The observability layer: histogram bucketing invariants (qcheck),
+   trace ring drop accounting, Chrome trace-event JSON well-formedness
+   (parsed back with a local mini JSON reader), fleet metric-merge
+   determinism across domain counts, and the Kernel.stats compatibility
+   view. *)
+
+open! Helpers
+
+module Metrics = Tock_obs.Metrics
+module Trace = Tock_obs.Trace
+module Fleet = Tock_fleet.Fleet
+
+(* ---- mini JSON reader (subset: enough to parse our exporters) ---- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              (* keep the escape verbatim; our exporters never emit it *)
+              Buffer.add_string b "\\u"
+          | c -> fail (Printf.sprintf "bad escape %c" c));
+          advance ();
+          go ()
+      | '\255' -> fail "unterminated string"
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (
+          advance ();
+          J_obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | '}' ->
+                advance ();
+                J_obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (
+          advance ();
+          J_arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elems (v :: acc)
+            | ']' ->
+                advance ();
+                J_arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elems []
+    | '"' -> J_str (parse_string ())
+    | 't' ->
+        pos := !pos + 4;
+        J_bool true
+    | 'f' ->
+        pos := !pos + 5;
+        J_bool false
+    | 'n' ->
+        pos := !pos + 4;
+        J_null
+    | c when c = '-' || (c >= '0' && c <= '9') ->
+        let start = !pos in
+        let num_char c =
+          (c >= '0' && c <= '9')
+          || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        in
+        while num_char (peek ()) do
+          advance ()
+        done;
+        J_num (float_of_string (String.sub s start (!pos - start)))
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let obj_get key = function
+  | J_obj kvs -> (
+      match List.assoc_opt key kvs with
+      | Some v -> v
+      | None -> Alcotest.failf "json: missing key %s" key)
+  | _ -> Alcotest.failf "json: not an object (looking for %s)" key
+
+let as_num = function
+  | J_num f -> f
+  | _ -> Alcotest.fail "json: expected number"
+
+let as_str = function
+  | J_str s -> s
+  | _ -> Alcotest.fail "json: expected string"
+
+let as_arr = function
+  | J_arr l -> l
+  | _ -> Alcotest.fail "json: expected array"
+
+(* ---- metrics: registry basics ---- *)
+
+let test_registry_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "a.count" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  (* idempotent by name: same series *)
+  let c' = Metrics.counter r "a.count" in
+  Metrics.incr c';
+  Alcotest.(check int) "shared series" 6 (Metrics.counter_value c);
+  let g = Metrics.gauge r "a.gauge" in
+  Metrics.set g 42;
+  Alcotest.(check int) "gauge" 42 (Metrics.gauge_value g);
+  (* type clash rejected *)
+  Alcotest.(check bool) "type clash" true
+    (try
+       ignore (Metrics.gauge r "a.count");
+       false
+     with Invalid_argument _ -> true);
+  match Metrics.snapshot r with
+  | [ ("a.count", Metrics.Counter 6); ("a.gauge", Metrics.Gauge 42) ] -> ()
+  | snap -> Alcotest.failf "unexpected snapshot: %s" (Metrics.render_text snap)
+
+(* ---- histograms ---- *)
+
+let test_bucket_edges () =
+  Alcotest.(check int) "v=0" 0 (Metrics.bucket_index 0);
+  Alcotest.(check int) "v<0" 0 (Metrics.bucket_index (-7));
+  Alcotest.(check int) "v=1" 1 (Metrics.bucket_index 1);
+  Alcotest.(check int) "v=2" 2 (Metrics.bucket_index 2);
+  Alcotest.(check int) "v=3" 2 (Metrics.bucket_index 3);
+  Alcotest.(check int) "v=4" 3 (Metrics.bucket_index 4);
+  (* OCaml ints are 63-bit: max_int = 2^62 - 1 lands in bucket 62; the
+     64th bucket is the clamp for a hypothetical wider int. *)
+  Alcotest.(check int) "v=max_int" 62 (Metrics.bucket_index max_int);
+  Alcotest.(check int) "lb 1" 1 (Metrics.bucket_lower_bound 1);
+  Alcotest.(check int) "lb 4" 8 (Metrics.bucket_lower_bound 4)
+
+let qcheck_bucket_containment =
+  qcheck "bucket_index places v within its bucket's bounds"
+    QCheck2.Gen.(map (fun i -> abs i) int)
+    (fun v ->
+      let b = Metrics.bucket_index v in
+      b >= 0
+      && b < Metrics.buckets
+      && (v <= 0 || Metrics.bucket_lower_bound b <= v)
+      && (b = 0
+         || b >= Metrics.buckets - 1
+         (* 1 lsl 62 overflows: the next bound isn't representable *)
+         || Metrics.bucket_lower_bound (b + 1) <= 0
+         || v < Metrics.bucket_lower_bound (b + 1)))
+
+let qcheck_bucket_monotone =
+  qcheck "bucket_index is monotone"
+    QCheck2.Gen.(pair small_signed_int small_signed_int)
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Metrics.bucket_index lo <= Metrics.bucket_index hi)
+
+let qcheck_histogram_invariants =
+  qcheck "histogram count/sum/bucket-total invariants"
+    QCheck2.Gen.(list_size (int_bound 200) small_signed_int)
+    (fun vs ->
+      let r = Metrics.create () in
+      let h = Metrics.histogram r "h" in
+      List.iter (Metrics.observe h) vs;
+      match Metrics.snapshot r with
+      | [ ("h", Metrics.Histogram hs) ] ->
+          hs.Metrics.hs_count = List.length vs
+          && hs.Metrics.hs_sum = List.fold_left ( + ) 0 vs
+          && Array.fold_left ( + ) 0 hs.Metrics.hs_buckets
+             = hs.Metrics.hs_count
+      | _ -> false)
+
+let qcheck_quantile_monotone =
+  qcheck "quantile is monotone in q"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_bound 100) (int_bound 10_000))
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (vs, (q1, q2)) ->
+      let r = Metrics.create () in
+      let h = Metrics.histogram r "h" in
+      List.iter (Metrics.observe h) vs;
+      match Metrics.snapshot r with
+      | [ ("h", Metrics.Histogram hs) ] ->
+          let lo = min q1 q2 and hi = max q1 q2 in
+          Metrics.quantile hs lo <= Metrics.quantile hs hi
+      | _ -> false)
+
+let test_merge_sums () =
+  let mk n =
+    let r = Metrics.create () in
+    let c = Metrics.counter r "c" in
+    Metrics.add c n;
+    let h = Metrics.histogram r "h" in
+    Metrics.observe h n;
+    Metrics.snapshot r
+  in
+  match Metrics.merge [ mk 3; mk 5 ] with
+  | [ ("c", Metrics.Counter 8); ("h", Metrics.Histogram hs) ] ->
+      Alcotest.(check int) "hist count" 2 hs.Metrics.hs_count;
+      Alcotest.(check int) "hist sum" 8 hs.Metrics.hs_sum
+  | snap -> Alcotest.failf "unexpected merge: %s" (Metrics.render_text snap)
+
+let test_merge_type_clash () =
+  let ra = Metrics.create () and rb = Metrics.create () in
+  ignore (Metrics.counter ra "x");
+  ignore (Metrics.gauge rb "x");
+  Alcotest.(check bool) "clash rejected" true
+    (try
+       ignore (Metrics.merge [ Metrics.snapshot ra; Metrics.snapshot rb ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_render_json_parses () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "k.syscalls") 17;
+  Metrics.set (Metrics.gauge r "k.now") 123;
+  let h = Metrics.histogram r "k.lat" in
+  List.iter (Metrics.observe h) [ 1; 5; 150; 3000 ];
+  let j = parse_json (Metrics.render_json (Metrics.snapshot r)) in
+  Alcotest.(check int) "counter" 17
+    (int_of_float (as_num (obj_get "k.syscalls" j)));
+  let hist = obj_get "k.lat" j in
+  Alcotest.(check int) "hist count" 4
+    (int_of_float (as_num (obj_get "count" hist)));
+  Alcotest.(check int) "hist sum" 3156
+    (int_of_float (as_num (obj_get "sum" hist)))
+
+(* ---- trace ring ---- *)
+
+let test_trace_drops () =
+  let tr = Trace.create ~capacity:4 in
+  for i = 1 to 10 do
+    Trace.emit tr ~ts:i ~tid:(-1) Trace.Note Trace.Instant ~arg:0
+      ~text:(string_of_int i)
+  done;
+  Alcotest.(check int) "total" 10 (Trace.total tr);
+  Alcotest.(check int) "retained" 4 (Trace.retained tr);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped tr);
+  let seen = ref [] in
+  Trace.iter tr (fun e -> seen := e.Trace.e_ts :: !seen);
+  Alcotest.(check (list int)) "oldest first, newest kept" [ 7; 8; 9; 10 ]
+    (List.rev !seen)
+
+let test_trace_disabled () =
+  let tr = Trace.create ~capacity:0 in
+  Trace.emit tr ~ts:1 ~tid:0 Trace.Syscall Trace.Begin ~arg:0 ~text:"";
+  Alcotest.(check bool) "off" false (Trace.on tr);
+  Alcotest.(check int) "nothing recorded" 0 (Trace.total tr)
+
+(* ---- chrome export: well-formed, balanced, metadata-complete ---- *)
+
+let test_chrome_json_roundtrip () =
+  (* A real board run so the trace contains every event family. *)
+  let sim = Tock_hw.Sim.create ~trace_capacity:8192 () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let board = Tock_boards.Board.build chip in
+  ignore (add_app_exn board ~name:"counter"
+            (Tock_userland.Apps.counter ~n:3 ~period_ticks:200));
+  run_done board;
+  let tr = Tock_hw.Sim.trace_events sim in
+  Alcotest.(check bool) "events recorded" true (Trace.retained tr > 0);
+  let json_s =
+    Trace.to_chrome_json ~pid:0 ~process_name:"board"
+      ~tid_names:[ (-1, "kernel") ]
+      ~clock_hz:(Tock_hw.Sim.clock_hz sim)
+      tr
+  in
+  let j = parse_json json_s in
+  let events = as_arr (obj_get "traceEvents" j) in
+  let other = obj_get "otherData" j in
+  Alcotest.(check int) "dropped reported" (Trace.dropped tr)
+    (int_of_float (as_num (obj_get "dropped_events" other)));
+  Alcotest.(check int) "total reported" (Trace.total tr)
+    (int_of_float (as_num (obj_get "total_events" other)));
+  (* Every record has the required fields; ts never decreases (the
+     exporter stable-sorts); B/E balance per tid, never going negative. *)
+  let depth = Hashtbl.create 8 in
+  let last_ts = ref neg_infinity in
+  let n_data = ref 0 in
+  List.iter
+    (fun e ->
+      let ph = as_str (obj_get "ph" e) in
+      ignore (as_str (obj_get "name" e));
+      let tid = int_of_float (as_num (obj_get "tid" e)) in
+      Alcotest.(check bool) "tid shifted non-negative" true (tid >= 0);
+      match ph with
+      | "M" -> ()
+      | "B" | "E" | "i" ->
+          incr n_data;
+          let ts = as_num (obj_get "ts" e) in
+          Alcotest.(check bool) "sorted by ts" true (ts >= !last_ts);
+          last_ts := ts;
+          if ph = "i" then
+            Alcotest.(check string) "instant scope" "t"
+              (as_str (obj_get "s" e))
+          else begin
+            let d = try Hashtbl.find depth tid with Not_found -> 0 in
+            let d = if ph = "B" then d + 1 else d - 1 in
+            Alcotest.(check bool) "E never precedes B" true (d >= 0);
+            Hashtbl.replace depth tid d
+          end
+      | other -> Alcotest.failf "unexpected phase %s" other)
+    events;
+  Alcotest.(check int) "all retained events exported" (Trace.retained tr)
+    !n_data;
+  Hashtbl.iter
+    (fun tid d ->
+      if d <> 0 then Alcotest.failf "tid %d: %d unclosed spans" tid d)
+    depth
+
+let test_text_timeline () =
+  let sim = Tock_hw.Sim.create ~trace_capacity:64 () in
+  Tock_hw.Sim.trace sim "hello";
+  let text = Trace.to_text ~clock_hz:(Tock_hw.Sim.clock_hz sim)
+      (Tock_hw.Sim.trace_events sim) in
+  check_contains ~msg:"timeline" text "hello"
+
+(* ---- legacy Sim surface rides the structured ring ---- *)
+
+let test_sim_note_compat () =
+  let sim = Tock_hw.Sim.create ~trace_capacity:8 () in
+  Tock_hw.Sim.spend sim 7;
+  Tock_hw.Sim.trace sim "mark";
+  Alcotest.(check (list (pair int string))) "recent_trace" [ (7, "mark") ]
+    (Tock_hw.Sim.recent_trace sim 5);
+  Alcotest.(check int) "no drops yet" 0 (Tock_hw.Sim.trace_dropped sim);
+  for i = 0 to 9 do
+    Tock_hw.Sim.trace sim (string_of_int i)
+  done;
+  Alcotest.(check int) "drops counted" 3 (Tock_hw.Sim.trace_dropped sim)
+
+(* ---- kernel registry and the stats compatibility view ---- *)
+
+let test_kernel_stats_thin_view () =
+  let board = make_board () in
+  ignore (add_app_exn board ~name:"hello" Tock_userland.Apps.hello);
+  run_done board;
+  let kernel = board.Tock_boards.Board.kernel in
+  let s = Tock.Kernel.stats kernel in
+  let snap = Tock.Kernel.metrics_snapshot kernel in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Counter n) -> n
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "syscalls" (counter "kernel.syscalls")
+    s.Tock.Kernel.syscalls;
+  Alcotest.(check int) "switches" (counter "kernel.context_switches")
+    s.Tock.Kernel.context_switches;
+  Alcotest.(check int) "upcalls" (counter "kernel.upcalls_delivered")
+    s.Tock.Kernel.upcalls_delivered;
+  Alcotest.(check bool) "ran" true (s.Tock.Kernel.syscalls > 0);
+  (* latency histograms populated for the classes hello exercises *)
+  (match List.assoc_opt "kernel.syscall_cycles.command" snap with
+  | Some (Metrics.Histogram hs) ->
+      Alcotest.(check bool) "command latencies recorded" true
+        (hs.Metrics.hs_count > 0)
+  | _ -> Alcotest.fail "missing command latency histogram");
+  (* per-process attribution present *)
+  match List.assoc_opt "process.hello.cycles" snap with
+  | Some (Metrics.Counter n) ->
+      Alcotest.(check bool) "process cycles attributed" true (n > 0)
+  | _ -> Alcotest.fail "missing process cycle counter"
+
+let test_irq_latency_histogram () =
+  let board = make_board () in
+  ignore (add_app_exn board ~name:"counter"
+            (Tock_userland.Apps.counter ~n:3 ~period_ticks:100));
+  run_done board;
+  let snap =
+    Metrics.snapshot (Tock_hw.Sim.metrics board.Tock_boards.Board.sim)
+  in
+  match List.assoc_opt "irq.dispatch_cycles" snap with
+  | Some (Metrics.Histogram hs) ->
+      Alcotest.(check bool) "irqs serviced" true (hs.Metrics.hs_count > 0);
+      Alcotest.(check bool) "latency non-negative" true (hs.Metrics.hs_sum >= 0)
+  | _ -> Alcotest.fail "missing irq.dispatch_cycles"
+
+(* ---- fleet aggregation: byte-identical at any domain count ---- *)
+
+let test_fleet_merge_deterministic () =
+  let cfg =
+    { Fleet.default with Fleet.boards = 4; group_size = 1; cycles = 200_000 }
+  in
+  let render d =
+    Metrics.render_json (Fleet.merged_metrics (Fleet.run { cfg with Fleet.domains = d }))
+  in
+  let one = render 1 in
+  Alcotest.(check string) "2 domains" one (render 2);
+  Alcotest.(check string) "4 domains" one (render 4);
+  check_contains ~msg:"has kernel series" one "kernel.syscalls";
+  (* parses as JSON too *)
+  ignore (parse_json one)
+
+let suite =
+  [
+    Alcotest.test_case "registry basics" `Quick test_registry_basics;
+    Alcotest.test_case "histogram bucket edges" `Quick test_bucket_edges;
+    qcheck_bucket_containment;
+    qcheck_bucket_monotone;
+    qcheck_histogram_invariants;
+    qcheck_quantile_monotone;
+    Alcotest.test_case "merge sums" `Quick test_merge_sums;
+    Alcotest.test_case "merge type clash" `Quick test_merge_type_clash;
+    Alcotest.test_case "render_json parses" `Quick test_render_json_parses;
+    Alcotest.test_case "trace ring drop accounting" `Quick test_trace_drops;
+    Alcotest.test_case "trace disabled is free" `Quick test_trace_disabled;
+    Alcotest.test_case "chrome JSON round-trip" `Quick
+      test_chrome_json_roundtrip;
+    Alcotest.test_case "text timeline" `Quick test_text_timeline;
+    Alcotest.test_case "legacy Sim notes" `Quick test_sim_note_compat;
+    Alcotest.test_case "Kernel.stats is a thin view" `Quick
+      test_kernel_stats_thin_view;
+    Alcotest.test_case "irq latency histogram" `Quick
+      test_irq_latency_histogram;
+    Alcotest.test_case "fleet merge deterministic" `Quick
+      test_fleet_merge_deterministic;
+  ]
