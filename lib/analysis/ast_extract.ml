@@ -1,0 +1,336 @@
+(* AST-level extraction via compiler-libs: the second-generation front
+   end behind otock-check.
+
+   Where Extract is a token lexer (enough for layering rules), this
+   module parses real OCaml ASTs with [Parse.implementation] and
+   summarizes the facts the dataflow analyses need:
+
+   - the module-toplevel *mutable-state inventory*: refs, Hashtbl /
+     Buffer / Bytes / Array / Queue globals, records with mutable
+     fields, and their Atomic / Mutex counterparts;
+   - per-binding *value references* (every identifier a binding's body
+     names, with lines), the raw material for Domain_safety's
+     interprocedural reachability;
+   - *mutation witnesses*: identifiers passed to known in-place
+     mutators (Array.set, Bytes.blit, ...), so read-only lookup tables
+     (crypto T-tables) are not misreported as shared mutable state;
+   - structure- and expression-level opens, for reference resolution.
+
+   Parsing never raises: a file the compiler's parser rejects comes
+   back with [a_parsed = false] and the caller reports it instead of
+   silently dropping the file from the analysis. *)
+
+type mutability =
+  | Ref_cell
+  | Hash_table
+  | Growable_buffer
+  | Byte_buffer
+  | Array_buffer
+  | Queue_like
+  | Mutable_record
+  | Atomic_cell
+  | Mutex_lock
+
+let kind_name = function
+  | Ref_cell -> "ref"
+  | Hash_table -> "Hashtbl"
+  | Growable_buffer -> "Buffer"
+  | Byte_buffer -> "bytes buffer"
+  | Array_buffer -> "array"
+  | Queue_like -> "queue/stack"
+  | Mutable_record -> "mutable record"
+  | Atomic_cell -> "Atomic"
+  | Mutex_lock -> "Mutex"
+
+(* Atomic and Mutex globals are domain-safe by construction; everything
+   else in the inventory is a race when shared across fleet shards. *)
+let kind_is_synchronized = function
+  | Atomic_cell | Mutex_lock -> true
+  | _ -> false
+
+type global = { g_name : string; g_line : int; g_kind : mutability }
+
+type value_ref = { r_path : string list; r_line : int }
+
+type binding = { b_name : string; b_line : int; b_refs : value_ref list }
+
+type t = {
+  a_path : string;
+  a_parsed : bool;
+  a_globals : global list;
+  a_bindings : binding list;
+  a_opens : string list list;
+  a_witnesses : value_ref list;
+      (* identifier paths passed to a known in-place mutator *)
+}
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let flatten (lid : Longident.t) =
+  try Longident.flatten lid with _ -> []
+
+(* --- pattern variables ------------------------------------------------ *)
+
+let rec pattern_vars (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var v -> [ (v.Location.txt, line_of p.Parsetree.ppat_loc) ]
+  | Parsetree.Ppat_alias (q, v) ->
+      (v.Location.txt, line_of p.Parsetree.ppat_loc) :: pattern_vars q
+  | Parsetree.Ppat_constraint (q, _) -> pattern_vars q
+  | Parsetree.Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | _ -> []
+
+(* --- mutability classification ---------------------------------------- *)
+
+(* Constructors whose application makes the bound value shared mutable
+   state when it sits at module toplevel. The in-place cells from
+   lib/core (Take_cell & friends) are mutable records behind a module
+   face. *)
+let mutable_constructor path =
+  match path with
+  | [ "ref" ] -> Some Ref_cell
+  | [ "Hashtbl"; "create" ] -> Some Hash_table
+  | [ "Buffer"; "create" ] -> Some Growable_buffer
+  | [ "Bytes"; ("create" | "make" | "of_string" | "init" | "copy" | "sub") ] ->
+      Some Byte_buffer
+  | [ "Array";
+      ("make" | "init" | "create_float" | "make_matrix" | "copy" | "append"
+      | "of_list" | "concat") ] ->
+      Some Array_buffer
+  | [ "Queue"; "create" ] | [ "Stack"; "create" ] -> Some Queue_like
+  | [ "Atomic"; "make" ] -> Some Atomic_cell
+  | [ "Mutex"; "create" ] -> Some Mutex_lock
+  | _ -> (
+      match List.rev path with
+      | ("make" | "empty") :: cell :: _
+        when List.mem cell
+               [ "Take_cell"; "Optional_cell"; "Num_cell"; "Volatile_cell" ] ->
+          Some Mutable_record
+      | _ -> None)
+
+(* Classify a toplevel binding's right-hand side. Function bodies and
+   lazy thunks allocate per call / per force, so the scan does not
+   descend into them; everything else is part of the value built at
+   module-initialization time (Some (ref 0), tuples of tables, ...). *)
+let classify_rhs ~mutable_labels (e : Parsetree.expression) =
+  let found = ref None in
+  let note k = if !found = None then found := Some k in
+  let rec go (e : Parsetree.expression) =
+    if !found <> None then ()
+    else
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _
+      | Parsetree.Pexp_lazy _ ->
+          ()
+      | Parsetree.Pexp_apply (f, args) ->
+          (match f.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident lid -> (
+              match mutable_constructor (flatten lid.Location.txt) with
+              | Some k -> note k
+              | None -> ())
+          | _ -> ());
+          if !found = None then (
+            go f;
+            List.iter (fun (_, a) -> go a) args)
+      | Parsetree.Pexp_array _ -> note Array_buffer
+      | Parsetree.Pexp_record (fields, base) ->
+          if
+            List.exists
+              (fun ((l : Longident.t Location.loc), _) ->
+                match List.rev (flatten l.Location.txt) with
+                | f :: _ -> List.mem f mutable_labels
+                | [] -> false)
+              fields
+          then note Mutable_record
+          else (
+            List.iter (fun (_, v) -> go v) fields;
+            Option.iter go base)
+      | Parsetree.Pexp_tuple es -> List.iter go es
+      | Parsetree.Pexp_construct (_, arg) | Parsetree.Pexp_variant (_, arg) ->
+          Option.iter go arg
+      | Parsetree.Pexp_constraint (e, _) | Parsetree.Pexp_coerce (e, _, _) ->
+          go e
+      | Parsetree.Pexp_let (_, vbs, body) ->
+          (* let-bound intermediates feed the value: a table built
+             locally and returned is still a global table *)
+          List.iter (fun (vb : Parsetree.value_binding) -> go vb.Parsetree.pvb_expr) vbs;
+          go body
+      | Parsetree.Pexp_sequence (_, body) | Parsetree.Pexp_open (_, body) ->
+          go body
+      | Parsetree.Pexp_ifthenelse (_, t, f) ->
+          go t;
+          Option.iter go f
+      | Parsetree.Pexp_match (_, cases) | Parsetree.Pexp_try (_, cases) ->
+          List.iter (fun (c : Parsetree.case) -> go c.Parsetree.pc_rhs) cases
+      | _ -> ()
+  in
+  go e;
+  !found
+
+(* --- in-place mutators ------------------------------------------------ *)
+
+(* Functions that write through a bytes/array argument. `a.(i) <- v`
+   and `Bytes.set` sugar arrive from the parser as these exact
+   applications, so a syntactic witness list is complete for the
+   constructs the kernel uses. *)
+let mutator_path path =
+  match path with
+  | [ "Array"; ("set" | "fill" | "blit" | "unsafe_set" | "sort") ]
+  | [ "Bytes";
+      ("set" | "fill" | "blit" | "blit_string" | "unsafe_set" | "unsafe_blit")
+    ] ->
+      true
+  | _ -> false
+
+(* --- summary extraction ----------------------------------------------- *)
+
+let parse ~path content =
+  let lexbuf = Lexing.from_string content in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | st -> Some st
+  | exception _ -> None
+
+(* All value identifiers, opens, and mutation witnesses under [e]. *)
+let scan_expr e =
+  let refs = ref [] in
+  let opens = ref [] in
+  let witnesses = ref [] in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self (e : Parsetree.expression) ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident lid ->
+              refs :=
+                {
+                  r_path = flatten lid.Location.txt;
+                  r_line = line_of e.Parsetree.pexp_loc;
+                }
+                :: !refs
+          | Parsetree.Pexp_apply (f, args) -> (
+              match f.Parsetree.pexp_desc with
+              | Parsetree.Pexp_ident lid
+                when mutator_path (flatten lid.Location.txt) ->
+                  List.iter
+                    (fun ((_, a) : Asttypes.arg_label * Parsetree.expression) ->
+                      match a.Parsetree.pexp_desc with
+                      | Parsetree.Pexp_ident alid ->
+                          witnesses :=
+                            {
+                              r_path = flatten alid.Location.txt;
+                              r_line = line_of a.Parsetree.pexp_loc;
+                            }
+                            :: !witnesses
+                      | _ -> ())
+                    args
+              | _ -> ())
+          | Parsetree.Pexp_setfield (tgt, _, _) -> (
+              (* writing a field of a global record is a mutation of
+                 that global *)
+              match tgt.Parsetree.pexp_desc with
+              | Parsetree.Pexp_ident lid ->
+                  witnesses :=
+                    {
+                      r_path = flatten lid.Location.txt;
+                      r_line = line_of tgt.Parsetree.pexp_loc;
+                    }
+                    :: !witnesses
+              | _ -> ())
+          | Parsetree.Pexp_open (od, _) -> (
+              match od.Parsetree.popen_expr.Parsetree.pmod_desc with
+              | Parsetree.Pmod_ident lid ->
+                  opens := flatten lid.Location.txt :: !opens
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.Ast_iterator.expr self e);
+    }
+  in
+  iter.Ast_iterator.expr iter e;
+  (List.rev !refs, List.rev !opens, List.rev !witnesses)
+
+let of_structure ~path st =
+  let globals = ref [] in
+  let bindings = ref [] in
+  let opens = ref [] in
+  let witnesses = ref [] in
+  let mutable_labels = ref [] in
+  (* [prefix] qualifies bindings inside nested modules
+     ("Reference.round_trip"), so same-file references through the
+     nested module resolve. *)
+  let rec structure prefix items =
+    List.iter (item prefix) items
+  and item prefix (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_type (_, decls) ->
+        List.iter
+          (fun (d : Parsetree.type_declaration) ->
+            match d.Parsetree.ptype_kind with
+            | Parsetree.Ptype_record labels ->
+                List.iter
+                  (fun (l : Parsetree.label_declaration) ->
+                    if l.Parsetree.pld_mutable = Asttypes.Mutable then
+                      mutable_labels :=
+                        l.Parsetree.pld_name.Location.txt :: !mutable_labels)
+                  labels
+            | _ -> ())
+          decls
+    | Parsetree.Pstr_open od -> (
+        match od.Parsetree.popen_expr.Parsetree.pmod_desc with
+        | Parsetree.Pmod_ident lid -> opens := flatten lid.Location.txt :: !opens
+        | _ -> ())
+    | Parsetree.Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let refs, local_opens, wits = scan_expr vb.Parsetree.pvb_expr in
+            opens := List.rev_append local_opens !opens;
+            witnesses := List.rev_append wits !witnesses;
+            let vars = pattern_vars vb.Parsetree.pvb_pat in
+            List.iter
+              (fun (name, vline) ->
+                let name = prefix ^ name in
+                bindings :=
+                  { b_name = name; b_line = vline; b_refs = refs } :: !bindings;
+                match
+                  classify_rhs ~mutable_labels:!mutable_labels
+                    vb.Parsetree.pvb_expr
+                with
+                | Some kind ->
+                    globals :=
+                      { g_name = name; g_line = vline; g_kind = kind }
+                      :: !globals
+                | None -> ())
+              vars)
+          vbs
+    | Parsetree.Pstr_module mb -> (
+        match
+          (mb.Parsetree.pmb_name.Location.txt, mb.Parsetree.pmb_expr.Parsetree.pmod_desc)
+        with
+        | Some name, Parsetree.Pmod_structure st ->
+            structure (prefix ^ name ^ ".") st
+        | _ -> ())
+    | _ -> ()
+  in
+  structure "" st;
+  {
+    a_path = path;
+    a_parsed = true;
+    a_globals = List.rev !globals;
+    a_bindings = List.rev !bindings;
+    a_opens = List.rev !opens;
+    a_witnesses = List.rev !witnesses;
+  }
+
+let of_source ~path content =
+  match parse ~path content with
+  | Some st -> of_structure ~path st
+  | None ->
+      {
+        a_path = path;
+        a_parsed = false;
+        a_globals = [];
+        a_bindings = [];
+        a_opens = [];
+        a_witnesses = [];
+      }

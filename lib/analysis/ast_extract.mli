@@ -1,0 +1,51 @@
+(** AST-level extraction via compiler-libs ([Parse] + [Ast_iterator]):
+    the front end of otock-check. Summarizes, per [.ml] file, the
+    module-toplevel mutable-state inventory, per-binding value
+    references (for interprocedural reachability), in-place mutation
+    witnesses, and opens. Parsing never raises — a rejected file comes
+    back with [a_parsed = false]. *)
+
+type mutability =
+  | Ref_cell
+  | Hash_table
+  | Growable_buffer
+  | Byte_buffer
+  | Array_buffer
+  | Queue_like
+  | Mutable_record
+  | Atomic_cell
+  | Mutex_lock
+
+val kind_name : mutability -> string
+
+val kind_is_synchronized : mutability -> bool
+(** Atomic and Mutex globals are domain-safe by construction. *)
+
+type global = {
+  g_name : string;  (** Nested-module bindings are dotted: ["M.latch"]. *)
+  g_line : int;
+  g_kind : mutability;
+}
+
+type value_ref = { r_path : string list; r_line : int }
+
+type binding = { b_name : string; b_line : int; b_refs : value_ref list }
+
+type t = {
+  a_path : string;
+  a_parsed : bool;
+  a_globals : global list;
+  a_bindings : binding list;
+  a_opens : string list list;
+  a_witnesses : value_ref list;
+      (** Identifier paths passed to a known in-place mutator
+          ([Array.set], [Bytes.blit], field assignment, ...): a
+          bytes/array global with no witness anywhere is a read-only
+          table, not shared mutable state. *)
+}
+
+val of_source : path:string -> string -> t
+
+val parse : path:string -> string -> Parsetree.structure option
+(** The raw parse, for analyses ({!Escape}) that walk the tree
+    themselves. [None] on any parse error. *)

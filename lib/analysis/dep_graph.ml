@@ -104,8 +104,14 @@ let edges_of_file ~table (f : Source.file) (ex : Extract.t) =
     resolve ~table ~own_lib ~opens r.Extract.ref_modules r.Extract.ref_member
       r.Extract.ref_line
   in
-  (* `open Tock_hw` (or `open Tock_hw.Uart`) is itself an edge. *)
+  (* `open Tock_hw` (or `open Tock_hw.Uart`) is itself an edge. A
+     scoped `let open M in` is not: its references are still resolved
+     through it above, but the expression-local import is not the file
+     declaring a wholesale dependency (the userland wholesale-open rule
+     keys on exactly this distinction). *)
   let of_open (o : Extract.open_decl) =
+    if o.Extract.open_scoped then None
+    else
     match o.Extract.open_modules with
     | root :: rest -> (
         match Taxonomy.library_by_root_module root with
@@ -170,3 +176,85 @@ let nodes_in_dir t dir =
   List.filter
     (fun n -> Taxonomy.starts_with (dir ^ "/") n.node_path)
     t.nodes
+
+(* --- generic digraph -------------------------------------------------- *)
+
+(* Small deterministic directed-graph kernel shared by the dataflow
+   analyses (Domain_safety's binding-reachability worklist) and
+   testable in isolation: results depend only on the edge *set*, never
+   on insertion order. *)
+module Digraph = struct
+  type g = { size : int; mutable adj : int list array }
+
+  let make size =
+    if size < 0 then invalid_arg "Digraph.make: negative size";
+    { size; adj = Array.make size [] }
+
+  let check g v name =
+    if v < 0 || v >= g.size then invalid_arg ("Digraph." ^ name ^ ": vertex out of range")
+
+  let add_edge g u v =
+    check g u "add_edge";
+    check g v "add_edge";
+    if not (List.mem v g.adj.(u)) then g.adj.(u) <- v :: g.adj.(u)
+
+  let succs g u =
+    check g u "succs";
+    List.sort_uniq compare g.adj.(u)
+
+  let size g = g.size
+
+  (* BFS from the root set; output is insertion-order independent. *)
+  let reachable g roots =
+    let seen = Array.make (max 1 g.size) false in
+    let q = Queue.create () in
+    List.iter
+      (fun r ->
+        check g r "reachable";
+        if not seen.(r) then begin
+          seen.(r) <- true;
+          Queue.add r q
+        end)
+      (List.sort_uniq compare roots);
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.add v q
+          end)
+        (succs g u)
+    done;
+    if g.size = 0 then [||] else seen
+
+  (* Kahn's algorithm picking the smallest ready vertex first, so the
+     order is canonical for a given edge set. None iff the graph has a
+     directed cycle. *)
+  let topo_sort g =
+    let indeg = Array.make (max 1 g.size) 0 in
+    for u = 0 to g.size - 1 do
+      List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) (succs g u)
+    done;
+    let module IS = Set.Make (Int) in
+    let ready = ref IS.empty in
+    for v = 0 to g.size - 1 do
+      if indeg.(v) = 0 then ready := IS.add v !ready
+    done;
+    let out = ref [] in
+    let n = ref 0 in
+    while not (IS.is_empty !ready) do
+      let v = IS.min_elt !ready in
+      ready := IS.remove v !ready;
+      out := v :: !out;
+      incr n;
+      List.iter
+        (fun w ->
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then ready := IS.add w !ready)
+        (succs g v)
+    done;
+    if !n = g.size then Some (List.rev !out) else None
+
+  let has_cycle g = topo_sort g = None
+end

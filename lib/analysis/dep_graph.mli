@@ -37,3 +37,32 @@ val build : Source.file list -> t
 val module_name_of_path : string -> string
 
 val nodes_in_dir : t -> string -> node list
+
+(** Deterministic directed-graph kernel over integer vertices, shared
+    by the dataflow analyses ({!Domain_safety}'s binding-reachability
+    worklist). Every result depends only on the edge {e set}, never on
+    edge insertion order. *)
+module Digraph : sig
+  type g
+
+  val make : int -> g
+  (** [make n] is an edgeless graph over vertices [0 .. n-1]. *)
+
+  val add_edge : g -> int -> int -> unit
+  (** Idempotent: parallel edges collapse. *)
+
+  val succs : g -> int -> int list
+  (** Sorted, deduplicated successors. *)
+
+  val size : g -> int
+
+  val reachable : g -> int list -> bool array
+  (** Transitive closure of the root set (roots included). *)
+
+  val topo_sort : g -> int list option
+  (** A topological order picking the smallest ready vertex first
+      (canonical for a given edge set), or [None] iff the graph has a
+      directed cycle. *)
+
+  val has_cycle : g -> bool
+end

@@ -1,0 +1,415 @@
+(* Allow-window escape analysis: the static counterpart of CHERI-style
+   revocation on Subslice allow windows.
+
+   [Kernel.with_allow_rw]/[with_allow_ro] lend a capsule a Subslice
+   window that aliases process memory for exactly the closure's extent
+   (kernel.mli: "closure-scoped access"); at unallow the range is
+   revoked. A borrow that outlives the closure — stashed into a ref, a
+   mutable field, a container, returned, or captured in a closure that
+   is itself stored — is a use-after-unallow waiting for the process to
+   re-allow or die. [Kernel.allow_window] is the sanctioned escape
+   hatch for split-phase holds (it clones the window with independent
+   narrowing), so the analysis points offenders at it; the one thing
+   even a clone must not do is land in a module-toplevel global, where
+   it would outlive the *board*, so that is flagged too.
+
+   The analysis is syntactic but alias-aware inside the closure:
+   [let x = w], [let x = Subslice.clone w] and Some/tuple wrappings of
+   either taint [x] as well. *)
+
+type finding = { f_file : string; f_line : int; f_message : string }
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let flatten (lid : Longident.t) = try Longident.flatten lid with _ -> []
+
+let is_with_allow path =
+  match List.rev path with
+  | ("with_allow_rw" | "with_allow_ro" | "with_allow") :: rest -> (
+      match rest with "Kernel" :: _ -> true | _ -> false)
+  | _ -> false
+
+let is_allow_window path =
+  match List.rev path with
+  | "allow_window" :: "Kernel" :: _ -> true
+  | _ -> false
+
+(* Container-store functions: an argument position that retains its
+   value beyond the call. (The first argument is the container itself;
+   a tainted *container* is not an escape, a tainted *stored value*
+   is.) *)
+let sink_fn path =
+  match path with
+  | [ ":=" ] -> Some "a ref"
+  | _ -> (
+      match List.rev path with
+      | m :: rest -> (
+          let modname = match rest with md :: _ -> md | [] -> "" in
+          match (modname, m) with
+          | "Hashtbl", ("add" | "replace") -> Some "a Hashtbl"
+          | "Queue", ("add" | "push") -> Some "a Queue"
+          | "Stack", "push" -> Some "a Stack"
+          | "Array", "set" -> Some "an array"
+          | "Take_cell", ("put" | "replace") -> Some "a Take_cell"
+          | "Optional_cell", ("set" | "insert") -> Some "an Optional_cell"
+          | _ -> None)
+      | [] -> None)
+
+(* Does [e] mention a tainted identifier anywhere? Used for store
+   sinks, where any embedding (Some w, a closure over w, a record
+   holding w) retains the window. *)
+let mentions tainted (e : Parsetree.expression) =
+  let found = ref false in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self (e : Parsetree.expression) ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { Location.txt = Longident.Lident x; _ }
+            when List.mem x tainted ->
+              found := true
+          | _ -> ());
+          if not !found then
+            Ast_iterator.default_iterator.Ast_iterator.expr self e);
+    }
+  in
+  iter.Ast_iterator.expr iter e;
+  !found
+
+(* Aliasing right-hand sides: expressions whose value *is* (a window
+   over the same bytes as) a tainted window. *)
+let rec aliases tainted (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { Location.txt = Longident.Lident x; _ } ->
+      List.mem x tainted
+  | Parsetree.Pexp_apply (f, args) -> (
+      match f.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident lid -> (
+          match List.rev (flatten lid.Location.txt) with
+          | ("clone" | "of_bytes" | "of_bytes_window") :: "Subslice" :: _ ->
+              List.exists (fun (_, a) -> aliases tainted a) args
+          | _ -> false)
+      | _ -> false)
+  | Parsetree.Pexp_constraint (e, _) -> aliases tainted e
+  | Parsetree.Pexp_construct (_, Some arg) | Parsetree.Pexp_variant (_, Some arg)
+    ->
+      aliases tainted arg
+  | Parsetree.Pexp_tuple es -> List.exists (aliases tainted) es
+  | _ -> false
+
+(* The value(s) an expression evaluates to, for return-position
+   escapes. *)
+let rec tail_exprs (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_let (_, _, body)
+  | Parsetree.Pexp_sequence (_, body)
+  | Parsetree.Pexp_open (_, body)
+  | Parsetree.Pexp_letmodule (_, _, body)
+  | Parsetree.Pexp_constraint (body, _) ->
+      tail_exprs body
+  | Parsetree.Pexp_ifthenelse (_, t, f) ->
+      tail_exprs t @ (match f with Some f -> tail_exprs f | None -> [])
+  | Parsetree.Pexp_match (_, cases) | Parsetree.Pexp_try (_, cases) ->
+      List.concat_map
+        (fun (c : Parsetree.case) -> tail_exprs c.Parsetree.pc_rhs)
+        cases
+  | _ -> [ e ]
+
+(* Is a returned value the window (possibly wrapped in constructors,
+   tuples, records, or a closure)? Function *results* other than
+   Subslice.clone are window-free (Subslice.length w : int), so
+   applications are not descended into. *)
+let rec returns_window tainted (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { Location.txt = Longident.Lident x; _ } ->
+      List.mem x tainted
+  | Parsetree.Pexp_construct (_, Some a) | Parsetree.Pexp_variant (_, Some a) ->
+      returns_window tainted a
+  | Parsetree.Pexp_tuple es -> List.exists (returns_window tainted) es
+  | Parsetree.Pexp_record (fields, base) ->
+      List.exists (fun (_, v) -> returns_window tainted v) fields
+      || (match base with Some b -> returns_window tainted b | None -> false)
+  | Parsetree.Pexp_constraint (e, _) -> returns_window tainted e
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ ->
+      (* a returned closure keeps the window alive in its environment *)
+      mentions tainted e
+  | Parsetree.Pexp_apply (f, args) -> (
+      match f.Parsetree.pexp_desc with
+      | Parsetree.Pexp_ident lid -> (
+          match List.rev (flatten lid.Location.txt) with
+          | "clone" :: "Subslice" :: _ ->
+              List.exists (fun (_, a) -> returns_window tainted a) args
+          | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+(* --- the closure scan ------------------------------------------------- *)
+
+let scan_closure ~file ~findings ~context tainted body =
+  let report line sink =
+    findings :=
+      {
+        f_file = file;
+        f_line = line;
+        f_message =
+          Printf.sprintf
+            "allow-window borrow `%s` escapes its with_allow scope into %s: \
+             the window aliases process memory and is revoked at unallow \
+             (use Kernel.allow_window for split-phase holds, paper §3.3.2)"
+            context sink;
+      }
+      :: !findings
+  in
+  let rec scan tainted (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_let (_, vbs, rest) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) -> scan tainted vb.Parsetree.pvb_expr)
+          vbs;
+        let tainted' =
+          List.concat_map
+            (fun (vb : Parsetree.value_binding) ->
+              if aliases tainted vb.Parsetree.pvb_expr then
+                List.map fst
+                  (let rec vars (p : Parsetree.pattern) =
+                     match p.Parsetree.ppat_desc with
+                     | Parsetree.Ppat_var v -> [ (v.Location.txt, 0) ]
+                     | Parsetree.Ppat_alias (q, v) ->
+                         (v.Location.txt, 0) :: vars q
+                     | Parsetree.Ppat_constraint (q, _) -> vars q
+                     | Parsetree.Ppat_tuple ps -> List.concat_map vars ps
+                     | Parsetree.Ppat_construct (_, Some (_, q)) -> vars q
+                     | _ -> []
+                   in
+                   vars vb.Parsetree.pvb_pat)
+              else [])
+            vbs
+          @ tainted
+        in
+        scan tainted' rest
+    | Parsetree.Pexp_setfield (tgt, _, v) ->
+        if mentions tainted v then
+          report (line_of e.Parsetree.pexp_loc) "a mutable field";
+        scan tainted tgt;
+        scan tainted v
+    | Parsetree.Pexp_apply (f, args) ->
+        (match f.Parsetree.pexp_desc with
+        | Parsetree.Pexp_ident lid -> (
+            let path = flatten lid.Location.txt in
+            match sink_fn path with
+            | Some what -> (
+                (* value positions: everything after the container *)
+                match args with
+                | _container :: stored ->
+                    if List.exists (fun (_, a) -> mentions tainted a) stored
+                    then report (line_of e.Parsetree.pexp_loc) what
+                | [] -> ())
+            | None -> ())
+        | _ -> ());
+        scan tainted f;
+        List.iter (fun (_, a) -> scan tainted a) args
+    | Parsetree.Pexp_match (scrut, cases) | Parsetree.Pexp_try (scrut, cases) ->
+        scan tainted scrut;
+        List.iter
+          (fun (c : Parsetree.case) ->
+            Option.iter (scan tainted) c.Parsetree.pc_guard;
+            scan tainted c.Parsetree.pc_rhs)
+          cases
+    | Parsetree.Pexp_fun (_, default, _, fbody) ->
+        Option.iter (scan tainted) default;
+        scan tainted fbody
+    | Parsetree.Pexp_function cases ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            Option.iter (scan tainted) c.Parsetree.pc_guard;
+            scan tainted c.Parsetree.pc_rhs)
+          cases
+    | Parsetree.Pexp_sequence (a, b) ->
+        scan tainted a;
+        scan tainted b
+    | Parsetree.Pexp_ifthenelse (c, t, f) ->
+        scan tainted c;
+        scan tainted t;
+        Option.iter (scan tainted) f
+    | Parsetree.Pexp_constraint (e, _)
+    | Parsetree.Pexp_coerce (e, _, _)
+    | Parsetree.Pexp_open (_, e)
+    | Parsetree.Pexp_lazy e
+    | Parsetree.Pexp_assert e
+    | Parsetree.Pexp_field (e, _) ->
+        scan tainted e
+    | Parsetree.Pexp_tuple es | Parsetree.Pexp_array es ->
+        List.iter (scan tainted) es
+    | Parsetree.Pexp_construct (_, a) | Parsetree.Pexp_variant (_, a) ->
+        Option.iter (scan tainted) a
+    | Parsetree.Pexp_record (fields, base) ->
+        List.iter (fun (_, v) -> scan tainted v) fields;
+        Option.iter (scan tainted) base
+    | Parsetree.Pexp_while (c, b) ->
+        scan tainted c;
+        scan tainted b
+    | Parsetree.Pexp_for (_, lo, hi, _, b) ->
+        scan tainted lo;
+        scan tainted hi;
+        scan tainted b
+    | _ -> ()
+  in
+  scan tainted body;
+  (* return-position escapes: with_allow returns Ok (f w), so a closure
+     evaluating to the window hands the caller a revoked alias *)
+  List.iter
+    (fun r ->
+      if returns_window tainted r then
+        report (line_of r.Parsetree.pexp_loc) "its own return value")
+    (tail_exprs body)
+
+(* --- allow_window clones stored in module globals --------------------- *)
+
+(* A clone may be held in capsule instance state (that is its purpose),
+   but a module-toplevel global outlives every board in a fleet
+   process: a window stored there leaks process memory across
+   board lifetimes and across domains. *)
+let scan_global_stash ~file ~findings ~global_names st =
+  (* Taint is scoped to the binding's actual extent — the case body of
+     [match Kernel.allow_window ... with Some w -> ...] or the body of
+     [let w = Kernel.allow_window ... in ...] — so a with_allow borrow
+     elsewhere in the file that happens to reuse the name [w] is not
+     dragged in. *)
+  let is_allow_window_app (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply (f, _) -> (
+        match f.Parsetree.pexp_desc with
+        | Parsetree.Pexp_ident lid -> is_allow_window (flatten lid.Location.txt)
+        | _ -> false)
+    | _ -> false
+  in
+  let rec pat_vars (p : Parsetree.pattern) =
+    match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var v -> [ v.Location.txt ]
+    | Parsetree.Ppat_alias (q, v) -> v.Location.txt :: pat_vars q
+    | Parsetree.Ppat_constraint (q, _) -> pat_vars q
+    | Parsetree.Ppat_construct (_, Some (_, q)) -> pat_vars q
+    | Parsetree.Ppat_tuple ps -> List.concat_map pat_vars ps
+    | _ -> []
+  in
+  let report line g =
+    findings :=
+      {
+        f_file = file;
+        f_line = line;
+        f_message =
+          Printf.sprintf
+            "allow_window clone stored into module-toplevel global `%s`: \
+             the window would outlive the board and leak process memory \
+             across the fleet"
+            g;
+      }
+      :: !findings
+  in
+  (* flag `glob := <expr mentioning a tainted window>` inside [scope] *)
+  let check_scope tainted scope =
+    let iter =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self (e : Parsetree.expression) ->
+            (match e.Parsetree.pexp_desc with
+            | Parsetree.Pexp_apply
+                ( {
+                    Parsetree.pexp_desc =
+                      Parsetree.Pexp_ident
+                        { Location.txt = Longident.Lident ":="; _ };
+                    _;
+                  },
+                  [
+                    ( _,
+                      {
+                        Parsetree.pexp_desc =
+                          Parsetree.Pexp_ident
+                            { Location.txt = Longident.Lident g; _ };
+                        _;
+                      } );
+                    (_, v);
+                  ] )
+              when List.mem g global_names && mentions tainted v ->
+                report (line_of e.Parsetree.pexp_loc) g
+            | _ -> ());
+            Ast_iterator.default_iterator.Ast_iterator.expr self e);
+      }
+    in
+    iter.Ast_iterator.expr iter scope
+  in
+  let outer =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self (e : Parsetree.expression) ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_match (scrut, cases) when is_allow_window_app scrut
+            ->
+              List.iter
+                (fun (c : Parsetree.case) ->
+                  match pat_vars c.Parsetree.pc_lhs with
+                  | [] -> ()
+                  | tainted -> check_scope tainted c.Parsetree.pc_rhs)
+                cases
+          | Parsetree.Pexp_let (_, vbs, body) ->
+              let tainted =
+                List.concat_map
+                  (fun (vb : Parsetree.value_binding) ->
+                    if is_allow_window_app vb.Parsetree.pvb_expr then
+                      pat_vars vb.Parsetree.pvb_pat
+                    else [])
+                  vbs
+              in
+              if tainted <> [] then check_scope tainted body
+          | _ -> ());
+          Ast_iterator.default_iterator.Ast_iterator.expr self e);
+    }
+  in
+  outer.Ast_iterator.structure outer st
+
+(* --- driver ----------------------------------------------------------- *)
+
+let analyze ~path ~global_names (st : Parsetree.structure) =
+  let findings = ref [] in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self (e : Parsetree.expression) ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply (f, args) -> (
+              match f.Parsetree.pexp_desc with
+              | Parsetree.Pexp_ident lid
+                when is_with_allow (flatten lid.Location.txt) -> (
+                  (* the closure is the last unlabelled argument *)
+                  let closure =
+                    List.fold_left
+                      (fun acc ((lbl, a) : Asttypes.arg_label * Parsetree.expression) ->
+                        match lbl with Asttypes.Nolabel -> Some a | _ -> acc)
+                      None args
+                  in
+                  match closure with
+                  | Some
+                      {
+                        Parsetree.pexp_desc =
+                          Parsetree.Pexp_fun (_, _, pat, body);
+                        _;
+                      } -> (
+                      match pat.Parsetree.ppat_desc with
+                      | Parsetree.Ppat_var v ->
+                          scan_closure ~file:path ~findings
+                            ~context:(v.Location.txt)
+                            [ v.Location.txt ] body
+                      | _ -> ())
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.Ast_iterator.expr self e);
+    }
+  in
+  iter.Ast_iterator.structure iter st;
+  scan_global_stash ~file:path ~findings ~global_names st;
+  List.rev !findings

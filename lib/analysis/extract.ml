@@ -13,7 +13,11 @@ type reference = {
   ref_line : int;
 }
 
-type open_decl = { open_modules : string list; open_line : int }
+type open_decl = {
+  open_modules : string list;
+  open_line : int;
+  open_scoped : bool;  (* `let open M in` — expression-scoped *)
+}
 
 type attribute = { attr_text : string; attr_line : int }
 
@@ -125,6 +129,12 @@ let of_ml content =
       let id = String.sub content (!i + 1) (!j - !i - 1) in
       let close = "|" ^ id ^ "}" in
       let cl = String.length close in
+      (* Step past the opening brace-id-pipe before searching for the
+         closer: scanning from the brace made a quoted string whose body
+         starts with a closing brace terminate one character early (the
+         opener's pipe plus that brace look like the closer), leaking
+         string bytes into the token stream. *)
+      for _ = 1 to String.length id + 2 do bump () done;
       let fin = ref false in
       while not !fin do
         if !i + cl > n then (
@@ -220,6 +230,11 @@ let of_ml content =
     in
     loop []
   in
+  (* True when the last identifier read was `let`: distinguishes the
+     expression-scoped `let open M in` from a structure-level `open M`.
+     Whitespace and comments between `let` and `open` keep the flag;
+     any other identifier clears it. *)
+  let prev_let = ref false in
   while !i < n do
     let c = cur () in
     if !i + 1 < n && c = '(' && content.[!i + 1] = '*' then skip_comment ()
@@ -240,12 +255,15 @@ let of_ml content =
         bump ())
       else bump ()
     else if is_upper c then (
+      prev_let := false;
       let mods, member, l0 = read_module_path () in
       if List.length mods > 1 || member <> None then
         refs := { ref_modules = mods; ref_member = member; ref_line = l0 } :: !refs)
     else if is_lower c then (
       let kw_line = !line in
       let kw = read_ident () in
+      let was_let = !prev_let in
+      prev_let := kw = "let";
       (match kw with
       | "print_string" | "print_endline" | "print_newline" | "print_char"
       | "print_int" | "prerr_string" | "prerr_endline" | "prerr_newline" ->
@@ -265,7 +283,13 @@ let of_ml content =
         skip_ws ();
         if !i < n && is_upper (cur ()) then (
           let mods, _member, l0 = read_module_path () in
-          opens := { open_modules = mods; open_line = l0 } :: !opens)
+          opens :=
+            {
+              open_modules = mods;
+              open_line = l0;
+              open_scoped = was_let && kw = "open";
+            }
+            :: !opens)
         else (
           (* `include struct`, `open (val ...)`: rewind nothing, the
              main loop continues from here. *)

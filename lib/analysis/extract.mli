@@ -11,7 +11,15 @@ type reference = {
   ref_line : int;
 }
 
-type open_decl = { open_modules : string list; open_line : int }
+type open_decl = {
+  open_modules : string list;
+  open_line : int;
+  open_scoped : bool;
+      (** [let open M in ...]: expression-scoped. Scoped opens still
+          resolve unqualified references, but are not themselves
+          wholesale-open edges (a [let open Tock in] inside one function
+          is not the file importing the kernel wholesale). *)
+}
 
 type attribute = { attr_text : string; attr_line : int }
 

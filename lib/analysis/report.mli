@@ -21,6 +21,11 @@ val baseline_to_string : entry list -> string
 
 val baseline_of_string : string -> (entry list, string) result
 
-val text : result:Rules.result -> d:diff -> string
+val text : ?tool:string -> result:Rules.result -> d:diff -> unit -> string
+(** [tool] labels the report header (["otock-lint"] by default;
+    otock-check passes its own name). *)
 
-val json : result:Rules.result -> d:diff -> string
+val json : ?pass:string -> result:Rules.result -> d:diff -> unit -> string
+(** One stable schema for both tools:
+    [{"pass", "new", "all", "suppressed", "summary"}], where [pass] is
+    ["lint"] or ["check"]. *)

@@ -417,15 +417,8 @@ let all_rule_ids =
     "undeclared-dep";
   ]
 
-let apply_pragmas (g : Dep_graph.t) violations =
-  let pragmas_for file =
-    match
-      List.find_opt (fun (n : Dep_graph.node) -> n.Dep_graph.node_path = file)
-        g.Dep_graph.nodes
-    with
-    | Some n -> n.Dep_graph.node_extract.Extract.pragmas
-    | None -> []
-  in
+(* Shared with otock-check: one pragma grammar, one matching rule. *)
+let suppress ~pragmas_for violations =
   let matching viol =
     List.find_opt
       (fun (p : Extract.pragma) ->
@@ -441,6 +434,17 @@ let apply_pragmas (g : Dep_graph.t) violations =
       | None -> Left viol
       | Some p -> Right (viol, p))
     violations
+
+let apply_pragmas (g : Dep_graph.t) violations =
+  let pragmas_for file =
+    match
+      List.find_opt (fun (n : Dep_graph.node) -> n.Dep_graph.node_path = file)
+        g.Dep_graph.nodes
+    with
+    | Some n -> n.Dep_graph.node_extract.Extract.pragmas
+    | None -> []
+  in
+  suppress ~pragmas_for violations
 
 let run (files : Source.file list) =
   let g = Dep_graph.build files in

@@ -19,3 +19,12 @@ type result = {
 val all_rule_ids : string list
 
 val run : Source.file list -> result
+
+val suppress :
+  pragmas_for:(string -> Extract.pragma list) ->
+  violation list ->
+  violation list * (violation * Extract.pragma) list
+(** Partition violations by the shared pragma-matching rule
+    ([allow] covers its own line and the next, [allow-file] the whole
+    file, rule id ["*"] every rule). Used by both the syntactic linter
+    and otock-check so one grammar governs both tools. *)

@@ -116,6 +116,16 @@ let kernel_dirs =
 let scan_dirs =
   kernel_dirs @ [ "lib/analysis"; "bin"; "examples"; "test"; "bench" ]
 
+(* Where a fleet process enters library code: Fleet spawns one Domain
+   per shard and each shard drives boards through these bindings. The
+   domain-safety analysis computes reachability from here. *)
+let shard_entry_files = [ "lib/fleet/fleet.ml" ]
+
+(* Rule ids otock-check (the AST-level pass) can emit, disjoint from
+   the syntactic linter's so one pragma never silences the other tool
+   by accident. *)
+let check_rule_ids = [ "domain-safety"; "allow-escape"; "check-parse" ]
+
 (* Layering matrix (paper Fig. 2, §4.1): which otock library may depend
    on which at the dune `libraries` level. External libraries (fmt, logs,
    alcotest, ...) are unconstrained. *)

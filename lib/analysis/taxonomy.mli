@@ -53,6 +53,15 @@ val kernel_dirs : string list
 val scan_dirs : string list
 (** Every directory the linter walks (kernel dirs plus tooling). *)
 
+val shard_entry_files : string list
+(** Files whose toplevel bindings are the fleet's per-domain shard
+    entry points; the domain-safety analysis computes reachability
+    from every binding in these files. *)
+
+val check_rule_ids : string list
+(** Rule ids otock-check can emit ([domain-safety], [allow-escape],
+    [check-parse]); disjoint from {!Rules.all_rule_ids}. *)
+
 val allowed_lib_deps : category -> string list
 (** Layering matrix: otock libraries a stanza of the given category may
     list in its dune [libraries] field. *)

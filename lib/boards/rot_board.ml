@@ -1,3 +1,5 @@
+(* otock-lint: allow-file crypto-confinement the root-of-trust board is the trusted composition root that owns the device keypair; it drives Prng/Schnorr directly to mint signing credentials and seed the checker policy *)
+
 type t = {
   board : Board.t;
   checker : Tock_capsules.Signature_checker.t;

@@ -7,6 +7,8 @@
     asynchronous loader drives the signature-checker capsule over the
     digest and public-key engines before any process is created. *)
 
+(* otock-lint: allow-file crypto-confinement the root-of-trust interface exposes the device keypair types; see rot_board.ml *)
+
 type t = {
   board : Board.t;
   checker : Tock_capsules.Signature_checker.t;

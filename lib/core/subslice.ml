@@ -11,22 +11,24 @@ type t = {
    models gather via [underlying]/[window] and are deliberately not
    counted — the counters measure data-plane copies the kernel or a
    capsule performs, which is exactly what the zero-copy gates assert
-   to be 0. *)
-let copies = ref 0
-let copied = ref 0
+   to be 0. Atomic, because every board in a fleet run bumps them from
+   its own domain; plain refs would drop increments under contention
+   and let a racy zero-copy gate pass on a lost count. *)
+let copies = Atomic.make 0
+let copied = Atomic.make 0
 
 let count len =
   if len > 0 then begin
-    incr copies;
-    copied := !copied + len
+    Atomic.incr copies;
+    ignore (Atomic.fetch_and_add copied len)
   end
 
-let copy_count () = !copies
-let copied_bytes () = !copied
+let copy_count () = Atomic.get copies
+let copied_bytes () = Atomic.get copied
 
 let reset_copy_counters () =
-  copies := 0;
-  copied := 0
+  Atomic.set copies 0;
+  Atomic.set copied 0
 
 let of_bytes_window buf ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then

@@ -51,6 +51,7 @@ let mask32 = 0xFFFFFFFF
 
 let ror8 w = ((w lsr 8) lor (w lsl 24)) land mask32
 
+(* otock-lint: allow domain-safety T-tables are filled once inside this binding's own initializer, at module load before any fleet domain spawns, and are read-only thereafter *)
 let te0, te1, te2, te3, td0, td1, td2, td3 =
   let te0 = Array.make 256 0 and te1 = Array.make 256 0 in
   let te2 = Array.make 256 0 and te3 = Array.make 256 0 in

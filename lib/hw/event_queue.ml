@@ -20,11 +20,15 @@ type t = {
   mutable len : int;
   mutable next_seq : int;
   mutable live : int; (* non-cancelled entries still in the heap *)
+  dummy : entry; (* this queue's empty-slot filler *)
 }
 
-let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true }
-
-let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; live = 0 }
+(* The filler has a mutable field, so each queue gets its own: one
+   module-global sentinel would be the only heap object shared by every
+   fleet domain, and nothing guarantees no path ever writes it. *)
+let create () =
+  let dummy = { time = 0; seq = 0; fn = ignore; cancelled = true } in
+  { heap = Array.make 64 dummy; len = 0; next_seq = 0; live = 0; dummy }
 
 let[@inline] before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -72,7 +76,7 @@ let sift_down t i =
   Array.unsafe_set t.heap !i e
 
 let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  let bigger = Array.make (2 * Array.length t.heap) t.dummy in
   Array.blit t.heap 0 bigger 0 t.len;
   t.heap <- bigger
 
@@ -99,7 +103,7 @@ let compact t =
     end
   done;
   for i = !j to t.len - 1 do
-    t.heap.(i) <- dummy
+    t.heap.(i) <- t.dummy
   done;
   t.len <- !j;
   (* Floyd heapify: sift_down from the last internal node. *)
@@ -119,7 +123,7 @@ let pop t =
   let e = t.heap.(0) in
   t.len <- t.len - 1;
   t.heap.(0) <- t.heap.(t.len);
-  t.heap.(t.len) <- dummy;
+  t.heap.(t.len) <- t.dummy;
   if t.len > 0 then sift_down t 0;
   e
 

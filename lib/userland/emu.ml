@@ -89,22 +89,22 @@ let write_u32 app ~addr ~v =
    them around a syscall to prove a path really is zero-copy. Scalar
    accesses are register traffic, not copies, and stay uncounted. *)
 
-let copies = ref 0
+let copies = Atomic.make 0
 
-let bytes_moved = ref 0
+let bytes_moved = Atomic.make 0
 
-let copy_count () = !copies
+let copy_count () = Atomic.get copies
 
-let copied_bytes () = !bytes_moved
+let copied_bytes () = Atomic.get bytes_moved
 
 let reset_copy_counters () =
-  copies := 0;
-  bytes_moved := 0
+  Atomic.set copies 0;
+  Atomic.set bytes_moved 0
 
 let count_copy len =
   if len > 0 then begin
-    incr copies;
-    bytes_moved := !bytes_moved + len
+    Atomic.incr copies;
+    ignore (Atomic.fetch_and_add bytes_moved len)
   end
 
 let read_into app ~addr ~len ~dst ~dst_off =

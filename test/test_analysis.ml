@@ -328,6 +328,57 @@ let test_comment_and_string_blindness () =
   Alcotest.(check (list string)) "no violations from comments/strings" []
     (rules_of files)
 
+let test_scoped_open () =
+  (* `let open M in` is expression-scoped: it still resolves the
+     references under it, but it is not the file importing M wholesale.
+     Regression: the lexer used to record it as a file-wide open, so a
+     single scoped convenience open tripped the wholesale-open rules. *)
+  let e = Extract.of_ml "let f () =\n  let open Tock in\n  Syscall.yield ()\n" in
+  (match e.Extract.opens with
+  | [ o ] ->
+      Alcotest.(check bool) "marked scoped" true o.Extract.open_scoped;
+      Alcotest.(check int) "on its line" 2 o.Extract.open_line
+  | os -> Alcotest.failf "expected one open, got %d" (List.length os));
+  let e2 = Extract.of_ml "open Tock\nlet f () = Syscall.yield ()\n" in
+  (match e2.Extract.opens with
+  | [ o ] -> Alcotest.(check bool) "toplevel is not scoped" false o.Extract.open_scoped
+  | os -> Alcotest.failf "expected one open, got %d" (List.length os));
+  (* through the rules: a scoped open of Tock inside userland code is
+     not a wholesale import, a toplevel one still is *)
+  let core = core_fixture @ [ file "lib/core/syscall.ml" "let yield () = ()\n" ] in
+  let with_open body =
+    core
+    @ [
+        file "lib/userland/u.ml" body;
+        file "lib/userland/u.mli" "val f : unit -> unit\n";
+      ]
+  in
+  Alcotest.(check int) "scoped open is clean" 0
+    (count_rule "userland-kernel-internals"
+       (with_open "let f () =\n  let open Tock in\n  Syscall.yield ()\n"));
+  Alcotest.(check int) "wholesale open still flagged" 1
+    (count_rule "userland-kernel-internals"
+       (with_open "open Tock\n\nlet f () = Syscall.yield ()\n"))
+
+let test_quoted_string_blindness () =
+  (* Quoted strings are opaque too — including the off-by-one the lexer
+     used to have when the body starts with `}`: the opener's pipe plus
+     that brace looked like the closer, leaking the body into the token
+     stream. *)
+  let files =
+    core_fixture
+    @ [
+        file "lib/capsules/quoted.ml"
+          "let doc = {|see Tock_hw.Uart.write and Obj.magic|}\n\
+           let edge = {|}Tock_hw.Uart.write ()|}\n\
+           let tagged = {frame|}Obj.magic|frame}\n";
+        file "lib/capsules/quoted.mli"
+          "val doc : string\n\nval edge : string\n\nval tagged : string\n";
+      ]
+  in
+  Alcotest.(check (list string)) "no violations from quoted strings" []
+    (rules_of files)
+
 (* --- baseline ratchet ------------------------------------------------- *)
 
 let test_baseline_ratchet () =
@@ -465,6 +516,9 @@ let suite =
     Alcotest.test_case "pragma allowlist" `Quick test_pragma_allowlist;
     Alcotest.test_case "comment/string blindness" `Quick
       test_comment_and_string_blindness;
+    Alcotest.test_case "scoped open" `Quick test_scoped_open;
+    Alcotest.test_case "quoted-string blindness" `Quick
+      test_quoted_string_blindness;
     Alcotest.test_case "baseline ratchet" `Quick test_baseline_ratchet;
     Alcotest.test_case "live repo matches baseline" `Quick
       test_live_repo_matches_baseline;

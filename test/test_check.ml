@@ -1,0 +1,415 @@
+(* otock-check: the AST-level dataflow analyses. Synthetic fixtures
+   exercise the Digraph kernel, the mutable-state inventory, the
+   domain-safety reachability pass and the allow-window escape pass;
+   live-repo gates assert the real tree is clean against
+   check_baseline.txt and that an injected bug trips the gate — the
+   AST-level twin of test_analysis's lint gates. *)
+
+open! Helpers
+module Source = Tock_analysis.Source
+module Ast_extract = Tock_analysis.Ast_extract
+module Domain_safety = Tock_analysis.Domain_safety
+module Escape = Tock_analysis.Escape
+module Check = Tock_analysis.Check
+module Rules = Tock_analysis.Rules
+module Report = Tock_analysis.Report
+module Digraph = Tock_analysis.Dep_graph.Digraph
+
+let file path content = Source.file ~path ~content
+
+(* --- the deterministic digraph kernel --------------------------------- *)
+
+let test_digraph_diamond () =
+  (* 0 -> {1,2} -> 3: both branches reach the join, neither reaches the
+     other. *)
+  let g = Digraph.make 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 2 3;
+  let r = Digraph.reachable g [ 0 ] in
+  Alcotest.(check (list bool))
+    "from the source" [ true; true; true; true ]
+    (Array.to_list r);
+  let r1 = Digraph.reachable g [ 1 ] in
+  Alcotest.(check (list bool))
+    "from one branch" [ false; true; false; true ]
+    (Array.to_list r1);
+  Alcotest.(check bool) "diamond is acyclic" false (Digraph.has_cycle g);
+  (match Digraph.topo_sort g with
+  | Some o -> Alcotest.(check (list int)) "canonical order" [ 0; 1; 2; 3 ] o
+  | None -> Alcotest.fail "diamond reported cyclic");
+  (* duplicate edges collapse *)
+  Digraph.add_edge g 0 1;
+  Alcotest.(check (list int)) "idempotent add" [ 1; 2 ] (Digraph.succs g 0)
+
+let test_digraph_cycle () =
+  let g = Digraph.make 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  Alcotest.(check bool) "cycle detected" true (Digraph.has_cycle g);
+  Alcotest.(check bool) "no topo order" true (Digraph.topo_sort g = None);
+  (* reachability still terminates on cyclic graphs *)
+  let r = Digraph.reachable g [ 1 ] in
+  Alcotest.(check (list bool))
+    "cycle closure" [ true; true; true ]
+    (Array.to_list r)
+
+(* Orienting every random pair low->high yields a DAG; the result must
+   depend only on the edge set, never on insertion order. *)
+let digraph_det_prop =
+  qcheck ~count:100 "digraph: topo order insensitive to insertion order"
+    QCheck2.Gen.(list (pair (int_range 0 11) (int_range 0 11)))
+    (fun pairs ->
+      let edges =
+        List.filter_map
+          (fun (a, b) ->
+            if a = b then None else Some (min a b, max a b))
+          pairs
+      in
+      let build es =
+        let g = Digraph.make 12 in
+        List.iter (fun (a, b) -> Digraph.add_edge g a b) es;
+        g
+      in
+      let fwd = build edges in
+      let rev = build (List.rev edges) in
+      let srt = build (List.sort_uniq compare edges) in
+      let o g =
+        match Digraph.topo_sort g with
+        | Some o -> o
+        | None -> QCheck2.Test.fail_report "low->high DAG reported cyclic"
+      in
+      o fwd = o rev
+      && o fwd = o srt
+      && Digraph.reachable fwd [ 0 ] = Digraph.reachable rev [ 0 ])
+
+(* --- the mutable-state inventory -------------------------------------- *)
+
+let test_inventory_kinds () =
+  let a =
+    Ast_extract.of_source ~path:"lib/core/x.ml"
+      "let hits = ref 0\n\
+       let tbl = Hashtbl.create 8\n\
+       let buf = Buffer.create 64\n\
+       let scratch = Bytes.create 32\n\
+       let table = Array.make 4 0\n\
+       let guarded = Atomic.make 0\n\
+       let lock = Mutex.create ()\n\
+       let limit = 42\n"
+  in
+  Alcotest.(check bool) "parses" true a.Ast_extract.a_parsed;
+  let kinds =
+    List.map
+      (fun (g : Ast_extract.global) ->
+        (g.Ast_extract.g_name, Ast_extract.kind_name g.Ast_extract.g_kind))
+      (List.sort
+         (fun (a : Ast_extract.global) b ->
+           compare a.Ast_extract.g_line b.Ast_extract.g_line)
+         a.Ast_extract.a_globals)
+  in
+  Alcotest.(check (list (pair string string)))
+    "every mutable kind found, immutables skipped"
+    [
+      ("hits", "ref");
+      ("tbl", "Hashtbl");
+      ("buf", "Buffer");
+      ("scratch", "bytes buffer");
+      ("table", "array");
+      ("guarded", "Atomic");
+      ("lock", "Mutex");
+    ]
+    kinds;
+  Alcotest.(check bool) "atomic is synchronized" true
+    (Ast_extract.kind_is_synchronized Ast_extract.Atomic_cell);
+  Alcotest.(check bool) "ref is not" false
+    (Ast_extract.kind_is_synchronized Ast_extract.Ref_cell)
+
+(* --- domain-safety reachability --------------------------------------- *)
+
+(* The counter-race shape this analysis was built to catch (and that was
+   fixed in Subslice/Emu): a plain ref in a capsule, bumped on a path
+   every fleet domain runs. *)
+let race_fixture counter =
+  [
+    file "lib/fleet/fleet.ml" "let run_shard () = Uart_cap.push 3\n";
+    file "lib/capsules/uart_cap.ml"
+      (counter ^ "let idle = ref 0\nlet push _x = incr pending\n");
+  ]
+
+let safety_of files =
+  let summaries =
+    List.map
+      (fun (f : Source.file) ->
+        Ast_extract.of_source ~path:f.Source.path f.Source.content)
+      files
+  in
+  List.map
+    (fun (f : Domain_safety.finding) ->
+      (f.Domain_safety.f_file, f.Domain_safety.f_line))
+    (Domain_safety.analyze ~entry_files:[ "lib/fleet/fleet.ml" ] summaries)
+
+let test_domain_safety_race () =
+  (* reached plain ref: flagged at its definition; unreached `idle` is
+     not, even though it lives in the same reachable file *)
+  Alcotest.(check (list (pair string int)))
+    "shared ref flagged, unreached ref not"
+    [ ("lib/capsules/uart_cap.ml", 1) ]
+    (safety_of (race_fixture "let pending = ref 0\n"));
+  (* the fix: same shape behind Atomic is clean *)
+  let atomic_fixture =
+    [
+      file "lib/fleet/fleet.ml" "let run_shard () = Uart_cap.push 3\n";
+      file "lib/capsules/uart_cap.ml"
+        "let pending = Atomic.make 0\n\
+         let idle = ref 0\n\
+         let push _x = Atomic.incr pending\n";
+    ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "atomic counter is clean" [] (safety_of atomic_fixture)
+
+let test_domain_safety_readonly_table () =
+  (* a reachable Array global with no in-place write anywhere is a
+     lookup table, not shared mutable state ... *)
+  let table_fixture write =
+    [
+      file "lib/fleet/fleet.ml" "let run_shard () = Codec.enc 1\n";
+      file "lib/capsules/codec.ml"
+        ("let tbl = Array.make 16 0\nlet enc i = tbl.(i)\n" ^ write);
+    ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "read-only table is clean" []
+    (safety_of (table_fixture ""));
+  (* ... but one mutation witness makes it a race again *)
+  Alcotest.(check (list (pair string int)))
+    "written table is flagged"
+    [ ("lib/capsules/codec.ml", 1) ]
+    (safety_of (table_fixture "let upd i v = tbl.(i) <- v\n"))
+
+let test_domain_safety_unreachable () =
+  (* mutable state in a file the fleet never reaches is not a race *)
+  let files =
+    [
+      file "lib/fleet/fleet.ml" "let run_shard () = ()\n";
+      file "lib/capsules/uart_cap.ml"
+        "let pending = ref 0\nlet push _x = incr pending\n";
+    ]
+  in
+  Alcotest.(check (list (pair string int))) "unreached is clean" []
+    (safety_of files)
+
+(* --- allow-window escapes --------------------------------------------- *)
+
+let escapes_of src =
+  match Ast_extract.parse ~path:"lib/capsules/t.ml" src with
+  | None -> Alcotest.fail "fixture does not parse"
+  | Some st ->
+      let a = Ast_extract.of_source ~path:"lib/capsules/t.ml" src in
+      let globals =
+        List.map
+          (fun (g : Ast_extract.global) -> g.Ast_extract.g_name)
+          a.Ast_extract.a_globals
+      in
+      List.map
+        (fun (f : Escape.finding) -> f.Escape.f_line)
+        (Escape.analyze ~path:"lib/capsules/t.ml" ~global_names:globals st)
+
+let test_escape_sinks () =
+  let lines =
+    escapes_of
+      "let stash = ref None\n\
+       let tbl = Hashtbl.create 8\n\
+       let handle ps slot cell =\n\
+      \  Kernel.with_allow_rw ps slot (fun w ->\n\
+      \    stash := Some w;\n\
+      \    Hashtbl.add tbl 0 w;\n\
+      \    let alias = Subslice.clone w in\n\
+      \    cell.field <- alias;\n\
+      \    Subslice.length w)\n"
+  in
+  Alcotest.(check (list int))
+    "ref, container and field stores flagged (clone alias included)"
+    [ 5; 6; 8 ] lines
+
+let test_escape_returns () =
+  Alcotest.(check (list int))
+    "bare return flagged" [ 2 ]
+    (escapes_of "let f ps slot =\n  Kernel.with_allow_ro ps slot (fun w -> w)\n");
+  Alcotest.(check (list int))
+    "returned closure captures the borrow" [ 2 ]
+    (escapes_of
+       "let f ps slot =\n\
+       \  Kernel.with_allow_ro ps slot (fun w -> fun () -> Subslice.get w 0)\n");
+  Alcotest.(check (list int))
+    "wrapped return flagged" [ 2 ]
+    (escapes_of
+       "let f ps slot =\n\
+       \  Kernel.with_allow_ro ps slot (fun w -> Some (Subslice.clone w))\n")
+
+let test_escape_clean_use () =
+  (* reading inside the closure and returning scalars is the intended
+     use; so is holding an allow_window clone in capsule state *)
+  Alcotest.(check (list int))
+    "in-scope use is clean" []
+    (escapes_of
+       "let f ps slot =\n\
+       \  Kernel.with_allow_ro ps slot (fun w ->\n\
+       \    let n = Subslice.length w in\n\
+       \    Subslice.get w 0 + n)\n");
+  Alcotest.(check (list int))
+    "allow_window into instance state is sanctioned" []
+    (escapes_of
+       "let f t ps slot =\n\
+       \  match Kernel.allow_window ps slot with\n\
+       \  | Some w -> t.held <- Some w\n\
+       \  | None -> ()\n")
+
+let test_escape_global_stash () =
+  Alcotest.(check (list int))
+    "allow_window into a module global is flagged" [ 4 ]
+    (escapes_of
+       "let win = ref None\n\
+        let f ps slot =\n\
+       \  match Kernel.allow_window ps slot with\n\
+       \  | Some w -> win := Some w\n\
+       \  | None -> ()\n");
+  (* a with_allow borrow elsewhere reusing the name `w` must not taint
+     this store (the name-collision false positive) *)
+  Alcotest.(check (list int))
+    "unrelated same-named borrow does not taint" []
+    (escapes_of
+       "let cache = ref None\n\
+        let g ps slot =\n\
+       \  Kernel.with_allow_ro ps slot (fun w -> Subslice.length w)\n\
+        let h x = cache := Some x\n")
+
+(* --- the orchestrator ------------------------------------------------- *)
+
+let test_check_pragma_and_parse () =
+  let bad = file "lib/capsules/broken.ml" "let = syntax error\n" in
+  let racy =
+    [
+      file "lib/fleet/fleet.ml" "let run_shard () = Uart_cap.push 3\n";
+      file "lib/capsules/uart_cap.ml"
+        "(* otock-lint: allow domain-safety test justification *)\n\
+         let pending = ref 0\n\
+         let push _x = incr pending\n";
+      bad;
+    ]
+  in
+  let r = Check.run ~entry_files:[ "lib/fleet/fleet.ml" ] racy in
+  Alcotest.(check (list string))
+    "pragma suppresses the race; broken file is a finding"
+    [ "check-parse" ]
+    (List.map (fun (v : Rules.violation) -> v.Rules.v_rule) r.Rules.violations);
+  Alcotest.(check int) "suppression recorded" 1
+    (List.length r.Rules.suppressed)
+
+(* --- the live repository ---------------------------------------------- *)
+
+let live_root () =
+  match Source.find_root () with
+  | Some r -> r
+  | None -> Alcotest.fail "cannot locate repository root from test cwd"
+
+let test_live_repo_matches_baseline () =
+  let root = live_root () in
+  let files = Source.scan ~root in
+  let r = Check.run files in
+  let baseline_file = Filename.concat root "check_baseline.txt" in
+  let baseline =
+    match Report.baseline_of_string (Source.read_file baseline_file) with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let d = Report.diff baseline r.Rules.violations in
+  let show (v : Rules.violation) =
+    Printf.sprintf "%s:%d [%s] %s" v.Rules.v_file v.Rules.v_line v.Rules.v_rule
+      v.Rules.v_message
+  in
+  Alcotest.(check (list string))
+    "no findings beyond check_baseline.txt (fix it or allowlist with a \
+     justification; see DESIGN.md)"
+    []
+    (List.map show d.Report.new_violations);
+  Alcotest.(check (list string))
+    "check baseline is not stale (ratchet down with `dune exec \
+     bin/otock_lint.exe -- check --write-baseline`)"
+    []
+    (List.map
+       (fun (e : Report.entry) ->
+         Printf.sprintf "%d %s %s" e.Report.b_count e.Report.b_rule
+           e.Report.b_file)
+       d.Report.stale)
+
+let test_live_repo_gate_trips () =
+  (* The acceptance scenario: drop a window-stashing capsule and a
+     fleet-reachable counter race into the real tree and the gate must
+     fail on both rule ids. *)
+  let root = live_root () in
+  let files = Source.scan ~root in
+  let with_bad =
+    files
+    @ [
+        file "lib/capsules/injected_esc.ml"
+          "let keep = ref None\n\
+           let f ps slot =\n\
+          \  Kernel.with_allow_ro ps slot (fun w -> keep := Some w)\n";
+        file "lib/fleet/injected_entry.ml" "";
+      ]
+  in
+  (* the injected race: reachable straight from the real fleet.ml via a
+     module reference added on top of the scanned sources *)
+  let with_bad =
+    List.map
+      (fun (f : Source.file) ->
+        if f.Source.path = "lib/fleet/fleet.ml" then
+          file f.Source.path
+            (f.Source.content ^ "\nlet injected () = Injected_esc.f\n")
+        else f)
+      with_bad
+  in
+  let r = Check.run with_bad in
+  let baseline_file = Filename.concat root "check_baseline.txt" in
+  let baseline =
+    match Report.baseline_of_string (Source.read_file baseline_file) with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  let d = Report.diff baseline r.Rules.violations in
+  let new_rules =
+    List.sort_uniq compare
+      (List.map
+         (fun (v : Rules.violation) -> v.Rules.v_rule)
+         d.Report.new_violations)
+  in
+  Alcotest.(check bool) "stashed borrow trips the gate" true
+    (List.mem "allow-escape" new_rules);
+  Alcotest.(check bool) "injected shared ref trips the gate" true
+    (List.mem "domain-safety" new_rules)
+
+let suite =
+  [
+    Alcotest.test_case "digraph diamond" `Quick test_digraph_diamond;
+    Alcotest.test_case "digraph cycle" `Quick test_digraph_cycle;
+    digraph_det_prop;
+    Alcotest.test_case "mutable-state inventory" `Quick test_inventory_kinds;
+    Alcotest.test_case "domain-safety race" `Quick test_domain_safety_race;
+    Alcotest.test_case "read-only table" `Quick
+      test_domain_safety_readonly_table;
+    Alcotest.test_case "unreachable state" `Quick
+      test_domain_safety_unreachable;
+    Alcotest.test_case "escape sinks" `Quick test_escape_sinks;
+    Alcotest.test_case "escape returns" `Quick test_escape_returns;
+    Alcotest.test_case "clean window use" `Quick test_escape_clean_use;
+    Alcotest.test_case "global window stash" `Quick test_escape_global_stash;
+    Alcotest.test_case "pragma + parse failure" `Quick
+      test_check_pragma_and_parse;
+    Alcotest.test_case "live repo matches check baseline" `Quick
+      test_live_repo_matches_baseline;
+    Alcotest.test_case "check gate trips on injection" `Quick
+      test_live_repo_gate_trips;
+  ]

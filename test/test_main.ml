@@ -29,4 +29,5 @@ let () =
       ("app-loader", Test_app_loader.suite);
       ("obs", Test_obs.suite);
       ("analysis", Test_analysis.suite);
+      ("check", Test_check.suite);
     ]
