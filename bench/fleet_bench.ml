@@ -1,12 +1,23 @@
 (* Fleet-scaling benchmark: aggregate simulated-cycle throughput
-   (boards x cycles per wall-second) for fleet sizes 1..1024 at 1 domain
-   vs all cores, demonstrating the domain-parallel runner's speedup.
-   Writes BENCH_fleet.json next to the repo root for the acceptance
-   gate (>= 2x aggregate throughput multi-domain vs single-domain at
-   >= 256 independent boards). *)
+   (boards x cycles per wall-second) through the deadline-calendar
+   scheduler. Three measurements:
 
-let cores () =
-  max 1 (Domain.recommended_domain_count ())
+     1. board-count sweep at 1 domain (1 .. 10k boards) — the number
+        comparable across hosts and against the seed artifact;
+     2. domains sweep (1/2/4/8) at a fixed fleet size — scaling shape
+        of the work-stealing runner (flat on a single-core host);
+     3. the acceptance gate: 1024 boards, 1 domain must sustain >= 10x
+        the seed artifact's throughput on the same sample.
+
+   Writes BENCH_fleet.json next to the repo root. *)
+
+let cores () = max 1 (Domain.recommended_domain_count ())
+
+(* The seed artifact's 1024-board single-domain sample measured
+   1.5023e8 cycles/s (run-to-completion round-robin runner, eager 512 kB
+   flash per board). The scheduler rewrite + lazy copy-on-write flash
+   must clear 10x that on the same sample. *)
+let gate_floor = 1.5e9
 
 type sample = {
   s_boards : int;
@@ -17,9 +28,7 @@ type sample = {
 }
 
 let measure ~boards ~domains ~cycles =
-  let cfg =
-    { Tock_fleet.Fleet.default with boards; domains; cycles }
-  in
+  let cfg = { Tock_fleet.Fleet.default with boards; domains; cycles } in
   (* Warm the minor heap/domain pool once so the first timed run isn't
      charged for spawn cost the steady state doesn't pay. *)
   ignore (Tock_fleet.Fleet.run { cfg with boards = min boards 4; cycles = 10_000 });
@@ -36,6 +45,10 @@ let measure ~boards ~domains ~cycles =
 
 let throughput s = float_of_int s.s_cycles /. s.s_wall
 
+let print_sample s =
+  Printf.printf "   %5d boards x %d domain(s): %8.3fs  %.3e cyc/s\n%!"
+    s.s_boards s.s_domains s.s_wall (throughput s)
+
 let json_of_sample s =
   Printf.sprintf
     "    {\"boards\": %d, \"domains\": %d, \"agg_cycles\": %d, \
@@ -43,45 +56,58 @@ let json_of_sample s =
     s.s_boards s.s_domains s.s_cycles s.s_syscalls s.s_wall (throughput s)
 
 let run () =
-  print_endline "== fleet: domain-parallel scaling (boards x cycles / wall-second) ==";
+  print_endline
+    "== fleet: deadline-calendar scheduler throughput (boards x cycles / wall-second) ==";
   let n_cores = cores () in
-  (* Never oversubscribe: domains > cores makes every stop-the-world
-     minor collection wait on a descheduled domain's safepoint, which we
-     measured at >10x slowdown on a single-core host. The determinism
-     test (test/test_fleet.ml) covers multi-domain correctness
-     regardless of core count. *)
-  if n_cores = 1 then
-    print_endline
-      "   note: single-core host; multi-domain speedup not measurable here.";
-  let sizes = [ 1; 16; 256; 1024 ] in
   let cycles = 1_000_000 in
-  let samples =
-    List.concat_map
+  Printf.printf "   host cores: %d\n%!" n_cores;
+  print_endline "   -- board-count sweep, 1 domain --";
+  let sweep =
+    List.map
       (fun boards ->
-        let base = measure ~boards ~domains:1 ~cycles in
-        if n_cores = 1 then begin
-          Printf.printf "   %5d boards: 1 domain %8.3fs (%.2e cyc/s)\n%!"
-            boards base.s_wall (throughput base);
-          [ base ]
-        end
-        else begin
-          let par = measure ~boards ~domains:n_cores ~cycles in
-          let speedup = throughput par /. throughput base in
-          Printf.printf
-            "   %5d boards: 1 domain %8.3fs (%.2e cyc/s) | %2d domains \
-             %8.3fs (%.2e cyc/s) | speedup %.2fx\n%!"
-            boards base.s_wall (throughput base) n_cores par.s_wall
-            (throughput par) speedup;
-          [ base; par ]
-        end)
-      sizes
+        let s = measure ~boards ~domains:1 ~cycles in
+        print_sample s;
+        s)
+      [ 1; 16; 256; 1024; 10_000 ]
   in
+  (* Domain counts beyond the core count still run correctly (the
+     determinism tests cover 1/2/4 everywhere); on an oversubscribed
+     host they only measure stop-the-world safepoint cost, so the
+     scaling shape is informative, not gated. *)
+  print_endline "   -- domains sweep (1/2/4/8), 256 boards --";
+  if n_cores < 8 then
+    Printf.printf
+      "   note: only %d core(s); domains > %d timeslice one core.\n%!"
+      n_cores n_cores;
+  let domains_sweep =
+    List.map
+      (fun domains ->
+        let s = measure ~boards:256 ~domains ~cycles in
+        print_sample s;
+        s)
+      [ 1; 2; 4; 8 ]
+  in
+  let samples = sweep @ domains_sweep in
   let oc = open_out "BENCH_fleet.json" in
   Printf.fprintf oc
     "{\n  \"bench\": \"fleet_scaling\",\n  \"cycles_per_group\": %d,\n  \
-     \"cores\": %d,\n  \"samples\": [\n%s\n  ]\n}\n"
-    cycles n_cores
+     \"batch\": %d,\n  \"cores\": %d,\n  \"gate_cycles_per_s\": %.4e,\n  \
+     \"samples\": [\n%s\n  ]\n}\n"
+    cycles Tock_fleet.Fleet.default.batch n_cores gate_floor
     (String.concat ",\n" (List.map json_of_sample samples));
   close_out oc;
   print_endline "   wrote BENCH_fleet.json";
+  (* Acceptance gate: >= 10x the seed artifact on its reference sample. *)
+  let ref_sample =
+    List.find (fun s -> s.s_boards = 1024 && s.s_domains = 1) sweep
+  in
+  let tp = throughput ref_sample in
+  Printf.printf "   gate: 1024 boards @ 1 domain = %.3e cyc/s (floor %.1e): %s\n%!"
+    tp gate_floor
+    (if tp >= gate_floor then "PASS" else "FAIL");
+  if tp < gate_floor then
+    failwith
+      (Printf.sprintf
+         "fleet gate: 1024-board single-domain throughput %.3e < %.1e cycles/s"
+         tp gate_floor);
   print_newline ()

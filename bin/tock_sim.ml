@@ -207,18 +207,27 @@ let signpost_cmd nodes seconds seed =
 
 (* ---- fleet ---- *)
 
-let fleet_cmd boards domains group_size cycles seed quiet metrics =
+let fleet_cmd boards domains group_size cycles batch seed quiet metrics =
+  let domains =
+    match domains with
+    | "auto" -> max 1 (Domain.recommended_domain_count ())
+    | s -> (
+        match int_of_string_opt s with
+        | Some d -> d
+        | None -> failwith "fleet: --domains expects a count or 'auto'")
+  in
   let cfg =
     {
       Tock_fleet.Fleet.boards;
       domains;
       group_size;
       cycles;
+      batch;
       seed = Int64.of_int seed;
     }
   in
   let t0 = Unix.gettimeofday () in
-  let stats = Tock_fleet.Fleet.run cfg in
+  let stats, sched = Tock_fleet.Fleet.run_sched cfg in
   let wall = Unix.gettimeofday () -. t0 in
   if not quiet then
     Array.iter
@@ -234,9 +243,11 @@ let fleet_cmd boards domains group_size cycles seed quiet metrics =
     (Tock_fleet.Fleet.total_syscalls stats)
     wall
     (float_of_int cycles_total /. wall);
-  if metrics then
+  if metrics then begin
+    Printf.printf "--- scheduler ---\n%s" (Tock_obs.Metrics.render_text sched);
     Printf.printf "--- fleet metrics (all boards) ---\n%s"
       (Tock_obs.Metrics.render_text (Tock_fleet.Fleet.merged_metrics stats))
+  end
 
 (* ---- rot ---- *)
 
@@ -320,7 +331,14 @@ let boards_arg =
   Arg.(value & opt int 64 & info [ "boards" ] ~docv:"N" ~doc:"Total boards in the fleet.")
 
 let domains_arg =
-  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (1 = sequential).")
+  Arg.(value & opt string "1" & info [ "domains" ] ~docv:"D"
+       ~doc:"Worker domains: a count, or 'auto' for the host's \
+             recommended domain count (1 = sequential).")
+
+let batch_arg =
+  Arg.(value & opt int 250_000 & info [ "batch" ] ~docv:"B"
+       ~doc:"Calendar dispatch quantum in simulated cycles; affects wall \
+             time only, never results.")
 
 let group_size_arg =
   Arg.(value & opt int 1 & info [ "group-size" ] ~docv:"G"
@@ -340,7 +358,7 @@ let signpost_t = Term.(const signpost_cmd $ nodes_arg $ seconds_arg $ seed_arg)
 
 let fleet_t =
   Term.(const fleet_cmd $ boards_arg $ domains_arg $ group_size_arg
-        $ cycles_arg $ seed_arg $ quiet_arg $ metrics_arg)
+        $ cycles_arg $ batch_arg $ seed_arg $ quiet_arg $ metrics_arg)
 
 let rot_t = Term.(const rot_cmd $ tamper_arg)
 

@@ -17,62 +17,94 @@ let create ?(seed = 0x5169_0A0BL) ?(loss_prob = 0.0) ~nodes:n () =
   in
   { sim; ether; nodes }
 
+(* Busy-step one kernel while it has work, without sleeping (a kernel's
+   [step] sleeping would jump the shared clock, so probe work first).
+   Returns true if any step did work. *)
+let drain_node n =
+  let b = n.node_board in
+  let k = b.Board.kernel in
+  let worked = ref false in
+  let rec drain budget =
+    if budget > 0 then
+      let chip = b.Board.chip in
+      let has_irq = Tock_hw.Irq.has_pending chip.Tock_hw.Chip.irq in
+      let has_deferred =
+        Tock.Deferred_call.has_pending (Tock.Kernel.deferred k)
+      in
+      let has_proc =
+        List.exists
+          (fun p ->
+            match Tock.Process.state p with
+            | Tock.Process.Runnable -> true
+            | Tock.Process.Yielded -> Tock.Process.has_pending_upcalls p
+            | Tock.Process.Yielded_for w ->
+                Tock.Process.has_upcall_for p ~driver:w.driver
+                  ~subscribe_num:w.subscribe_num
+            | Tock.Process.Blocked_command w ->
+                Tock.Process.has_upcall_for p ~driver:w.driver
+                  ~subscribe_num:w.subscribe_num
+            | _ -> false)
+          (Tock.Kernel.processes k)
+      in
+      if has_irq || has_deferred || has_proc then begin
+        (match Tock.Kernel.step k ~cap:b.Board.main_cap with
+        | `Worked -> worked := true
+        | `Slept | `Stalled -> ());
+        drain (budget - 1)
+      end
+  in
+  drain 1000;
+  !worked
+
+(* All CPUs deep-sleep and the shared clock advances to [time]; events
+   due in the interval fire at their own deadlines. *)
+let sleep_all_to t time =
+  if time > Tock_hw.Sim.now t.sim then begin
+    List.iter
+      (fun n -> Tock_hw.Chip.cpu_set_active n.node_board.Board.chip false)
+      t.nodes;
+    Tock_hw.Sim.sleep_until t.sim time;
+    List.iter
+      (fun n -> Tock_hw.Chip.cpu_set_active n.node_board.Board.chip true)
+      t.nodes
+  end
+
 (* One shared clock, several kernels: give every kernel a chance to do
-   work; only sleep the clock when all are idle. A kernel's [step]
-   sleeping would jump the global clock, so probe work first. *)
+   work; only sleep the clock when all are idle. Like
+   [Kernel.run_to_deadline], the group never sleeps past [deadline]:
+   when everyone is idle and the next event is at or beyond it, the
+   group reports [`Asleep] so the fleet calendar can park it. *)
+let run_to_deadline t ~deadline =
+  let rec loop () =
+    if Tock_hw.Sim.now t.sim >= deadline then `Budget
+    else begin
+      let any_worked =
+        List.fold_left (fun acc n -> drain_node n || acc) false t.nodes
+      in
+      if any_worked then loop ()
+      else
+        let d = Tock_hw.Sim.next_deadline t.sim in
+        if d = max_int then `Stalled
+        else if d >= deadline then `Asleep d
+        else begin
+          sleep_all_to t d;
+          loop ()
+        end
+    end
+  in
+  loop ()
+
 let run_all t ~max_cycles =
   let deadline = Tock_hw.Sim.now t.sim + max_cycles in
-  let continue_ = ref true in
-  while !continue_ && Tock_hw.Sim.now t.sim < deadline do
-    let any_worked = ref false in
-    List.iter
-      (fun n ->
-        let b = n.node_board in
-        let k = b.Board.kernel in
-        (* Busy-step this kernel while it has work, without sleeping. *)
-        let rec drain budget =
-          if budget > 0 then
-            let chip = b.Board.chip in
-            let has_irq = Tock_hw.Irq.has_pending chip.Tock_hw.Chip.irq in
-            let has_deferred =
-              Tock.Deferred_call.has_pending (Tock.Kernel.deferred k)
-            in
-            let has_proc =
-              List.exists
-                (fun p ->
-                  match Tock.Process.state p with
-                  | Tock.Process.Runnable -> true
-                  | Tock.Process.Yielded -> Tock.Process.has_pending_upcalls p
-                  | Tock.Process.Yielded_for w ->
-                      Tock.Process.has_upcall_for p ~driver:w.driver
-                        ~subscribe_num:w.subscribe_num
-                  | Tock.Process.Blocked_command w ->
-                      Tock.Process.has_upcall_for p ~driver:w.driver
-                        ~subscribe_num:w.subscribe_num
-                  | _ -> false)
-                (Tock.Kernel.processes k)
-            in
-            if has_irq || has_deferred || has_proc then begin
-              (match Tock.Kernel.step k ~cap:b.Board.main_cap with
-              | `Worked -> any_worked := true
-              | `Slept | `Stalled -> ());
-              drain (budget - 1)
-            end
-        in
-        drain 1000)
-      t.nodes;
-    if not !any_worked then begin
-      (* Everyone idle: all CPUs deep-sleep and the clock advances to the
-         next hardware event (all chips share the queue). *)
-      List.iter
-        (fun n -> Tock_hw.Chip.cpu_set_active n.node_board.Board.chip false)
-        t.nodes;
-      let advanced = Tock_hw.Sim.advance_to_next_event t.sim in
-      List.iter
-        (fun n -> Tock_hw.Chip.cpu_set_active n.node_board.Board.chip true)
-        t.nodes;
-      if not advanced then continue_ := false
-    end
-  done
+  let rec go () =
+    match run_to_deadline t ~deadline with
+    | `Budget | `Stalled -> ()
+    | `Asleep d ->
+        (* Legacy semantics: overshoot to the wake event and keep going
+           (callers bound a scenario, not a cycle-exact budget). *)
+        sleep_all_to t d;
+        go ()
+  in
+  go ()
 
 let total_energy_uj t = Tock_hw.Sim.total_microjoules t.sim

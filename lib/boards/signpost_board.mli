@@ -19,6 +19,20 @@ val create : ?seed:int64 -> ?loss_prob:float -> nodes:int -> unit -> t
 
 val run_all : t -> max_cycles:int -> unit
 (** Multi-board stepping: round-robin the kernels; the clock advances to
-    the next hardware event only when every kernel is idle. *)
+    the next hardware event only when every kernel is idle. May overshoot
+    [max_cycles] to the wake event that crosses it (legacy scenario
+    semantics). *)
+
+val run_to_deadline : t -> deadline:int -> [ `Budget | `Asleep of int | `Stalled ]
+(** Deadline-bounded stepping for the fleet calendar, mirroring
+    {!Tock.Kernel.run_to_deadline}: never sleeps the shared clock past
+    [deadline]; reports [`Asleep d] (clock unmoved) when every kernel is
+    idle with the next event at [d >= deadline], so the group can be
+    parked and fast-forwarded in O(1) via {!sleep_all_to}. *)
+
+val sleep_all_to : t -> int -> unit
+(** Deep-sleep every node's CPU and advance the shared clock to an
+    absolute time; events due in the interval fire at their deadlines.
+    No-op if the time is not in the future. *)
 
 val total_energy_uj : t -> float

@@ -756,7 +756,11 @@ let run_slice t pe timeslice =
       ~tid:pid Tock_obs.Trace.Schedule Tock_obs.Trace.End ~arg:pid
       ~text:(Process.name proc)
 
-let step t ~cap:_ =
+(* One loop iteration minus the idle policy: interrupts, deferred calls,
+   one process slice. [`Idle] means nothing ran — the caller decides
+   whether to deep-sleep to the next event ({!step}) or hand the wake
+   deadline to an outer cross-board scheduler ({!run_to_deadline}). *)
+let step_work t ~cap:_ =
   let tm = timing t in
   Tock_obs.Metrics.incr t.kc.c_loop_iterations;
   spend t tm.Tock_hw.Chip.kernel_loop_overhead;
@@ -784,32 +788,66 @@ let step t ~cap:_ =
       | Some pe -> run_slice t pe timeslice
       | None -> ());
       `Worked
-  | Scheduler.Idle ->
-      if !worked then `Worked
+  | Scheduler.Idle -> if !worked then `Worked else `Idle
+
+(* Metered idle sleep to an absolute time: power-model the CPU down,
+   fire any events due in the interval at their own deadlines, count and
+   trace the span. Both the in-kernel idle path and the fleet
+   scheduler's fast-forward go through here, so a board reaches the same
+   state whether it slept event-to-event or was warped in one hop. *)
+let sleep_to t ~cap:_ time =
+  if time <= Tock_hw.Sim.now (sim t) then
+    (* Degenerate wake: nothing to sleep through, but keep the
+       fire-everything-due contract of the old advance-to-next-event
+       idle path. *)
+    ignore (Tock_hw.Sim.run_due_events (sim t))
+  else begin
+    let sleep_t0 = Tock_hw.Sim.now (sim t) in
+    Tock_hw.Chip.cpu_set_active t.k_chip false;
+    Tock_hw.Sim.sleep_until (sim t) time;
+    Tock_hw.Chip.cpu_set_active t.k_chip true;
+    Tock_obs.Metrics.incr t.kc.c_sleeps;
+    let tr = Tock_hw.Sim.trace_events (sim t) in
+    if Tock_obs.Trace.on tr then begin
+      (* The span is emitted after the fact (we only know it was a
+         sleep once an event fired); the exporter's stable sort
+         re-orders it before the events that fired at wake-up. *)
+      Tock_obs.Trace.emit tr ~ts:sleep_t0 ~tid:(-1) Tock_obs.Trace.Sleep
+        Tock_obs.Trace.Begin ~arg:0 ~text:"idle";
+      Tock_obs.Trace.emit tr
+        ~ts:(Tock_hw.Sim.now (sim t))
+        ~tid:(-1) Tock_obs.Trace.Sleep Tock_obs.Trace.End ~arg:0 ~text:"idle"
+    end
+  end
+
+let step t ~cap =
+  match step_work t ~cap with
+  | `Worked -> `Worked
+  | `Idle ->
+      (* Nothing to do: deep sleep until the next hardware event. *)
+      let d = Tock_hw.Sim.next_deadline (sim t) in
+      if d = max_int then `Stalled
       else begin
-        (* Nothing to do: deep sleep until the next hardware event. *)
-        let sleep_t0 = Tock_hw.Sim.now (sim t) in
-        Tock_hw.Chip.cpu_set_active t.k_chip false;
-        let advanced = Tock_hw.Sim.advance_to_next_event (sim t) in
-        Tock_hw.Chip.cpu_set_active t.k_chip true;
-        if advanced then begin
-          Tock_obs.Metrics.incr t.kc.c_sleeps;
-          let tr = Tock_hw.Sim.trace_events (sim t) in
-          if Tock_obs.Trace.on tr then begin
-            (* The span is emitted after the fact (we only know it was a
-               sleep once an event fired); the exporter's stable sort
-               re-orders it before the events that fired at wake-up. *)
-            Tock_obs.Trace.emit tr ~ts:sleep_t0 ~tid:(-1)
-              Tock_obs.Trace.Sleep Tock_obs.Trace.Begin ~arg:0 ~text:"idle";
-            Tock_obs.Trace.emit tr
-              ~ts:(Tock_hw.Sim.now (sim t))
-              ~tid:(-1) Tock_obs.Trace.Sleep Tock_obs.Trace.End ~arg:0
-              ~text:"idle"
-          end;
-          `Slept
-        end
-        else `Stalled
+        sleep_to t ~cap d;
+        `Slept
       end
+
+let run_to_deadline t ~cap ~deadline =
+  let rec loop () =
+    if Tock_hw.Sim.now (sim t) >= deadline then `Budget
+    else
+      match step_work t ~cap with
+      | `Worked -> loop ()
+      | `Idle ->
+          let d = Tock_hw.Sim.next_deadline (sim t) in
+          if d = max_int then `Stalled
+          else if d >= deadline then `Asleep d
+          else begin
+            sleep_to t ~cap d;
+            loop ()
+          end
+  in
+  loop ()
 
 let run_until t ~cap ?(max_cycles = 2_000_000_000) pred =
   let deadline = Tock_hw.Sim.now (sim t) + max_cycles in

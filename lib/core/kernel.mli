@@ -218,6 +218,31 @@ val step : t -> cap:Capability.main_loop -> [ `Worked | `Slept | `Stalled ]
     process slice, sleep to the next hardware event, or report [`Stalled]
     (nothing runnable, no event pending — a finished simulation). *)
 
+val run_to_deadline :
+  t ->
+  cap:Capability.main_loop ->
+  deadline:int ->
+  [ `Budget | `Asleep of int | `Stalled ]
+(** Step until the sim clock reaches [deadline] (absolute cycles).
+    Unlike {!run_until}, the kernel never deep-sleeps {e past} the
+    deadline: when it goes idle with the next hardware event at
+    [d >= deadline] it returns [`Asleep d] immediately, clock unmoved,
+    so an outer cross-board scheduler can park the board and fast-forward
+    it in O(1) (via {!sleep_to}) instead of walking the gap. Sleeps that
+    end before [deadline] are taken internally, event-to-event.
+    [`Budget] = the deadline was reached (a process slice may overshoot
+    by up to one timeslice); [`Stalled] = idle with no event pending.
+    The resulting board state is byte-identical for any chopping of a
+    run into [run_to_deadline] quanta (interleaved with {!sleep_to} at
+    the reported wake times) — the fleet determinism anchor. *)
+
+val sleep_to : t -> cap:Capability.main_loop -> int -> unit
+(** Metered idle sleep to an absolute cycle time: CPU powered down in
+    the energy model, events due in the interval fire at their own
+    deadlines, the sleep counter and trace span recorded — exactly the
+    in-kernel idle path, callable from an outer scheduler. No-op (except
+    firing already-due events) if the time is not in the future. *)
+
 val run_cycles : t -> cap:Capability.main_loop -> int -> unit
 (** Step until the sim clock has advanced by at least [n] cycles or the
     kernel stalls. *)

@@ -5,15 +5,41 @@
    medium inside a group, so the unit of parallelism is the *group*: one
    shared [Sim] clock holding either a single independent board
    (group_size = 1) or a small radio network (group_size > 1, the
-   Signpost deployment shape). Groups are sharded round-robin across
-   domains and the per-board results are merged back in board order, so
-   the output is byte-identical whatever the domain count. *)
+   Signpost deployment shape).
+
+   Scheduling is a cross-board deadline calendar, not a run-to-
+   completion round-robin:
+
+   - Each domain owns a {!Calendar} (4-ary min-heap) of its live groups
+     keyed by the group's next interesting time — its own clock while
+     runnable, its next hardware-event deadline while parked asleep.
+     Dispatch always picks the earliest key, i.e. the least-advanced or
+     soonest-waking group, and steps it one [batch]-cycle quantum via
+     [Kernel.run_to_deadline].
+   - A group that goes idle with its next wake at or beyond the quantum
+     is *parked*: re-queued at its wake deadline with the clock unmoved,
+     an O(1) skip of the whole gap. If the wake lies beyond the cycle
+     budget the group is *fast-forwarded* — one metered [sleep_to] to
+     the budget end — instead of being walked event-by-event.
+   - Group ids are handed out through per-domain Chase–Lev deques
+     ({!Ws_deque}): each domain seeds from a contiguous shard and, once
+     drained, steals unstarted groups from the tail of other shards, so
+     heterogeneous workloads no longer stall on straggler domains.
+     Boards are only materialized when first dispatched and released
+     when finished, bounding live memory to a small window per domain.
+
+   Results still merge in board-index order and each group's execution
+   depends only on its own clock, batch quantum, and budget — never on
+   placement, stealing, or dispatch interleaving — so the output is
+   byte-identical at any domain count (and any batch chopping; see
+   [Kernel.run_to_deadline]). *)
 
 type config = {
   boards : int;
   domains : int;
   group_size : int;  (* boards per shared-clock radio group; 1 = independent *)
   cycles : int;      (* simulated-cycle budget per group clock *)
+  batch : int;       (* calendar dispatch quantum in simulated cycles *)
   seed : int64;
 }
 
@@ -39,8 +65,29 @@ let default =
     domains = 1;
     group_size = 1;
     cycles = 2_000_000;
+    batch = 250_000;
     seed = 0xF1EE_2026L;
   }
+
+(* Live groups per domain: new work is only materialized once the
+   calendar drops below this, so a 100k-group fleet never holds more
+   than [domains * max_live_groups] boards in memory at once. *)
+let max_live_groups = 8
+
+(* Per-domain GC tuning for board churn: construction allocates a burst
+   of long-lived structures per group, which at the default 256k-word
+   minor heap forces a collection every couple of boards. A multi-
+   megaword minor heap and a laxer space overhead trade memory that a
+   fleet host has for collections it cannot afford. *)
+let fleet_gc_tune () =
+  let g = Gc.get () in
+  Gc.set
+    {
+      g with
+      Gc.minor_heap_size = 1 lsl 22 (* 4M words *);
+      space_overhead = 240;
+    };
+  g
 
 (* Per-group seed: a pure SplitMix64-style mix of the fleet seed and the
    group's first board index, so any board's behaviour is independent of
@@ -53,29 +100,49 @@ let group_seed base idx =
 
 (* Deterministic per-board workload: rotate through app mixes by
    absolute board index so fleet composition doesn't depend on grouping
-   arithmetic. *)
-let load_workload board idx =
-  let add name app =
-    match Tock_boards.Board.add_app board ~name app with
-    | Ok _ -> ()
-    | Error e ->
-        failwith
-          (Printf.sprintf "fleet: board %d app %s: %s" idx name
-             (Tock.Error.to_string e))
-  in
-  let jitter = idx mod 7 in
-  match idx mod 3 with
-  | 0 ->
-      add "counter" (Tock_userland.Apps.counter ~n:8 ~period_ticks:(200 + (17 * jitter)));
-      add "hello" Tock_userland.Apps.hello
-  | 1 ->
-      add "blink"
-        (Tock_userland.Apps.blink ~led:0 ~period_ticks:(150 + (13 * jitter)) ~blinks:10);
-      add "sensors"
-        (Tock_userland.Apps.sensor_logger ~samples:4 ~period_ticks:(900 + (31 * jitter)))
-  | _ ->
-      add "kv" (Tock_userland.Apps.kv_user ~rounds:4);
-      add "hello" Tock_userland.Apps.hello
+   arithmetic. The apps are pure closures over a few ints, so the whole
+   mix table (3 mixes x 7 jitters) is built once per run and shared by
+   every board and domain instead of being rebuilt per group. *)
+let workload_mixes = 3
+
+let workload_jitters = 7
+
+let build_workloads () =
+  Array.init workload_mixes (fun mix ->
+      Array.init workload_jitters (fun jitter ->
+          match mix with
+          | 0 ->
+              [
+                ( "counter",
+                  Tock_userland.Apps.counter ~n:8
+                    ~period_ticks:(200 + (17 * jitter)) );
+                ("hello", Tock_userland.Apps.hello);
+              ]
+          | 1 ->
+              [
+                ( "blink",
+                  Tock_userland.Apps.blink ~led:0
+                    ~period_ticks:(150 + (13 * jitter)) ~blinks:10 );
+                ( "sensors",
+                  Tock_userland.Apps.sensor_logger ~samples:4
+                    ~period_ticks:(900 + (31 * jitter)) );
+              ]
+          | _ ->
+              [
+                ("kv", Tock_userland.Apps.kv_user ~rounds:4);
+                ("hello", Tock_userland.Apps.hello);
+              ]))
+
+let load_workload workloads board idx =
+  List.iter
+    (fun (name, app) ->
+      match Tock_boards.Board.add_app board ~name app with
+      | Ok _ -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "fleet: board %d app %s: %s" idx name
+               (Tock.Error.to_string e)))
+    workloads.(idx mod workload_mixes).(idx mod workload_jitters)
 
 let stats_of ~idx ~seed (b : Tock_boards.Board.t) =
   let s = Tock.Kernel.stats b.Tock_boards.Board.kernel in
@@ -98,19 +165,42 @@ let stats_of ~idx ~seed (b : Tock_boards.Board.t) =
     bs_metrics = Tock.Kernel.metrics_snapshot b.Tock_boards.Board.kernel;
   }
 
-(* One independent board on its own clock: tracing off, full cycle
-   budget (the run ends early only if the simulation stalls). *)
-let run_single cfg ~idx ~seed =
+(* ---- group runtimes ---- *)
+
+type group_kind =
+  | Single of Tock_boards.Board.t
+  | Radio of Tock_boards.Signpost_board.t
+
+type group_rt = {
+  gr_lo : int;   (* first board index *)
+  gr_n : int;
+  gr_seed : int64;
+  gr_kind : group_kind;
+  mutable gr_wake : int;
+      (* parked wake deadline to sleep to before the next dispatch
+         quantum; -1 = none. Deferring the sleep to dispatch time is
+         what makes parking an O(1) calendar skip. *)
+}
+
+let group_count cfg = (cfg.boards + cfg.group_size - 1) / cfg.group_size
+
+(* One independent board on its own clock: tracing off. *)
+let materialize_single cfg workloads ~g =
+  let lo = g in
+  let seed = group_seed cfg.seed lo in
   let sim = Tock_hw.Sim.create ~seed ~trace_capacity:0 () in
   let chip = Tock_hw.Chip.sam4l_like sim in
   let board = Tock_boards.Board.build chip in
-  load_workload board idx;
-  ignore (Tock_boards.Board.run_until board ~max_cycles:cfg.cycles (fun () -> false));
-  [ stats_of ~idx ~seed board ]
+  load_workload workloads board lo;
+  { gr_lo = lo; gr_n = 1; gr_seed = seed; gr_kind = Single board; gr_wake = -1 }
 
 (* A radio group: one shared clock and medium, first board is the
    gateway sink, the rest are beacons (the Signpost deployment). *)
-let run_radio_group cfg ~lo ~n ~seed =
+let materialize_radio cfg ~g =
+  let lo = g * cfg.group_size in
+  let hi = min cfg.boards ((g + 1) * cfg.group_size) in
+  let n = hi - lo in
+  let seed = group_seed cfg.seed lo in
   let net =
     Tock_boards.Signpost_board.create ~seed ~loss_prob:0.02 ~nodes:n ()
   in
@@ -125,8 +215,7 @@ let run_radio_group cfg ~lo ~n ~seed =
        (Tock_userland.Apps.radio_sink ~expect:(3 * (n - 1)))
    with
   | Ok _ -> ()
-  | Error e ->
-      failwith ("fleet: gateway sink: " ^ Tock.Error.to_string e));
+  | Error e -> failwith ("fleet: gateway sink: " ^ Tock.Error.to_string e));
   List.iteri
     (fun i node ->
       match
@@ -136,52 +225,183 @@ let run_radio_group cfg ~lo ~n ~seed =
              ~period_ticks:(700 + (61 * i)))
       with
       | Ok _ -> ()
-      | Error e ->
-          failwith ("fleet: beacon: " ^ Tock.Error.to_string e))
+      | Error e -> failwith ("fleet: beacon: " ^ Tock.Error.to_string e))
     sensors;
-  Tock_boards.Signpost_board.run_all net ~max_cycles:cfg.cycles;
-  List.mapi
-    (fun i node ->
-      stats_of ~idx:(lo + i) ~seed
-        node.Tock_boards.Signpost_board.node_board)
-    net.Tock_boards.Signpost_board.nodes
+  { gr_lo = lo; gr_n = n; gr_seed = seed; gr_kind = Radio net; gr_wake = -1 }
 
-let group_count cfg = (cfg.boards + cfg.group_size - 1) / cfg.group_size
+let materialize cfg workloads ~g =
+  if cfg.group_size = 1 then materialize_single cfg workloads ~g
+  else if min cfg.boards ((g + 1) * cfg.group_size) - (g * cfg.group_size) = 1
+  then materialize_single cfg workloads ~g:(g * cfg.group_size)
+  else materialize_radio cfg ~g
 
-let run_group cfg g =
-  let lo = g * cfg.group_size in
-  let hi = min cfg.boards ((g + 1) * cfg.group_size) in
-  let n = hi - lo in
-  let seed = group_seed cfg.seed lo in
-  if n = 1 then run_single cfg ~idx:lo ~seed
-  else run_radio_group cfg ~lo ~n ~seed
+let group_now rt =
+  match rt.gr_kind with
+  | Single b -> Tock_hw.Sim.now b.Tock_boards.Board.sim
+  | Radio net -> Tock_hw.Sim.now net.Tock_boards.Signpost_board.sim
+
+let group_run rt ~deadline =
+  match rt.gr_kind with
+  | Single b ->
+      Tock.Kernel.run_to_deadline b.Tock_boards.Board.kernel
+        ~cap:b.Tock_boards.Board.main_cap ~deadline
+  | Radio net -> Tock_boards.Signpost_board.run_to_deadline net ~deadline
+
+let group_sleep_to rt time =
+  match rt.gr_kind with
+  | Single b ->
+      Tock.Kernel.sleep_to b.Tock_boards.Board.kernel
+        ~cap:b.Tock_boards.Board.main_cap time
+  | Radio net -> Tock_boards.Signpost_board.sleep_all_to net time
+
+let group_stats rt =
+  match rt.gr_kind with
+  | Single b -> [ stats_of ~idx:rt.gr_lo ~seed:rt.gr_seed b ]
+  | Radio net ->
+      List.mapi
+        (fun i node ->
+          stats_of ~idx:(rt.gr_lo + i) ~seed:rt.gr_seed
+            node.Tock_boards.Signpost_board.node_board)
+        net.Tock_boards.Signpost_board.nodes
+
+(* ---- the per-domain scheduler ---- *)
+
+(* One domain's run: a deadline calendar over its live groups, refilled
+   from its own deque first and by stealing once that drains. Returns
+   the per-board stats (unordered) and the domain's scheduler-metrics
+   snapshot. *)
+let run_domain cfg workloads (deques : Ws_deque.t array) d =
+  let reg = Tock_obs.Metrics.create () in
+  let c_dispatches = Tock_obs.Metrics.counter reg "fleet.sched.dispatches" in
+  let c_steals = Tock_obs.Metrics.counter reg "fleet.sched.steals" in
+  let c_ff = Tock_obs.Metrics.counter reg "fleet.sched.fast_forwards" in
+  let c_parked = Tock_obs.Metrics.counter reg "fleet.sched.parked_wakes" in
+  let c_groups = Tock_obs.Metrics.counter reg "fleet.sched.groups_run" in
+  let g_live_peak = Tock_obs.Metrics.gauge reg "fleet.sched.live_groups_peak" in
+  let h_batch = Tock_obs.Metrics.histogram reg "fleet.sched.batch_cycles" in
+  let ndomains = Array.length deques in
+  let cal = Calendar.create () in
+  let live = ref 0 in
+  let results = ref [] in
+  (* Own shard first; then steal from the other shards' tails. A `Retry
+     means we lost a race on a non-empty deque, so another sweep is
+     warranted; `Empty everywhere ends the hunt. *)
+  let next_group () =
+    match Ws_deque.pop deques.(d) with
+    | Some g -> Some g
+    | None ->
+        let rec sweep () =
+          let saw_retry = ref false in
+          let found = ref None in
+          let v = ref 1 in
+          while !found = None && !v < ndomains do
+            (match Ws_deque.steal deques.((d + !v) mod ndomains) with
+            | `Stolen g ->
+                Tock_obs.Metrics.incr c_steals;
+                found := Some g
+            | `Retry -> saw_retry := true
+            | `Empty -> ());
+            incr v
+          done;
+          match !found with
+          | Some _ as r -> r
+          | None -> if !saw_retry then sweep () else None
+        in
+        if ndomains = 1 then None else sweep ()
+  in
+  let refill () =
+    let continue_ = ref true in
+    while !live < max_live_groups && !continue_ do
+      match next_group () with
+      | Some g ->
+          let rt = materialize cfg workloads ~g in
+          incr live;
+          Tock_obs.Metrics.set_max g_live_peak !live;
+          Calendar.add cal ~key:(group_now rt) rt
+      | None -> continue_ := false
+    done
+  in
+  let finish rt =
+    results := List.rev_append (group_stats rt) !results;
+    Tock_obs.Metrics.incr c_groups;
+    decr live;
+    refill ()
+  in
+  refill ();
+  let rec drain () =
+    match Calendar.pop_min cal with
+    | None -> ()
+    | Some (rt, _key) ->
+        Tock_obs.Metrics.incr c_dispatches;
+        if rt.gr_wake >= 0 then begin
+          (* Parked: take the skipped sleep now, in one hop. *)
+          group_sleep_to rt rt.gr_wake;
+          rt.gr_wake <- -1
+        end;
+        let start = group_now rt in
+        let deadline = min (start + cfg.batch) cfg.cycles in
+        let outcome = group_run rt ~deadline in
+        Tock_obs.Metrics.observe h_batch (group_now rt - start);
+        (match outcome with
+        | `Budget ->
+            if group_now rt >= cfg.cycles then finish rt
+            else Calendar.add cal ~key:(group_now rt) rt
+        | `Stalled ->
+            (* Nothing runnable and no event pending: the simulation is
+               over for this group, whatever the budget says. *)
+            finish rt
+        | `Asleep wake ->
+            if wake >= cfg.cycles then begin
+              (* The rest of the budget is one long sleep: warp there. *)
+              group_sleep_to rt cfg.cycles;
+              Tock_obs.Metrics.incr c_ff;
+              finish rt
+            end
+            else begin
+              rt.gr_wake <- wake;
+              Tock_obs.Metrics.incr c_parked;
+              Calendar.add cal ~key:wake rt
+            end);
+        drain ()
+  in
+  drain ();
+  (!results, Tock_obs.Metrics.snapshot reg)
 
 let validate cfg =
   if cfg.boards <= 0 then invalid_arg "Fleet.run: boards <= 0";
   if cfg.group_size <= 0 then invalid_arg "Fleet.run: group_size <= 0";
   if cfg.domains <= 0 then invalid_arg "Fleet.run: domains <= 0";
-  if cfg.cycles <= 0 then invalid_arg "Fleet.run: cycles <= 0"
+  if cfg.cycles <= 0 then invalid_arg "Fleet.run: cycles <= 0";
+  if cfg.batch <= 0 then invalid_arg "Fleet.run: batch <= 0"
 
-let run cfg =
+let run_sched cfg =
   validate cfg;
   let ngroups = group_count cfg in
   let domains = min cfg.domains ngroups in
-  (* Round-robin sharding: domain d owns groups d, d+domains, ... Each
-     group's simulation is self-contained, so placement affects wall
-     time only, never results. *)
-  let run_shard d () =
-    let acc = ref [] in
-    let g = ref d in
-    while !g < ngroups do
-      acc := List.rev_append (run_group cfg !g) !acc;
-      g := !g + domains
-    done;
-    !acc
+  let workloads = build_workloads () in
+  (* Contiguous shards, seeded in reverse so owners pop ascending group
+     ids from the bottom while thieves steal descending ids — the
+     "calendar tail" — from the top. *)
+  let deques =
+    Array.init domains (fun d ->
+        let lo = d * ngroups / domains and hi = (d + 1) * ngroups / domains in
+        Ws_deque.of_ids (Array.init (hi - lo) (fun i -> hi - 1 - i)))
   in
   let shards =
-    if domains = 1 then [ run_shard 0 () ]
+    if domains = 1 then begin
+      (* Inline on this domain; restore the caller's GC settings after. *)
+      let saved = fleet_gc_tune () in
+      Fun.protect
+        ~finally:(fun () -> Gc.set saved)
+        (fun () -> [ run_domain cfg workloads deques 0 ])
+    end
     else
-      let workers = Array.init domains (fun d -> Domain.spawn (run_shard d)) in
+      let workers =
+        Array.init domains (fun d ->
+            Domain.spawn (fun () ->
+                ignore (fleet_gc_tune ());
+                run_domain cfg workloads deques d))
+      in
       Array.to_list (Array.map Domain.join workers)
   in
   (* Merge in board order: the per-domain result queues are unordered
@@ -202,11 +422,13 @@ let run cfg =
         bs_metrics = [];
       }
   in
-  List.iter (List.iter (fun bs -> merged.(bs.bs_board) <- bs)) shards;
+  List.iter (fun (stats, _) -> List.iter (fun bs -> merged.(bs.bs_board) <- bs) stats) shards;
   Array.iteri
     (fun i bs -> if bs.bs_board <> i then failwith "Fleet.run: missing board")
     merged;
-  merged
+  (merged, Tock_obs.Metrics.merge (List.map snd shards))
+
+let run cfg = fst (run_sched cfg)
 
 (* Board order is the total order and Metrics.merge sorts by name, so
    the merged snapshot is byte-identical at any domain count. *)

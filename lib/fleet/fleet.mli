@@ -5,16 +5,27 @@
     The unit of parallelism is the {e group}: one shared simulation
     clock holding either a single independent board ([group_size = 1])
     or a small Signpost-style radio network ([group_size > 1]). Groups
-    share no mutable state with each other, are sharded round-robin
-    across domains, and results are merged in board order — so
-    [run cfg] returns byte-identical stats for every value of
-    [cfg.domains]. *)
+    share no mutable state with each other.
+
+    Scheduling is a {e cross-board deadline calendar} per domain: live
+    groups are keyed by their next interesting time (own clock while
+    runnable, next hardware-event deadline while parked asleep) and
+    dispatched earliest-first in [batch]-cycle quanta. Groups that go
+    idle are parked and fast-forwarded to their wake — or to the budget
+    end — in O(1) instead of being walked event-by-event. Group ids are
+    distributed through per-domain Chase–Lev work-stealing deques, so
+    straggler shards are drained by idle domains. Groups materialize
+    lazily (a bounded window of live boards per domain) and results
+    merge in board order — [run cfg] returns byte-identical stats for
+    every value of [cfg.domains] and [cfg.batch]. *)
 
 type config = {
   boards : int;      (** total boards in the fleet *)
   domains : int;     (** worker domains; 1 = run inline on this domain *)
   group_size : int;  (** boards per shared-clock radio group; 1 = independent *)
   cycles : int;      (** simulated-cycle budget per group clock *)
+  batch : int;       (** calendar dispatch quantum in simulated cycles;
+                         affects wall time only, never results *)
   seed : int64;      (** fleet seed; per-group seeds are derived purely *)
 }
 
@@ -35,7 +46,7 @@ type board_stats = {
 }
 
 val default : config
-(** 16 independent boards, 1 domain, 2M cycles. *)
+(** 16 independent boards, 1 domain, 2M cycles, 250k batch. *)
 
 val group_seed : int64 -> int -> int64
 (** [group_seed fleet_seed first_board_index]: pure SplitMix64-style
@@ -46,7 +57,15 @@ val group_count : config -> int
 val run : config -> board_stats array
 (** Run the whole fleet; [Invalid_argument] on non-positive config
     fields. The result array is indexed by board number and is
-    deterministic given [config] minus [domains]. *)
+    deterministic given [config] minus [domains] and [batch]. *)
+
+val run_sched : config -> board_stats array * Tock_obs.Metrics.snapshot
+(** Like {!run}, also returning the merged scheduler metrics
+    ([fleet.sched.*]: dispatches, steals, parked wakes, fast-forwards,
+    groups run, live-group peak, batch-cycle histogram). Unlike the
+    board stats, these {e do} depend on domain count and batch — they
+    describe the execution, not the simulation — so they are kept out
+    of {!merged_metrics}. *)
 
 val merged_metrics : board_stats array -> Tock_obs.Metrics.snapshot
 (** Sum the per-board snapshots into one fleet-wide snapshot. Sorted by

@@ -1,0 +1,64 @@
+(* Chase–Lev-style work-stealing deque over group ids.
+
+   Each domain owns one deque, seeded with a contiguous slice of the
+   fleet's group ids; the owner takes from the bottom (lowest ids first,
+   preserving the sequential construction order within a shard) while
+   idle domains steal from the top — the "calendar tail", the groups the
+   owner would reach last — so heterogeneous shards drain stragglers
+   instead of stalling on them.
+
+   Simplifications relative to the full Chase–Lev algorithm, safe here:
+   the buffer is filled once before workers start and never pushed to
+   afterwards, so there is no resize and no ABA on slots; OCaml's
+   [Atomic] operations are sequentially consistent, which covers the
+   bottom/top fences the original relies on. Stealing a group is
+   per-group-rare (once per migration, never per step), so the atomics
+   are nowhere near the hot path. *)
+
+type t = {
+  buf : int array;
+  top : int Atomic.t;    (* next slot thieves take from *)
+  bottom : int Atomic.t; (* one past the next slot the owner takes *)
+}
+
+let of_ids ids =
+  {
+    buf = Array.copy ids;
+    top = Atomic.make 0;
+    bottom = Atomic.make (Array.length ids);
+  }
+
+(* Owner end. The owner publishes the reservation (bottom) before
+   re-reading top, then races any thief with a CAS only when a single
+   element remains. The owner takes from index [bottom - 1] — the
+   highest remaining slot; we seed the buffer in reverse so this yields
+   ascending group ids. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty: restore the canonical empty shape. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b = tp then begin
+    (* Last element: win it from any concurrent thief via top. *)
+    let v = t.buf.(b) in
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some v else None
+  end
+  else Some t.buf.(b)
+
+(* Thief end: claim the top slot with a CAS. [`Retry] (a lost race on a
+   non-empty deque) tells the caller another sweep may still find work;
+   [`Empty] is definitive for this probe. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then `Empty
+  else begin
+    let v = t.buf.(tp) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then `Stolen v else `Retry
+  end

@@ -1,0 +1,17 @@
+(** Chase–Lev-style work-stealing deque of group ids, fixed at creation
+    (no pushes after workers start). The owner {!pop}s one end, idle
+    domains {!steal} the other; both are safe to race. *)
+
+type t
+
+val of_ids : int array -> t
+(** The owner pops from the {e end} of this array first; thieves steal
+    from the front. Seed it in reverse to hand the owner ascending
+    ids. *)
+
+val pop : t -> int option
+(** Owner-only. [None] when empty (or a thief won the last element). *)
+
+val steal : t -> [ `Stolen of int | `Retry | `Empty ]
+(** Any domain. [`Retry] = lost a race on a non-empty deque (sweep
+    again); [`Empty] = nothing left here. *)

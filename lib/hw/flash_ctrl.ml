@@ -6,6 +6,13 @@ type t = {
   irq_line : int;
   page_size : int;
   store : bytes array;
+      (* Lazily materialized: untouched pages alias [erased], a shared
+         all-0xFF sentinel (compared physically). A 1024-page part is
+         512 kB of backing store per instance; fleets build thousands of
+         boards that never write most pages, so eager allocation was the
+         single largest per-board heap cost. Pages materialize on first
+         write and fall back to the sentinel on erase. *)
+  erased : bytes;
   wear : int array;
   read_cycles : int;
   write_cycles : int;
@@ -18,13 +25,15 @@ type t = {
 
 let create sim irq ~irq_line ~pages ~page_size ~read_cycles ~write_cycles
     ~erase_cycles =
+  let erased = Bytes.make page_size '\xff' in
   let t =
     {
       sim;
       irq;
       irq_line;
       page_size;
-      store = Array.init pages (fun _ -> Bytes.make page_size '\xff');
+      store = Array.make pages erased;
+      erased;
       wear = Array.make pages 0;
       read_cycles;
       write_cycles;
@@ -47,6 +56,21 @@ let create sim irq ~irq_line ~pages ~page_size ~read_cycles ~write_cycles
 let pages t = Array.length t.store
 
 let page_size t = t.page_size
+
+(* Materialize a page for mutation (copy-on-write off the sentinel). *)
+let page_mut t page =
+  let p = t.store.(page) in
+  if p == t.erased then begin
+    let fresh = Bytes.make t.page_size '\xff' in
+    t.store.(page) <- fresh;
+    fresh
+  end
+  else p
+
+let allocated_pages t =
+  let n = ref 0 in
+  Array.iter (fun p -> if p != t.erased then incr n) t.store;
+  !n
 
 let check_page t page =
   if page < 0 || page >= Array.length t.store then Error "bad page"
@@ -79,7 +103,7 @@ let write_page t ~page data =
   else
     Result.bind (check_page t page) (fun () ->
         start t ~delay:t.write_cycles (fun () ->
-            let dst = t.store.(page) in
+            let dst = page_mut t page in
             let lost = ref false in
             for i = 0 to t.page_size - 1 do
               let old = Char.code (Bytes.get dst i) in
@@ -120,7 +144,7 @@ let program_region t ~page ~off segs =
               segs;
             let delay = max 1 (t.write_cycles * total / t.page_size) in
             start t ~delay (fun () ->
-                let dst = t.store.(page) in
+                let dst = page_mut t page in
                 let lost = ref false in
                 for i = 0 to total - 1 do
                   let old = Char.code (Bytes.get dst (off + i)) in
@@ -138,7 +162,9 @@ let erase_page t ~page =
   else
     Result.bind (check_page t page) (fun () ->
         start t ~delay:t.erase_cycles (fun () ->
-            Bytes.fill t.store.(page) 0 t.page_size '\xff';
+            (* Erased pages rejoin the shared sentinel, reclaiming the
+               backing store (and keeping long-lived boards compact). *)
+            t.store.(page) <- t.erased;
             t.wear.(page) <- t.wear.(page) + 1;
             Erase_done))
 

@@ -21,6 +21,12 @@ val pages : t -> int
 
 val page_size : t -> int
 
+val allocated_pages : t -> int
+(** Pages with materialized backing store. Untouched (and erased) pages
+    alias one shared all-0xFF sentinel, so a freshly created part costs
+    one page of memory no matter how many pages it models — the fleet
+    relies on this to keep per-board construction cheap. *)
+
 val read_page_sync : t -> page:int -> bytes
 (** Synchronous memory-mapped read (fresh copy). *)
 

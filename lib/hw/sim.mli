@@ -52,6 +52,11 @@ val run_due_events : t -> bool
 
 val next_event_time : t -> int option
 
+val next_deadline : t -> int
+(** Allocation-free {!next_event_time}: deadline of the earliest pending
+    event, [max_int] when the queue is empty. The fleet scheduler keys
+    its cross-board calendar on this. *)
+
 val advance_to_next_event : t -> bool
 (** Sleep (CPU idle) until the next event deadline and fire the events due
     then. Returns false if no event is pending (clock unchanged). *)

@@ -79,6 +79,8 @@ let counter_name c = c.c_name
 
 let set g v = g.g_value <- v
 
+let set_max g v = if v > g.g_value then g.g_value <- v
+
 let gauge_value g = g.g_value
 
 let gauge_name g = g.g_name

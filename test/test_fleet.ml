@@ -1,5 +1,7 @@
-(* The domain-parallel fleet runner: deterministic results independent
-   of the domain count, plus a small multi-domain smoke run. *)
+(* The fleet deadline-calendar scheduler: deterministic results
+   independent of domain count and batch quantum (work stealing and
+   calendar chopping must never leak into simulation results), O(1)
+   fast-forward correctness, plus a small multi-domain smoke run. *)
 
 open! Helpers
 
@@ -20,27 +22,108 @@ let check_identical name a b =
     a
 
 let test_deterministic_across_domains () =
-  (* Independent boards: same fleet at 1 and 4 domains must produce
-     byte-identical per-board stats (including output digests). *)
+  (* Independent boards with a deliberately skewed mix (the workload
+     rotation gives kv-heavy, blink/sensor and counter boards very
+     different cost profiles), contiguous shards: merged stats AND the
+     merged metrics snapshot must be byte-identical at 1, 2 and 4
+     domains — work stealing may move groups, never results. *)
   let cfg = small { Fleet.default with boards = 9; group_size = 1 } in
   let seq = Fleet.run { cfg with domains = 1 } in
-  let par = Fleet.run { cfg with domains = 4 } in
-  check_identical "independent" seq par
+  let mm_seq = Tock_obs.Metrics.render_json (Fleet.merged_metrics seq) in
+  List.iter
+    (fun domains ->
+      let par = Fleet.run { cfg with domains } in
+      check_identical (Printf.sprintf "%d domains" domains) seq par;
+      Alcotest.(check string)
+        (Printf.sprintf "merged_metrics @ %d domains" domains)
+        mm_seq
+        (Tock_obs.Metrics.render_json (Fleet.merged_metrics par)))
+    [ 2; 4 ]
 
 let test_deterministic_radio_groups () =
-  (* Radio groups (shared Ether within a group) sharded across domains. *)
-  let cfg = small { Fleet.default with boards = 8; group_size = 4 } in
+  (* Radio groups (shared Ether within a group) plus a leftover single
+     board, sharded across domains. *)
+  let cfg = small { Fleet.default with boards = 7; group_size = 3 } in
   let seq = Fleet.run { cfg with domains = 1 } in
   let par = Fleet.run { cfg with domains = 2 } in
   check_identical "radio groups" seq par
 
-let test_fleet_smoke () =
-  (* Tiny 2-domain fleet: every board makes progress and reports sane
-     accounting. *)
-  let cfg =
-    small { Fleet.default with boards = 4; domains = 2; group_size = 1 }
+let test_batch_invariance () =
+  (* The calendar quantum chops a group's run into arbitrary
+     [run_to_deadline] slices; every chopping must reach the same final
+     state (this is what lets parked boards skip ahead in O(1)). *)
+  let cfg = small { Fleet.default with boards = 6; group_size = 1 } in
+  let coarse = Fleet.run { cfg with batch = cfg.Fleet.cycles } in
+  List.iter
+    (fun batch ->
+      let chopped = Fleet.run { cfg with batch } in
+      check_identical (Printf.sprintf "batch=%d" batch) coarse chopped)
+    [ 1_000; 7_777; 50_000 ]
+
+(* A sleep-heavy board stepped to its budget in many small quanta vs
+   fast-forwarded in one hop must reach the identical final state:
+   clock, active/sleep split, output, and the full metrics registry. *)
+let test_fast_forward_identical_state () =
+  let budget = 3_000_000 in
+  let build () =
+    let sim = Tock_hw.Sim.create ~seed:0xFAFA_01L ~trace_capacity:0 () in
+    let chip = Tock_hw.Chip.sam4l_like sim in
+    let board = Tock_boards.Board.build chip in
+    (match
+       Tock_boards.Board.add_app board ~name:"sleepy"
+         (Tock_userland.Apps.counter ~n:3 ~period_ticks:1500)
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "add_app: %s" (Tock.Error.to_string e));
+    board
   in
-  let stats = Fleet.run cfg in
+  let finish_to b deadline =
+    (* Drive run_to_deadline exactly the way the fleet scheduler does. *)
+    let k = b.Tock_boards.Board.kernel and cap = b.Tock_boards.Board.main_cap in
+    let rec go quantum =
+      let now = Tock_hw.Sim.now b.Tock_boards.Board.sim in
+      if now < deadline then
+        match
+          Tock.Kernel.run_to_deadline k ~cap ~deadline:(min (now + quantum) deadline)
+        with
+        | `Budget -> go quantum
+        | `Stalled -> ()
+        | `Asleep wake ->
+            if wake >= deadline then Tock.Kernel.sleep_to k ~cap deadline
+            else begin
+              Tock.Kernel.sleep_to k ~cap wake;
+              go quantum
+            end
+    in
+    go
+  in
+  let stepped = build () in
+  finish_to stepped budget 10_000;
+  let warped = build () in
+  finish_to warped budget budget;
+  let fingerprint b =
+    Printf.sprintf "now=%d active=%d sleep=%d out=%s metrics=%s"
+      (Tock_hw.Sim.now b.Tock_boards.Board.sim)
+      (Tock_hw.Sim.active_cycles b.Tock_boards.Board.sim)
+      (Tock_hw.Sim.sleep_cycles b.Tock_boards.Board.sim)
+      (Digest.to_hex (Digest.string (Tock_boards.Board.output b)))
+      (Tock_obs.Metrics.render_json
+         (Tock.Kernel.metrics_snapshot b.Tock_boards.Board.kernel))
+  in
+  Alcotest.(check string) "stepped == fast-forwarded" (fingerprint stepped)
+    (fingerprint warped);
+  (* And both landed exactly on the budget, not past it. *)
+  Alcotest.(check int) "clock at budget" budget
+    (Tock_hw.Sim.now stepped.Tock_boards.Board.sim)
+
+let test_fleet_smoke () =
+  (* Tiny 2-domain fleet through the stealing scheduler: every board
+     makes progress, accounting is sane, and the scheduler metrics
+     cover every group. *)
+  let cfg =
+    small { Fleet.default with boards = 6; domains = 2; group_size = 1 }
+  in
+  let stats, sched = Fleet.run_sched cfg in
   Array.iter
     (fun (bs : Fleet.board_stats) ->
       Alcotest.(check bool)
@@ -52,7 +135,16 @@ let test_fleet_smoke () =
       Alcotest.(check int) "digest is md5 hex" 32
         (String.length bs.Fleet.bs_output_digest))
     stats;
-  Alcotest.(check bool) "aggregate cycles" true (Fleet.total_cycles stats > 0)
+  Alcotest.(check bool) "aggregate cycles" true (Fleet.total_cycles stats > 0);
+  let find name =
+    match List.assoc_opt name sched with
+    | Some (Tock_obs.Metrics.Counter v) -> v
+    | _ -> Alcotest.failf "scheduler metric %s missing" name
+  in
+  Alcotest.(check int) "every group accounted" (Fleet.group_count cfg)
+    (find "fleet.sched.groups_run");
+  Alcotest.(check bool) "dispatches cover groups" true
+    (find "fleet.sched.dispatches" >= Fleet.group_count cfg)
 
 let test_seed_independent_of_grouping () =
   (* group_seed depends only on the fleet seed and first board index. *)
@@ -76,15 +168,21 @@ let test_bad_config_rejected () =
       { Fleet.default with domains = 0 };
       { Fleet.default with group_size = -1 };
       { Fleet.default with cycles = 0 };
+      { Fleet.default with batch = 0 };
     ]
 
 let suite =
   [
-    Alcotest.test_case "deterministic across domain counts" `Quick
+    Alcotest.test_case "deterministic across domain counts (1/2/4)" `Quick
       test_deterministic_across_domains;
     Alcotest.test_case "deterministic radio groups" `Quick
       test_deterministic_radio_groups;
-    Alcotest.test_case "fleet-smoke (2 domains)" `Quick test_fleet_smoke;
+    Alcotest.test_case "deterministic across batch quanta" `Quick
+      test_batch_invariance;
+    Alcotest.test_case "fast-forward reaches identical state" `Quick
+      test_fast_forward_identical_state;
+    Alcotest.test_case "fleet-smoke (2 domains, stealing on)" `Quick
+      test_fleet_smoke;
     Alcotest.test_case "group seeds are pure" `Quick
       test_seed_independent_of_grouping;
     Alcotest.test_case "bad configs rejected" `Quick test_bad_config_rejected;
