@@ -207,7 +207,7 @@ let signpost_cmd nodes seconds seed =
 
 (* ---- fleet ---- *)
 
-let fleet_cmd boards domains group_size cycles batch seed quiet metrics =
+let fleet_cmd boards domains group_size cycles batch seed park quiet metrics =
   let domains =
     match domains with
     | "auto" -> max 1 (Domain.recommended_domain_count ())
@@ -224,10 +224,13 @@ let fleet_cmd boards domains group_size cycles batch seed quiet metrics =
       cycles;
       batch;
       seed = Int64.of_int seed;
+      park;
     }
   in
   let t0 = Unix.gettimeofday () in
-  let stats, sched = Tock_fleet.Fleet.run_sched cfg in
+  let result = Tock_fleet.Fleet.run_fleet cfg in
+  let stats = result.Tock_fleet.Fleet.fr_stats
+  and sched = result.Tock_fleet.Fleet.fr_sched in
   let wall = Unix.gettimeofday () -. t0 in
   if not quiet then
     Array.iter
@@ -246,7 +249,7 @@ let fleet_cmd boards domains group_size cycles batch seed quiet metrics =
   if metrics then begin
     Printf.printf "--- scheduler ---\n%s" (Tock_obs.Metrics.render_text sched);
     Printf.printf "--- fleet metrics (all boards) ---\n%s"
-      (Tock_obs.Metrics.render_text (Tock_fleet.Fleet.merged_metrics stats))
+      (Tock_obs.Metrics.render_text result.Tock_fleet.Fleet.fr_metrics)
   end
 
 (* ---- rot ---- *)
@@ -350,6 +353,12 @@ let cycles_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only print the aggregate line.")
 
+let park_arg =
+  Arg.(value & flag & info [ "park" ]
+       ~doc:"Park long-sleeping boards as compact byte snapshots and \
+             resume them by verified replay; results are byte-identical \
+             either way.")
+
 let run_t =
   Term.(const run_cmd $ chip_arg $ apps_arg $ sched_arg $ seconds_arg
         $ seed_arg $ strace_arg $ metrics_arg $ trace_out_arg)
@@ -358,7 +367,8 @@ let signpost_t = Term.(const signpost_cmd $ nodes_arg $ seconds_arg $ seed_arg)
 
 let fleet_t =
   Term.(const fleet_cmd $ boards_arg $ domains_arg $ group_size_arg
-        $ cycles_arg $ batch_arg $ seed_arg $ quiet_arg $ metrics_arg)
+        $ cycles_arg $ batch_arg $ seed_arg $ park_arg $ quiet_arg
+        $ metrics_arg)
 
 let rot_t = Term.(const rot_cmd $ tamper_arg)
 

@@ -867,3 +867,191 @@ let run_cycles t ~cap n =
 
 let run_to_completion t ~cap ?(max_cycles = 2_000_000_000) () =
   ignore (run_until t ~cap ~max_cycles (fun () -> false))
+
+(* ---- board-state snapshot (park/resume) ----
+
+   Process executions are effect continuations — they cannot be
+   serialized. So a parked board is captured as a compact byte *witness*
+   of everything observable about it (clock and cycle split, event-queue
+   schedule, the full process table including RAM bytes and syscall
+   state, both metrics registries), and resume is *replay*: the caller
+   rebuilds the board from its deterministic construction recipe and
+   [restore] drives it back to the witness clock with the same
+   chopping-invariant primitives the fleet scheduler uses
+   ([run_to_deadline] interleaved with [sleep_to] at reported wakes —
+   exactly the contract documented on {!run_to_deadline}), then checks
+   the re-taken witness byte-for-byte. Capsule grant values and
+   scheduler-internal cursors are not encoded (they are arbitrary
+   closures/values); they are reproduced by the replay itself, and any
+   divergence they could cause surfaces in the encoded state the next
+   time it matters. *)
+
+let snapshot_magic = "TCKSNP01"
+
+let add_i buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_s buf s =
+  add_i buf (String.length s);
+  Buffer.add_string buf s
+
+let rec encode_pstate buf (s : Process.state) =
+  match s with
+  | Process.Unstarted -> add_i buf 0
+  | Process.Runnable -> add_i buf 1
+  | Process.Yielded -> add_i buf 2
+  | Process.Yielded_for { driver; subscribe_num } ->
+      add_i buf 3;
+      add_i buf driver;
+      add_i buf subscribe_num
+  | Process.Blocked_command { driver; subscribe_num } ->
+      add_i buf 4;
+      add_i buf driver;
+      add_i buf subscribe_num
+  | Process.Faulted r ->
+      add_i buf 5;
+      add_s buf
+        (match r with
+        | Process.Mpu_violation m -> "M" ^ m
+        | Process.Bad_syscall m -> "B" ^ m
+        | Process.App_panic m -> "A" ^ m)
+  | Process.Terminated { code } ->
+      add_i buf 6;
+      add_i buf code
+  | Process.Stopped prior ->
+      add_i buf 7;
+      encode_pstate buf prior
+
+let encode_resume buf (r : Process.resume_arg option) =
+  match r with
+  | None -> add_i buf 0
+  | Some Process.Rstart -> add_i buf 1
+  | Some Process.Rcontinue -> add_i buf 2
+  | Some (Process.Rsyscall_ret regs) ->
+      add_i buf 3;
+      add_i buf (Array.length regs);
+      Array.iter (add_i buf) regs
+  | Some (Process.Rupcall { fnptr; appdata; arg0; arg1; arg2 }) ->
+      add_i buf 4;
+      List.iter (add_i buf) [ fnptr; appdata; arg0; arg1; arg2 ]
+
+let encode_process buf pe =
+  let p = pe.proc in
+  add_s buf (Process.name p);
+  encode_pstate buf (Process.state p);
+  encode_resume buf pe.pending_resume;
+  List.iter (add_i buf)
+    [
+      Process.restart_count p;
+      Process.syscall_count p;
+      Process.grant_enter_count p;
+      Process.grant_bytes_used p;
+      Process.app_break p;
+      Process.kernel_break p;
+      Process.upcalls_dropped p;
+    ];
+  (* Subscriptions and allows, sorted by key for a canonical layout. *)
+  let subs = ref [] in
+  Process.iter_subscriptions p (fun ~driver ~subscribe_num up ->
+      subs := (driver, subscribe_num, up.Process.fnptr, up.Process.appdata) :: !subs);
+  let subs = List.sort compare !subs in
+  add_i buf (List.length subs);
+  List.iter
+    (fun (d, s, f, a) ->
+      add_i buf d;
+      add_i buf s;
+      add_i buf f;
+      add_i buf a)
+    subs;
+  let allows = ref [] in
+  Process.iter_allows p (fun ~kind ~driver ~allow_num e ->
+      let k = match kind with `Rw -> 0 | `Ro -> 1 in
+      allows := (k, driver, allow_num, e.Process.a_addr, e.Process.a_len) :: !allows);
+  let allows = List.sort compare !allows in
+  add_i buf (List.length allows);
+  List.iter
+    (fun (k, d, n, addr, len) ->
+      add_i buf k;
+      add_i buf d;
+      add_i buf n;
+      add_i buf addr;
+      add_i buf len)
+    allows;
+  (* Pending upcalls in delivery order — FIFO position is state. *)
+  let np = ref 0 in
+  Process.iter_pending_upcalls p (fun _ -> Stdlib.incr np);
+  add_i buf !np;
+  Process.iter_pending_upcalls p (fun pu ->
+      let a0, a1, a2 = pu.Process.pu_args in
+      List.iter (add_i buf)
+        [
+          pu.Process.pu_driver;
+          pu.Process.pu_subscribe;
+          pu.Process.pu_upcall.Process.fnptr;
+          pu.Process.pu_upcall.Process.appdata;
+          a0;
+          a1;
+          a2;
+        ]);
+  let ram = Process.ram_bytes p in
+  add_i buf (Bytes.length ram);
+  Buffer.add_bytes buf ram
+
+let snapshot t =
+  let s = sim t in
+  let buf = Buffer.create (64 * 1024) in
+  Buffer.add_string buf snapshot_magic;
+  add_i buf (Tock_hw.Sim.now s);
+  add_i buf (Tock_hw.Sim.active_cycles s);
+  add_i buf (Tock_hw.Sim.sleep_cycles s);
+  let ev = Tock_hw.Sim.event_times s in
+  add_i buf (Array.length ev);
+  Array.iter
+    (fun (time, seq) ->
+      add_i buf time;
+      add_i buf seq)
+    ev;
+  add_i buf t.next_pid;
+  add_i buf t.ram_next;
+  add_i buf (Array.length t.table);
+  Array.iter (encode_process buf) t.table;
+  add_s buf
+    (Tock_obs.Metrics.packed_to_string (Tock_obs.Metrics.packed_of t.k_reg));
+  add_s buf
+    (Tock_obs.Metrics.packed_to_string
+       (Tock_obs.Metrics.packed_of (Tock_hw.Sim.metrics s)));
+  Buffer.contents buf
+
+let snapshot_clock w =
+  if
+    String.length w < String.length snapshot_magic + 8
+    || not (String.equal (String.sub w 0 (String.length snapshot_magic)) snapshot_magic)
+  then invalid_arg "Kernel.snapshot_clock: not a board snapshot";
+  Int64.to_int (String.get_int64_le w (String.length snapshot_magic))
+
+let replay_to t ~cap target =
+  let rec go () =
+    if Tock_hw.Sim.now (sim t) < target then
+      match run_to_deadline t ~cap ~deadline:target with
+      | `Budget -> go ()
+      | `Stalled -> ()
+      | `Asleep wake ->
+          if wake >= target then sleep_to t ~cap target
+          else begin
+            sleep_to t ~cap wake;
+            go ()
+          end
+  in
+  go ()
+
+let restore t ~cap witness =
+  let target = snapshot_clock witness in
+  replay_to t ~cap target;
+  let got = snapshot t in
+  if String.equal got witness then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "replayed board diverged from snapshot at clock %d (want %s got %s)"
+         target
+         (Digest.to_hex (Digest.string witness))
+         (Digest.to_hex (Digest.string got)))

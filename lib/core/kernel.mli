@@ -253,3 +253,40 @@ val run_until : t -> cap:Capability.main_loop -> ?max_cycles:int -> (unit -> boo
 
 val run_to_completion : t -> cap:Capability.main_loop -> ?max_cycles:int -> unit -> unit
 (** Step until stalled (every process dead or blocked forever). *)
+
+(** {2 Snapshot / restore (park/resume)}
+
+    Process executions are effect continuations and cannot be
+    serialized, so a parked board is captured as a compact byte
+    {e witness} of its observable state, and resume is {e replay}: the
+    caller rebuilds the board from its deterministic construction recipe
+    and {!restore} drives it to the witness clock using the same
+    chopping-invariant stepping the fleet scheduler uses (see
+    {!run_to_deadline}), then verifies the re-taken witness
+    byte-for-byte. *)
+
+val snapshot : t -> string
+(** Serialize the board's observable state: sim clock and active/sleep
+    cycle split, the live event-queue schedule (deadline, seq) pairs,
+    process table (name, state, pending resume, counters, breaks,
+    subscriptions, allows, queued upcalls, RAM bytes), and the packed
+    kernel + hardware metrics registries. Deterministic: two boards in
+    byte-identical states produce equal snapshots. Runs the registries'
+    snapshot hooks (same effect as {!metrics_snapshot}); does not
+    advance the simulation. *)
+
+val snapshot_clock : string -> int
+(** The sim clock a snapshot was taken at. [Invalid_argument] if the
+    string is not a {!snapshot}. *)
+
+val replay_to : t -> cap:Capability.main_loop -> int -> unit
+(** Drive the board to an absolute clock with [run_to_deadline] +
+    [sleep_to] (stops early only on [`Stalled]). By the chopping
+    invariance contract, the resulting state is byte-identical to any
+    other valid stepping that reaches the same clock. *)
+
+val restore : t -> cap:Capability.main_loop -> string -> (unit, string) result
+(** [restore t ~cap w] replays a freshly-built board [t] to
+    [snapshot_clock w] and verifies [snapshot t = w]. [Error] describes
+    the divergence (snapshot digests) — it means the board was not
+    rebuilt from the same recipe, or determinism is broken. *)

@@ -324,6 +324,13 @@ let has_upcall_for t ~driver ~subscribe_num =
 
 let has_pending_upcalls t = not (Ring_buffer.is_empty t.pending)
 
+let iter_subscriptions t f =
+  Hashtbl.iter
+    (fun (driver, subscribe_num) up -> f ~driver ~subscribe_num up)
+    t.upcall_slots
+
+let iter_pending_upcalls t f = Ring_buffer.iter t.pending f
+
 let upcalls_dropped t = Ring_buffer.drops t.pending
 
 (* ---- allows ---- *)

@@ -182,6 +182,13 @@ val has_upcall_for : t -> driver:int -> subscribe_num:int -> bool
 
 val has_pending_upcalls : t -> bool
 
+val iter_subscriptions :
+  t -> (driver:int -> subscribe_num:int -> upcall -> unit) -> unit
+(** Iterate installed upcall subscriptions (unspecified order). *)
+
+val iter_pending_upcalls : t -> (pending_upcall -> unit) -> unit
+(** Iterate queued-but-undelivered upcalls in delivery (FIFO) order. *)
+
 val upcalls_dropped : t -> int
 
 (** {2 Syscall state: allows} *)

@@ -41,6 +41,10 @@ type config = {
   cycles : int;      (* simulated-cycle budget per group clock *)
   batch : int;       (* calendar dispatch quantum in simulated cycles *)
   seed : int64;
+  park : bool;
+      (* serialize long-sleeping single boards to byte snapshots,
+         freeing their live-window slot; resumed by deterministic
+         replay. Changes memory/wall-time shape only, never results. *)
 }
 
 type board_stats = {
@@ -54,9 +58,13 @@ type board_stats = {
   bs_upcalls : int;
   bs_output_bytes : int;
   bs_output_digest : string;
-  bs_metrics : Tock_obs.Metrics.snapshot;
-      (* the board's kernel-registry snapshot; per-board even when boards
-         share a Sim (radio groups keep hw-side series group-level) *)
+  bs_metrics : Tock_obs.Metrics.packed;
+      (* the board's kernel-registry snapshot, packed: the sorted name
+         table is pooled fleet-wide, so each board retains only two flat
+         int arrays (~10x smaller than the assoc-list snapshot — the
+         dominant retained cost at 100k boards). Per-board even when
+         boards share a Sim (radio groups keep hw-side series
+         group-level). *)
 }
 
 let default =
@@ -67,6 +75,7 @@ let default =
     cycles = 2_000_000;
     batch = 250_000;
     seed = 0xF1EE_2026L;
+    park = false;
   }
 
 (* Live groups per domain: new work is only materialized once the
@@ -162,7 +171,7 @@ let stats_of ~idx ~seed (b : Tock_boards.Board.t) =
        crypto-confinement lint keeps crypto primitives out of boards.
        This digest only fingerprints output for determinism checks. *)
     bs_output_digest = Digest.to_hex (Digest.string out);
-    bs_metrics = Tock.Kernel.metrics_snapshot b.Tock_boards.Board.kernel;
+    bs_metrics = Tock_obs.Metrics.packed_of (Tock.Kernel.metrics b.Tock_boards.Board.kernel);
   }
 
 (* ---- group runtimes ---- *)
@@ -264,21 +273,65 @@ let group_stats rt =
             node.Tock_boards.Signpost_board.node_board)
         net.Tock_boards.Signpost_board.nodes
 
+(* ---- park/resume ----
+
+   A single board fully asleep with a far-off wake can trade its
+   live-window slot for a compact byte snapshot ([Kernel.snapshot]:
+   RAM + process table + event schedule + registries — a few kB vs the
+   full Sim/kernel/capsule/continuation graph). Resume rebuilds the
+   board from the same deterministic recipe and replays it to the park
+   clock; [Kernel.restore] verifies the replayed state byte-for-byte
+   against the stored snapshot, so park/resume can never silently
+   diverge from the keep-it-live path. Only [Single] groups park —
+   radio groups share a Sim across boards and stay live. *)
+
+type parked = {
+  pk_g : int;         (* calendar group id, for rematerialization *)
+  pk_wake : int;      (* the wake deadline the board parked against *)
+  pk_witness : string; (* Kernel.snapshot at park time *)
+}
+
+(* A calendar slot: a live group runtime, or a board parked to bytes. *)
+type slot = Live of group_rt | Parked of parked
+
+(* Park only when the board sleeps through at least this many dispatch
+   quanta: below that, replay-on-resume costs more than the slot is
+   worth and the deferred-sleep park (gr_wake) already skips the gap. *)
+let park_min_quanta = 4
+
+let resume_parked cfg workloads pk =
+  let rt = materialize cfg workloads ~g:pk.pk_g in
+  (match rt.gr_kind with
+  | Single b -> (
+      match
+        Tock.Kernel.restore b.Tock_boards.Board.kernel
+          ~cap:b.Tock_boards.Board.main_cap pk.pk_witness
+      with
+      | Ok () -> ()
+      | Error e -> failwith ("Fleet: resume of board " ^ string_of_int pk.pk_g ^ ": " ^ e))
+  | Radio _ -> assert false);
+  rt.gr_wake <- pk.pk_wake;
+  rt
+
 (* ---- the per-domain scheduler ---- *)
 
 (* One domain's run: a deadline calendar over its live groups, refilled
    from its own deque first and by stealing once that drains. Returns
-   the per-board stats (unordered) and the domain's scheduler-metrics
-   snapshot. *)
+   the per-board stats (unordered), the domain's streaming metrics
+   accumulator (every retired board's packed snapshot already folded
+   in), and the domain's scheduler-metrics snapshot. *)
 let run_domain cfg workloads (deques : Ws_deque.t array) d =
   let reg = Tock_obs.Metrics.create () in
   let c_dispatches = Tock_obs.Metrics.counter reg "fleet.sched.dispatches" in
   let c_steals = Tock_obs.Metrics.counter reg "fleet.sched.steals" in
   let c_ff = Tock_obs.Metrics.counter reg "fleet.sched.fast_forwards" in
   let c_parked = Tock_obs.Metrics.counter reg "fleet.sched.parked_wakes" in
+  let c_board_parks = Tock_obs.Metrics.counter reg "fleet.sched.board_parks" in
+  let c_board_resumes = Tock_obs.Metrics.counter reg "fleet.sched.board_resumes" in
   let c_groups = Tock_obs.Metrics.counter reg "fleet.sched.groups_run" in
   let g_live_peak = Tock_obs.Metrics.gauge reg "fleet.sched.live_groups_peak" in
   let h_batch = Tock_obs.Metrics.histogram reg "fleet.sched.batch_cycles" in
+  let accum = Tock_obs.Metrics.Accum.create () in
   let ndomains = Array.length deques in
   let cal = Calendar.create () in
   let live = ref 0 in
@@ -317,12 +370,19 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
           let rt = materialize cfg workloads ~g in
           incr live;
           Tock_obs.Metrics.set_max g_live_peak !live;
-          Calendar.add cal ~key:(group_now rt) rt
+          Calendar.add cal ~key:(group_now rt) (Live rt)
       | None -> continue_ := false
     done
   in
   let finish rt =
-    results := List.rev_append (group_stats rt) !results;
+    (* Stream-merge as the group retires: the packed snapshots are both
+       the retained per-board stats and the merge input, so the
+       end-of-run cost is one absorb per domain, not O(boards). *)
+    let stats = group_stats rt in
+    List.iter
+      (fun bs -> Tock_obs.Metrics.Accum.add_packed accum bs.bs_metrics)
+      stats;
+    results := List.rev_append stats !results;
     Tock_obs.Metrics.incr c_groups;
     decr live;
     refill ()
@@ -331,8 +391,20 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
   let rec drain () =
     match Calendar.pop_min cal with
     | None -> ()
-    | Some (rt, _key) ->
+    | Some (slot, _key) ->
         Tock_obs.Metrics.incr c_dispatches;
+        let rt =
+          match slot with
+          | Live rt -> rt
+          | Parked pk ->
+              (* Rebuild + replay + byte-verify, then rejoin the live
+                 window (transiently allowed to exceed the refill
+                 bound). *)
+              Tock_obs.Metrics.incr c_board_resumes;
+              incr live;
+              Tock_obs.Metrics.set_max g_live_peak !live;
+              resume_parked cfg workloads pk
+        in
         if rt.gr_wake >= 0 then begin
           (* Parked: take the skipped sleep now, in one hop. *)
           group_sleep_to rt rt.gr_wake;
@@ -345,7 +417,7 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
         (match outcome with
         | `Budget ->
             if group_now rt >= cfg.cycles then finish rt
-            else Calendar.add cal ~key:(group_now rt) rt
+            else Calendar.add cal ~key:(group_now rt) (Live rt)
         | `Stalled ->
             (* Nothing runnable and no event pending: the simulation is
                over for this group, whatever the budget says. *)
@@ -358,14 +430,35 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
               finish rt
             end
             else begin
-              rt.gr_wake <- wake;
-              Tock_obs.Metrics.incr c_parked;
-              Calendar.add cal ~key:wake rt
+              match rt.gr_kind with
+              | Single b
+                when cfg.park && wake - group_now rt >= park_min_quanta * cfg.batch
+                ->
+                  (* Long sleep ahead: trade the live slot for a byte
+                     snapshot and let refill pull fresh work. *)
+                  let pk =
+                    {
+                      (* The group id materialize was called with (for a
+                         leftover single board in a radio-sized fleet the
+                         id is lo / group_size, not lo). *)
+                      pk_g = rt.gr_lo / cfg.group_size;
+                      pk_wake = wake;
+                      pk_witness = Tock.Kernel.snapshot b.Tock_boards.Board.kernel;
+                    }
+                  in
+                  Tock_obs.Metrics.incr c_board_parks;
+                  Calendar.add cal ~key:wake (Parked pk);
+                  decr live;
+                  refill ()
+              | _ ->
+                  rt.gr_wake <- wake;
+                  Tock_obs.Metrics.incr c_parked;
+                  Calendar.add cal ~key:wake (Live rt)
             end);
         drain ()
   in
   drain ();
-  (!results, Tock_obs.Metrics.snapshot reg)
+  (!results, accum, Tock_obs.Metrics.snapshot reg)
 
 let validate cfg =
   if cfg.boards <= 0 then invalid_arg "Fleet.run: boards <= 0";
@@ -374,7 +467,13 @@ let validate cfg =
   if cfg.cycles <= 0 then invalid_arg "Fleet.run: cycles <= 0";
   if cfg.batch <= 0 then invalid_arg "Fleet.run: batch <= 0"
 
-let run_sched cfg =
+type fleet_result = {
+  fr_stats : board_stats array;
+  fr_metrics : Tock_obs.Metrics.snapshot;
+  fr_sched : Tock_obs.Metrics.snapshot;
+}
+
+let run_fleet cfg =
   validate cfg;
   let ngroups = group_count cfg in
   let domains = min cfg.domains ngroups in
@@ -419,21 +518,46 @@ let run_sched cfg =
         bs_upcalls = 0;
         bs_output_bytes = 0;
         bs_output_digest = "";
-        bs_metrics = [];
+        bs_metrics =
+          {
+            Tock_obs.Metrics.p_schema = { sc_names = [||]; sc_kinds = "" };
+            p_blob = "";
+          };
       }
   in
-  List.iter (fun (stats, _) -> List.iter (fun bs -> merged.(bs.bs_board) <- bs) stats) shards;
+  List.iter
+    (fun (stats, _, _) -> List.iter (fun bs -> merged.(bs.bs_board) <- bs) stats)
+    shards;
   Array.iteri
     (fun i bs -> if bs.bs_board <> i then failwith "Fleet.run: missing board")
     merged;
-  (merged, Tock_obs.Metrics.merge (List.map snd shards))
+  (* Tree-merge the per-domain accumulators in domain order. Every
+     combine is an integer sum (see the associativity contract in
+     Tock_obs.Metrics), so the result is byte-identical to the pairwise
+     merge over the board array whatever the retirement order, domain
+     placement, or park/resume history. *)
+  let fleet_acc = Tock_obs.Metrics.Accum.create () in
+  List.iter
+    (fun (_, acc, _) -> Tock_obs.Metrics.Accum.absorb ~into:fleet_acc acc)
+    shards;
+  {
+    fr_stats = merged;
+    fr_metrics = Tock_obs.Metrics.Accum.to_snapshot fleet_acc;
+    fr_sched =
+      Tock_obs.Metrics.merge (List.map (fun (_, _, sched) -> sched) shards);
+  }
 
-let run cfg = fst (run_sched cfg)
+let run_sched cfg =
+  let r = run_fleet cfg in
+  (r.fr_stats, r.fr_sched)
 
-(* Board order is the total order and Metrics.merge sorts by name, so
-   the merged snapshot is byte-identical at any domain count. *)
+let run cfg = (run_fleet cfg).fr_stats
+
+(* The pairwise reference merge over retained packed stats; byte-
+   identical to the streaming [fr_metrics] (and still the right tool
+   once only the stats array is in hand). *)
 let merged_metrics stats =
-  Tock_obs.Metrics.merge
+  Tock_obs.Metrics.merge_packed
     (Array.to_list (Array.map (fun bs -> bs.bs_metrics) stats))
 
 let total_cycles stats =

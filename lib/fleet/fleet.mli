@@ -27,6 +27,13 @@ type config = {
   batch : int;       (** calendar dispatch quantum in simulated cycles;
                          affects wall time only, never results *)
   seed : int64;      (** fleet seed; per-group seeds are derived purely *)
+  park : bool;
+      (** serialize single boards that sleep through several quanta into
+          compact byte snapshots ({!Tock.Kernel.snapshot}), freeing
+          their live-window slot; they are resumed by rebuilding and
+          replaying, byte-verified against the snapshot
+          ({!Tock.Kernel.restore}). Changes the memory/wall-time shape
+          only — results are byte-identical with parking on or off. *)
 }
 
 type board_stats = {
@@ -40,13 +47,18 @@ type board_stats = {
   bs_upcalls : int;
   bs_output_bytes : int;
   bs_output_digest : string;  (** MD5 hex of the uart0 capture *)
-  bs_metrics : Tock_obs.Metrics.snapshot;
+  bs_metrics : Tock_obs.Metrics.packed;
       (** the board kernel's registry snapshot (kernel/driver/process
-          series; hardware-side series stay with the group's Sim) *)
+          series; hardware-side series stay with the group's Sim),
+          packed: the sorted-name schema is pooled fleet-wide, so the
+          per-board retained cost is one no-scan byte blob the major GC
+          never re-marks. Use {!Tock_obs.Metrics.unpack} for the
+          assoc-list view. *)
 }
 
 val default : config
-(** 16 independent boards, 1 domain, 2M cycles, 250k batch. *)
+(** 16 independent boards, 1 domain, 2M cycles, 250k batch, no
+    parking. *)
 
 val group_seed : int64 -> int -> int64
 (** [group_seed fleet_seed first_board_index]: pure SplitMix64-style
@@ -54,23 +66,37 @@ val group_seed : int64 -> int -> int64
 
 val group_count : config -> int
 
-val run : config -> board_stats array
+type fleet_result = {
+  fr_stats : board_stats array;  (** indexed by board number *)
+  fr_metrics : Tock_obs.Metrics.snapshot;
+      (** fleet-wide merged board metrics, accumulated {e streaming} as
+          each group retires (per-domain accumulators, tree-merged) —
+          byte-identical to [merged_metrics fr_stats] for every domain
+          count, batch quantum, and park setting *)
+  fr_sched : Tock_obs.Metrics.snapshot;
+      (** merged scheduler metrics ([fleet.sched.*]: dispatches, steals,
+          parked wakes, fast-forwards, board parks/resumes, groups run,
+          live-group peak, batch-cycle histogram). These {e do} depend
+          on domain count, batch, and park — they describe the
+          execution, not the simulation. *)
+}
+
+val run_fleet : config -> fleet_result
 (** Run the whole fleet; [Invalid_argument] on non-positive config
-    fields. The result array is indexed by board number and is
-    deterministic given [config] minus [domains] and [batch]. *)
+    fields. [fr_stats] and [fr_metrics] are deterministic given [config]
+    minus [domains], [batch], and [park]. *)
+
+val run : config -> board_stats array
+(** [run cfg = (run_fleet cfg).fr_stats]. *)
 
 val run_sched : config -> board_stats array * Tock_obs.Metrics.snapshot
-(** Like {!run}, also returning the merged scheduler metrics
-    ([fleet.sched.*]: dispatches, steals, parked wakes, fast-forwards,
-    groups run, live-group peak, batch-cycle histogram). Unlike the
-    board stats, these {e do} depend on domain count and batch — they
-    describe the execution, not the simulation — so they are kept out
-    of {!merged_metrics}. *)
+(** [(r.fr_stats, r.fr_sched)] of {!run_fleet}. *)
 
 val merged_metrics : board_stats array -> Tock_obs.Metrics.snapshot
-(** Sum the per-board snapshots into one fleet-wide snapshot. Sorted by
-    series name, so the rendering is byte-identical for every value of
-    [config.domains]. *)
+(** The pairwise reference merge over the retained packed snapshots.
+    Byte-identical to [fr_metrics] (one shared merge kernel — see the
+    associativity contract in {!Tock_obs.Metrics}); prefer [fr_metrics]
+    when a {!fleet_result} is already in hand. *)
 
 val total_cycles : board_stats array -> int
 

@@ -175,3 +175,16 @@ let is_empty t =
   t.len = 0
 
 let size t = t.live
+
+let live_times t =
+  let out = Array.make t.live (0, 0) in
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e = t.heap.(i) in
+    if not e.cancelled then begin
+      out.(!j) <- (e.time, e.seq);
+      incr j
+    end
+  done;
+  Array.sort compare out;
+  out

@@ -38,3 +38,10 @@ val is_empty : t -> bool
 
 val size : t -> int
 (** Number of live (non-cancelled) events. *)
+
+val live_times : t -> (int * int) array
+(** (deadline, sequence) of every live event, sorted — the queue's
+    observable schedule, used as a state witness by board snapshots.
+    Sequence numbers are the global FIFO tiebreaks, so two queues with
+    equal [live_times] arose from the same schedule/cancel history of
+    still-pending events. *)

@@ -23,9 +23,28 @@ type t = {
   mutable dirty_writes : int;
 }
 
+(* The erased sentinel is immutable by construction — [page_mut] copies
+   off it before any write — so one per page size serves every
+   controller on every domain. Hoisting it fleet-wide removes a
+   page-size allocation per board (100k boards would otherwise each
+   carry a private copy). Guarded: boards are built concurrently. *)
+let sentinel_mutex = Mutex.create ()
+
+(* otock-lint: allow domain-safety every access goes through [erased_sentinel], whose body runs entirely under [Mutex.protect sentinel_mutex]; the stored bytes are immutable by the CoW contract above *)
+let sentinels : (int, bytes) Hashtbl.t = Hashtbl.create 4
+
+let erased_sentinel page_size =
+  Mutex.protect sentinel_mutex (fun () ->
+      match Hashtbl.find_opt sentinels page_size with
+      | Some b -> b
+      | None ->
+          let b = Bytes.make page_size '\xff' in
+          Hashtbl.replace sentinels page_size b;
+          b)
+
 let create sim irq ~irq_line ~pages ~page_size ~read_cycles ~write_cycles
     ~erase_cycles =
-  let erased = Bytes.make page_size '\xff' in
+  let erased = erased_sentinel page_size in
   let t =
     {
       sim;

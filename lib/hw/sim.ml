@@ -106,6 +106,8 @@ let cancel t h = Event_queue.cancel t.events h
 
 let next_event_time t = Event_queue.next_time t.events
 
+let event_times t = Event_queue.live_times t.events
+
 let next_deadline t = Event_queue.next_deadline t.events
 
 let advance_to_next_event t =

@@ -52,6 +52,10 @@ val run_due_events : t -> bool
 
 val next_event_time : t -> int option
 
+val event_times : t -> (int * int) array
+(** (deadline, sequence) of every live pending event, sorted — see
+    {!Event_queue.live_times}. A board-state witness component. *)
+
 val next_deadline : t -> int
 (** Allocation-free {!next_event_time}: deadline of the earliest pending
     event, [max_int] when the queue is empty. The fleet scheduler keys

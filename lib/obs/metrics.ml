@@ -163,29 +163,381 @@ let quantile hs q =
     else (1 lsl !b) - 1
   end
 
-let merge_value name a b =
-  match (a, b) with
-  | Counter x, Counter y -> Counter (x + y)
-  | Gauge x, Gauge y -> Gauge (x + y)
-  | Histogram x, Histogram y ->
-      Histogram
-        {
-          hs_count = x.hs_count + y.hs_count;
-          hs_sum = x.hs_sum + y.hs_sum;
-          hs_buckets = Array.init buckets (fun i -> x.hs_buckets.(i) + y.hs_buckets.(i));
-        }
-  | _ -> invalid_arg ("Metrics.merge: " ^ name ^ " has conflicting types")
+(* ---- packed snapshots ----
+
+   A snapshot as an assoc list costs ~10 kB of boxed heap per board —
+   prohibitive retained state for 100k-board fleets. The packed form
+   splits a snapshot into an immutable *schema* (sorted names + metric
+   kinds), shared by every board whose registry registered the same
+   series, and one flat byte blob private to the board: scalars
+   (counter/gauge values, or word offsets into the histogram area) and
+   a sparse histogram area (count, sum, pair count, then non-empty
+   (bucket, n) pairs per histogram), all int64-LE words. The blob is a
+   string, so the major GC never scans it: a fleet retaining 100k of
+   these pays ~a dozen marked words per board, not ~150 — re-marking
+   retained stats was the dominant cost of large single-process fleets
+   (wall time at 40k boards dropped ~3x when the arrays became
+   no-scan).
+
+   Schemas and the iteration-order pack plans are pooled in a global
+   mutex-guarded table: a fleet of identical boards shares one schema
+   object (the "registry name table", hoisted fleet-level) and pays the
+   name sort exactly once. Packing is therefore a cache hit plus two
+   array-fill passes per board. Equal registries pack to structurally
+   equal values whatever the domain interleaving: the layout is a pure
+   function of (sorted names, kinds, values). *)
+
+type schema = {
+  sc_names : string array; (* sorted ascending *)
+  sc_kinds : string;       (* 'c' | 'g' | 'h' per sorted entry *)
+}
+
+type packed = {
+  p_schema : schema;
+  p_blob : string;
+      (* int64-LE words, no-scan. Words [0, n): per sorted entry, the
+         counter/gauge value or the absolute word offset of its
+         histogram record. Words [n, ...): histogram area — per
+         histogram, at its offset: count; sum; npairs; then npairs
+         (bucket index, bucket count) pairs in ascending bucket order *)
+}
+
+let blob_word p i = Int64.to_int (String.get_int64_le p.p_blob (8 * i))
+
+let kind_char = function Mc _ -> 'c' | Mg _ -> 'g' | Mh _ -> 'h'
+
+(* A pack plan: the schema plus the registry-iteration-order -> sorted
+   rank mapping, keyed by the names+kinds in iteration order. Identical
+   board recipes register identically, so a whole fleet resolves to a
+   handful of plans. The table is cross-domain shared state: guarded. *)
+type pack_plan = {
+  pl_schema : schema;
+  pl_order : int array; (* pl_order.(rank) = index in iteration order *)
+}
+
+let plans_mutex = Mutex.create ()
+
+(* otock-lint: allow domain-safety the only access path is [plan_for], whose lookup/insert runs entirely under [Mutex.protect plans_mutex]; stored plans are immutable once built *)
+let plans : (string, pack_plan) Hashtbl.t = Hashtbl.create 16
+
+let make_plan names kinds_it =
+  let n = Array.length names in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare names.(a) names.(b)) order;
+  let sc_names = Array.map (fun i -> names.(i)) order in
+  let sc_kinds = String.init n (fun rank -> kinds_it.(order.(rank))) in
+  { pl_schema = { sc_names; sc_kinds }; pl_order = order }
+
+let plan_for names kinds_it =
+  let key =
+    let b = Buffer.create 1024 in
+    Array.iteri
+      (fun i nm ->
+        Buffer.add_string b nm;
+        Buffer.add_char b kinds_it.(i);
+        Buffer.add_char b '\x00')
+      names;
+    Buffer.contents b
+  in
+  Mutex.protect plans_mutex (fun () ->
+      match Hashtbl.find_opt plans key with
+      | Some p -> p
+      | None ->
+          let p = make_plan names kinds_it in
+          Hashtbl.replace plans key p;
+          p)
+
+let hist_pairs h_buckets =
+  let nz = ref 0 in
+  Array.iter (fun v -> if v <> 0 then Stdlib.incr nz) h_buckets;
+  !nz
+
+let packed_of t =
+  List.iter (fun hook -> hook ()) t.sync_hooks;
+  let n = Hashtbl.length t.by_name in
+  let names = Array.make n "" in
+  let ms = Array.make n (Mc { c_name = ""; c_value = 0 }) in
+  let kinds_it = Array.make n 'c' in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun name m ->
+      names.(!i) <- name;
+      ms.(!i) <- m;
+      kinds_it.(!i) <- kind_char m;
+      Stdlib.incr i)
+    t.by_name;
+  let plan = plan_for names kinds_it in
+  let order = plan.pl_order in
+  (* Histogram area size, walking in rank order so offsets are a pure
+     function of the sorted layout. *)
+  let hist_words = ref 0 in
+  Array.iter
+    (fun it ->
+      match ms.(it) with
+      | Mh h -> hist_words := !hist_words + 3 + (2 * hist_pairs h.h_buckets)
+      | _ -> ())
+    order;
+  let blob = Bytes.create (8 * (n + !hist_words)) in
+  let set i v = Bytes.set_int64_le blob (8 * i) (Int64.of_int v) in
+  let cursor = ref n in
+  Array.iteri
+    (fun rank it ->
+      match ms.(it) with
+      | Mc c -> set rank c.c_value
+      | Mg g -> set rank g.g_value
+      | Mh h ->
+          let off = !cursor in
+          set rank off;
+          set off h.h_count;
+          set (off + 1) h.h_sum;
+          let np = ref 0 in
+          let j = ref (off + 3) in
+          Array.iteri
+            (fun b v ->
+              if v <> 0 then begin
+                set !j b;
+                set (!j + 1) v;
+                j := !j + 2;
+                Stdlib.incr np
+              end)
+            h.h_buckets;
+          set (off + 2) !np;
+          cursor := !j)
+    order;
+  { p_schema = plan.pl_schema; p_blob = Bytes.unsafe_to_string blob }
+
+let pack snap =
+  let n = List.length snap in
+  let sc_names = Array.make n "" in
+  let kinds = Bytes.make n 'c' in
+  let hist_words =
+    List.fold_left
+      (fun acc (_, v) ->
+        match v with
+        | Histogram hs -> acc + 3 + (2 * hist_pairs hs.hs_buckets)
+        | _ -> acc)
+      0 snap
+  in
+  let blob = Bytes.create (8 * (n + hist_words)) in
+  let set i v = Bytes.set_int64_le blob (8 * i) (Int64.of_int v) in
+  let cursor = ref n in
+  List.iteri
+    (fun rank (name, v) ->
+      sc_names.(rank) <- name;
+      match v with
+      | Counter c -> set rank c
+      | Gauge g ->
+          Bytes.set kinds rank 'g';
+          set rank g
+      | Histogram hs ->
+          Bytes.set kinds rank 'h';
+          let off = !cursor in
+          set rank off;
+          set off hs.hs_count;
+          set (off + 1) hs.hs_sum;
+          let np = ref 0 in
+          let j = ref (off + 3) in
+          Array.iteri
+            (fun b n ->
+              if n <> 0 then begin
+                set !j b;
+                set (!j + 1) n;
+                j := !j + 2;
+                Stdlib.incr np
+              end)
+            hs.hs_buckets;
+          set (off + 2) !np;
+          cursor := !j)
+    snap;
+  {
+    p_schema = { sc_names; sc_kinds = Bytes.to_string kinds };
+    p_blob = Bytes.unsafe_to_string blob;
+  }
+
+let unpack p =
+  let sc = p.p_schema in
+  let n = Array.length sc.sc_names in
+  let rec go rank acc =
+    if rank < 0 then acc
+    else
+      let v =
+        match sc.sc_kinds.[rank] with
+        | 'c' -> Counter (blob_word p rank)
+        | 'g' -> Gauge (blob_word p rank)
+        | _ ->
+            let off = blob_word p rank in
+            let hs_buckets = Array.make buckets 0 in
+            let np = blob_word p (off + 2) in
+            for k = 0 to np - 1 do
+              hs_buckets.(blob_word p (off + 3 + (2 * k))) <-
+                blob_word p (off + 3 + (2 * k) + 1)
+            done;
+            Histogram
+              {
+                hs_count = blob_word p off;
+                hs_sum = blob_word p (off + 1);
+                hs_buckets;
+              }
+      in
+      go (rank - 1) ((sc.sc_names.(rank), v) :: acc)
+  in
+  go (n - 1) []
+
+let packed_to_string p =
+  let b = Buffer.create 1024 in
+  let int63 v = Buffer.add_int64_le b (Int64.of_int v) in
+  let sc = p.p_schema in
+  let n = Array.length sc.sc_names in
+  int63 n;
+  for rank = 0 to n - 1 do
+    int63 (String.length sc.sc_names.(rank));
+    Buffer.add_string b sc.sc_names.(rank);
+    Buffer.add_char b sc.sc_kinds.[rank]
+  done;
+  (* The blob already is the canonical int64-LE value image. *)
+  Buffer.add_string b p.p_blob;
+  Buffer.contents b
+
+(* ---- incremental merge ----
+
+   One merge kernel for everything: the pairwise [merge] below, the
+   fleet's streaming per-domain accumulators, and cross-domain tree
+   merges all feed an [Accum.t]. Merging is a per-name integer sum
+   (counters and gauges add; histograms add count, sum and each bucket),
+   so it is associative and commutative: any grouping or ordering of
+   the same multiset of snapshots accumulates to the same totals, and
+   [to_snapshot] renders them sorted by name — byte-identical output
+   however the merge tree was shaped. *)
+
+module Accum = struct
+  type acc =
+    | Ac of { mutable av : int }
+    | Ag of { mutable av : int }
+    | Ah of { mutable ah_count : int; mutable ah_sum : int; ah_buckets : int array }
+
+  type t = (string, acc) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let conflict name = invalid_arg ("Metrics.merge: " ^ name ^ " has conflicting types")
+
+  let add_value t name v =
+    match (Hashtbl.find_opt t name, v) with
+    | None, Counter n -> Hashtbl.replace t name (Ac { av = n })
+    | None, Gauge n -> Hashtbl.replace t name (Ag { av = n })
+    | None, Histogram hs ->
+        Hashtbl.replace t name
+          (Ah
+             {
+               ah_count = hs.hs_count;
+               ah_sum = hs.hs_sum;
+               ah_buckets = Array.copy hs.hs_buckets;
+             })
+    | Some (Ac a), Counter n -> a.av <- a.av + n
+    | Some (Ag a), Gauge n -> a.av <- a.av + n
+    | Some (Ah a), Histogram hs ->
+        a.ah_count <- a.ah_count + hs.hs_count;
+        a.ah_sum <- a.ah_sum + hs.hs_sum;
+        for i = 0 to buckets - 1 do
+          a.ah_buckets.(i) <- a.ah_buckets.(i) + hs.hs_buckets.(i)
+        done
+    | Some _, _ -> conflict name
+
+  let add t snap = List.iter (fun (name, v) -> add_value t name v) snap
+
+  (* The packed fast path: no unpacking allocation on the hit path —
+     scalars add in place, histogram pairs add into the accumulated
+     bucket array. *)
+  let add_packed t p =
+    let sc = p.p_schema in
+    for rank = 0 to Array.length sc.sc_names - 1 do
+      let name = sc.sc_names.(rank) in
+      match (Hashtbl.find_opt t name, sc.sc_kinds.[rank]) with
+      | None, 'c' -> Hashtbl.replace t name (Ac { av = blob_word p rank })
+      | None, 'g' -> Hashtbl.replace t name (Ag { av = blob_word p rank })
+      | None, _ ->
+          let off = blob_word p rank in
+          let ah_buckets = Array.make buckets 0 in
+          let np = blob_word p (off + 2) in
+          for k = 0 to np - 1 do
+            ah_buckets.(blob_word p (off + 3 + (2 * k))) <-
+              blob_word p (off + 3 + (2 * k) + 1)
+          done;
+          Hashtbl.replace t name
+            (Ah
+               {
+                 ah_count = blob_word p off;
+                 ah_sum = blob_word p (off + 1);
+                 ah_buckets;
+               })
+      | Some (Ac a), 'c' -> a.av <- a.av + blob_word p rank
+      | Some (Ag a), 'g' -> a.av <- a.av + blob_word p rank
+      | Some (Ah a), 'h' ->
+          let off = blob_word p rank in
+          a.ah_count <- a.ah_count + blob_word p off;
+          a.ah_sum <- a.ah_sum + blob_word p (off + 1);
+          let np = blob_word p (off + 2) in
+          for k = 0 to np - 1 do
+            let b = blob_word p (off + 3 + (2 * k)) in
+            a.ah_buckets.(b) <- a.ah_buckets.(b) + blob_word p (off + 3 + (2 * k) + 1)
+          done
+      | Some _, _ -> conflict name
+    done
+
+  let absorb ~into src =
+    Hashtbl.iter
+      (fun name acc ->
+        match (Hashtbl.find_opt into name, acc) with
+        | None, Ac a -> Hashtbl.replace into name (Ac { av = a.av })
+        | None, Ag a -> Hashtbl.replace into name (Ag { av = a.av })
+        | None, Ah a ->
+            Hashtbl.replace into name
+              (Ah
+                 {
+                   ah_count = a.ah_count;
+                   ah_sum = a.ah_sum;
+                   ah_buckets = Array.copy a.ah_buckets;
+                 })
+        | Some (Ac d), Ac a -> d.av <- d.av + a.av
+        | Some (Ag d), Ag a -> d.av <- d.av + a.av
+        | Some (Ah d), Ah a ->
+            d.ah_count <- d.ah_count + a.ah_count;
+            d.ah_sum <- d.ah_sum + a.ah_sum;
+            for i = 0 to buckets - 1 do
+              d.ah_buckets.(i) <- d.ah_buckets.(i) + a.ah_buckets.(i)
+            done
+        | Some _, _ -> conflict name)
+      src
+
+  let to_snapshot t =
+    Hashtbl.fold
+      (fun name acc l ->
+        let v =
+          match acc with
+          | Ac a -> Counter a.av
+          | Ag a -> Gauge a.av
+          | Ah a ->
+              Histogram
+                {
+                  hs_count = a.ah_count;
+                  hs_sum = a.ah_sum;
+                  hs_buckets = Array.copy a.ah_buckets;
+                }
+        in
+        (name, v) :: l)
+      t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end
 
 let merge snaps =
-  let tbl = Hashtbl.create 64 in
-  List.iter
-    (List.iter (fun (name, v) ->
-         match Hashtbl.find_opt tbl name with
-         | None -> Hashtbl.replace tbl name v
-         | Some prev -> Hashtbl.replace tbl name (merge_value name prev v)))
-    snaps;
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let a = Accum.create () in
+  List.iter (Accum.add a) snaps;
+  Accum.to_snapshot a
+
+let merge_packed ps =
+  let a = Accum.create () in
+  List.iter (Accum.add_packed a) ps;
+  Accum.to_snapshot a
 
 (* ---- rendering ---- *)
 

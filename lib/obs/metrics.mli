@@ -81,7 +81,89 @@ val quantile : hist_snapshot -> float -> int
 
 val merge : snapshot list -> snapshot
 (** Merge by name: counters and gauges sum, histograms add bucket-wise.
-    [Invalid_argument] if one name carries two metric types. *)
+    [Invalid_argument] if one name carries two metric types.
+
+    {b Associativity contract.} Every combine is a per-name integer sum
+    (counter + counter, gauge + gauge, histogram count/sum/buckets
+    element-wise), so merging is associative {e and} commutative: for
+    any multiset of snapshots, any merge tree — pairwise [merge],
+    streaming accumulation into an {!Accum.t}, per-domain partial
+    accumulators tree-merged with {!Accum.absorb} — produces the same
+    snapshot, rendered sorted by name. The fleet runner relies on this
+    to merge per-board stats as groups retire, in whatever order domains
+    finish, and still emit byte-identical output. *)
+
+(** {2 Packed snapshots}
+
+    A [snapshot] assoc list costs ~10 kB of boxed heap per board; a
+    100k-board fleet cannot afford to retain that. [packed] stores the
+    same information as a shared immutable {!schema} (sorted names +
+    kinds — pooled globally, so every board built from the same recipe
+    physically shares one) plus one flat byte blob private to the
+    board. The blob is a string, so the major GC never scans retained
+    fleet stats — re-marking 100k boards' worth of boxed snapshots was
+    the dominant cost of large fleets. Equal registries pack to
+    structurally equal values regardless of domain placement: the
+    layout is a pure function of the sorted (name, kind, value)
+    sequence, never of global mutable ids. *)
+
+type schema = {
+  sc_names : string array;  (** sorted ascending *)
+  sc_kinds : string;  (** ['c'|'g'|'h'] per sorted entry *)
+}
+
+type packed = {
+  p_schema : schema;
+  p_blob : string;
+      (** int64-LE words, no-scan. Words [0, n): per sorted entry, the
+          counter/gauge value or the absolute word offset of the
+          entry's histogram record. Words [n, ...): per histogram at
+          its offset: count; sum; npairs; then npairs (bucket index,
+          bucket count) pairs, ascending *)
+}
+
+val packed_of : t -> packed
+(** Snapshot a registry directly into packed form (runs the same sync
+    hooks as {!snapshot}). [unpack (packed_of t) = snapshot t]. Sorting
+    cost is paid once per distinct registration sequence via a pooled
+    pack plan; subsequent boards pay two array fills. *)
+
+val pack : snapshot -> packed
+
+val unpack : packed -> snapshot
+
+val packed_to_string : packed -> string
+(** Compact deterministic binary encoding (for digests / park
+    buffers). *)
+
+val merge_packed : packed list -> snapshot
+(** [merge] over packed snapshots without unpacking. *)
+
+(** {2 Streaming accumulation}
+
+    The single merge kernel shared by pairwise {!merge}, the fleet's
+    per-domain streaming accumulators, and cross-domain tree merges.
+    Steady-state [add_packed] into an existing accumulator allocates
+    nothing: scalars add in place and histogram pairs add into the
+    accumulated bucket arrays. *)
+
+module Accum : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> snapshot -> unit
+  val add_packed : t -> packed -> unit
+
+  val absorb : into:t -> t -> unit
+  (** Fold a partial accumulator into [into] (tree merge across
+      domains). [src] is unchanged. *)
+
+  val to_snapshot : t -> snapshot
+  (** Render the accumulated totals, sorted by name — byte-identical
+      for any grouping/order of the same inputs (see the associativity
+      contract on {!val-merge}). *)
+end
 
 val render_text : snapshot -> string
 (** Aligned human-readable table, histograms as count/sum/p50/p99. *)

@@ -60,61 +60,156 @@ let test_batch_invariance () =
       check_identical (Printf.sprintf "batch=%d" batch) coarse chopped)
     [ 1_000; 7_777; 50_000 ]
 
+(* A single sleepy-counter board, built from a fixed recipe — the
+   shared subject for the fast-forward and snapshot/restore tests. *)
+let build_sleepy () =
+  let sim = Tock_hw.Sim.create ~seed:0xFAFA_01L ~trace_capacity:0 () in
+  let chip = Tock_hw.Chip.sam4l_like sim in
+  let board = Tock_boards.Board.build chip in
+  (match
+     Tock_boards.Board.add_app board ~name:"sleepy"
+       (Tock_userland.Apps.counter ~n:3 ~period_ticks:1500)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "add_app: %s" (Tock.Error.to_string e));
+  board
+
+let finish_to b deadline =
+  (* Drive run_to_deadline exactly the way the fleet scheduler does. *)
+  let k = b.Tock_boards.Board.kernel and cap = b.Tock_boards.Board.main_cap in
+  let rec go quantum =
+    let now = Tock_hw.Sim.now b.Tock_boards.Board.sim in
+    if now < deadline then
+      match
+        Tock.Kernel.run_to_deadline k ~cap ~deadline:(min (now + quantum) deadline)
+      with
+      | `Budget -> go quantum
+      | `Stalled -> ()
+      | `Asleep wake ->
+          if wake >= deadline then Tock.Kernel.sleep_to k ~cap deadline
+          else begin
+            Tock.Kernel.sleep_to k ~cap wake;
+            go quantum
+          end
+  in
+  go
+
+let fingerprint b =
+  Printf.sprintf "now=%d active=%d sleep=%d out=%s metrics=%s"
+    (Tock_hw.Sim.now b.Tock_boards.Board.sim)
+    (Tock_hw.Sim.active_cycles b.Tock_boards.Board.sim)
+    (Tock_hw.Sim.sleep_cycles b.Tock_boards.Board.sim)
+    (Digest.to_hex (Digest.string (Tock_boards.Board.output b)))
+    (Tock_obs.Metrics.render_json
+       (Tock.Kernel.metrics_snapshot b.Tock_boards.Board.kernel))
+
 (* A sleep-heavy board stepped to its budget in many small quanta vs
    fast-forwarded in one hop must reach the identical final state:
    clock, active/sleep split, output, and the full metrics registry. *)
 let test_fast_forward_identical_state () =
   let budget = 3_000_000 in
-  let build () =
-    let sim = Tock_hw.Sim.create ~seed:0xFAFA_01L ~trace_capacity:0 () in
-    let chip = Tock_hw.Chip.sam4l_like sim in
-    let board = Tock_boards.Board.build chip in
-    (match
-       Tock_boards.Board.add_app board ~name:"sleepy"
-         (Tock_userland.Apps.counter ~n:3 ~period_ticks:1500)
-     with
-    | Ok _ -> ()
-    | Error e -> Alcotest.failf "add_app: %s" (Tock.Error.to_string e));
-    board
-  in
-  let finish_to b deadline =
-    (* Drive run_to_deadline exactly the way the fleet scheduler does. *)
-    let k = b.Tock_boards.Board.kernel and cap = b.Tock_boards.Board.main_cap in
-    let rec go quantum =
-      let now = Tock_hw.Sim.now b.Tock_boards.Board.sim in
-      if now < deadline then
-        match
-          Tock.Kernel.run_to_deadline k ~cap ~deadline:(min (now + quantum) deadline)
-        with
-        | `Budget -> go quantum
-        | `Stalled -> ()
-        | `Asleep wake ->
-            if wake >= deadline then Tock.Kernel.sleep_to k ~cap deadline
-            else begin
-              Tock.Kernel.sleep_to k ~cap wake;
-              go quantum
-            end
-    in
-    go
-  in
-  let stepped = build () in
+  let stepped = build_sleepy () in
   finish_to stepped budget 10_000;
-  let warped = build () in
+  let warped = build_sleepy () in
   finish_to warped budget budget;
-  let fingerprint b =
-    Printf.sprintf "now=%d active=%d sleep=%d out=%s metrics=%s"
-      (Tock_hw.Sim.now b.Tock_boards.Board.sim)
-      (Tock_hw.Sim.active_cycles b.Tock_boards.Board.sim)
-      (Tock_hw.Sim.sleep_cycles b.Tock_boards.Board.sim)
-      (Digest.to_hex (Digest.string (Tock_boards.Board.output b)))
-      (Tock_obs.Metrics.render_json
-         (Tock.Kernel.metrics_snapshot b.Tock_boards.Board.kernel))
-  in
   Alcotest.(check string) "stepped == fast-forwarded" (fingerprint stepped)
     (fingerprint warped);
   (* And both landed exactly on the budget, not past it. *)
   Alcotest.(check int) "clock at budget" budget
     (Tock_hw.Sim.now stepped.Tock_boards.Board.sim)
+
+(* Snapshot mid-run, rebuild from the same recipe, restore (replay +
+   byte-verify), then run both boards on: the resumed board must stay
+   byte-identical to the one that never parked. *)
+let test_snapshot_restore_determinism () =
+  let park_at = 700_000 and budget = 2_000_000 in
+  let original = build_sleepy () in
+  finish_to original park_at 10_000;
+  let w = Tock.Kernel.snapshot original.Tock_boards.Board.kernel in
+  Alcotest.(check int) "witness clock" park_at (Tock.Kernel.snapshot_clock w);
+  (* Snapshots are pure observations: retaking one changes nothing. *)
+  Alcotest.(check string) "snapshot is stable" w
+    (Tock.Kernel.snapshot original.Tock_boards.Board.kernel);
+  let resumed = build_sleepy () in
+  (match
+     Tock.Kernel.restore resumed.Tock_boards.Board.kernel
+       ~cap:resumed.Tock_boards.Board.main_cap w
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "restore: %s" e);
+  Alcotest.(check string) "restored state matches" (fingerprint original)
+    (fingerprint resumed);
+  (* Drive both to the budget with different choppings. *)
+  finish_to original budget 10_000;
+  finish_to resumed budget 3_333;
+  Alcotest.(check string) "resumed == continuously stepped"
+    (fingerprint original) (fingerprint resumed);
+  Alcotest.(check string) "final snapshots equal"
+    (Tock.Kernel.snapshot original.Tock_boards.Board.kernel)
+    (Tock.Kernel.snapshot resumed.Tock_boards.Board.kernel)
+
+let sched_counter sched name =
+  match List.assoc_opt name sched with
+  | Some (Tock_obs.Metrics.Counter v) -> v
+  | _ -> Alcotest.failf "scheduler metric %s missing" name
+
+(* Fleet-level park/resume: identical results with parking on or off,
+   at 1 and 2 domains — and parking must actually have happened for the
+   run to be evidence of anything. *)
+let test_park_resume_identical () =
+  let cfg =
+    small { Fleet.default with boards = 8; group_size = 1; batch = 1_000 }
+  in
+  let plain = Fleet.run_fleet { cfg with park = false } in
+  let mm = Tock_obs.Metrics.render_json plain.Fleet.fr_metrics in
+  List.iter
+    (fun domains ->
+      let parked = Fleet.run_fleet { cfg with park = true; domains } in
+      check_identical
+        (Printf.sprintf "park on/off @ %d domains" domains)
+        plain.Fleet.fr_stats parked.Fleet.fr_stats;
+      Alcotest.(check string)
+        (Printf.sprintf "merged metrics @ %d domains" domains)
+        mm
+        (Tock_obs.Metrics.render_json parked.Fleet.fr_metrics);
+      let parks = sched_counter parked.Fleet.fr_sched "fleet.sched.board_parks" in
+      Alcotest.(check bool) "parking occurred" true (parks > 0);
+      Alcotest.(check int) "every park resumed" parks
+        (sched_counter parked.Fleet.fr_sched "fleet.sched.board_resumes"))
+    [ 1; 2 ]
+
+(* The paper-scale construction smoke: 100k boards materialize through
+   the bounded live window, run a tiny budget with parking on, and
+   retire into packed stats — the whole fleet must fit and account. *)
+let test_100k_construction_park_smoke () =
+  let boards = 100_000 in
+  let cfg =
+    {
+      Fleet.default with
+      boards;
+      group_size = 1;
+      cycles = 2_000;
+      batch = 100;
+      park = true;
+    }
+  in
+  let r = Fleet.run_fleet cfg in
+  Alcotest.(check int) "all boards reported" boards
+    (Array.length r.Fleet.fr_stats);
+  Array.iteri
+    (fun i (bs : Fleet.board_stats) ->
+      if bs.Fleet.bs_board <> i then
+        Alcotest.failf "board %d out of place (slot %d)" bs.Fleet.bs_board i;
+      if bs.Fleet.bs_cycles <= 0 then
+        Alcotest.failf "board %d made no progress" i)
+    r.Fleet.fr_stats;
+  Alcotest.(check int) "every group accounted" (Fleet.group_count cfg)
+    (sched_counter r.Fleet.fr_sched "fleet.sched.groups_run");
+  (* The merged snapshot covers the whole fleet's syscall count. *)
+  (match List.assoc_opt "kernel.syscalls" r.Fleet.fr_metrics with
+  | Some (Tock_obs.Metrics.Counter v) ->
+      Alcotest.(check int) "merged syscalls" (Fleet.total_syscalls r.Fleet.fr_stats) v
+  | _ -> Alcotest.fail "kernel.syscalls missing from merged metrics")
 
 let test_fleet_smoke () =
   (* Tiny 2-domain fleet through the stealing scheduler: every board
@@ -181,6 +276,12 @@ let suite =
       test_batch_invariance;
     Alcotest.test_case "fast-forward reaches identical state" `Quick
       test_fast_forward_identical_state;
+    Alcotest.test_case "snapshot/restore determinism" `Quick
+      test_snapshot_restore_determinism;
+    Alcotest.test_case "park/resume byte-identical (1/2 domains)" `Quick
+      test_park_resume_identical;
+    Alcotest.test_case "100k-board construction + park smoke" `Slow
+      test_100k_construction_park_smoke;
     Alcotest.test_case "fleet-smoke (2 domains, stealing on)" `Quick
       test_fleet_smoke;
     Alcotest.test_case "group seeds are pure" `Quick

@@ -270,6 +270,85 @@ let test_merge_sums () =
       Alcotest.(check int) "hist sum" 8 hs.Metrics.hs_sum
   | snap -> Alcotest.failf "unexpected merge: %s" (Metrics.render_text snap)
 
+(* ---- merge-kernel equivalence (qcheck) ----
+
+   Random metric sets over a fixed name/kind universe (kinds must agree
+   across snapshots for a merge to be well-typed): pairwise merge,
+   streaming accumulation, a two-way tree merge, and the packed-input
+   merge must all produce the identical snapshot — the associativity
+   contract the fleet's streaming per-domain merge rests on. *)
+
+let gen_metric_specs =
+  (* Each snapshot: up to 12 (series index, value) events; each fleet:
+     0..6 snapshots. Kind is a pure function of the index. *)
+  QCheck2.Gen.(
+    list_size (int_bound 6)
+      (list_size (int_bound 12) (pair (int_bound 8) (int_bound 1_000))))
+
+let snapshot_of_spec spec =
+  let r = Metrics.create () in
+  List.iter
+    (fun (idx, v) ->
+      let name = Printf.sprintf "series.%d" idx in
+      match idx mod 3 with
+      | 0 -> Metrics.add (Metrics.counter r name) v
+      | 1 -> Metrics.set (Metrics.gauge r name) v
+      | _ -> Metrics.observe (Metrics.histogram r name) v)
+    spec;
+  Metrics.snapshot r
+
+let qcheck_merge_kernel_equivalence =
+  qcheck "pairwise == streaming == tree == packed merge" gen_metric_specs
+    (fun specs ->
+      let snaps = List.map snapshot_of_spec specs in
+      let reference = Metrics.merge snaps in
+      let streaming =
+        let a = Metrics.Accum.create () in
+        List.iter (Metrics.Accum.add a) snaps;
+        Metrics.Accum.to_snapshot a
+      in
+      let tree =
+        (* Accumulate halves independently, then absorb — the fleet's
+           per-domain-then-cross-domain shape. *)
+        let k = List.length snaps / 2 in
+        let left = Metrics.Accum.create () in
+        let right = Metrics.Accum.create () in
+        List.iteri
+          (fun i s -> Metrics.Accum.add (if i < k then left else right) s)
+          snaps;
+        Metrics.Accum.absorb ~into:left right;
+        Metrics.Accum.to_snapshot left
+      in
+      let packed = Metrics.merge_packed (List.map Metrics.pack snaps) in
+      reference = streaming && reference = tree && reference = packed)
+
+let qcheck_pack_roundtrip =
+  qcheck "pack/unpack round-trips any snapshot" gen_metric_specs
+    (fun specs ->
+      List.for_all
+        (fun spec ->
+          let snap = snapshot_of_spec spec in
+          Metrics.unpack (Metrics.pack snap) = snap)
+        specs)
+
+let test_packed_of_matches_snapshot () =
+  (* packed_of (registry iteration order through the pooled pack plan)
+     and pack (sorted snapshot order) meet at the same packed value;
+     unpacking recovers the snapshot exactly. *)
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "z.count") 7;
+  Metrics.set (Metrics.gauge r "a.gauge") 41;
+  let h = Metrics.histogram r "m.lat" in
+  List.iter (Metrics.observe h) [ 1; 1; 9; 400 ];
+  let snap = Metrics.snapshot r in
+  let p = Metrics.packed_of r in
+  Alcotest.(check bool) "packed_of = pack . snapshot" true
+    (p = Metrics.pack snap);
+  Alcotest.(check bool) "unpack . packed_of = snapshot" true
+    (Metrics.unpack p = snap);
+  Alcotest.(check bool) "binary encoding is stable" true
+    (Metrics.packed_to_string p = Metrics.packed_to_string (Metrics.pack snap))
+
 let test_merge_type_clash () =
   let ra = Metrics.create () and rb = Metrics.create () in
   ignore (Metrics.counter ra "x");
@@ -471,6 +550,10 @@ let suite =
     qcheck_histogram_invariants;
     qcheck_quantile_monotone;
     Alcotest.test_case "merge sums" `Quick test_merge_sums;
+    qcheck_merge_kernel_equivalence;
+    qcheck_pack_roundtrip;
+    Alcotest.test_case "packed_of matches snapshot" `Quick
+      test_packed_of_matches_snapshot;
     Alcotest.test_case "merge type clash" `Quick test_merge_type_clash;
     Alcotest.test_case "render_json parses" `Quick test_render_json_parses;
     Alcotest.test_case "trace ring drop accounting" `Quick test_trace_drops;
