@@ -207,7 +207,8 @@ let signpost_cmd nodes seconds seed =
 
 (* ---- fleet ---- *)
 
-let fleet_cmd boards domains group_size cycles batch seed park quiet metrics =
+let fleet_cmd boards domains group_size cycles batch seed park park_min_quanta
+    verify_park quiet metrics =
   let domains =
     match domains with
     | "auto" -> max 1 (Domain.recommended_domain_count ())
@@ -225,6 +226,8 @@ let fleet_cmd boards domains group_size cycles batch seed park quiet metrics =
       batch;
       seed = Int64.of_int seed;
       park;
+      park_min_quanta;
+      verify_park;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -355,9 +358,21 @@ let quiet_arg =
 
 let park_arg =
   Arg.(value & flag & info [ "park" ]
-       ~doc:"Park long-sleeping boards as compact byte snapshots and \
-             resume them by verified replay; results are byte-identical \
-             either way.")
+       ~doc:"Park long-sleeping boards as compact byte witnesses and \
+             resume them by direct thaw (verified replay as fallback); \
+             results are byte-identical either way.")
+
+let park_min_quanta_arg =
+  Arg.(value & opt int Tock_fleet.Fleet.default.Tock_fleet.Fleet.park_min_quanta
+       & info [ "park-min-quanta" ] ~docv:"N"
+       ~doc:"Park only boards sleeping through at least N dispatch \
+             quanta (batches); shorter gaps are skipped in place.")
+
+let verify_park_arg =
+  Arg.(value & flag & info [ "verify-park" ]
+       ~doc:"Cross-check every park resume: re-freeze the thawed board \
+             against its witness and independently replay it. Slow; for \
+             debugging determinism.")
 
 let run_t =
   Term.(const run_cmd $ chip_arg $ apps_arg $ sched_arg $ seconds_arg
@@ -367,8 +382,8 @@ let signpost_t = Term.(const signpost_cmd $ nodes_arg $ seconds_arg $ seed_arg)
 
 let fleet_t =
   Term.(const fleet_cmd $ boards_arg $ domains_arg $ group_size_arg
-        $ cycles_arg $ batch_arg $ seed_arg $ park_arg $ quiet_arg
-        $ metrics_arg)
+        $ cycles_arg $ batch_arg $ seed_arg $ park_arg $ park_min_quanta_arg
+        $ verify_park_arg $ quiet_arg $ metrics_arg)
 
 let rot_t = Term.(const rot_cmd $ tamper_arg)
 

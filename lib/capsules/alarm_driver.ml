@@ -4,6 +4,71 @@ type grant_state = { valarm : Alarm_mux.valarm; mutable armed : bool }
 
 type t = { kernel : Kernel.t; mux : Alarm_mux.t; grant : grant_state Grant.t }
 
+let enter t proc f = Grant.enter t.grant proc f
+
+(* Freeze/thaw: the witness records the mux's grant-owned virtual alarms
+   in allocation order (fire sweeps visit clients in list order, so the
+   order is observable under simultaneous expiries) plus each armed
+   alarm's absolute (reference, dt). Thaw's [`Pre] load preallocates the
+   grants in that order — rebuilding the mux list — and installs the
+   resume alarm each live app's prologue re-arms via command 4. *)
+
+let freeze_save t buf =
+  let procs = Kernel.processes t.kernel in
+  let entries = ref [] in
+  Alarm_mux.iter_alarms t.mux (fun v ->
+      List.iter
+        (fun p ->
+          match Grant.peek t.grant p with
+          | Some g when g.valarm == v ->
+              (* iter visits newest-first; prepending leaves the final
+                 list in allocation order. *)
+              entries := (Process.id p, Alarm_mux.is_armed v, v) :: !entries
+          | _ -> ())
+        procs);
+  Kernel.Witness.add_int buf (List.length !entries);
+  List.iter
+    (fun (pid, armed, v) ->
+      Kernel.Witness.add_int buf pid;
+      Kernel.Witness.add_int buf (if armed then 1 else 0);
+      if armed then begin
+        (* (reference, dt) is stale on a disarmed alarm: elided. *)
+        let reference, dt = Alarm_mux.alarm_params v in
+        Kernel.Witness.add_int buf reference;
+        Kernel.Witness.add_int buf dt
+      end)
+    !entries
+
+let freeze_load t blob =
+  Kernel.Witness.guard (fun () ->
+      let r = Kernel.Witness.reader blob in
+      let n = Kernel.Witness.int r in
+      if n < 0 || n > 100_000 then
+        Kernel.Witness.corrupt "bad alarm entry count %d" n;
+      let procs = Kernel.processes t.kernel in
+      for _ = 1 to n do
+        let pid = Kernel.Witness.int r in
+        let armed = Kernel.Witness.int r in
+        let resume =
+          if armed = 1 then begin
+            let reference = Kernel.Witness.int r in
+            let dt = Kernel.Witness.int r in
+            Some (reference, dt)
+          end
+          else if armed = 0 then None
+          else Kernel.Witness.corrupt "bad armed flag %d" armed
+        in
+        match List.find_opt (fun p -> Process.id p = pid) procs with
+        | None -> Kernel.Witness.corrupt "alarm entry for unknown pid %d" pid
+        | Some p ->
+            if not (Grant.preallocate t.grant p) then
+              Kernel.Witness.corrupt "alarm grant preallocation failed (pid %d)"
+                pid;
+            Process.set_resume_alarm p resume
+      done;
+      if not (Kernel.Witness.at_end r) then
+        Kernel.Witness.corrupt "trailing bytes in alarm section")
+
 let create kernel mux ~grant_cap =
   let t =
     {
@@ -14,11 +79,29 @@ let create kernel mux ~grant_cap =
             { valarm = Alarm_mux.new_alarm mux; armed = false });
     }
   in
+  Kernel.register_grant kernel ~name:"alarm"
+    ~preallocate:(fun p -> Grant.preallocate t.grant p)
+    ~is_allocated:(fun p -> Grant.is_allocated t.grant p);
+  Kernel.register_freezer kernel ~name:"alarm" ~phase:`Pre
+    ~save:(fun buf -> freeze_save t buf)
+    ~load:(fun blob -> freeze_load t blob);
   t
 
-let enter t proc f = Grant.enter t.grant proc f
+(* Arm [g]'s virtual alarm at absolute (reference, dt) and register the
+   completion upcall. Shared by command 4 (absolute, also the thaw
+   resume path) and command 5 (relative). *)
+let arm t g pid ~reference ~dt =
+  Alarm_mux.set_client g.valarm (fun () ->
+      g.armed <- false;
+      ignore
+        (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.alarm
+           ~subscribe_num:0
+           ~args:(Alarm_mux.now g.valarm, reference, 0)));
+  Alarm_mux.set_alarm g.valarm ~reference ~dt;
+  g.armed <- true;
+  reference
 
-let command t proc ~command_num ~arg1 ~arg2:_ =
+let command t proc ~command_num ~arg1 ~arg2 =
   let pid = Process.id proc in
   match command_num with
   | 0 -> Syscall.Success
@@ -30,20 +113,21 @@ let command t proc ~command_num ~arg1 ~arg2:_ =
       match enter t proc (fun g -> Alarm_mux.now g.valarm) with
       | Ok ticks -> Syscall.Success_u32 ticks
       | Error e -> Syscall.Failure e)
+  | 4 -> (
+      (* arm an absolute alarm: reference = arg1, dt = arg2 *)
+      let r =
+        enter t proc (fun g ->
+            arm t g pid ~reference:(arg1 land 0xFFFF_FFFF)
+              ~dt:(arg2 land 0xFFFF_FFFF))
+      in
+      match r with
+      | Ok reference -> Syscall.Success_u32 reference
+      | Error e -> Syscall.Failure e)
   | 5 -> (
       (* arm a relative alarm of arg1 ticks *)
       let r =
         enter t proc (fun g ->
-            let reference = Alarm_mux.now g.valarm in
-            Alarm_mux.set_client g.valarm (fun () ->
-                g.armed <- false;
-                ignore
-                  (Kernel.schedule_upcall t.kernel pid ~driver:Driver_num.alarm
-                     ~subscribe_num:0
-                     ~args:(Alarm_mux.now g.valarm, reference, 0)));
-            Alarm_mux.set_alarm g.valarm ~reference ~dt:arg1;
-            g.armed <- true;
-            reference)
+            arm t g pid ~reference:(Alarm_mux.now g.valarm) ~dt:arg1)
       in
       match r with
       | Ok reference -> Syscall.Success_u32 reference

@@ -115,6 +115,10 @@ let cancel v =
 
 let is_armed v = v.armed
 
+let alarm_params v = (v.reference, v.dt)
+
+let iter_alarms t f = List.iter f t.alarms
+
 let armed_count t = List.length (List.filter (fun v -> v.armed) t.alarms)
 
 let fired_total t = t.fired

@@ -43,6 +43,16 @@ val cancel : valarm -> unit
 
 val is_armed : valarm -> bool
 
+val alarm_params : valarm -> int * int
+(** The (reference, dt) the alarm was last set with. Only meaningful
+    while {!is_armed}; a disarmed alarm retains stale values, which is
+    why board freeze ({!Tock.Kernel.freeze}) elides them. *)
+
+val iter_alarms : t -> (valarm -> unit) -> unit
+(** Iterate virtual alarms in the mux's internal client order — the
+    order fire sweeps visit them, which freeze must witness because
+    simultaneous expiries invoke clients in exactly this order. *)
+
 val armed_count : t -> int
 
 val fired_total : t -> int

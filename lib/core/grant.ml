@@ -66,6 +66,26 @@ let enter t proc f =
 
 let is_allocated t proc = lookup t proc <> None
 
+(* Thaw support: allocate the instance without entering it (no
+   note_grant_enter, no trace) — a frozen board's grant-enter counters
+   are restored wholesale afterwards, so the allocation must not count
+   as activity. Grant region accounting still applies. *)
+let preallocate t proc =
+  match lookup t proc with
+  | Some _ -> true
+  | None ->
+      if Process.allocate_grant_bytes proc t.size then begin
+        Hashtbl.replace (Process.grant_table proc) t.gid
+          (Univ.inject t.key { value = t.init (); entered = false });
+        true
+      end
+      else false
+
+(* Freeze support: read the instance without allocating, entering, or
+   touching the grant-enter counters/trace — witness saves must not
+   perturb the state they are recording. *)
+let peek t proc = Option.map (fun e -> e.value) (lookup t proc)
+
 let size_bytes t = t.size
 
 let name t = t.g_name

@@ -31,6 +31,18 @@ val enter : 'a t -> Process.t -> ('a -> 'b) -> ('b, Error.t) result
 
 val is_allocated : 'a t -> Process.t -> bool
 
+val preallocate : 'a t -> Process.t -> bool
+(** Allocate the instance for a process without entering it — no enter
+    accounting, no trace event. Used by board thaw ({!Kernel.thaw}) to
+    re-establish the grant layout recorded in a frozen image before the
+    app's resume prologue runs; a no-op if already allocated. False =
+    grant region exhausted. *)
+
+val peek : 'a t -> Process.t -> 'a option
+(** The process's instance if allocated, without allocating, entering,
+    or counting anything — for freezer saves ({!Kernel.register_freezer}),
+    which must not perturb the state they witness. *)
+
 val size_bytes : 'a t -> int
 
 val name : 'a t -> string

@@ -88,6 +88,19 @@ type pentry = {
       (* cycles attributed to this process's slices (app + syscall work) *)
 }
 
+(* Board-state components beyond the kernel's own reach (capsule and
+   board state: virtual alarm order, uart capture, flash pages).
+   Capsules/boards register one freezer per named section; [freeze]
+   saves every section, [thaw] feeds each section back — [`Pre] loads
+   run before the resume prologues (they may preallocate grants and
+   install resume alarms), [`Post] loads after the wholesale state
+   patch. *)
+type freezer = {
+  fz_phase : [ `Pre | `Post ];
+  fz_save : Buffer.t -> unit;
+  fz_load : string -> (unit, string) result;
+}
+
 type t = {
   k_chip : Tock_hw.Chip.t;
   k_config : config;
@@ -107,6 +120,11 @@ type t = {
   mutable fault_hook : Process.t -> Process.fault_reason -> unit;
   mutable trace_hook :
     (Process.t -> Syscall.call -> Syscall.ret option -> unit) option;
+  mutable k_grants : (string * (Process.t -> bool) * (Process.t -> bool)) list;
+      (* (name, preallocate, is_allocated), sorted by name: freeze
+         records which named grants each process holds; thaw
+         preallocates them so grant-region layout matches the witness. *)
+  mutable k_freezers : (string * freezer) list; (* sorted by name *)
 }
 
 let create ?config:(cfg = default_config ()) chip =
@@ -154,6 +172,8 @@ let create ?config:(cfg = default_config ()) chip =
       ram_next = cfg.ram_base;
       fault_hook = (fun _ _ -> ());
       trace_hook = None;
+      k_grants = [];
+      k_freezers = [];
     }
   in
   (* Per-process gauges, published when a snapshot is taken — never from
@@ -229,6 +249,20 @@ let register_driver t (d : Driver.t) =
         ("driver." ^ d.Driver.driver_name ^ ".cycles") )
 
 let find_driver t num = Hashtbl.find_opt t.drivers num
+
+let register_grant t ~name ~preallocate ~is_allocated =
+  t.k_grants <-
+    List.sort
+      (fun (a, _, _) (b, _, _) -> compare a b)
+      ((name, preallocate, is_allocated)
+      :: List.filter (fun (n, _, _) -> n <> name) t.k_grants)
+
+let register_freezer t ~name ~phase ~save ~load =
+  t.k_freezers <-
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      ((name, { fz_phase = phase; fz_save = save; fz_load = load })
+      :: List.filter (fun (n, _) -> n <> name) t.k_freezers)
 
 (* ---- process table ---- *)
 
@@ -871,28 +905,81 @@ let run_to_completion t ~cap ?(max_cycles = 2_000_000_000) () =
 (* ---- board-state snapshot (park/resume) ----
 
    Process executions are effect continuations — they cannot be
-   serialized. So a parked board is captured as a compact byte *witness*
-   of everything observable about it (clock and cycle split, event-queue
-   schedule, the full process table including RAM bytes and syscall
-   state, both metrics registries), and resume is *replay*: the caller
-   rebuilds the board from its deterministic construction recipe and
-   [restore] drives it back to the witness clock with the same
-   chopping-invariant primitives the fleet scheduler uses
-   ([run_to_deadline] interleaved with [sleep_to] at reported wakes —
-   exactly the contract documented on {!run_to_deadline}), then checks
-   the re-taken witness byte-for-byte. Capsule grant values and
-   scheduler-internal cursors are not encoded (they are arbitrary
-   closures/values); they are reproduced by the replay itself, and any
-   divergence they could cause surfaces in the encoded state the next
-   time it matters. *)
+   serialized. A parked board is captured as a compact byte *witness* of
+   everything observable about it: clock, cycle split and root-PRNG
+   state, the event-queue schedule (deadlines only — sequence numbers
+   are allocation order and never match across rebuilds), the full
+   process table (sparse RAM image, subscriptions, allows, pending
+   upcalls, grant names, resumable-app checkpoint, emulator residue),
+   named component sections saved by registered {!freezer}s (virtual
+   alarm order and arming, uart capture, dirty flash pages), and both
+   packed metrics registries.
 
-let snapshot_magic = "TCKSNP01"
+   Two ways back from a witness:
 
-let add_i buf v = Buffer.add_int64_le buf (Int64.of_int v)
+   - [restore] (replay): rebuild the board from its deterministic
+     construction recipe and re-run it to the witness clock with the
+     same chopping-invariant primitives the fleet scheduler uses, then
+     check the re-taken witness byte-for-byte. O(elapsed cycles).
 
-let add_s buf s =
-  add_i buf (String.length s);
-  Buffer.add_string buf s
+   - [thaw] (direct materialization): rebuild the board, let each
+     resumable app's factory fast-forward through its checkpoint
+     (re-entering the recorded sleep so the continuation suspends in
+     the frozen shape), then patch every other observable back from the
+     witness. O(state), independent of how long the board ran. [thaw]
+     returns [Error] — and the caller falls back to replay — whenever
+     anything fails to line up (non-resumable app frozen live, frozen
+     in a non-[Yielded] suspension, upcall ids that cannot be remapped,
+     registry drift, corrupt bytes). *)
+
+let snapshot_magic = "TCKSNP02"
+
+(* The witness codec: 64-bit LE ints and length-prefixed strings, with
+   a bounds-checked reader whose failures become [Error]s at the
+   [guard] boundary. Shared with capsule/board freezers. *)
+module Witness = struct
+  exception Corrupt of string
+
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+  let add_int buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+  let add_string buf s =
+    add_int buf (String.length s);
+    Buffer.add_string buf s
+
+  type reader = { w : string; mutable pos : int }
+
+  let reader w = { w; pos = 0 }
+
+  let int r =
+    if r.pos + 8 > String.length r.w then corrupt "truncated at byte %d" r.pos;
+    let v = Int64.to_int (String.get_int64_le r.w r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let int64 r =
+    if r.pos + 8 > String.length r.w then corrupt "truncated at byte %d" r.pos;
+    let v = String.get_int64_le r.w r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let raw r n =
+    if n < 0 || r.pos + n > String.length r.w then
+      corrupt "bad length %d at byte %d" n r.pos;
+    let s = String.sub r.w r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let string r = raw r (int r)
+
+  let at_end r = r.pos = String.length r.w
+
+  let guard f = try Ok (f ()) with Corrupt m -> Error m
+end
+
+let add_i = Witness.add_int
+let add_s = Witness.add_string
 
 let rec encode_pstate buf (s : Process.state) =
   match s with
@@ -934,7 +1021,53 @@ let encode_resume buf (r : Process.resume_arg option) =
       add_i buf 4;
       List.iter (add_i buf) [ fnptr; appdata; arg0; arg1; arg2 ]
 
-let encode_process buf pe =
+(* Sparse RAM image: (offset, bytes) runs of interesting data. Zero
+   gaps shorter than the run-header overhead are folded into the
+   surrounding run; everything not covered by a run is zero. Most of an
+   app's 4 KiB block never leaves zero (bump allocator, shallow
+   stacks), so this keeps the witness O(touched state). *)
+let zero_fold = 16
+
+let encode_ram buf ram =
+  let len = Bytes.length ram in
+  add_i buf len;
+  let runs = ref [] in
+  let nruns = ref 0 in
+  let i = ref 0 in
+  while !i < len do
+    if Bytes.get ram !i = '\x00' then Stdlib.incr i
+    else begin
+      let start = !i in
+      let stop = ref (!i + 1) in
+      (* exclusive end of run *)
+      let j = ref (!i + 1) in
+      let gap = ref 0 in
+      let fin = ref false in
+      while (not !fin) && !j < len do
+        if Bytes.get ram !j = '\x00' then begin
+          Stdlib.incr gap;
+          if !gap > zero_fold then fin := true
+        end
+        else begin
+          gap := 0;
+          stop := !j + 1
+        end;
+        Stdlib.incr j
+      done;
+      runs := (start, !stop - start) :: !runs;
+      Stdlib.incr nruns;
+      i := !j
+    end
+  done;
+  add_i buf !nruns;
+  List.iter
+    (fun (off, n) ->
+      add_i buf off;
+      add_i buf n;
+      Buffer.add_subbytes buf ram off n)
+    (List.rev !runs)
+
+let encode_process t buf pe =
   let p = pe.proc in
   add_s buf (Process.name p);
   encode_pstate buf (Process.state p);
@@ -948,7 +1081,48 @@ let encode_process buf pe =
       Process.app_break p;
       Process.kernel_break p;
       Process.upcalls_dropped p;
+      Process.mpu_scan_count p;
     ];
+  add_i buf (Process.checkpoint p);
+  add_i buf (if Process.at_sleep p then 1 else 0);
+  (let gen, caches = Process.mpu_cache_state p in
+   add_i buf gen;
+   List.iter
+     (fun (g, lo, hi) ->
+       add_i buf g;
+       add_i buf lo;
+       add_i buf hi)
+     caches);
+  (match Process.bridge p with
+  | None -> add_i buf 0
+  | Some br ->
+      add_i buf 1;
+      let r = br.Process.br_residue () in
+      add_i buf r.Process.er_alloc_next;
+      add_i buf r.Process.er_next_fn;
+      add_i buf (List.length r.Process.er_scratch);
+      List.iter
+        (fun (tag, (addr, size)) ->
+          add_s buf tag;
+          add_i buf addr;
+          add_i buf size)
+        r.Process.er_scratch);
+  (* Per-class syscall counts, sorted. *)
+  let classes = ref [] in
+  Process.iter_syscall_classes p (fun ~class_num ~count ->
+      classes := (class_num, count) :: !classes);
+  let classes = List.sort compare !classes in
+  add_i buf (List.length classes);
+  List.iter
+    (fun (c, n) ->
+      add_i buf c;
+      add_i buf n)
+    classes;
+  (* Allocated grants by registered name (registry is name-sorted), so
+     thaw can preallocate and reproduce kernel_break exactly. *)
+  let gs = List.filter (fun (_, _, alloc) -> alloc p) t.k_grants in
+  add_i buf (List.length gs);
+  List.iter (fun (n, _, _) -> add_s buf n) gs;
   (* Subscriptions and allows, sorted by key for a canonical layout. *)
   let subs = ref [] in
   Process.iter_subscriptions p (fun ~driver ~subscribe_num up ->
@@ -992,28 +1166,42 @@ let encode_process buf pe =
           a1;
           a2;
         ]);
-  let ram = Process.ram_bytes p in
-  add_i buf (Bytes.length ram);
-  Buffer.add_bytes buf ram
+  encode_ram buf (Process.ram_bytes p)
 
-let snapshot t =
+let freeze ?buf t =
   let s = sim t in
-  let buf = Buffer.create (64 * 1024) in
+  let buf =
+    match buf with
+    | Some b ->
+        Buffer.clear b;
+        b
+    | None -> Buffer.create (16 * 1024)
+  in
   Buffer.add_string buf snapshot_magic;
   add_i buf (Tock_hw.Sim.now s);
   add_i buf (Tock_hw.Sim.active_cycles s);
   add_i buf (Tock_hw.Sim.sleep_cycles s);
-  let ev = Tock_hw.Sim.event_times s in
+  Buffer.add_int64_le buf (Tock_hw.Sim.rng_state s);
+  (* Deadlines only: queue sequence numbers are allocation order and
+     never match across a rebuild, but same-deadline events on this
+     codebase commute (see the Alarm_mux ordering witness). *)
+  let ev = Array.map fst (Tock_hw.Sim.event_times s) in
+  Array.sort compare ev;
   add_i buf (Array.length ev);
-  Array.iter
-    (fun (time, seq) ->
-      add_i buf time;
-      add_i buf seq)
-    ev;
+  Array.iter (add_i buf) ev;
   add_i buf t.next_pid;
   add_i buf t.ram_next;
   add_i buf (Array.length t.table);
-  Array.iter (encode_process buf) t.table;
+  Array.iter (encode_process t buf) t.table;
+  add_i buf (List.length t.k_freezers);
+  let scratch = Buffer.create 256 in
+  List.iter
+    (fun (name, fz) ->
+      Buffer.clear scratch;
+      fz.fz_save scratch;
+      add_s buf name;
+      add_s buf (Buffer.contents scratch))
+    t.k_freezers;
   add_s buf
     (Tock_obs.Metrics.packed_to_string (Tock_obs.Metrics.packed_of t.k_reg));
   add_s buf
@@ -1021,12 +1209,306 @@ let snapshot t =
        (Tock_obs.Metrics.packed_of (Tock_hw.Sim.metrics s)));
   Buffer.contents buf
 
+let snapshot t = freeze t
+
 let snapshot_clock w =
   if
     String.length w < String.length snapshot_magic + 8
-    || not (String.equal (String.sub w 0 (String.length snapshot_magic)) snapshot_magic)
-  then invalid_arg "Kernel.snapshot_clock: not a board snapshot";
-  Int64.to_int (String.get_int64_le w (String.length snapshot_magic))
+    || not
+         (String.equal
+            (String.sub w 0 (String.length snapshot_magic))
+            snapshot_magic)
+  then Error "not a board snapshot (bad magic or truncated)"
+  else Ok (Int64.to_int (String.get_int64_le w (String.length snapshot_magic)))
+
+(* ---- witness decoding ---- *)
+
+type wproc = {
+  wp_name : string;
+  wp_state : Process.state;
+  wp_resume : Process.resume_arg option;
+  wp_restarts : int;
+  wp_syscalls : int;
+  wp_grant_enters : int;
+  wp_grant_bytes : int;
+  wp_app_break : int;
+  wp_kernel_break : int;
+  wp_upcall_drops : int;
+  wp_mpu_scans : int;
+  wp_ckpt : int;
+  wp_at_sleep : bool;
+  wp_mpu_gen : int;
+  wp_mpu_caches : (int * int * int) list;
+  wp_residue : Process.emu_residue option;
+  wp_classes : (int * int) list;
+  wp_grants : string list;
+  wp_subs : (int * int * int * int) list;
+  wp_allows : (int * int * int * int * int) list;
+  wp_pending : Process.pending_upcall list;
+  wp_ram_len : int;
+  wp_ram_runs : (int * string) list;
+}
+
+type witness_image = {
+  w_now : int;
+  w_active : int;
+  w_sleep : int;
+  w_rng : int64;
+  w_events : int array;
+  w_next_pid : int;
+  w_ram_next : int;
+  w_procs : wproc list;
+  w_components : (string * string) list;
+  w_kreg : string;
+  w_sreg : string;
+}
+
+let rec decode_pstate r : Process.state =
+  match Witness.int r with
+  | 0 -> Process.Unstarted
+  | 1 -> Process.Runnable
+  | 2 -> Process.Yielded
+  | 3 ->
+      let driver = Witness.int r in
+      let subscribe_num = Witness.int r in
+      Process.Yielded_for { driver; subscribe_num }
+  | 4 ->
+      let driver = Witness.int r in
+      let subscribe_num = Witness.int r in
+      Process.Blocked_command { driver; subscribe_num }
+  | 5 ->
+      let s = Witness.string r in
+      if String.length s = 0 then Witness.corrupt "empty fault reason";
+      let m = String.sub s 1 (String.length s - 1) in
+      Process.Faulted
+        (match s.[0] with
+        | 'M' -> Process.Mpu_violation m
+        | 'B' -> Process.Bad_syscall m
+        | 'A' -> Process.App_panic m
+        | c -> Witness.corrupt "unknown fault tag %c" c)
+  | 6 -> Process.Terminated { code = Witness.int r }
+  | 7 -> Process.Stopped (decode_pstate r)
+  | n -> Witness.corrupt "unknown process-state tag %d" n
+
+let decode_resume r : Process.resume_arg option =
+  match Witness.int r with
+  | 0 -> None
+  | 1 -> Some Process.Rstart
+  | 2 -> Some Process.Rcontinue
+  | 3 ->
+      let n = Witness.int r in
+      if n < 0 || n > 16 then Witness.corrupt "bad register count %d" n;
+      let regs = Array.make n 0 in
+      for i = 0 to n - 1 do
+        regs.(i) <- Witness.int r
+      done;
+      Some (Process.Rsyscall_ret regs)
+  | 4 ->
+      let fnptr = Witness.int r in
+      let appdata = Witness.int r in
+      let arg0 = Witness.int r in
+      let arg1 = Witness.int r in
+      let arg2 = Witness.int r in
+      Some (Process.Rupcall { fnptr; appdata; arg0; arg1; arg2 })
+  | n -> Witness.corrupt "unknown resume tag %d" n
+
+let decode_count r what limit =
+  let n = Witness.int r in
+  if n < 0 || n > limit then Witness.corrupt "bad %s count %d" what n;
+  n
+
+let decode_ram r =
+  let len = Witness.int r in
+  if len < 0 then Witness.corrupt "bad RAM size %d" len;
+  let n = decode_count r "RAM run" len in
+  let runs = ref [] in
+  for _ = 1 to n do
+    let off = Witness.int r in
+    let rl = Witness.int r in
+    if off < 0 || rl < 0 || off + rl > len then
+      Witness.corrupt "RAM run out of range (off=%d len=%d ram=%d)" off rl len;
+    runs := (off, Witness.raw r rl) :: !runs
+  done;
+  (len, List.rev !runs)
+
+let decode_process r =
+  let wp_name = Witness.string r in
+  let wp_state = decode_pstate r in
+  let wp_resume = decode_resume r in
+  let wp_restarts = Witness.int r in
+  let wp_syscalls = Witness.int r in
+  let wp_grant_enters = Witness.int r in
+  let wp_grant_bytes = Witness.int r in
+  let wp_app_break = Witness.int r in
+  let wp_kernel_break = Witness.int r in
+  let wp_upcall_drops = Witness.int r in
+  let wp_mpu_scans = Witness.int r in
+  let wp_ckpt = Witness.int r in
+  let wp_at_sleep =
+    match Witness.int r with
+    | 0 -> false
+    | 1 -> true
+    | n -> Witness.corrupt "bad at-sleep flag %d" n
+  in
+  let wp_mpu_gen = Witness.int r in
+  let wp_mpu_caches =
+    let cache () =
+      let g = Witness.int r in
+      let lo = Witness.int r in
+      let hi = Witness.int r in
+      (g, lo, hi)
+    in
+    let a = cache () in
+    let b = cache () in
+    let c = cache () in
+    [ a; b; c ]
+  in
+  let wp_residue =
+    match Witness.int r with
+    | 0 -> None
+    | 1 ->
+        let er_alloc_next = Witness.int r in
+        let er_next_fn = Witness.int r in
+        let ns = decode_count r "scratch" 100_000 in
+        let sc = ref [] in
+        for _ = 1 to ns do
+          let tag = Witness.string r in
+          let addr = Witness.int r in
+          let size = Witness.int r in
+          sc := (tag, (addr, size)) :: !sc
+        done;
+        Some
+          { Process.er_alloc_next; er_next_fn; er_scratch = List.rev !sc }
+    | n -> Witness.corrupt "bad residue flag %d" n
+  in
+  let ncl = decode_count r "syscall-class" 64 in
+  let classes = ref [] in
+  for _ = 1 to ncl do
+    let c = Witness.int r in
+    let n = Witness.int r in
+    classes := (c, n) :: !classes
+  done;
+  let ng = decode_count r "grant" 10_000 in
+  let grants = ref [] in
+  for _ = 1 to ng do
+    grants := Witness.string r :: !grants
+  done;
+  let nsub = decode_count r "subscription" 100_000 in
+  let subs = ref [] in
+  for _ = 1 to nsub do
+    let d = Witness.int r in
+    let s = Witness.int r in
+    let f = Witness.int r in
+    let a = Witness.int r in
+    subs := (d, s, f, a) :: !subs
+  done;
+  let nal = decode_count r "allow" 100_000 in
+  let allows = ref [] in
+  for _ = 1 to nal do
+    let k = Witness.int r in
+    if k <> 0 && k <> 1 then Witness.corrupt "bad allow kind %d" k;
+    let d = Witness.int r in
+    let n = Witness.int r in
+    let addr = Witness.int r in
+    let len = Witness.int r in
+    allows := (k, d, n, addr, len) :: !allows
+  done;
+  let npend = decode_count r "pending-upcall" 100_000 in
+  let pending = ref [] in
+  for _ = 1 to npend do
+    let pu_driver = Witness.int r in
+    let pu_subscribe = Witness.int r in
+    let fnptr = Witness.int r in
+    let appdata = Witness.int r in
+    let a0 = Witness.int r in
+    let a1 = Witness.int r in
+    let a2 = Witness.int r in
+    pending :=
+      {
+        Process.pu_driver;
+        pu_subscribe;
+        pu_upcall = { Process.fnptr; appdata };
+        pu_args = (a0, a1, a2);
+      }
+      :: !pending
+  done;
+  let wp_ram_len, wp_ram_runs = decode_ram r in
+  {
+    wp_name;
+    wp_state;
+    wp_resume;
+    wp_restarts;
+    wp_syscalls;
+    wp_grant_enters;
+    wp_grant_bytes;
+    wp_app_break;
+    wp_kernel_break;
+    wp_upcall_drops;
+    wp_mpu_scans;
+    wp_ckpt;
+    wp_at_sleep;
+    wp_mpu_gen;
+    wp_mpu_caches;
+    wp_residue;
+    wp_classes = List.rev !classes;
+    wp_grants = List.rev !grants;
+    wp_subs = List.rev !subs;
+    wp_allows = List.rev !allows;
+    wp_pending = List.rev !pending;
+    wp_ram_len;
+    wp_ram_runs;
+  }
+
+let parse_witness w =
+  Witness.guard (fun () ->
+      let r = Witness.reader w in
+      let mlen = String.length snapshot_magic in
+      if
+        String.length w < mlen
+        || not (String.equal (Witness.raw r mlen) snapshot_magic)
+      then Witness.corrupt "not a board witness (bad magic)";
+      let w_now = Witness.int r in
+      let w_active = Witness.int r in
+      let w_sleep = Witness.int r in
+      let w_rng = Witness.int64 r in
+      let nev = decode_count r "event" 1_000_000 in
+      let w_events = Array.make nev 0 in
+      for i = 0 to nev - 1 do
+        w_events.(i) <- Witness.int r
+      done;
+      let w_next_pid = Witness.int r in
+      let w_ram_next = Witness.int r in
+      let np = decode_count r "process" 100_000 in
+      let procs = ref [] in
+      for _ = 1 to np do
+        procs := decode_process r :: !procs
+      done;
+      let nc = decode_count r "component" 10_000 in
+      let comps = ref [] in
+      for _ = 1 to nc do
+        let name = Witness.string r in
+        let blob = Witness.string r in
+        comps := (name, blob) :: !comps
+      done;
+      let w_kreg = Witness.string r in
+      let w_sreg = Witness.string r in
+      if not (Witness.at_end r) then
+        Witness.corrupt "trailing bytes after witness";
+      {
+        w_now;
+        w_active;
+        w_sleep;
+        w_rng;
+        w_events;
+        w_next_pid;
+        w_ram_next;
+        w_procs = List.rev !procs;
+        w_components = List.rev !comps;
+        w_kreg;
+        w_sreg;
+      })
+
+(* ---- replay restore ---- *)
 
 let replay_to t ~cap target =
   let rec go () =
@@ -1044,14 +1526,274 @@ let replay_to t ~cap target =
   go ()
 
 let restore t ~cap witness =
-  let target = snapshot_clock witness in
-  replay_to t ~cap target;
-  let got = snapshot t in
-  if String.equal got witness then Ok ()
-  else
-    Error
-      (Printf.sprintf
-         "replayed board diverged from snapshot at clock %d (want %s got %s)"
-         target
-         (Digest.to_hex (Digest.string witness))
-         (Digest.to_hex (Digest.string got)))
+  match snapshot_clock witness with
+  | Error e -> Error ("restore: " ^ e)
+  | Ok target -> (
+      (* Parse up front: a truncated or corrupt witness must fail with
+         a diagnostic before we spend the replay. *)
+      match parse_witness witness with
+      | Error e -> Error ("restore: corrupt witness: " ^ e)
+      | Ok _ ->
+          replay_to t ~cap target;
+          let got = snapshot t in
+          if String.equal got witness then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "replayed board diverged from snapshot at clock %d (want %s \
+                  got %s)"
+                 target
+                 (Digest.to_hex (Digest.string witness))
+                 (Digest.to_hex (Digest.string got))))
+
+(* ---- direct materialization (thaw) ---- *)
+
+let is_live (s : Process.state) =
+  match s with
+  | Process.Runnable | Process.Yielded | Process.Yielded_for _
+  | Process.Blocked_command _ ->
+      true
+  | Process.Unstarted | Process.Faulted _ | Process.Terminated _
+  | Process.Stopped _ ->
+      false
+
+let thaw t ~cap witness =
+  match parse_witness witness with
+  | Error e -> Error ("thaw: corrupt witness: " ^ e)
+  | Ok wt -> (
+      try
+        let s = sim t in
+        let fail fmt = Printf.ksprintf (fun m -> raise (Witness.Corrupt m)) fmt in
+        let nprocs = List.length wt.w_procs in
+        if Array.length t.table <> nprocs then
+          fail "board has %d processes, witness %d" (Array.length t.table)
+            nprocs;
+        if t.next_pid <> wt.w_next_pid || t.ram_next <> wt.w_ram_next then
+          fail "process-table layout differs from witness";
+        let pairs =
+          List.mapi
+            (fun i wp ->
+              let pe = t.table.(i) in
+              if not (String.equal (Process.name pe.proc) wp.wp_name) then
+                fail "process %d is %s, witness has %s" i
+                  (Process.name pe.proc) wp.wp_name;
+              (pe, wp))
+            wt.w_procs
+        in
+        if List.length wt.w_components <> List.length t.k_freezers then
+          fail "board has %d freezer sections, witness %d"
+            (List.length t.k_freezers)
+            (List.length wt.w_components);
+        List.iter
+          (fun (name, _) ->
+            if not (List.mem_assoc name t.k_freezers) then
+              fail "unknown component section %S" name)
+          wt.w_components;
+        let load_phase phase =
+          List.iter
+            (fun (name, blob) ->
+              let fz = List.assoc name t.k_freezers in
+              if fz.fz_phase = phase then
+                match fz.fz_load blob with
+                | Ok () -> ()
+                | Error e -> fail "component %S: %s" name e)
+            wt.w_components
+        in
+        (* Phase 1: process dispositions and grant layout. Live
+           processes must be resumable (checkpointed, frozen in a plain
+           [Yielded]); dead ones lose their execution now so the
+           prologue pass never runs them. Grants are preallocated in
+           recorded order so kernel breaks land where the witness says
+           — the [`Pre] loads run first because the alarm section's
+           ordered allocation also installs the resume alarms. *)
+        load_phase `Pre;
+        List.iter
+          (fun (pe, wp) ->
+            let p = pe.proc in
+            Process.set_checkpoint p wp.wp_ckpt;
+            (if is_live wp.wp_state then begin
+               if wp.wp_ckpt = 0 then
+                 fail "process %s is live but never checkpointed" wp.wp_name;
+               (* Frozen at some other yield (I/O wait, busy-retry nap):
+                  every witnessed byte can still match after a thaw while
+                  the rebuilt continuation sits elsewhere — decline and
+                  let byte-verified replay carry it. *)
+               if not wp.wp_at_sleep then
+                 fail "process %s frozen outside its checkpoint sleep"
+                   wp.wp_name;
+               match wp.wp_state with
+               | Process.Yielded -> ()
+               | _ -> fail "process %s frozen in unresumable state" wp.wp_name
+             end
+             else
+               match wp.wp_state with
+               | Process.Stopped _ | Process.Unstarted ->
+                   (* Resuming a stopped process needs a live execution
+                      we cannot rebuild; replay handles these. *)
+                   fail "process %s frozen %s (not thawable)" wp.wp_name
+                     (match wp.wp_state with
+                     | Process.Stopped _ -> "stopped"
+                     | _ -> "unstarted")
+               | _ ->
+                   (* Dead: never run the factory, keep the corpse. *)
+                   Process.destroy_execution p;
+                   pe.pending_resume <- None;
+                   Process.set_state p wp.wp_state);
+            List.iter
+              (fun gname ->
+                match
+                  List.find_opt (fun (n, _, _) -> String.equal n gname)
+                    t.k_grants
+                with
+                | None -> fail "grant %S not registered on this board" gname
+                | Some (_, pre, _) ->
+                    if not (pre p) then
+                      fail "process %s: grant %S preallocation failed"
+                        wp.wp_name gname)
+              wp.wp_grants)
+          pairs;
+        (* Phase 2: warp to the frozen clock, then run the resume
+           prologues to quiescence. Warping first matters: alarm
+           re-arming math ([expired = now - reference >= dt],
+           wrapping) must see the frozen [now], or an unexpired frozen
+           deadline could look already-expired. The hw-timer invariant
+           (compare events land at tick-aligned (reference+dt)
+           regardless of when arming happens) then reproduces the
+           frozen event schedule exactly. *)
+        Tock_hw.Sim.warp s ~now:wt.w_now ~active_cycles:wt.w_active
+          ~sleep_cycles:wt.w_sleep ~rng_state:wt.w_rng;
+        let guard = ref 0 in
+        let rec settle () =
+          Stdlib.incr guard;
+          if !guard > 1_000_000 then fail "thaw prologue did not settle";
+          match step_work t ~cap with `Worked -> settle () | `Idle -> ()
+        in
+        settle ();
+        (* The prologues spent simulated cycles; put the clock, cycle
+           split and PRNG stream back to the frozen instant. Event
+           deadlines are unaffected (see above). *)
+        Tock_hw.Sim.warp s ~now:wt.w_now ~active_cycles:wt.w_active
+          ~sleep_cycles:wt.w_sleep ~rng_state:wt.w_rng;
+        (* Phase 3: patch every process back to the frozen image. *)
+        List.iter
+          (fun (pe, wp) ->
+            let p = pe.proc in
+            let live = is_live wp.wp_state in
+            if live then begin
+              if not (Process.has_execution p) then
+                fail "process %s lost its execution in the prologue"
+                  wp.wp_name;
+              (match Process.state p with
+              | Process.Yielded -> ()
+              | _ ->
+                  fail "process %s did not settle into Yielded" wp.wp_name);
+              (* Rebind the prologue's live upcall closures to the
+                 frozen function ids before the wholesale table
+                 restore makes those ids current. *)
+              let live_subs = Hashtbl.create 8 in
+              Process.iter_subscriptions p (fun ~driver ~subscribe_num up ->
+                  if up.Process.fnptr <> 0 then
+                    Hashtbl.replace live_subs (driver, subscribe_num)
+                      up.Process.fnptr);
+              List.iter
+                (fun (d, sn, fnptr, _appdata) ->
+                  if fnptr <> 0 then
+                    match Hashtbl.find_opt live_subs (d, sn) with
+                    | Some lf when lf = fnptr -> ()
+                    | Some lf -> (
+                        match Process.bridge p with
+                        | None ->
+                            fail "process %s has no emulator bridge"
+                              wp.wp_name
+                        | Some br ->
+                            if
+                              not
+                                (br.Process.br_remap_upcall ~old_id:lf
+                                   ~new_id:fnptr)
+                            then
+                              fail "process %s: upcall remap %d->%d failed"
+                                wp.wp_name lf fnptr)
+                    | None ->
+                        fail
+                          "process %s: no live closure for driver %d sub %d"
+                          wp.wp_name d sn)
+                wp.wp_subs
+            end;
+            Process.clear_syscall_tables p;
+            List.iter
+              (fun (d, sn, fnptr, appdata) ->
+                Process.restore_subscription p ~driver:d ~subscribe_num:sn
+                  { Process.fnptr; appdata })
+              wp.wp_subs;
+            if
+              not
+                (Process.restore_breaks p ~app_break:wp.wp_app_break
+                   ~kernel_break:wp.wp_kernel_break)
+            then fail "process %s: frozen breaks rejected" wp.wp_name;
+            List.iter
+              (fun (k, d, n, addr, len) ->
+                let kind = if k = 0 then `Rw else `Ro in
+                if not (Process.restore_allow p ~kind ~driver:d ~allow_num:n ~addr ~len)
+                then
+                  fail "process %s: allow %d/%d does not resolve" wp.wp_name
+                    d n)
+              wp.wp_allows;
+            List.iter
+              (fun pu ->
+                if not (Process.restore_pending_upcall p pu) then
+                  fail "process %s: pending-upcall overflow" wp.wp_name)
+              wp.wp_pending;
+            let ram = Process.ram_bytes p in
+            if Bytes.length ram <> wp.wp_ram_len then
+              fail "process %s: RAM size %d <> witness %d" wp.wp_name
+                (Bytes.length ram) wp.wp_ram_len;
+            Bytes.fill ram 0 (Bytes.length ram) '\x00';
+            List.iter
+              (fun (off, data) ->
+                Bytes.blit_string data 0 ram off (String.length data))
+              wp.wp_ram_runs;
+            Process.restore_counters p ~restarts:wp.wp_restarts
+              ~syscalls:wp.wp_syscalls ~grant_enters:wp.wp_grant_enters;
+            Process.restore_mpu_scans p wp.wp_mpu_scans;
+            Process.restore_mpu_cache p ~generation:wp.wp_mpu_gen
+              ~caches:wp.wp_mpu_caches;
+            Process.set_at_sleep p wp.wp_at_sleep;
+            List.iter
+              (fun (c, n) ->
+                Process.restore_syscall_class p ~class_num:c ~count:n)
+              wp.wp_classes;
+            Process.set_upcall_drops p wp.wp_upcall_drops;
+            (match (Process.bridge p, wp.wp_residue) with
+            | Some br, Some res -> br.Process.br_set_residue res
+            | _, None -> ()
+            | None, Some _ ->
+                fail "process %s has no emulator bridge" wp.wp_name);
+            pe.pending_resume <- wp.wp_resume;
+            Process.set_state p wp.wp_state;
+            if Process.grant_bytes_used p <> wp.wp_grant_bytes then
+              fail "process %s: grant bytes %d <> witness %d" wp.wp_name
+                (Process.grant_bytes_used p) wp.wp_grant_bytes)
+          pairs;
+        load_phase `Post;
+        (* Structural check: the prologues must have rebuilt the frozen
+           event schedule exactly. *)
+        let ev = Array.map fst (Tock_hw.Sim.event_times s) in
+        Array.sort compare ev;
+        if ev <> wt.w_events then
+          fail "event schedule diverged (thawed %d events, witness %d)"
+            (Array.length ev)
+            (Array.length wt.w_events);
+        (* Registries last, so the prologues' counter traffic vanishes
+           under the frozen values. *)
+        let restore_reg what reg packed_s =
+          match Tock_obs.Metrics.packed_of_string packed_s with
+          | Error e -> fail "%s registry: %s" what e
+          | Ok pk -> (
+              match Tock_obs.Metrics.restore_packed reg pk with
+              | Error e -> fail "%s registry: %s" what e
+              | Ok () -> ())
+        in
+        restore_reg "kernel" t.k_reg wt.w_kreg;
+        restore_reg "sim" (Tock_hw.Sim.metrics s) wt.w_sreg;
+        Ok ()
+      with Witness.Corrupt m -> Error ("thaw: " ^ m))

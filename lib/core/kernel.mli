@@ -121,6 +121,66 @@ val register_driver : t -> Driver.t -> unit
 
 val find_driver : t -> int -> Driver.t option
 
+val register_grant :
+  t ->
+  name:string ->
+  preallocate:(Process.t -> bool) ->
+  is_allocated:(Process.t -> bool) ->
+  unit
+(** Declare a named grant region for freeze/thaw: {!freeze} records
+    which registered grants each process holds, and {!thaw}
+    preallocates them (in witnessed order) so the grant-region layout —
+    and thus [kernel_break] — matches the frozen image. Capsules call
+    this from [create] with {!Grant.preallocate}/{!Grant.is_allocated}
+    closures. Re-registration under the same name replaces. *)
+
+val register_freezer :
+  t ->
+  name:string ->
+  phase:[ `Pre | `Post ] ->
+  save:(Buffer.t -> unit) ->
+  load:(string -> (unit, string) result) ->
+  unit
+(** Declare a named board-state component beyond the kernel's own reach
+    (virtual-alarm order and arming, uart capture, dirty flash pages).
+    {!freeze} appends every registered component's [save] bytes;
+    {!thaw} feeds them back — [`Pre] loads run before the resume
+    prologues, [`Post] loads after the wholesale state patch. A [load]
+    returning [Error] aborts the thaw (the caller falls back to
+    replay). *)
+
+(** Length-prefixed binary codec for {!register_freezer} sections (the
+    same one the witness itself uses): 64-bit LE ints, length-prefixed
+    strings, and a bounds-checked reader whose failures surface as
+    [Error] via {!Witness.guard} rather than exceptions. *)
+module Witness : sig
+  exception Corrupt of string
+
+  val corrupt : ('a, unit, string, 'b) format4 -> 'a
+  (** Raise {!Corrupt} with a formatted diagnostic. *)
+
+  val add_int : Buffer.t -> int -> unit
+
+  val add_string : Buffer.t -> string -> unit
+
+  type reader
+
+  val reader : string -> reader
+
+  val int : reader -> int
+
+  val int64 : reader -> int64
+
+  val raw : reader -> int -> string
+
+  val string : reader -> string
+
+  val at_end : reader -> bool
+
+  val guard : (unit -> 'a) -> ('a, string) result
+  (** Run a decoder, catching {!Corrupt}. *)
+end
+
 (** {2 Processes (privileged)} *)
 
 val create_process :
@@ -254,30 +314,47 @@ val run_until : t -> cap:Capability.main_loop -> ?max_cycles:int -> (unit -> boo
 val run_to_completion : t -> cap:Capability.main_loop -> ?max_cycles:int -> unit -> unit
 (** Step until stalled (every process dead or blocked forever). *)
 
-(** {2 Snapshot / restore (park/resume)}
+(** {2 Freeze / thaw (park/resume)}
 
     Process executions are effect continuations and cannot be
     serialized, so a parked board is captured as a compact byte
-    {e witness} of its observable state, and resume is {e replay}: the
-    caller rebuilds the board from its deterministic construction recipe
-    and {!restore} drives it to the witness clock using the same
-    chopping-invariant stepping the fleet scheduler uses (see
-    {!run_to_deadline}), then verifies the re-taken witness
-    byte-for-byte. *)
+    {e witness} of its observable state. Two ways back:
+
+    - {!restore} ({e replay}): rebuild the board from its deterministic
+      construction recipe and re-run it to the witness clock using the
+      same chopping-invariant stepping the fleet scheduler uses (see
+      {!run_to_deadline}), then verify the re-taken witness
+      byte-for-byte. O(elapsed cycles).
+    - {!thaw} ({e direct materialization}): rebuild the board, let each
+      resumable app's factory fast-forward through its checkpoint
+      (re-entering the recorded sleep so the continuation suspends in
+      the frozen shape), then patch everything else back from the
+      witness bytes. O(state) — independent of how long the board ran.
+
+    Witness format (v2, magic "TCKSNP02", all ints 64-bit LE): header
+    clock/active/sleep + raw root-PRNG state; sorted live event-queue
+    {e deadlines} (sequence numbers are allocation order and never
+    survive a rebuild); [next_pid]/[ram_next]; per-process records
+    (name, state, pending resume, counters, checkpoint, emulator
+    residue, per-class syscall counts, allocated grant names, sorted
+    subscriptions/allows, queued upcalls, sparse zero-elided RAM runs);
+    named {!register_freezer} component sections; packed kernel +
+    hardware metrics registries. *)
+
+val freeze : ?buf:Buffer.t -> t -> string
+(** Serialize the board's observable state (format above).
+    Deterministic: two boards in byte-identical states produce equal
+    witnesses. Runs the registries' snapshot hooks (same effect as
+    {!metrics_snapshot}); does not advance the simulation. [buf], if
+    given, is cleared and used as the scratch encoder (the fleet pools
+    one per domain to avoid re-growing a fresh buffer per park). *)
 
 val snapshot : t -> string
-(** Serialize the board's observable state: sim clock and active/sleep
-    cycle split, the live event-queue schedule (deadline, seq) pairs,
-    process table (name, state, pending resume, counters, breaks,
-    subscriptions, allows, queued upcalls, RAM bytes), and the packed
-    kernel + hardware metrics registries. Deterministic: two boards in
-    byte-identical states produce equal snapshots. Runs the registries'
-    snapshot hooks (same effect as {!metrics_snapshot}); does not
-    advance the simulation. *)
+(** [freeze] without a pooled buffer (historical name). *)
 
-val snapshot_clock : string -> int
-(** The sim clock a snapshot was taken at. [Invalid_argument] if the
-    string is not a {!snapshot}. *)
+val snapshot_clock : string -> (int, string) result
+(** The sim clock a witness was taken at; [Error] if the string does
+    not start with a witness header. *)
 
 val replay_to : t -> cap:Capability.main_loop -> int -> unit
 (** Drive the board to an absolute clock with [run_to_deadline] +
@@ -287,6 +364,26 @@ val replay_to : t -> cap:Capability.main_loop -> int -> unit
 
 val restore : t -> cap:Capability.main_loop -> string -> (unit, string) result
 (** [restore t ~cap w] replays a freshly-built board [t] to
-    [snapshot_clock w] and verifies [snapshot t = w]. [Error] describes
-    the divergence (snapshot digests) — it means the board was not
-    rebuilt from the same recipe, or determinism is broken. *)
+    [snapshot_clock w] and verifies [snapshot t = w]. [Error] on a
+    corrupt or truncated witness (with a decoder diagnostic, before any
+    replay work), or on divergence (snapshot digests) — the latter
+    means the board was not rebuilt from the same recipe, or
+    determinism is broken. *)
+
+val thaw : t -> cap:Capability.main_loop -> string -> (unit, string) result
+(** [thaw t ~cap w] rehydrates a freshly-built board [t] directly from
+    the witness bytes, without replay: preallocate witnessed grants and
+    install resume alarms ([`Pre] freezer loads), warp the clock to the
+    frozen instant, run each live process's factory prologue to
+    quiescence (resumable apps skip completed iterations and re-enter
+    the recorded sleep — see [Apps]), re-warp, patch processes
+    wholesale (upcall-id remap, subscriptions, allows, pending upcalls,
+    breaks, RAM, counters, emulator residue), run [`Post] freezer
+    loads, verify the rebuilt event schedule against the witness, and
+    overwrite both metrics registries. On success, [freeze t = w].
+    [Error] — with the board left in an unspecified half-patched state
+    that must be discarded — whenever anything fails to line up: a
+    corrupt witness, a live process that never checkpointed
+    (non-resumable app) or frozen in a non-[Yielded] suspension, an
+    upcall id that cannot be remapped, registry series drift. Callers
+    fall back to {!restore} on a fresh board. *)

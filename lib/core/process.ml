@@ -76,6 +76,32 @@ let fresh_cache () = { c_gen = -1; c_lo = 0; c_hi = 0 }
 
 let upcall_queue_capacity = 16
 
+(* ---- freeze/thaw bridge ----
+
+   Process executions are effect continuations and cannot be
+   serialized, but the userland emulator keeps a small amount of
+   *data* state beside the continuation (bump-allocator cursor, upcall
+   function-id counter, named scratch buffers). The emulator installs a
+   [bridge] of closures over that state when it attaches an execution,
+   so the kernel's freeze/thaw machinery can capture and re-establish
+   it without [Tock] depending on the userland layer. *)
+
+type emu_residue = {
+  er_alloc_next : int;
+  er_next_fn : int;
+  er_scratch : (string * (int * int)) list;  (* tag -> (addr, size), sorted *)
+}
+
+type bridge = {
+  br_residue : unit -> emu_residue;
+  br_set_residue : emu_residue -> unit;
+  br_remap_upcall : old_id:int -> new_id:int -> bool;
+      (* Rebind the closure registered under a live upcall function id
+         to the id recorded in a frozen image (ids are handed out in
+         registration order, which a thaw prologue replays only
+         partially). False if no closure lives under [old_id]. *)
+}
+
 type t = {
   p_id : id;
   p_name : string;
@@ -110,6 +136,23 @@ type t = {
   p_permissions : (int * int) list option;
   p_storage : (int * int list) option;
   p_tbf_flags : int;
+  mutable p_ckpt : int;
+      (* Resumable-app checkpoint cursor: 0 = never checkpointed; apps
+         that support freeze/thaw record their loop position here before
+         each long sleep (see {!Tock_userland.Emu.checkpoint}). Part of
+         the board witness. *)
+  mutable p_resume_alarm : (int * int) option;
+      (* (reference, dt) of the armed alarm a frozen process was
+         sleeping on; installed by [Kernel.thaw] before the app's
+         factory re-runs, consumed by the app's resume prologue. *)
+  mutable p_at_sleep : bool;
+      (* True only while the app is suspended in its post-checkpoint
+         protocol sleep ([Libtock_sync.checkpoint_sleep] /
+         [resume_sleep]) — the one suspension point the thaw
+         fast-forward can faithfully rebuild. A freeze that catches a
+         live app anywhere else (mid-I/O wait, console busy-retry nap)
+         is witnessable but not thawable. *)
+  mutable p_bridge : bridge option;
 }
 
 let dummy_pending =
@@ -154,6 +197,10 @@ let create ~id ~name ~ram_base ~ram_size ~initial_app_break ~flash_base ~flash
     p_permissions = permissions;
     p_storage = storage;
     p_tbf_flags = tbf_flags;
+    p_ckpt = 0;
+    p_resume_alarm = None;
+    p_at_sleep = false;
+    p_bridge = None;
   }
 
 let set_execution t e = t.exec <- Some e
@@ -414,6 +461,9 @@ let reset_syscall_state t =
   t.grant_bytes <- 0;
   t.app_break <- t.initial_app_break;
   t.kernel_break <- t.initial_kernel_break;
+  t.p_ckpt <- 0;
+  t.p_resume_alarm <- None;
+  t.p_at_sleep <- false;
   Bytes.fill t.ram 0 (Bytes.length t.ram) '\x00';
   ignore
     (Tock_hw.Mpu.update_app_memory_region t.mpu t.mpu_config
@@ -450,3 +500,107 @@ let command_allowed t ~driver ~command_num =
       | Some mask ->
           let bit = if command_num >= 32 then 31 else command_num in
           mask land (1 lsl bit) <> 0)
+
+(* ---- freeze/thaw support ----
+
+   Direct state materialization: [Kernel.thaw] rebuilds a board from
+   its construction recipe and then patches each process to the frozen
+   image. These helpers exist only for that path (and the restart path
+   for the checkpoint fields); none of them is reachable from the
+   syscall ABI. *)
+
+let checkpoint t = t.p_ckpt
+
+let set_checkpoint t i = t.p_ckpt <- i
+
+let resume_alarm t = t.p_resume_alarm
+
+let set_resume_alarm t v = t.p_resume_alarm <- v
+
+let take_resume_alarm t =
+  let v = t.p_resume_alarm in
+  t.p_resume_alarm <- None;
+  v
+
+let at_sleep t = t.p_at_sleep
+
+let set_at_sleep t v = t.p_at_sleep <- v
+
+let set_bridge t b = t.p_bridge <- Some b
+
+let bridge t = t.p_bridge
+
+let iter_syscall_classes t f =
+  Hashtbl.iter (fun class_num count -> f ~class_num ~count) t.syscalls_by_class
+
+let restore_syscall_class t ~class_num ~count =
+  Hashtbl.replace t.syscalls_by_class class_num count
+
+let restore_counters t ~restarts ~syscalls ~grant_enters =
+  t.restarts <- restarts;
+  t.syscalls <- syscalls;
+  t.grant_enters <- grant_enters
+
+let restore_mpu_scans t n = Tock_hw.Mpu.restore_scan_count t.mpu_config n
+
+(* The access caches and the generation they were stamped at are real
+   behavioral state: a warm cache skips the next region-table scan, and
+   scan counts are observable through metrics. Freeze captures them and
+   thaw puts them back (the thaw rebuild's own churn both bumps the
+   generation and re-primes caches differently than the original
+   history did). *)
+let mpu_cache_state t =
+  ( Tock_hw.Mpu.generation t.mpu_config,
+    List.map
+      (fun c -> (c.c_gen, c.c_lo, c.c_hi))
+      [ t.cache_read; t.cache_write; t.cache_exec ] )
+
+let restore_mpu_cache t ~generation ~caches =
+  match caches with
+  | [ r; w; x ] ->
+      Tock_hw.Mpu.restore_generation t.mpu_config generation;
+      List.iter2
+        (fun c (g, lo, hi) ->
+          c.c_gen <- g;
+          c.c_lo <- lo;
+          c.c_hi <- hi)
+        [ t.cache_read; t.cache_write; t.cache_exec ]
+        [ r; w; x ]
+  | _ -> invalid_arg "Process.restore_mpu_cache: want exactly 3 entries"
+
+let set_upcall_drops t n = Ring_buffer.set_drops t.pending n
+
+let restore_breaks t ~app_break ~kernel_break =
+  if
+    app_break < t.p_ram_base || kernel_break > ram_end t
+    || app_break > kernel_break
+  then false
+  else
+    match
+      Tock_hw.Mpu.update_app_memory_region t.mpu t.mpu_config ~app_break
+        ~kernel_break
+    with
+    | Ok () ->
+        t.app_break <- app_break;
+        t.kernel_break <- kernel_break;
+        true
+    | Error _ -> false
+
+let clear_syscall_tables t =
+  Hashtbl.reset t.upcall_slots;
+  Ring_buffer.clear t.pending;
+  Hashtbl.reset t.allows_rw;
+  Hashtbl.reset t.allows_ro;
+  Hashtbl.reset t.syscalls_by_class
+
+let restore_subscription t ~driver ~subscribe_num up =
+  Hashtbl.replace t.upcall_slots (driver, subscribe_num) up
+
+let restore_allow t ~kind ~driver ~allow_num ~addr ~len =
+  match make_allow_entry t ~addr ~len with
+  | Some e ->
+      Hashtbl.replace (allow_table t kind) (driver, allow_num) e;
+      true
+  | None -> false
+
+let restore_pending_upcall t pu = Ring_buffer.push t.pending pu

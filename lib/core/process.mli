@@ -269,3 +269,102 @@ val command_allowed : t -> driver:int -> command_num:int -> bool
 (** TBF permission check: with no permissions element every driver is
     allowed; otherwise the driver must be listed and the command bit set
     (command numbers >= 32 share the top bit, a simplification). *)
+
+(** {2 Freeze/thaw support}
+
+    Process executions are effect continuations and cannot be
+    serialized. Direct board freeze/thaw ({!Tock.Kernel.freeze} /
+    {!Tock.Kernel.thaw}) instead re-runs the app factory on a fresh
+    board and patches the process back to the frozen image; everything
+    below exists for that path only — none of it is reachable from the
+    syscall ABI. *)
+
+type emu_residue = {
+  er_alloc_next : int;
+  er_next_fn : int;
+  er_scratch : (string * (int * int)) list;  (** tag -> (addr, size) *)
+}
+(** The userland emulator's data state beside the continuation: bump
+    allocator cursor, upcall function-id counter, named scratch
+    buffers. *)
+
+type bridge = {
+  br_residue : unit -> emu_residue;
+  br_set_residue : emu_residue -> unit;
+  br_remap_upcall : old_id:int -> new_id:int -> bool;
+}
+(** Closures the emulator installs over its private state so the kernel
+    can freeze/thaw it without depending on the userland layer.
+    [br_remap_upcall] rebinds the closure under a live upcall function
+    id to the id recorded in the frozen image. *)
+
+val checkpoint : t -> int
+(** Resumable-app cursor: 0 until the app first checkpoints. Witnessed
+    and restored by freeze/thaw; reset on restart. *)
+
+val set_checkpoint : t -> int -> unit
+
+val resume_alarm : t -> (int * int) option
+
+val set_resume_alarm : t -> (int * int) option -> unit
+(** The (reference, dt) the frozen process was sleeping on; installed
+    by thaw before the factory re-runs. *)
+
+val take_resume_alarm : t -> (int * int) option
+
+val at_sleep : t -> bool
+(** True only while the app is suspended in its post-checkpoint
+    protocol sleep — the one suspension point a thawed factory's
+    fast-forward re-enters exactly. [Kernel.thaw] refuses a witness
+    whose live processes were frozen anywhere else (mid-I/O wait,
+    busy-retry nap): every witnessed byte can match there while the
+    unserializable continuation differs, which would diverge later. *)
+
+val set_at_sleep : t -> bool -> unit
+
+val set_bridge : t -> bridge -> unit
+
+val bridge : t -> bridge option
+
+val iter_syscall_classes : t -> (class_num:int -> count:int -> unit) -> unit
+
+val restore_syscall_class : t -> class_num:int -> count:int -> unit
+
+val restore_counters :
+  t -> restarts:int -> syscalls:int -> grant_enters:int -> unit
+
+val restore_mpu_scans : t -> int -> unit
+(** Overwrite the MPU scan diagnostic ({!mpu_scan_count}) with the
+    frozen value — thaw's own allow/break replumbing performs scans the
+    original board never made. *)
+
+val mpu_cache_state : t -> int * (int * int * int) list
+(** (MPU generation, last-hit access caches as [(gen, lo, hi)] for
+    read/write/execute). Warm caches skip region-table scans, and scans
+    are observable through metrics, so this is witnessed state: a
+    thawed board must continue with the exact cache validity the frozen
+    board had. *)
+
+val restore_mpu_cache :
+  t -> generation:int -> caches:(int * int * int) list -> unit
+(** Put back what {!mpu_cache_state} captured (exactly 3 cache
+    entries). *)
+
+val set_upcall_drops : t -> int -> unit
+
+val restore_breaks : t -> app_break:int -> kernel_break:int -> bool
+(** Set both breaks and update the MPU app region; false if the breaks
+    are outside the RAM block, crossed, or rejected by the MPU. *)
+
+val clear_syscall_tables : t -> unit
+(** Drop subscriptions, pending upcalls, allows and per-class syscall
+    counts (not grants, counters, or RAM) before wholesale restore. *)
+
+val restore_subscription : t -> driver:int -> subscribe_num:int -> upcall -> unit
+
+val restore_allow :
+  t -> kind:[ `Ro | `Rw ] -> driver:int -> allow_num:int -> addr:int -> len:int -> bool
+(** Rematerialize an allow window at the frozen coordinates; false if
+    the range no longer resolves (corrupt witness). *)
+
+val restore_pending_upcall : t -> pending_upcall -> bool

@@ -41,6 +41,8 @@ let peek t = if t.len = 0 then None else Some t.slots.(t.head)
 
 let drops t = t.drops
 
+let set_drops t n = t.drops <- n
+
 let clear t =
   t.head <- 0;
   t.len <- 0

@@ -25,6 +25,10 @@ val peek : 'a t -> 'a option
 
 val drops : 'a t -> int
 
+val set_drops : 'a t -> int -> unit
+(** Re-establish the drop counter from a board witness (freeze/thaw
+    support; never used on live queues). *)
+
 val clear : 'a t -> unit
 
 val iter : 'a t -> ('a -> unit) -> unit

@@ -33,3 +33,7 @@ let fill_bytes t b =
   done
 
 let split t = { state = next_int64 t }
+
+let state t = t.state
+
+let set_state t s = t.state <- s

@@ -35,3 +35,9 @@ val fill_bytes : t -> bytes -> unit
 val split : t -> t
 (** [split t] derives a statistically independent generator and advances
     [t]; useful for giving subsystems their own streams. *)
+
+val state : t -> int64
+(** The raw generator state; together with {!set_state} this lets a
+    board snapshot capture and re-establish the exact stream position. *)
+
+val set_state : t -> int64 -> unit

@@ -42,9 +42,20 @@ type config = {
   batch : int;       (* calendar dispatch quantum in simulated cycles *)
   seed : int64;
   park : bool;
-      (* serialize long-sleeping single boards to byte snapshots,
-         freeing their live-window slot; resumed by deterministic
-         replay. Changes memory/wall-time shape only, never results. *)
+      (* serialize long-sleeping single boards to byte witnesses,
+         freeing their live-window slot; resumed by direct thaw (or
+         deterministic replay when thaw declines). Changes memory/
+         wall-time shape only, never results. *)
+  park_min_quanta : int;
+      (* park only when the board sleeps through at least this many
+         dispatch quanta: below that the deferred-sleep park (gr_wake)
+         already skips the gap for free. *)
+  verify_park : bool;
+      (* cross-check every thaw: freeze the thawed board and compare
+         byte-for-byte against the stored witness, then independently
+         replay a second board through Kernel.restore (which
+         byte-verifies itself). Failure is fatal — it means direct
+         materialization diverged from history. Debug/test mode. *)
 }
 
 type board_stats = {
@@ -76,6 +87,8 @@ let default =
     batch = 250_000;
     seed = 0xF1EE_2026L;
     park = false;
+    park_min_quanta = 2;
+    verify_park = false;
   }
 
 (* Live groups per domain: new work is only materialized once the
@@ -276,30 +289,32 @@ let group_stats rt =
 (* ---- park/resume ----
 
    A single board fully asleep with a far-off wake can trade its
-   live-window slot for a compact byte snapshot ([Kernel.snapshot]:
-   RAM + process table + event schedule + registries — a few kB vs the
-   full Sim/kernel/capsule/continuation graph). Resume rebuilds the
-   board from the same deterministic recipe and replays it to the park
-   clock; [Kernel.restore] verifies the replayed state byte-for-byte
-   against the stored snapshot, so park/resume can never silently
-   diverge from the keep-it-live path. Only [Single] groups park —
-   radio groups share a Sim across boards and stay live. *)
+   live-window slot for a compact byte witness ([Kernel.freeze]: sparse
+   RAM + process table + event schedule + component sections +
+   registries — a few kB vs the full Sim/kernel/capsule/continuation
+   graph). Resume rebuilds the board from the same deterministic recipe
+   and *thaws* it — [Kernel.thaw] materializes the frozen state
+   directly, O(state) instead of O(elapsed cycles), which is what keeps
+   resume cost flat as fleets run longer. When thaw declines (a
+   non-resumable app was live at park, or any consistency check fails)
+   the fleet falls back to the replay path on a second fresh board:
+   [Kernel.restore] re-runs history and byte-verifies against the
+   witness, so park/resume can never silently diverge from the
+   keep-it-live path. [verify_park] runs both on every resume and
+   compares them. Only [Single] groups park — radio groups share a Sim
+   across boards and stay live. *)
 
 type parked = {
   pk_g : int;         (* calendar group id, for rematerialization *)
   pk_wake : int;      (* the wake deadline the board parked against *)
-  pk_witness : string; (* Kernel.snapshot at park time *)
+  pk_clock : int;     (* group clock at park time *)
+  pk_witness : string; (* Kernel.freeze at park time *)
 }
 
 (* A calendar slot: a live group runtime, or a board parked to bytes. *)
 type slot = Live of group_rt | Parked of parked
 
-(* Park only when the board sleeps through at least this many dispatch
-   quanta: below that, replay-on-resume costs more than the slot is
-   worth and the deferred-sleep park (gr_wake) already skips the gap. *)
-let park_min_quanta = 4
-
-let resume_parked cfg workloads pk =
+let replay_resume cfg workloads pk =
   let rt = materialize cfg workloads ~g:pk.pk_g in
   (match rt.gr_kind with
   | Single b -> (
@@ -310,6 +325,51 @@ let resume_parked cfg workloads pk =
       | Ok () -> ()
       | Error e -> failwith ("Fleet: resume of board " ^ string_of_int pk.pk_g ^ ": " ^ e))
   | Radio _ -> assert false);
+  rt
+
+let resume_parked cfg workloads ~on_thaw_fallback pk =
+  let rt = materialize cfg workloads ~g:pk.pk_g in
+  let thawed =
+    match rt.gr_kind with
+    | Single b -> (
+        match
+          Tock.Kernel.thaw b.Tock_boards.Board.kernel
+            ~cap:b.Tock_boards.Board.main_cap pk.pk_witness
+        with
+        | Ok () -> true
+        | Error e ->
+            on_thaw_fallback e;
+            false)
+    | Radio _ -> assert false
+  in
+  let rt =
+    if thawed then begin
+      if cfg.verify_park then begin
+        (* Re-freezing the thawed board must reproduce the witness
+           bytes, and an independent replay (which byte-verifies
+           itself inside Kernel.restore) must succeed too. *)
+        let refrozen =
+          match rt.gr_kind with
+          | Single b -> Tock.Kernel.freeze b.Tock_boards.Board.kernel
+          | Radio _ -> assert false
+        in
+        if not (String.equal refrozen pk.pk_witness) then
+          failwith
+            (Printf.sprintf
+               "Fleet: verify_park: board %d thaw diverged from its witness \
+                (%s vs %s)"
+               pk.pk_g
+               (Digest.to_hex (Digest.string refrozen))
+               (Digest.to_hex (Digest.string pk.pk_witness)));
+        ignore (replay_resume cfg workloads pk)
+      end;
+      rt
+    end
+    else
+      (* The failed thaw may have half-patched the board: discard it
+         and replay on a fresh one. *)
+      replay_resume cfg workloads pk
+  in
   rt.gr_wake <- pk.pk_wake;
   rt
 
@@ -328,10 +388,16 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
   let c_parked = Tock_obs.Metrics.counter reg "fleet.sched.parked_wakes" in
   let c_board_parks = Tock_obs.Metrics.counter reg "fleet.sched.board_parks" in
   let c_board_resumes = Tock_obs.Metrics.counter reg "fleet.sched.board_resumes" in
+  let c_thaw_fallbacks = Tock_obs.Metrics.counter reg "fleet.sched.thaw_fallbacks" in
+  let c_resume_cycles = Tock_obs.Metrics.counter reg "fleet.sched.resume_cycles" in
+  let c_witness_bytes = Tock_obs.Metrics.counter reg "fleet.sched.witness_bytes" in
   let c_groups = Tock_obs.Metrics.counter reg "fleet.sched.groups_run" in
   let g_live_peak = Tock_obs.Metrics.gauge reg "fleet.sched.live_groups_peak" in
   let h_batch = Tock_obs.Metrics.histogram reg "fleet.sched.batch_cycles" in
   let accum = Tock_obs.Metrics.Accum.create () in
+  (* Pooled freeze encoder: one scratch buffer per domain, so parking
+     10k boards doesn't re-grow a fresh Buffer 10k times. *)
+  let wbuf = Buffer.create (64 * 1024) in
   let ndomains = Array.length deques in
   let cal = Calendar.create () in
   let live = ref 0 in
@@ -397,13 +463,16 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
           match slot with
           | Live rt -> rt
           | Parked pk ->
-              (* Rebuild + replay + byte-verify, then rejoin the live
+              (* Rebuild + thaw (replay fallback), then rejoin the live
                  window (transiently allowed to exceed the refill
                  bound). *)
               Tock_obs.Metrics.incr c_board_resumes;
+              Tock_obs.Metrics.add c_resume_cycles (pk.pk_wake - pk.pk_clock);
               incr live;
               Tock_obs.Metrics.set_max g_live_peak !live;
               resume_parked cfg workloads pk
+                ~on_thaw_fallback:(fun _e ->
+                  Tock_obs.Metrics.incr c_thaw_fallbacks)
         in
         if rt.gr_wake >= 0 then begin
           (* Parked: take the skipped sleep now, in one hop. *)
@@ -432,10 +501,11 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
             else begin
               match rt.gr_kind with
               | Single b
-                when cfg.park && wake - group_now rt >= park_min_quanta * cfg.batch
+                when cfg.park
+                     && wake - group_now rt >= cfg.park_min_quanta * cfg.batch
                 ->
                   (* Long sleep ahead: trade the live slot for a byte
-                     snapshot and let refill pull fresh work. *)
+                     witness and let refill pull fresh work. *)
                   let pk =
                     {
                       (* The group id materialize was called with (for a
@@ -443,10 +513,15 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
                          id is lo / group_size, not lo). *)
                       pk_g = rt.gr_lo / cfg.group_size;
                       pk_wake = wake;
-                      pk_witness = Tock.Kernel.snapshot b.Tock_boards.Board.kernel;
+                      pk_clock = group_now rt;
+                      pk_witness =
+                        Tock.Kernel.freeze ~buf:wbuf
+                          b.Tock_boards.Board.kernel;
                     }
                   in
                   Tock_obs.Metrics.incr c_board_parks;
+                  Tock_obs.Metrics.add c_witness_bytes
+                    (String.length pk.pk_witness);
                   Calendar.add cal ~key:wake (Parked pk);
                   decr live;
                   refill ()
@@ -465,7 +540,8 @@ let validate cfg =
   if cfg.group_size <= 0 then invalid_arg "Fleet.run: group_size <= 0";
   if cfg.domains <= 0 then invalid_arg "Fleet.run: domains <= 0";
   if cfg.cycles <= 0 then invalid_arg "Fleet.run: cycles <= 0";
-  if cfg.batch <= 0 then invalid_arg "Fleet.run: batch <= 0"
+  if cfg.batch <= 0 then invalid_arg "Fleet.run: batch <= 0";
+  if cfg.park_min_quanta <= 0 then invalid_arg "Fleet.run: park_min_quanta <= 0"
 
 type fleet_result = {
   fr_stats : board_stats array;

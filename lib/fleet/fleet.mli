@@ -29,11 +29,22 @@ type config = {
   seed : int64;      (** fleet seed; per-group seeds are derived purely *)
   park : bool;
       (** serialize single boards that sleep through several quanta into
-          compact byte snapshots ({!Tock.Kernel.snapshot}), freeing
-          their live-window slot; they are resumed by rebuilding and
-          replaying, byte-verified against the snapshot
-          ({!Tock.Kernel.restore}). Changes the memory/wall-time shape
-          only — results are byte-identical with parking on or off. *)
+          compact byte witnesses ({!Tock.Kernel.freeze}), freeing their
+          live-window slot; they are resumed by rebuilding and thawing
+          directly — O(state), not O(elapsed) — falling back to
+          byte-verified replay ({!Tock.Kernel.restore}) when
+          {!Tock.Kernel.thaw} declines. Changes the memory/wall-time
+          shape only — results are byte-identical with parking on or
+          off. *)
+  park_min_quanta : int;
+      (** park only boards sleeping through at least this many [batch]
+          quanta; shorter gaps are already skipped in O(1) by the
+          deferred-sleep park. Must be positive. *)
+  verify_park : bool;
+      (** cross-check every resume: re-freeze the thawed board and
+          compare byte-for-byte against the stored witness, then
+          independently replay a second board (self-verifying). Fatal
+          [Failure] on divergence. Debug/test mode — expensive. *)
 }
 
 type board_stats = {
@@ -58,7 +69,7 @@ type board_stats = {
 
 val default : config
 (** 16 independent boards, 1 domain, 2M cycles, 250k batch, no
-    parking. *)
+    parking; [park_min_quanta = 2], [verify_park = false]. *)
 
 val group_seed : int64 -> int -> int64
 (** [group_seed fleet_seed first_board_index]: pure SplitMix64-style
@@ -75,7 +86,8 @@ type fleet_result = {
           count, batch quantum, and park setting *)
   fr_sched : Tock_obs.Metrics.snapshot;
       (** merged scheduler metrics ([fleet.sched.*]: dispatches, steals,
-          parked wakes, fast-forwards, board parks/resumes, groups run,
+          parked wakes, fast-forwards, board parks/resumes, thaw
+          fallbacks, resume cycles skipped, witness bytes, groups run,
           live-group peak, batch-cycle histogram). These {e do} depend
           on domain count, batch, and park — they describe the
           execution, not the simulation. *)

@@ -194,3 +194,17 @@ let busy t = t.busy
 let wear t ~page = t.wear.(page)
 
 let dirty_writes t = t.dirty_writes
+
+(* Freeze/thaw support: only pages materialized off the erased sentinel
+   carry information — everything else is 0xFF by construction, so a
+   board witness stores (page index, bytes) for dirty pages and nothing
+   for the rest (erased-page elision). *)
+let iter_dirty_pages t f =
+  Array.iteri (fun page p -> if p != t.erased then f ~page p) t.store
+
+let restore_page t ~page data =
+  if page < 0 || page >= Array.length t.store then
+    invalid_arg "Flash_ctrl.restore_page";
+  if Bytes.length data <> t.page_size then
+    invalid_arg "Flash_ctrl.restore_page: size";
+  t.store.(page) <- Bytes.copy data

@@ -56,3 +56,12 @@ val wear : t -> page:int -> int
 
 val dirty_writes : t -> int
 (** Writes that tried to set a 0 bit back to 1 (lost data). *)
+
+val iter_dirty_pages : t -> (page:int -> bytes -> unit) -> unit
+(** Visit every page with materialized (non-sentinel) backing store —
+    the only pages a board witness needs to record (erased-page
+    elision). The bytes are the live store; do not mutate. *)
+
+val restore_page : t -> page:int -> bytes -> unit
+(** Thaw support: install page contents directly (copied), bypassing
+    NOR timing/AND semantics. [Invalid_argument] on bad page or size. *)

@@ -44,6 +44,10 @@ let generation c = c.generation
 
 let scan_count c = c.scans
 
+let restore_scan_count c n = c.scans <- n
+
+let restore_generation c n = c.generation <- n
+
 let bump c = c.generation <- c.generation + 1
 
 let reset_config _t c =

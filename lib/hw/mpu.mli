@@ -107,6 +107,18 @@ val scan_count : config -> int
     (each {!check}/{!check_with_range} with nonzero length counts one).
     Lets tests assert that a cache-hit path did not rescan the table. *)
 
+val restore_scan_count : config -> int -> unit
+(** Overwrite the scan diagnostic, for thawing a frozen board: the count
+    is observable through metrics, so a direct state patch must put back
+    the frozen value rather than the scans its own rebuild performed. *)
+
+val restore_generation : config -> int -> unit
+(** Overwrite the generation counter, for thawing a frozen board. The
+    rebuild's own region/brk churn advances the generation past the
+    frozen value; callers that also restore generation-stamped caches
+    (see {!Tock.Process}) must put the counter back so cache validity
+    after a thaw matches the board that never parked. *)
+
 val regions : config -> region list
 (** Live regions, for diagnostics. *)
 

@@ -150,6 +150,20 @@ let active_cycles t = t.active_cycles
 
 let sleep_cycles t = t.sleep_cycles
 
+(* Thaw support: re-establish an exact clock position without modelling
+   the elapsed time as activity or sleep. The cached deadline is
+   re-synchronised from the queue — the warp may move [now] in either
+   direction, and the stale-early/never-stale-late contract must keep
+   holding afterwards. *)
+let warp t ~now ~active_cycles ~sleep_cycles ~rng_state =
+  t.now <- now;
+  t.active_cycles <- active_cycles;
+  t.sleep_cycles <- sleep_cycles;
+  Tock_crypto.Prng.set_state t.root_rng rng_state;
+  t.next_due <- Event_queue.next_deadline t.events
+
+let rng_state t = Tock_crypto.Prng.state t.root_rng
+
 let meter t ~name =
   let m = { m_name = name; current_ua = 0; last_change = t.now; ua_cycles = 0. } in
   t.meters <- m :: t.meters;

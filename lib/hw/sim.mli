@@ -75,6 +75,18 @@ val active_cycles : t -> int
 
 val sleep_cycles : t -> int
 
+(** {2 Snapshot thaw support} *)
+
+val warp :
+  t -> now:int -> active_cycles:int -> sleep_cycles:int -> rng_state:int64 -> unit
+(** Re-establish an exact clock position (cycle counters and root-PRNG
+    stream included) without the move counting as activity or sleep.
+    Used by {!Tock.Kernel.thaw} to land a rehydrated board on its frozen
+    clock; pending events keep their absolute deadlines. *)
+
+val rng_state : t -> int64
+(** Raw root-PRNG state, for the board-state witness. *)
+
 (** {2 Power metering} *)
 
 val meter : t -> name:string -> meter

@@ -398,6 +398,139 @@ let packed_to_string p =
   Buffer.add_string b p.p_blob;
   Buffer.contents b
 
+(* Decode a [packed_to_string] image. Every read is bounds-checked: the
+   input may come from a truncated or corrupted board witness, and the
+   contract there is [Error], never an exception. *)
+let packed_of_string s =
+  let len = String.length s in
+  let err fmt = Printf.ksprintf (fun m -> Error ("packed: " ^ m)) fmt in
+  let word pos =
+    if pos < 0 || pos + 8 > len then None
+    else Some (Int64.to_int (String.get_int64_le s pos))
+  in
+  match word 0 with
+  | None -> err "truncated header (%d bytes)" len
+  | Some n when n < 0 || n > len -> err "absurd series count %d" n
+  | Some n -> (
+      let sc_names = Array.make (max n 1) "" in
+      let kinds = Bytes.make (max n 1) 'c' in
+      let pos = ref 8 in
+      let bad = ref None in
+      (try
+         for rank = 0 to n - 1 do
+           match word !pos with
+           | None -> raise Exit
+           | Some nl ->
+               if nl < 0 || !pos + 8 + nl + 1 > len then raise Exit;
+               sc_names.(rank) <- String.sub s (!pos + 8) nl;
+               let k = s.[!pos + 8 + nl] in
+               if k <> 'c' && k <> 'g' && k <> 'h' then begin
+                 bad := Some (err "series %s: unknown kind %C" sc_names.(rank) k);
+                 raise Exit
+               end;
+               Bytes.set kinds rank k;
+               pos := !pos + 8 + nl + 1
+         done
+       with Exit -> if !bad = None then bad := Some (err "truncated schema"));
+      match !bad with
+      | Some e -> e
+      | None ->
+          let blob = String.sub s !pos (len - !pos) in
+          let words = String.length blob / 8 in
+          if String.length blob mod 8 <> 0 || words < n then
+            err "blob is %d bytes for %d series" (String.length blob) n
+          else begin
+            (* Validate histogram records before accepting the image. *)
+            let bw i = Int64.to_int (String.get_int64_le blob (8 * i)) in
+            let hist_ok = ref (Ok ()) in
+            for rank = 0 to n - 1 do
+              if Bytes.get kinds rank = 'h' && !hist_ok = Ok () then begin
+                let off = bw rank in
+                if off < n || off + 3 > words then
+                  hist_ok := err "series %s: histogram offset %d out of range"
+                      sc_names.(rank) off
+                else
+                  let np = bw (off + 2) in
+                  if np < 0 || np > buckets || off + 3 + (2 * np) > words then
+                    hist_ok := err "series %s: %d histogram pairs out of range"
+                        sc_names.(rank) np
+                  else
+                    for k = 0 to np - 1 do
+                      let b = bw (off + 3 + (2 * k)) in
+                      if (b < 0 || b >= buckets) && !hist_ok = Ok () then
+                        hist_ok := err "series %s: bucket %d out of range"
+                            sc_names.(rank) b
+                    done
+              end
+            done;
+            match !hist_ok with
+            | Error _ as e -> e
+            | Ok () ->
+                Ok
+                  {
+                    p_schema =
+                      {
+                        sc_names = Array.sub sc_names 0 n;
+                        sc_kinds = Bytes.sub_string kinds 0 n;
+                      };
+                    p_blob = blob;
+                  }
+          end)
+
+(* Overwrite a registry's values from a packed image: the thaw path of
+   board freeze/thaw. Series missing from the registry are created
+   (snapshot hooks mint gauges lazily, so a freshly-built board has
+   fewer series than its frozen image); a registry series absent from
+   the image would keep a stale value, so that is an error. *)
+let restore_packed t p =
+  let sc = p.p_schema in
+  let n = Array.length sc.sc_names in
+  let bad = ref None in
+  for rank = 0 to n - 1 do
+    if !bad = None then begin
+      let name = sc.sc_names.(rank) in
+      match (sc.sc_kinds.[rank], Hashtbl.find_opt t.by_name name) with
+      | 'c', Some (Mc c) -> c.c_value <- blob_word p rank
+      | 'c', None ->
+          let c = counter t name in
+          c.c_value <- blob_word p rank
+      | 'g', Some (Mg g) -> g.g_value <- blob_word p rank
+      | 'g', None ->
+          let g = gauge t name in
+          g.g_value <- blob_word p rank
+      | 'h', (Some (Mh _) | None) ->
+          let h =
+            match Hashtbl.find_opt t.by_name name with
+            | Some (Mh h) -> h
+            | _ -> histogram t name
+          in
+          let off = blob_word p rank in
+          h.h_count <- blob_word p off;
+          h.h_sum <- blob_word p (off + 1);
+          Array.fill h.h_buckets 0 buckets 0;
+          let np = blob_word p (off + 2) in
+          for k = 0 to np - 1 do
+            h.h_buckets.(blob_word p (off + 3 + (2 * k))) <-
+              blob_word p (off + 3 + (2 * k) + 1)
+          done
+      | _, Some _ ->
+          bad :=
+            Some
+              (Printf.sprintf "restore_packed: %s exists with another type" name)
+      | _ -> assert false
+    end
+  done;
+  match !bad with
+  | Some m -> Error m
+  | None ->
+      if Hashtbl.length t.by_name <> n then
+        Error
+          (Printf.sprintf
+             "restore_packed: registry has %d series, image has %d — stale \
+              series would survive"
+             (Hashtbl.length t.by_name) n)
+      else Ok ()
+
 (* ---- incremental merge ----
 
    One merge kernel for everything: the pairwise [merge] below, the

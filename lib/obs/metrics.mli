@@ -136,6 +136,18 @@ val packed_to_string : packed -> string
 (** Compact deterministic binary encoding (for digests / park
     buffers). *)
 
+val packed_of_string : string -> (packed, string) result
+(** Decode a {!packed_to_string} image. Total: truncated or corrupted
+    input (bad kinds, histogram offsets or buckets out of range) yields
+    [Error] with a diagnostic, never an exception. *)
+
+val restore_packed : t -> packed -> (unit, string) result
+(** Overwrite the registry's values from a packed image — the thaw side
+    of board freeze/thaw. Series missing from the registry are created;
+    [Error] if a name exists with a different metric type, or if the
+    registry holds series the image does not (their stale values would
+    survive the restore). *)
+
 val merge_packed : packed list -> snapshot
 (** [merge] over packed snapshots without unpacking. *)
 

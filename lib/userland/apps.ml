@@ -18,27 +18,42 @@ let hello app =
   printf app "Hello from %s!\r\n" (Emu.proc_name app);
   Libtock.exit app 0
 
+(* The periodic apps are *resumable*: each loop checkpoints its cursor
+   before sleeping, so [Kernel.thaw] can re-run the factory on a thawed
+   board and fast-forward in O(1) — skip the already-executed
+   iterations, re-enter the recorded sleep ([resume_sleep]), and let the
+   kernel patch observable state (RAM, counters, subscriptions) back
+   from the frozen image. The body between resume point and sleep must
+   not run again for past iterations; everything it did is in the
+   witness. *)
+
 let counter ~n ~period_ticks app =
-  for i = 1 to n do
+  let k0 = Emu.resume_point app in
+  if k0 > 0 then Libtock_sync.resume_sleep app;
+  for i = k0 + 1 to n do
     Emu.work app 100;
     printf app "%s: count %d\r\n" (Emu.proc_name app) i;
-    Libtock_sync.sleep_ticks app period_ticks
+    Libtock_sync.checkpoint_sleep app ~cursor:i ~ticks:period_ticks
   done;
   Libtock.exit app 0
 
 let blink ~led ~period_ticks ~blinks app =
-  for _ = 1 to blinks do
+  let k0 = Emu.resume_point app in
+  if k0 > 0 then Libtock_sync.resume_sleep app;
+  for i = k0 + 1 to blinks do
     ignore (Libtock.command app ~driver:Driver_num.led ~cmd:3 ~arg1:led ~arg2:0);
-    Libtock_sync.sleep_ticks app period_ticks
+    Libtock_sync.checkpoint_sleep app ~cursor:i ~ticks:period_ticks
   done;
   Libtock.exit app 0
 
 let sensor_logger ~samples ~period_ticks app =
-  for i = 1 to samples do
+  let k0 = Emu.resume_point app in
+  if k0 > 0 then Libtock_sync.resume_sleep app;
+  for i = k0 + 1 to samples do
     let cc = Libtock_sync.temperature_read app in
     Emu.work app 150;
     printf app "sample %d: %d.%02d C\r\n" i (cc / 100) (abs cc mod 100);
-    Libtock_sync.sleep_ticks app period_ticks
+    Libtock_sync.checkpoint_sleep app ~cursor:i ~ticks:period_ticks
   done;
   Libtock.exit app 0
 

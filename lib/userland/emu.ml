@@ -197,6 +197,50 @@ let register_upcall_fn app fn =
 
 let lookup_upcall_fn app id = Hashtbl.find_opt app.upcalls id
 
+(* ---- freeze/thaw: checkpoints and the kernel bridge ---- *)
+
+let checkpoint app i = Tock.Process.set_checkpoint app.a_proc i
+
+let resume_point app = Tock.Process.checkpoint app.a_proc
+
+let take_resume_alarm app = Tock.Process.take_resume_alarm app.a_proc
+
+let set_at_sleep app v = Tock.Process.set_at_sleep app.a_proc v
+
+(* The emulator's data state beside the continuation, exposed to
+   [Kernel.freeze]/[thaw] as closures on the process (the kernel cannot
+   depend on this library). *)
+let install_bridge app =
+  Tock.Process.set_bridge app.a_proc
+    {
+      Tock.Process.br_residue =
+        (fun () ->
+          let scratch =
+            Hashtbl.fold (fun tag v acc -> (tag, v) :: acc) app.scratch []
+          in
+          {
+            Tock.Process.er_alloc_next = app.alloc_next;
+            er_next_fn = app.next_fn;
+            er_scratch = List.sort compare scratch;
+          });
+      br_set_residue =
+        (fun r ->
+          app.alloc_next <- r.Tock.Process.er_alloc_next;
+          app.next_fn <- r.Tock.Process.er_next_fn;
+          Hashtbl.reset app.scratch;
+          List.iter
+            (fun (tag, v) -> Hashtbl.replace app.scratch tag v)
+            r.Tock.Process.er_scratch);
+      br_remap_upcall =
+        (fun ~old_id ~new_id ->
+          match Hashtbl.find_opt app.upcalls old_id with
+          | None -> false
+          | Some fn ->
+              Hashtbl.remove app.upcalls old_id;
+              Hashtbl.replace app.upcalls new_id fn;
+              true);
+    }
+
 (* ---- the execution harness ---- *)
 
 type suspension =
@@ -219,6 +263,7 @@ let spawn main p =
       scratch = Hashtbl.create 8;
     }
   in
+  install_bridge app;
   let state = ref (Not_started (fun () -> main app)) in
   let remaining = ref 0 in
   let used = ref 0 in

@@ -116,3 +116,33 @@ val register_upcall_fn : app -> (int -> int -> int -> unit) -> int
 (** Returns a fresh nonzero "function pointer" for subscribe. *)
 
 val lookup_upcall_fn : app -> int -> (int -> int -> int -> unit) option
+
+(** {2 Freeze/thaw checkpoints}
+
+    Effect continuations cannot be serialized, so a frozen board's apps
+    are resumed by re-running their factory and fast-forwarding: an app
+    that wants to survive {!Tock.Kernel.freeze}/[thaw] records a loop
+    cursor with {!checkpoint} before each long sleep, and on a thawed
+    board reads it back with {!resume_point} to skip the iterations
+    already executed (observable state — RAM, counters, subscriptions —
+    is restored wholesale from the frozen image afterwards, so the
+    fast-forward only has to re-create the continuation shape). *)
+
+val checkpoint : app -> int -> unit
+(** Record the app's loop cursor (nonzero) on its process. *)
+
+val resume_point : app -> int
+(** 0 on a first run; the last checkpointed cursor when the factory is
+    re-run by thaw. *)
+
+val take_resume_alarm : app -> (int * int) option
+(** The (reference, dt) of the alarm the frozen app was sleeping on,
+    installed by thaw; consumed (one-shot). Used by
+    {!Tock_userland.Libtock_sync.resume_sleep}. *)
+
+val set_at_sleep : app -> bool -> unit
+(** Mark (or clear) the process as suspended at its post-checkpoint
+    protocol sleep — the only freeze point {!Tock.Kernel.thaw} accepts
+    for a live process. Maintained by
+    {!Tock_userland.Libtock_sync.checkpoint_sleep} and [resume_sleep];
+    apps never call it directly. *)

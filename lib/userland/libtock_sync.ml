@@ -84,6 +84,35 @@ let sleep_ticks app dt =
   ignore
     (expect_classic app ~driver:Driver_num.alarm ~sub:0 ~cmd:5 ~arg1:dt ~arg2:0)
 
+(* Thaw prologue: re-enter the exact sleep a frozen app was suspended
+   in. Command 4 arms at the *absolute* (reference, dt) recorded in the
+   frozen image, so the alarm fires at the original deadline no matter
+   what clock the prologue runs at; the syscall shape (subscribe →
+   command → yield-wait loop) matches [sleep_ticks]'s call_classic, so
+   the rebuilt continuation is suspended at the same point. *)
+let resume_sleep app =
+  match Emu.take_resume_alarm app with
+  | Some (reference, dt) ->
+      Emu.set_at_sleep app true;
+      ignore
+        (expect_classic app ~driver:Driver_num.alarm ~sub:0 ~cmd:4
+           ~arg1:reference ~arg2:dt);
+      Emu.set_at_sleep app false
+  | None ->
+      raise (Emu.App_panic_exn "resume_sleep: no frozen alarm recorded")
+
+(* The only freeze point thaw accepts for a live app: cursor recorded,
+   then suspended in the sleep itself. The at-sleep mark distinguishes
+   this suspension from every other yield the body may hit (console
+   busy-retry naps, I/O completion waits) — those are witnessable but
+   not rebuildable, since the fast-forward can only re-enter the
+   checkpoint sleep. *)
+let checkpoint_sleep app ~cursor ~ticks =
+  Emu.checkpoint app cursor;
+  Emu.set_at_sleep app true;
+  sleep_ticks app ticks;
+  Emu.set_at_sleep app false
+
 let alarm_frequency app =
   match Libtock.command app ~driver:Driver_num.alarm ~cmd:1 ~arg1:0 ~arg2:0 with
   | Syscall.Success_u32 hz -> hz

@@ -54,6 +54,22 @@ val call_with_timeout :
 val sleep_ticks : Emu.app -> int -> unit
 (** Block (yielding) for [dt] alarm ticks. *)
 
+val resume_sleep : Emu.app -> unit
+(** Thaw prologue for resumable apps: re-enter the sleep the frozen app
+    was suspended in, re-arming the alarm at the {e absolute}
+    (reference, dt) installed by {!Tock.Kernel.thaw} (alarm command 4)
+    and blocking in the same subscribe/command/yield-wait shape as
+    {!sleep_ticks}. Call only when {!Emu.resume_point} is nonzero;
+    panics the app if no frozen alarm was recorded. *)
+
+val checkpoint_sleep : Emu.app -> cursor:int -> ticks:int -> unit
+(** Record the loop [cursor] ({!Emu.checkpoint}), then sleep [ticks]
+    with the process marked at its protocol sleep — the one suspension
+    point {!Tock.Kernel.thaw} will accept for a live process (a freeze
+    that catches the app in any other wait falls back to replay).
+    Resumable apps must use this instead of a bare checkpoint +
+    {!sleep_ticks} pair. *)
+
 val sleep_ms : Emu.app -> int -> unit
 
 val alarm_frequency : Emu.app -> int

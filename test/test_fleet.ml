@@ -126,7 +126,9 @@ let test_snapshot_restore_determinism () =
   let original = build_sleepy () in
   finish_to original park_at 10_000;
   let w = Tock.Kernel.snapshot original.Tock_boards.Board.kernel in
-  Alcotest.(check int) "witness clock" park_at (Tock.Kernel.snapshot_clock w);
+  (match Tock.Kernel.snapshot_clock w with
+  | Ok c -> Alcotest.(check int) "witness clock" park_at c
+  | Error e -> Alcotest.failf "snapshot_clock: %s" e);
   (* Snapshots are pure observations: retaking one changes nothing. *)
   Alcotest.(check string) "snapshot is stable" w
     (Tock.Kernel.snapshot original.Tock_boards.Board.kernel);
@@ -148,23 +150,207 @@ let test_snapshot_restore_determinism () =
     (Tock.Kernel.snapshot original.Tock_boards.Board.kernel)
     (Tock.Kernel.snapshot resumed.Tock_boards.Board.kernel)
 
+(* Direct thaw: patch a fresh board from the witness in O(state) — no
+   replay — and land byte-identical to the board that never parked,
+   including the witness a re-freeze produces. *)
+let test_thaw_determinism () =
+  let park_at = 700_000 and budget = 2_000_000 in
+  let original = build_sleepy () in
+  finish_to original park_at 10_000;
+  let w = Tock.Kernel.freeze original.Tock_boards.Board.kernel in
+  let thawed = build_sleepy () in
+  (match
+     Tock.Kernel.thaw thawed.Tock_boards.Board.kernel
+       ~cap:thawed.Tock_boards.Board.main_cap w
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "thaw: %s" e);
+  Alcotest.(check string) "thawed state matches" (fingerprint original)
+    (fingerprint thawed);
+  (* The strongest check: re-freezing the thawed board reproduces the
+     witness bit-for-bit — every serialized fact survived the round
+     trip. *)
+  Alcotest.(check string) "re-freeze reproduces witness" w
+    (Tock.Kernel.freeze thawed.Tock_boards.Board.kernel);
+  finish_to original budget 10_000;
+  finish_to thawed budget 3_333;
+  Alcotest.(check string) "thawed == continuously stepped"
+    (fingerprint original) (fingerprint thawed);
+  Alcotest.(check string) "final freezes equal"
+    (Tock.Kernel.freeze original.Tock_boards.Board.kernel)
+    (Tock.Kernel.freeze thawed.Tock_boards.Board.kernel)
+
+(* Corrupt and truncated witnesses must come back as [Error _] from
+   every entry point — never an exception, never a silent success.
+   (A failed thaw may leave the board half-patched; each probe gets a
+   fresh board, exactly like the fleet's discard-and-replay fallback.) *)
+let test_witness_rejects_corruption () =
+  let original = build_sleepy () in
+  finish_to original 700_000 10_000;
+  let w = Tock.Kernel.freeze original.Tock_boards.Board.kernel in
+  let expect_err name f =
+    match f () with
+    | Ok _ -> Alcotest.failf "%s: corrupt witness accepted" name
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: diagnostic not empty" name)
+          true
+          (String.length e > 0)
+    | exception e ->
+        Alcotest.failf "%s: raised %s instead of Error" name
+          (Printexc.to_string e)
+  in
+  let bad_magic = "XXXXXXXX" ^ String.sub w 8 (String.length w - 8) in
+  let flipped =
+    let b = Bytes.of_string w in
+    let i = String.length w / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+    Bytes.to_string b
+  in
+  let truncations =
+    [ ""; String.sub w 0 4; String.sub w 0 (String.length w / 3);
+      String.sub w 0 (String.length w - 1) ]
+  in
+  (* snapshot_clock reads only the header: it must reject a damaged
+     header, while body truncations are caught by restore/thaw below. *)
+  List.iter
+    (fun wbad ->
+      expect_err
+        (Printf.sprintf "snapshot_clock (%d bytes)" (String.length wbad))
+        (fun () -> Tock.Kernel.snapshot_clock wbad))
+    [ bad_magic; ""; String.sub w 0 4 ];
+  List.iter
+    (fun wbad ->
+      let n = String.length wbad in
+      expect_err
+        (Printf.sprintf "restore (%d bytes)" n)
+        (fun () ->
+          let b = build_sleepy () in
+          Tock.Kernel.restore b.Tock_boards.Board.kernel
+            ~cap:b.Tock_boards.Board.main_cap wbad);
+      expect_err
+        (Printf.sprintf "thaw (%d bytes)" n)
+        (fun () ->
+          let b = build_sleepy () in
+          Tock.Kernel.thaw b.Tock_boards.Board.kernel
+            ~cap:b.Tock_boards.Board.main_cap wbad))
+    (bad_magic :: truncations);
+  (* A single flipped byte anywhere breaks restore's whole-witness byte
+     compare even when the blob still parses. (thaw may legitimately
+     accept a flip that only changes payload bytes — restore is the
+     byte-exact gate.) *)
+  expect_err "restore (flipped byte)" (fun () ->
+      let b = build_sleepy () in
+      Tock.Kernel.restore b.Tock_boards.Board.kernel
+        ~cap:b.Tock_boards.Board.main_cap flipped)
+
+(* Property: for random workloads, sim seeds and park points,
+   freeze -> thaw onto a fresh board either reproduces the witness
+   byte-for-byte (and tracks the original under further execution), or
+   declines with [Error _] — in which case byte-verified replay must
+   still succeed. This is exactly the fleet resume contract. *)
+let prop_freeze_thaw_contract =
+  let gen =
+    QCheck2.Gen.(
+      quad (int_range 0 2) (int_range 50 800) (int_range 20_000 1_200_000)
+        (int_range 1 0xFFFF))
+  in
+  let build (shape, period, _park_at, seed) =
+    let sim =
+      Tock_hw.Sim.create ~seed:(Int64.of_int (0xBEE0000 + seed))
+        ~trace_capacity:0 ()
+    in
+    let chip = Tock_hw.Chip.sam4l_like sim in
+    let board = Tock_boards.Board.build chip in
+    let apps =
+      match shape with
+      | 0 ->
+          [ ("counter", Tock_userland.Apps.counter ~n:4 ~period_ticks:period);
+            ("hello", Tock_userland.Apps.hello) ]
+      | 1 ->
+          [ ("blink", Tock_userland.Apps.blink ~led:0 ~period_ticks:period
+               ~blinks:6);
+            ("sensors", Tock_userland.Apps.sensor_logger ~samples:3
+               ~period_ticks:(period * 3)) ]
+      | _ ->
+          [ ("kv", Tock_userland.Apps.kv_user ~rounds:2);
+            ("counter", Tock_userland.Apps.counter ~n:2 ~period_ticks:period) ]
+    in
+    List.iter
+      (fun (name, app) ->
+        match Tock_boards.Board.add_app board ~name app with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "add_app %s: %s" name (Tock.Error.to_string e))
+      apps;
+    board
+  in
+  QCheck_alcotest.to_alcotest
+  @@ QCheck2.Test.make ~count:25
+       ~name:"freeze/thaw contract (random workload, park point)"
+       ~print:(fun (shape, period, park_at, seed) ->
+         Printf.sprintf "shape=%d period=%d park_at=%d seed=%d" shape period
+           park_at seed)
+       gen
+    (fun ((_, _, park_at, _) as case) ->
+      let original = build case in
+      finish_to original park_at 10_000;
+      let w = Tock.Kernel.freeze original.Tock_boards.Board.kernel in
+      let fresh = build case in
+      (match
+         Tock.Kernel.thaw fresh.Tock_boards.Board.kernel
+           ~cap:fresh.Tock_boards.Board.main_cap w
+       with
+      | Ok () ->
+          if Tock.Kernel.freeze fresh.Tock_boards.Board.kernel <> w then
+            QCheck2.Test.fail_report "re-freeze of thawed board <> witness";
+          let deadline = park_at + 400_000 in
+          finish_to original deadline 10_000;
+          finish_to fresh deadline 7_001;
+          if fingerprint original <> fingerprint fresh then
+            QCheck2.Test.fail_reportf
+              "thawed board diverged from original\noriginal: %s\nthawed:   %s"
+              (fingerprint original) (fingerprint fresh)
+      | Error _ ->
+          (* thaw declined (e.g. frozen mid-slice, not at a sleep) —
+             the replay fallback must cover it. *)
+          let rb = build case in
+          (match
+             Tock.Kernel.restore rb.Tock_boards.Board.kernel
+               ~cap:rb.Tock_boards.Board.main_cap w
+           with
+          | Ok () -> ()
+          | Error e ->
+              QCheck2.Test.fail_reportf "thaw declined AND restore failed: %s" e));
+      true)
+
 let sched_counter sched name =
   match List.assoc_opt name sched with
   | Some (Tock_obs.Metrics.Counter v) -> v
   | _ -> Alcotest.failf "scheduler metric %s missing" name
 
 (* Fleet-level park/resume: identical results with parking on or off,
-   at 1 and 2 domains — and parking must actually have happened for the
-   run to be evidence of anything. *)
+   at 1, 2 and 4 domains, with every resume cross-checked against the
+   stored witness AND an independent replay ([verify_park]) — and
+   parking must actually have happened, via the direct thaw path with
+   zero fallbacks, for the run to be evidence of anything.
+   [park_min_quanta = 50] keeps the 50k-cycle threshold above both the
+   4096-cycle console busy-retry naps and the ~25k-cycle UART
+   transmission waits (where an app is mid-print, before any
+   checkpoint), so parks land on real alarm sleeps where every live
+   app sits at a checkpoint. *)
 let test_park_resume_identical () =
   let cfg =
-    small { Fleet.default with boards = 8; group_size = 1; batch = 1_000 }
+    small
+      { Fleet.default with
+        boards = 8; group_size = 1; batch = 1_000; park_min_quanta = 50 }
   in
   let plain = Fleet.run_fleet { cfg with park = false } in
   let mm = Tock_obs.Metrics.render_json plain.Fleet.fr_metrics in
   List.iter
     (fun domains ->
-      let parked = Fleet.run_fleet { cfg with park = true; domains } in
+      let parked =
+        Fleet.run_fleet { cfg with park = true; verify_park = true; domains }
+      in
       check_identical
         (Printf.sprintf "park on/off @ %d domains" domains)
         plain.Fleet.fr_stats parked.Fleet.fr_stats;
@@ -175,12 +361,39 @@ let test_park_resume_identical () =
       let parks = sched_counter parked.Fleet.fr_sched "fleet.sched.board_parks" in
       Alcotest.(check bool) "parking occurred" true (parks > 0);
       Alcotest.(check int) "every park resumed" parks
-        (sched_counter parked.Fleet.fr_sched "fleet.sched.board_resumes"))
-    [ 1; 2 ]
+        (sched_counter parked.Fleet.fr_sched "fleet.sched.board_resumes");
+      Alcotest.(check int) "every resume thawed directly" 0
+        (sched_counter parked.Fleet.fr_sched "fleet.sched.thaw_fallbacks");
+      Alcotest.(check bool) "resume skipped cycles in O(state)" true
+        (sched_counter parked.Fleet.fr_sched "fleet.sched.resume_cycles" > 0);
+      Alcotest.(check bool) "witness bytes accounted" true
+        (sched_counter parked.Fleet.fr_sched "fleet.sched.witness_bytes" > 0))
+    [ 1; 2; 4 ]
 
-(* The paper-scale construction smoke: 100k boards materialize through
-   the bounded live window, run a tiny budget with parking on, and
-   retire into packed stats — the whole fleet must fit and account. *)
+(* An aggressive threshold ([park_min_quanta = 2] at batch 1000) parks
+   boards inside UART transmission waits and console busy-retry naps,
+   where a live app is mid-I/O with no checkpoint: thaw must decline
+   and the byte-verified replay fallback must carry every such resume
+   without changing a single result. *)
+let test_park_fallback_identical () =
+  let cfg =
+    small { Fleet.default with boards = 8; group_size = 1; batch = 1_000 }
+  in
+  let plain = Fleet.run_fleet { cfg with park = false } in
+  let parked = Fleet.run_fleet { cfg with park = true; verify_park = true } in
+  check_identical "fallback resumes" plain.Fleet.fr_stats parked.Fleet.fr_stats;
+  let fallbacks =
+    sched_counter parked.Fleet.fr_sched "fleet.sched.thaw_fallbacks"
+  in
+  Alcotest.(check bool) "replay fallback exercised" true (fallbacks > 0);
+  Alcotest.(check bool) "fallbacks bounded by resumes" true
+    (fallbacks <= sched_counter parked.Fleet.fr_sched "fleet.sched.board_resumes")
+
+(* The paper-scale smoke: 100k boards materialize through the bounded
+   live window, the blink mix sleeps long enough to be frozen into
+   byte witnesses, and every one of those boards must thaw directly
+   (zero replay fallbacks) before retiring into packed stats — the
+   whole fleet must fit and account. *)
 let test_100k_construction_park_smoke () =
   let boards = 100_000 in
   let cfg =
@@ -188,14 +401,20 @@ let test_100k_construction_park_smoke () =
       Fleet.default with
       boards;
       group_size = 1;
-      cycles = 2_000;
-      batch = 100;
+      cycles = 160_000;
+      batch = 50_000;
       park = true;
     }
   in
   let r = Fleet.run_fleet cfg in
   Alcotest.(check int) "all boards reported" boards
     (Array.length r.Fleet.fr_stats);
+  let parks = sched_counter r.Fleet.fr_sched "fleet.sched.board_parks" in
+  Alcotest.(check bool) "freeze/thaw exercised at scale" true (parks > 0);
+  Alcotest.(check int) "every park resumed" parks
+    (sched_counter r.Fleet.fr_sched "fleet.sched.board_resumes");
+  Alcotest.(check int) "no replay fallbacks at scale" 0
+    (sched_counter r.Fleet.fr_sched "fleet.sched.thaw_fallbacks");
   Array.iteri
     (fun i (bs : Fleet.board_stats) ->
       if bs.Fleet.bs_board <> i then
@@ -264,6 +483,7 @@ let test_bad_config_rejected () =
       { Fleet.default with group_size = -1 };
       { Fleet.default with cycles = 0 };
       { Fleet.default with batch = 0 };
+      { Fleet.default with park_min_quanta = 0 };
     ]
 
 let suite =
@@ -278,8 +498,15 @@ let suite =
       test_fast_forward_identical_state;
     Alcotest.test_case "snapshot/restore determinism" `Quick
       test_snapshot_restore_determinism;
-    Alcotest.test_case "park/resume byte-identical (1/2 domains)" `Quick
-      test_park_resume_identical;
+    Alcotest.test_case "thaw determinism (O(state) resume)" `Quick
+      test_thaw_determinism;
+    Alcotest.test_case "corrupt witnesses rejected as Error" `Quick
+      test_witness_rejects_corruption;
+    prop_freeze_thaw_contract;
+    Alcotest.test_case "park/resume byte-identical (1/2/4 domains, verified)"
+      `Quick test_park_resume_identical;
+    Alcotest.test_case "mid-I/O parks fall back to verified replay" `Quick
+      test_park_fallback_identical;
     Alcotest.test_case "100k-board construction + park smoke" `Slow
       test_100k_construction_park_smoke;
     Alcotest.test_case "fleet-smoke (2 domains, stealing on)" `Quick
