@@ -8,8 +8,19 @@
      (asserted in full mode);
    - counter/histogram/trace-emit primitive costs are sampled so a
      regression in the record path is visible in the JSON history;
+   - the disabled-mode Trace.emit is truly free: zero minor-heap words
+     per call (asserted in every mode), and in full mode both under a
+     4.50 ns/op backstop and under 0.60x the enabled record cost;
+   - a 10k-board fleet with health rollups on keeps >= 90% of the
+     no-rollup throughput (full mode; smoke folds a tiny fleet);
    - a board workload's syscall-class and IRQ dispatch latency
      histograms are summarised (p50/p99) as the reference profile.
+
+   Layout note: the spend gate compares two nominally identical hot
+   loops, so it is sensitive to code placement in this file — new
+   measurement code belongs BELOW bench_board, leaving time_ns /
+   bench_spend / bench_primitives byte-identical and at the same object
+   offsets as the seed revision.
 
    Run: dune exec bench/main.exe -- obs
    The `obs-smoke` variant runs tiny iteration counts under
@@ -141,6 +152,56 @@ let bench_board ~seconds =
   let tr = Tock_hw.Sim.trace_events sim in
   (sys, irq, Trace.total tr, Trace.dropped tr)
 
+(* ---- disabled-mode Trace.emit: truly free ---- *)
+
+(* The disabled emit must be a single capacity load and branch: zero
+   words allocated across any number of calls. Host-independent, so it
+   is asserted in smoke mode too. *)
+let assert_emit_disabled_allocfree () =
+  let off = Trace.create ~capacity:0 in
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    Trace.emit off ~ts:i ~tid:1 Trace.Syscall Trace.Instant ~arg:2 ~text:""
+  done;
+  let words = Gc.minor_words () -. before in
+  Printf.printf "   emit-disabled allocation: %.0f words / 100k calls\n" words;
+  if words > 0.0 then
+    failwith "obs: disabled Trace.emit allocated on the minor heap"
+
+(* ---- fleet health rollups: throughput tax of folding every retiring
+   board's packed metrics into cross-board distributions ---- *)
+
+let bench_rollup ~boards =
+  let cfg =
+    {
+      Tock_fleet.Fleet.default with
+      Tock_fleet.Fleet.boards;
+      group_size = 1;
+      cycles = 160_000;
+      batch = 50_000;
+      park = true;
+    }
+  in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let plain_s = time (fun () -> ignore (Tock_fleet.Fleet.run_fleet cfg)) in
+  let health_s =
+    time (fun () ->
+        ignore
+          (Tock_fleet.Fleet.run_fleet
+             { cfg with Tock_fleet.Fleet.health = true }))
+  in
+  (* boards/s with rollups relative to boards/s without *)
+  (plain_s, health_s, plain_s /. health_s)
+
 (* ---- driver ---- *)
 
 let run_mode ~scale ~assert_ratios ~write () =
@@ -166,6 +227,39 @@ let run_mode ~scale ~assert_ratios ~write () =
   (* -- record-path primitive costs -- *)
   bench_primitives ~iters:(it 2_000_000) note;
 
+  (* -- disabled-mode emit: allocation-free, and gated -- *)
+  assert_emit_disabled_allocfree ();
+  let sample name =
+    match List.find_opt (fun s -> s.s_name = name) !samples with
+    | Some s -> s.s_ns
+    | None -> failwith ("obs: missing sample " ^ name)
+  in
+  let emit_disabled_ns = sample "trace/emit-disabled" in
+  let emit_enabled_ns = sample "trace/emit-enabled" in
+  let emit_ratio = emit_disabled_ns /. emit_enabled_ns in
+  (* Two gates: a relative one (the disabled call must cost well under
+     the enabled record path — that is what "truly free" means and it
+     cancels host-speed drift on this single-core VM), and an absolute
+     backstop vs the 3.66 ns/op seed measurement, set with headroom for
+     the ~25% run-to-run frequency jitter the host shows. *)
+  Printf.printf
+    "   emit-disabled: %.2f ns/op, %.2fx enabled (gates <= 4.50 ns, <= 0.60x)\n"
+    emit_disabled_ns emit_ratio;
+  if assert_ratios && emit_disabled_ns > 4.50 then
+    failwith "obs: disabled Trace.emit above the 4.50 ns/op backstop";
+  if assert_ratios && emit_ratio > 0.60 then
+    failwith "obs: disabled Trace.emit not well under the enabled cost";
+
+  (* -- fleet health rollups: >= 90% of no-rollup throughput -- *)
+  let rollup_boards = max 100 (int_of_float (10_000.0 *. scale)) in
+  let plain_s, health_s, rollup_ratio = bench_rollup ~boards:rollup_boards in
+  Printf.printf
+    "   fleet %d boards: %.3fs plain, %.3fs with rollups -> %.3fx throughput \
+     (gate >= 0.90)\n"
+    rollup_boards plain_s health_s rollup_ratio;
+  if assert_ratios && rollup_ratio < 0.90 then
+    failwith "obs: health rollups cost more than 10% of fleet throughput";
+
   (* -- board workload latency profile -- *)
   let seconds = Float.max 0.02 (0.5 *. scale) in
   let sys, irq, trace_total, trace_dropped = bench_board ~seconds in
@@ -183,6 +277,13 @@ let run_mode ~scale ~assert_ratios ~write () =
       "{\n  \"bench\": \"obs\",\n  \
        \"spend_overhead_ratio\": %.4f,\n  \
        \"spend_overhead_gate\": 1.03,\n  \
+       \"emit_disabled_ns\": %.2f,\n  \
+       \"emit_disabled_gate_ns\": 4.50,\n  \
+       \"emit_disabled_enabled_ratio\": %.4f,\n  \
+       \"emit_disabled_enabled_gate\": 0.60,\n  \
+       \"rollup_boards\": %d,\n  \
+       \"rollup_throughput_ratio\": %.4f,\n  \
+       \"rollup_throughput_gate\": 0.90,\n  \
        \"syscall_command_count\": %d,\n  \
        \"syscall_command_p50_cycles\": %d,\n  \
        \"syscall_command_p99_cycles\": %d,\n  \
@@ -191,7 +292,8 @@ let run_mode ~scale ~assert_ratios ~write () =
        \"irq_dispatch_p99_cycles\": %d,\n  \
        \"trace_events\": %d,\n  \
        \"trace_dropped\": %d,\n  \"samples\": [\n%s\n  ]\n}\n"
-      ratio sys.Metrics.hs_count (q sys 0.5) (q sys 0.99)
+      ratio emit_disabled_ns emit_ratio rollup_boards rollup_ratio
+      sys.Metrics.hs_count (q sys 0.5) (q sys 0.99)
       irq.Metrics.hs_count (q irq 0.5) (q irq 0.99) trace_total trace_dropped
       (String.concat ",\n" (List.rev_map json_of_sample !samples));
     close_out oc;

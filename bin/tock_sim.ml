@@ -4,13 +4,16 @@
      run       boot a single board with a selection of apps
      signpost  run the multi-node urban-sensing deployment
      fleet     run many boards in parallel across domains
-     rot       run the signed-boot root-of-trust scenario
-     apps      list the available applications
+     rot        run the signed-boot root-of-trust scenario
+     apps       list the available applications
+     postmortem render a TCKFLT01 flight artifact and thaw its witness
 
    Examples:
      tock_sim run --chip sam4l --app hello --app counter --scheduler mlfq
      tock_sim signpost --nodes 3 --seconds 1
-     tock_sim fleet --boards 256 --domains 8
+     tock_sim fleet --boards 256 --domains 8 --health
+     tock_sim fleet --boards 64 --fault-board 3 --flight-dir /tmp/flights
+     tock_sim postmortem /tmp/flights/flt-board00003-fault.tckflt
      tock_sim rot --tamper *)
 
 open Cmdliner
@@ -208,7 +211,8 @@ let signpost_cmd nodes seconds seed =
 (* ---- fleet ---- *)
 
 let fleet_cmd boards domains group_size cycles batch seed park park_min_quanta
-    verify_park quiet metrics =
+    verify_park quiet metrics health trace_out trace_boards flight_dir
+    fault_board =
   let domains =
     match domains with
     | "auto" -> max 1 (Domain.recommended_domain_count ())
@@ -228,6 +232,11 @@ let fleet_cmd boards domains group_size cycles batch seed park park_min_quanta
       park;
       park_min_quanta;
       verify_park;
+      health;
+      trace_capacity = (match trace_out with Some _ -> 65_536 | None -> 0);
+      trace_boards;
+      flight_dir;
+      fault_board;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -253,7 +262,49 @@ let fleet_cmd boards domains group_size cycles batch seed park park_min_quanta
     Printf.printf "--- scheduler ---\n%s" (Tock_obs.Metrics.render_text sched);
     Printf.printf "--- fleet metrics (all boards) ---\n%s"
       (Tock_obs.Metrics.render_text result.Tock_fleet.Fleet.fr_metrics)
-  end
+  end;
+  (match result.Tock_fleet.Fleet.fr_health with
+  | Some rp -> print_string (Tock_fleet.Fleet.Rollup.render_text rp)
+  | None -> ());
+  (match (trace_out, result.Tock_fleet.Fleet.fr_trace_json) with
+  | Some path, Some json ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "trace: %d domain lane(s) + %d board lane(s) -> %s\n"
+        (min domains (Tock_fleet.Fleet.group_count cfg))
+        (min boards trace_boards) path
+  | _ -> ());
+  List.iter
+    (fun (path, a) ->
+      Printf.printf "flight: %s (%s)\n" path
+        (Tock_fleet.Flight.describe_cause a.Tock_fleet.Flight.fa_cause))
+    result.Tock_fleet.Fleet.fr_flights
+
+(* ---- postmortem ---- *)
+
+let postmortem_cmd file =
+  let s =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  match Tock_fleet.Flight.decode s with
+  | Error e ->
+      Printf.eprintf "postmortem: %s: %s\n" file e;
+      exit 1
+  | Ok a ->
+      print_string (Tock_fleet.Flight.render a);
+      if a.Tock_fleet.Flight.fa_witness <> "" then (
+        match Tock_fleet.Fleet.thaw_artifact a with
+        | Ok board ->
+            Printf.printf "\n-- thawed board (at %d cyc) --\n"
+              (Tock_hw.Sim.now board.Tock_boards.Board.sim);
+            print_processes board;
+            print_metrics board
+        | Error e -> Printf.printf "\nwitness did not thaw: %s\n" e)
 
 (* ---- rot ---- *)
 
@@ -374,6 +425,32 @@ let verify_park_arg =
              against its witness and independently replay it. Slow; for \
              debugging determinism.")
 
+let health_arg =
+  Arg.(value & flag & info [ "health" ]
+       ~doc:"Fold per-board metrics into per-cohort cross-board rollups \
+             and print the SLO verdict (healthy/degraded/unhealthy) with \
+             outlier boards.")
+
+let trace_boards_arg =
+  Arg.(value & opt int 2 & info [ "trace-boards" ] ~docv:"N"
+       ~doc:"With --trace-out: sample the first N boards with full \
+             per-board trace rings, exported as extra Perfetto lanes.")
+
+let flight_dir_arg =
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+       ~doc:"Arm the fault flight recorder: process faults, kernel \
+             panics, and SLO breaches capture TCKFLT01 postmortem \
+             artifacts into DIR (inspect with `tock_sim postmortem`).")
+
+let fault_board_arg =
+  Arg.(value & opt (some int) None & info [ "fault-board" ] ~docv:"B"
+       ~doc:"Deliberately run board B with only the fault-injector app \
+             (stop-on-fault), to exercise the flight recorder.")
+
+let postmortem_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+       ~doc:"A TCKFLT01 artifact written by fleet --flight-dir.")
+
 let run_t =
   Term.(const run_cmd $ chip_arg $ apps_arg $ sched_arg $ seconds_arg
         $ seed_arg $ strace_arg $ metrics_arg $ trace_out_arg)
@@ -383,11 +460,14 @@ let signpost_t = Term.(const signpost_cmd $ nodes_arg $ seconds_arg $ seed_arg)
 let fleet_t =
   Term.(const fleet_cmd $ boards_arg $ domains_arg $ group_size_arg
         $ cycles_arg $ batch_arg $ seed_arg $ park_arg $ park_min_quanta_arg
-        $ verify_park_arg $ quiet_arg $ metrics_arg)
+        $ verify_park_arg $ quiet_arg $ metrics_arg $ health_arg
+        $ trace_out_arg $ trace_boards_arg $ flight_dir_arg $ fault_board_arg)
 
 let rot_t = Term.(const rot_cmd $ tamper_arg)
 
 let apps_t = Term.(const apps_cmd $ const ())
+
+let postmortem_t = Term.(const postmortem_cmd $ postmortem_file_arg)
 
 let cmds =
   [
@@ -396,6 +476,10 @@ let cmds =
     Cmd.v (Cmd.info "fleet" ~doc:"Domain-parallel multi-board fleet") fleet_t;
     Cmd.v (Cmd.info "rot" ~doc:"Root-of-trust signed boot scenario") rot_t;
     Cmd.v (Cmd.info "apps" ~doc:"List available applications") apps_t;
+    Cmd.v
+      (Cmd.info "postmortem"
+         ~doc:"Render a TCKFLT01 flight artifact and thaw its witness")
+      postmortem_t;
   ]
 
 let () =

@@ -313,6 +313,96 @@ let rule_take_without_restore (n : Dep_graph.node) =
              restore explicitly)")
         takes
 
+(* --- fleet metric namespace -------------------------------------------- *)
+
+(* Every metric the fleet layer registers must live under the "fleet."
+   prefix: fleet scheduler metrics and per-board kernel metrics meet in
+   one merged snapshot (Fleet.fr_metrics), and a bare name registered
+   from lib/fleet would collide with — or shadow — a board-side series.
+   Registration is a call like [Metrics.counter reg "fleet.sched.x"];
+   the name literal sits on the same line or, when formatted long, the
+   next one. Content-level scan (the extractor drops string literals),
+   with the usual pragma escape for deliberate exceptions. *)
+
+let registration_calls =
+  [ "Metrics.counter"; "Metrics.gauge"; "Metrics.histogram" ]
+
+let find_from text pos sub =
+  let ls = String.length sub and lt = String.length text in
+  let rec go i =
+    if i + ls > lt then None
+    else if String.sub text i ls = sub then Some i
+    else go (i + 1)
+  in
+  go pos
+
+let string_literal_after line pos =
+  match String.index_from_opt line pos '"' with
+  | None -> None
+  | Some q -> (
+      match String.index_from_opt line (q + 1) '"' with
+      | None -> None
+      | Some e -> Some (String.sub line (q + 1) (e - q - 1)))
+
+let ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let rule_fleet_metric_namespace (files : Source.file list) =
+  List.concat_map
+    (fun (f : Source.file) ->
+      if
+        not
+          (Taxonomy.starts_with "lib/fleet/" f.Source.path
+          && f.Source.kind = Source.Ml)
+      then []
+      else
+        let lines = Array.of_list (String.split_on_char '\n' f.Source.content) in
+        let viols = ref [] in
+        Array.iteri
+          (fun i line ->
+            List.iter
+              (fun call ->
+                let rec scan pos =
+                  match find_from line pos call with
+                  | None -> ()
+                  | Some p ->
+                      let after = p + String.length call in
+                      (* skip partial-identifier matches (counter_value) *)
+                      if after < String.length line && ident_char line.[after]
+                      then scan after
+                      else begin
+                        let lit =
+                          match string_literal_after line after with
+                          | Some l -> Some l
+                          | None ->
+                              if i + 1 < Array.length lines then
+                                string_literal_after lines.(i + 1) 0
+                              else None
+                        in
+                        (match lit with
+                        | Some name
+                          when not (Taxonomy.starts_with "fleet." name) ->
+                            viols :=
+                              v "fleet-metric-namespace" f.Source.path (i + 1)
+                                "fleet code registers metric %S outside the \
+                                 fleet.* namespace; fleet and per-board \
+                                 series share one merged snapshot, so bare \
+                                 names collide"
+                                name
+                              :: !viols
+                        | _ -> ());
+                        scan after
+                      end
+                in
+                scan 0)
+              registration_calls)
+          lines;
+        List.rev !viols)
+    files
+
 (* --- dune-level rules -------------------------------------------------- *)
 
 (* Category of a stanza: judged by its first module's path so the two
@@ -413,8 +503,8 @@ let all_rule_ids =
     "capsule-layering"; "userland-kernel-internals"; "crypto-confinement";
     "mint-confinement"; "obj-magic"; "warning-suppression"; "missing-mli";
     "subslice-escape"; "capsule-byte-copy"; "capsule-raw-print";
-    "take-without-restore"; "dune-layering"; "unused-lib-dep";
-    "undeclared-dep";
+    "take-without-restore"; "fleet-metric-namespace"; "dune-layering";
+    "unused-lib-dep"; "undeclared-dep";
   ]
 
 (* Shared with otock-check: one pragma grammar, one matching rule. *)
@@ -468,7 +558,10 @@ let run (files : Source.file list) =
       (List.map (fun d -> d.Dep_graph.dune_dir) g.Dep_graph.stanzas)
   in
   let per_dir = List.concat_map (rule_undeclared_dep g) dirs in
-  let all = per_node @ per_stanza @ per_dir @ rule_missing_mli g in
+  let all =
+    per_node @ per_stanza @ per_dir @ rule_missing_mli g
+    @ rule_fleet_metric_namespace files
+  in
   let sorted =
     List.sort
       (fun a b ->

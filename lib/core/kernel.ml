@@ -640,12 +640,19 @@ let handle_syscall t pe (call : Syscall.call) : dispatch =
 let handle_fault t pe reason =
   let proc = pe.proc in
   Tock_obs.Metrics.incr t.kc.c_faults;
-  t.fault_hook proc reason;
   let describe = function
     | Process.Mpu_violation s -> "MPU violation: " ^ s
     | Process.Bad_syscall s -> "bad syscall: " ^ s
     | Process.App_panic s -> "app panic: " ^ s
   in
+  let tr = Tock_hw.Sim.trace_events (sim t) in
+  if Tock_obs.Trace.on tr then
+    Tock_obs.Trace.emit tr
+      ~ts:(Tock_hw.Sim.now (sim t))
+      ~tid:(Process.id proc) Tock_obs.Trace.Fault Tock_obs.Trace.Instant
+      ~arg:(Process.id proc)
+      ~text:(Process.name proc ^ ": " ^ describe reason);
+  t.fault_hook proc reason;
   match t.k_config.fault_policy with
   | Panic_on_fault ->
       raise

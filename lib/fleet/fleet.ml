@@ -34,6 +34,8 @@
    byte-identical at any domain count (and any batch chopping; see
    [Kernel.run_to_deadline]). *)
 
+module Rollup = Tock_obs.Rollup
+
 type config = {
   boards : int;
   domains : int;
@@ -56,6 +58,30 @@ type config = {
          replay a second board through Kernel.restore (which
          byte-verifies itself). Failure is fatal — it means direct
          materialization diverged from history. Debug/test mode. *)
+  health : bool;
+      (* fold every retiring board's packed metrics into per-cohort
+         cross-board rollups and evaluate [default_slos] into an
+         fr_health report. Streaming + commutative, so the report is
+         byte-identical at any domain count. *)
+  trace_capacity : int;
+      (* > 0: give each scheduler domain a Trace ring of this many
+         events (dispatch quanta, steals, parks, resumes, thaw
+         fallbacks, fast-forwards) and export the merged multi-lane
+         Chrome JSON as fr_trace_json. *)
+  trace_boards : int;
+      (* sample the first N boards with full per-board rings of
+         [trace_capacity] events, exported as extra lanes. Sampled
+         boards never park (parking rebuilds the Sim, which would drop
+         the ring); like park, sampling never changes results. *)
+  flight_dir : string option;
+      (* arm the fault flight recorder: any process fault, kernel
+         panic, or end-of-run SLO breach captures a TCKFLT01 artifact
+         (cause + last trace events + packed metrics + freeze witness)
+         into this directory. Single boards get a small always-on ring
+         so the artifact has a timeline even when tracing is off. *)
+  fault_board : int option;
+      (* deliberately build this board with only the fault-injector app
+         under Stop_on_fault — the flight recorder's test fixture. *)
 }
 
 type board_stats = {
@@ -89,7 +115,17 @@ let default =
     park = false;
     park_min_quanta = 2;
     verify_park = false;
+    health = false;
+    trace_capacity = 0;
+    trace_boards = 0;
+    flight_dir = None;
+    fault_board = None;
   }
+
+(* Ring size for ordinary single boards while the flight recorder is
+   armed: enough tail for a useful postmortem timeline, small enough to
+   hand to every board. *)
+let flight_ring = 256
 
 (* Live groups per domain: new work is only materialized once the
    calendar drops below this, so a 100k-group fleet never holds more
@@ -155,7 +191,15 @@ let build_workloads () =
                 ("hello", Tock_userland.Apps.hello);
               ]))
 
-let load_workload workloads board idx =
+let load_workload cfg workloads board idx =
+  let apps =
+    (* The designated fault board runs only the fault injector: after
+       the fault (Stop_on_fault) nothing is live, so the flight
+       recorder's freeze witness thaws deterministically. *)
+    if cfg.fault_board = Some idx then
+      [ ("crasher", Tock_userland.Apps.fault_injector ~delay_ticks:200) ]
+    else workloads.(idx mod workload_mixes).(idx mod workload_jitters)
+  in
   List.iter
     (fun (name, app) ->
       match Tock_boards.Board.add_app board ~name app with
@@ -164,7 +208,7 @@ let load_workload workloads board idx =
           failwith
             (Printf.sprintf "fleet: board %d app %s: %s" idx name
                (Tock.Error.to_string e)))
-    workloads.(idx mod workload_mixes).(idx mod workload_jitters)
+    apps
 
 let stats_of ~idx ~seed (b : Tock_boards.Board.t) =
   let s = Tock.Kernel.stats b.Tock_boards.Board.kernel in
@@ -202,19 +246,65 @@ type group_rt = {
       (* parked wake deadline to sleep to before the next dispatch
          quantum; -1 = none. Deferring the sleep to dispatch time is
          what makes parking an O(1) calendar skip. *)
+  mutable gr_fault : Flight.cause option;
+      (* first fault/panic seen on this group (set by the kernel fault
+         hook while the flight recorder is armed) *)
+  mutable gr_flighted : bool; (* an artifact was already captured *)
 }
 
 let group_count cfg = (cfg.boards + cfg.group_size - 1) / cfg.group_size
 
-(* One independent board on its own clock: tracing off. *)
+(* The first [trace_boards] boards carry full per-board rings and
+   become extra export lanes. Sampling is by absolute board index, so
+   it is independent of domains/batch/park like everything else. *)
+let sampled cfg lo = cfg.trace_capacity > 0 && lo < cfg.trace_boards
+
+let describe_reason = function
+  | Tock.Process.Mpu_violation s -> "MPU violation: " ^ s
+  | Tock.Process.Bad_syscall s -> "bad syscall: " ^ s
+  | Tock.Process.App_panic s -> "app panic: " ^ s
+
+(* One independent board on its own clock. Tracing is off unless the
+   board is sampled (full ring) or the flight recorder is armed (small
+   tail ring for postmortem timelines). *)
 let materialize_single cfg workloads ~g =
   let lo = g in
   let seed = group_seed cfg.seed lo in
-  let sim = Tock_hw.Sim.create ~seed ~trace_capacity:0 () in
+  let trace_capacity =
+    if sampled cfg lo then cfg.trace_capacity
+    else if cfg.flight_dir <> None then flight_ring
+    else 0
+  in
+  let sim = Tock_hw.Sim.create ~seed ~trace_capacity () in
   let chip = Tock_hw.Chip.sam4l_like sim in
-  let board = Tock_boards.Board.build chip in
-  load_workload workloads board lo;
-  { gr_lo = lo; gr_n = 1; gr_seed = seed; gr_kind = Single board; gr_wake = -1 }
+  let board =
+    if cfg.fault_board = Some lo then
+      Tock_boards.Board.build
+        ~config:
+          {
+            (Tock.Kernel.default_config ()) with
+            Tock.Kernel.fault_policy = Tock.Kernel.Stop_on_fault;
+          }
+        chip
+    else Tock_boards.Board.build chip
+  in
+  load_workload cfg workloads board lo;
+  let rt =
+    { gr_lo = lo; gr_n = 1; gr_seed = seed; gr_kind = Single board;
+      gr_wake = -1; gr_fault = None; gr_flighted = false }
+  in
+  if cfg.flight_dir <> None then
+    Tock.Kernel.set_fault_hook board.Tock_boards.Board.kernel
+      (fun proc reason ->
+        if rt.gr_fault = None then
+          rt.gr_fault <-
+            Some
+              (Flight.Fault
+                 {
+                   fl_proc = Tock.Process.name proc;
+                   fl_reason = describe_reason reason;
+                 }));
+  rt
 
 (* A radio group: one shared clock and medium, first board is the
    gateway sink, the rest are beacons (the Signpost deployment). *)
@@ -249,7 +339,8 @@ let materialize_radio cfg ~g =
       | Ok _ -> ()
       | Error e -> failwith ("fleet: beacon: " ^ Tock.Error.to_string e))
     sensors;
-  { gr_lo = lo; gr_n = n; gr_seed = seed; gr_kind = Radio net; gr_wake = -1 }
+  { gr_lo = lo; gr_n = n; gr_seed = seed; gr_kind = Radio net; gr_wake = -1;
+    gr_fault = None; gr_flighted = false }
 
 let materialize cfg workloads ~g =
   if cfg.group_size = 1 then materialize_single cfg workloads ~g
@@ -257,10 +348,12 @@ let materialize cfg workloads ~g =
   then materialize_single cfg workloads ~g:(g * cfg.group_size)
   else materialize_radio cfg ~g
 
-let group_now rt =
+let group_sim rt =
   match rt.gr_kind with
-  | Single b -> Tock_hw.Sim.now b.Tock_boards.Board.sim
-  | Radio net -> Tock_hw.Sim.now net.Tock_boards.Signpost_board.sim
+  | Single b -> b.Tock_boards.Board.sim
+  | Radio net -> net.Tock_boards.Signpost_board.sim
+
+let group_now rt = Tock_hw.Sim.now (group_sim rt)
 
 let group_run rt ~deadline =
   match rt.gr_kind with
@@ -375,11 +468,38 @@ let resume_parked cfg workloads ~on_thaw_fallback pk =
 
 (* ---- the per-domain scheduler ---- *)
 
+(* Everything one domain hands back: per-board stats (unordered), the
+   streaming metrics accumulator, the scheduler-metrics snapshot, and
+   the observability side-channels — per-cohort health rollup, the
+   domain's own trace lane, the sampled boards' lanes, and any flight
+   artifacts captured. *)
+type domain_out = {
+  do_stats : board_stats list;
+  do_accum : Tock_obs.Metrics.Accum.t;
+  do_sched : Tock_obs.Metrics.snapshot;
+  do_rollup : Rollup.t option;
+  do_lane : Tock_obs.Trace.lane option;
+  do_board_lanes : Tock_obs.Trace.lane list;
+  do_flights : Flight.artifact list;
+}
+
+(* A sampled board's export lane: the board's own ring, with threads
+   named after its processes. Holding the ring and name list keeps
+   nothing else of the released board alive. *)
+let lane_of_board cfg lo (b : Tock_boards.Board.t) =
+  {
+    Tock_obs.Trace.lane_pid = cfg.domains + lo;
+    lane_name = Printf.sprintf "board %d" lo;
+    lane_tids =
+      (-1, "kernel")
+      :: List.map
+           (fun p -> (Tock.Process.id p, Tock.Process.name p))
+           (Tock.Kernel.processes b.Tock_boards.Board.kernel);
+    lane_trace = Tock_hw.Sim.trace_events b.Tock_boards.Board.sim;
+  }
+
 (* One domain's run: a deadline calendar over its live groups, refilled
-   from its own deque first and by stealing once that drains. Returns
-   the per-board stats (unordered), the domain's streaming metrics
-   accumulator (every retired board's packed snapshot already folded
-   in), and the domain's scheduler-metrics snapshot. *)
+   from its own deque first and by stealing once that drains. *)
 let run_domain cfg workloads (deques : Ws_deque.t array) d =
   let reg = Tock_obs.Metrics.create () in
   let c_dispatches = Tock_obs.Metrics.counter reg "fleet.sched.dispatches" in
@@ -395,6 +515,52 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
   let g_live_peak = Tock_obs.Metrics.gauge reg "fleet.sched.live_groups_peak" in
   let h_batch = Tock_obs.Metrics.histogram reg "fleet.sched.batch_cycles" in
   let accum = Tock_obs.Metrics.Accum.create () in
+  let roll =
+    if cfg.health then Some (Rollup.create ~cohorts:workload_mixes) else None
+  in
+  (* The domain's own trace lane. Timestamps are the domain's virtual
+     time: the sum of simulated cycles it has dispatched so far —
+     deterministic, monotone, and comparable across domains (wall time
+     would be neither). Disabled-mode emit is a load+branch, so the
+     calls below stay unconditional. *)
+  let dtr = Tock_obs.Trace.create ~capacity:cfg.trace_capacity in
+  let dvt = ref 0 in
+  let board_lanes = ref [] in
+  let flights = ref [] in
+  (* Capture a TCKFLT01 artifact for a group whose kernel faulted or
+     panicked this quantum: cause, trace tail, packed metrics, and (for
+     single boards) a freeze witness. Freeze can refuse mid-flight
+     state after a panic; the artifact then ships without a witness
+     rather than not at all. *)
+  let maybe_flight rt =
+    match rt.gr_fault with
+    | Some cause when (not rt.gr_flighted) && cfg.flight_dir <> None ->
+        rt.gr_flighted <- true;
+        let witness, metrics =
+          match rt.gr_kind with
+          | Single b -> (
+              ( (try Tock.Kernel.freeze b.Tock_boards.Board.kernel
+                 with _ -> ""),
+                Some
+                  (Tock_obs.Metrics.packed_of
+                     (Tock.Kernel.metrics b.Tock_boards.Board.kernel)) ))
+          | Radio _ -> ("", None)
+        in
+        let sim = group_sim rt in
+        flights :=
+          {
+            Flight.fa_cause = cause;
+            fa_board = rt.gr_lo;
+            fa_seed = cfg.seed;
+            fa_clock = Tock_hw.Sim.now sim;
+            fa_clock_hz = Tock_hw.Sim.clock_hz sim;
+            fa_events = Flight.events_of_trace (Tock_hw.Sim.trace_events sim);
+            fa_metrics = metrics;
+            fa_witness = witness;
+          }
+          :: !flights
+    | _ -> ()
+  in
   (* Pooled freeze encoder: one scratch buffer per domain, so parking
      10k boards doesn't re-grow a fresh Buffer 10k times. *)
   let wbuf = Buffer.create (64 * 1024) in
@@ -417,6 +583,10 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
             (match Ws_deque.steal deques.((d + !v) mod ndomains) with
             | `Stolen g ->
                 Tock_obs.Metrics.incr c_steals;
+                Tock_obs.Trace.emit dtr ~ts:!dvt ~tid:(-1) Tock_obs.Trace.Steal
+                  Tock_obs.Trace.Instant
+                  ~arg:((d + !v) mod ndomains)
+                  ~text:"";
                 found := Some g
             | `Retry -> saw_retry := true
             | `Empty -> ());
@@ -443,11 +613,24 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
   let finish rt =
     (* Stream-merge as the group retires: the packed snapshots are both
        the retained per-board stats and the merge input, so the
-       end-of-run cost is one absorb per domain, not O(boards). *)
+       end-of-run cost is one absorb per domain, not O(boards). The
+       health rollup folds the same packed image — still O(1) retained
+       state per board. *)
     let stats = group_stats rt in
     List.iter
-      (fun bs -> Tock_obs.Metrics.Accum.add_packed accum bs.bs_metrics)
+      (fun bs ->
+        Tock_obs.Metrics.Accum.add_packed accum bs.bs_metrics;
+        match roll with
+        | Some r ->
+            Rollup.add_packed r
+              ~cohort:(bs.bs_board mod workload_mixes)
+              bs.bs_metrics
+        | None -> ())
       stats;
+    (match rt.gr_kind with
+    | Single b when sampled cfg rt.gr_lo ->
+        board_lanes := lane_of_board cfg rt.gr_lo b :: !board_lanes
+    | _ -> ());
     results := List.rev_append stats !results;
     Tock_obs.Metrics.incr c_groups;
     decr live;
@@ -468,11 +651,19 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
                  bound). *)
               Tock_obs.Metrics.incr c_board_resumes;
               Tock_obs.Metrics.add c_resume_cycles (pk.pk_wake - pk.pk_clock);
+              Tock_obs.Trace.emit dtr ~ts:!dvt ~tid:(-1) Tock_obs.Trace.Resume
+                Tock_obs.Trace.Instant
+                ~arg:(pk.pk_g * cfg.group_size)
+                ~text:"";
               incr live;
               Tock_obs.Metrics.set_max g_live_peak !live;
               resume_parked cfg workloads pk
                 ~on_thaw_fallback:(fun _e ->
-                  Tock_obs.Metrics.incr c_thaw_fallbacks)
+                  Tock_obs.Metrics.incr c_thaw_fallbacks;
+                  Tock_obs.Trace.emit dtr ~ts:!dvt ~tid:(-1)
+                    Tock_obs.Trace.Resume Tock_obs.Trace.Instant
+                    ~arg:(pk.pk_g * cfg.group_size)
+                    ~text:"thaw-fallback")
         in
         if rt.gr_wake >= 0 then begin
           (* Parked: take the skipped sleep now, in one hop. *)
@@ -481,8 +672,21 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
         end;
         let start = group_now rt in
         let deadline = min (start + cfg.batch) cfg.cycles in
-        let outcome = group_run rt ~deadline in
-        Tock_obs.Metrics.observe h_batch (group_now rt - start);
+        let outcome =
+          (* With the flight recorder armed a kernel panic becomes a
+             captured artifact and the group retires as stalled; unarmed
+             it propagates as before. *)
+          try group_run rt ~deadline
+          with Tock.Kernel.Panic m when cfg.flight_dir <> None ->
+            if rt.gr_fault = None then rt.gr_fault <- Some (Flight.Panic m);
+            `Stalled
+        in
+        let ran = group_now rt - start in
+        Tock_obs.Metrics.observe h_batch ran;
+        Tock_obs.Trace.emit_complete dtr ~ts:!dvt ~dur:ran ~tid:(-1)
+          Tock_obs.Trace.Dispatch ~arg:rt.gr_lo ~text:"";
+        dvt := !dvt + ran;
+        maybe_flight rt;
         (match outcome with
         | `Budget ->
             if group_now rt >= cfg.cycles then finish rt
@@ -494,6 +698,9 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
         | `Asleep wake ->
             if wake >= cfg.cycles then begin
               (* The rest of the budget is one long sleep: warp there. *)
+              Tock_obs.Trace.emit_complete dtr ~ts:!dvt
+                ~dur:(cfg.cycles - group_now rt)
+                ~tid:0 Tock_obs.Trace.Fast_forward ~arg:rt.gr_lo ~text:"";
               group_sleep_to rt cfg.cycles;
               Tock_obs.Metrics.incr c_ff;
               finish rt
@@ -502,6 +709,7 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
               match rt.gr_kind with
               | Single b
                 when cfg.park
+                     && (not (sampled cfg rt.gr_lo))
                      && wake - group_now rt >= cfg.park_min_quanta * cfg.batch
                 ->
                   (* Long sleep ahead: trade the live slot for a byte
@@ -522,6 +730,9 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
                   Tock_obs.Metrics.incr c_board_parks;
                   Tock_obs.Metrics.add c_witness_bytes
                     (String.length pk.pk_witness);
+                  Tock_obs.Trace.emit dtr ~ts:!dvt ~tid:(-1)
+                    Tock_obs.Trace.Park Tock_obs.Trace.Instant ~arg:rt.gr_lo
+                    ~text:"";
                   Calendar.add cal ~key:wake (Parked pk);
                   decr live;
                   refill ()
@@ -533,7 +744,24 @@ let run_domain cfg workloads (deques : Ws_deque.t array) d =
         drain ()
   in
   drain ();
-  (!results, accum, Tock_obs.Metrics.snapshot reg)
+  {
+    do_stats = !results;
+    do_accum = accum;
+    do_sched = Tock_obs.Metrics.snapshot reg;
+    do_rollup = roll;
+    do_lane =
+      (if Tock_obs.Trace.on dtr then
+         Some
+           {
+             Tock_obs.Trace.lane_pid = d;
+             lane_name = Printf.sprintf "domain %d" d;
+             lane_tids = [ (-1, "dispatch"); (0, "warp") ];
+             lane_trace = dtr;
+           }
+       else None);
+    do_board_lanes = !board_lanes;
+    do_flights = !flights;
+  }
 
 let validate cfg =
   if cfg.boards <= 0 then invalid_arg "Fleet.run: boards <= 0";
@@ -541,12 +769,30 @@ let validate cfg =
   if cfg.domains <= 0 then invalid_arg "Fleet.run: domains <= 0";
   if cfg.cycles <= 0 then invalid_arg "Fleet.run: cycles <= 0";
   if cfg.batch <= 0 then invalid_arg "Fleet.run: batch <= 0";
-  if cfg.park_min_quanta <= 0 then invalid_arg "Fleet.run: park_min_quanta <= 0"
+  if cfg.park_min_quanta <= 0 then invalid_arg "Fleet.run: park_min_quanta <= 0";
+  if cfg.trace_capacity < 0 then invalid_arg "Fleet.run: trace_capacity < 0";
+  if cfg.trace_boards < 0 then invalid_arg "Fleet.run: trace_boards < 0"
+
+(* The stock per-cohort health gates: any fault degrades a cohort, two
+   or more on one board (or exhausted restarts) fail it; a p99 syscall
+   count far off the workload's envelope flags runaway boards. *)
+let default_slos =
+  [
+    { Rollup.slo_metric = "kernel.faults"; slo_stat = Rollup.Max; slo_warn = 0;
+      slo_fail = 1 };
+    { Rollup.slo_metric = "kernel.restarts"; slo_stat = Rollup.Max;
+      slo_warn = 0; slo_fail = 3 };
+    { Rollup.slo_metric = "kernel.syscalls"; slo_stat = Rollup.P99;
+      slo_warn = 1 lsl 16; slo_fail = 1 lsl 20 };
+  ]
 
 type fleet_result = {
   fr_stats : board_stats array;
   fr_metrics : Tock_obs.Metrics.snapshot;
   fr_sched : Tock_obs.Metrics.snapshot;
+  fr_health : Rollup.report option;
+  fr_trace_json : string option;
+  fr_flights : (string * Flight.artifact) list;
 }
 
 let run_fleet cfg =
@@ -602,7 +848,7 @@ let run_fleet cfg =
       }
   in
   List.iter
-    (fun (stats, _, _) -> List.iter (fun bs -> merged.(bs.bs_board) <- bs) stats)
+    (fun o -> List.iter (fun bs -> merged.(bs.bs_board) <- bs) o.do_stats)
     shards;
   Array.iteri
     (fun i bs -> if bs.bs_board <> i then failwith "Fleet.run: missing board")
@@ -614,13 +860,103 @@ let run_fleet cfg =
      placement, or park/resume history. *)
   let fleet_acc = Tock_obs.Metrics.Accum.create () in
   List.iter
-    (fun (_, acc, _) -> Tock_obs.Metrics.Accum.absorb ~into:fleet_acc acc)
+    (fun o -> Tock_obs.Metrics.Accum.absorb ~into:fleet_acc o.do_accum)
     shards;
+  let fr_metrics = Tock_obs.Metrics.Accum.to_snapshot fleet_acc in
+  (* Health: absorb the per-domain rollups (same commutative-sum
+     contract), then evaluate SLOs and run the outlier pass over the
+     merged stats in board order — deterministic at any domain count. *)
+  let fr_health =
+    if not cfg.health then None
+    else begin
+      let fleet_roll = Rollup.create ~cohorts:workload_mixes in
+      List.iter
+        (fun o ->
+          match o.do_rollup with
+          | Some r -> Rollup.absorb ~into:fleet_roll r
+          | None -> ())
+        shards;
+      Some
+        (Rollup.evaluate fleet_roll ~slos:default_slos
+           ~iter_boards:(fun f ->
+             Array.iter
+               (fun bs ->
+                 f
+                   ~cohort:(bs.bs_board mod workload_mixes)
+                   ~board:bs.bs_board bs.bs_metrics)
+               merged))
+    end
+  in
+  (* Flight artifacts: the domains captured fault/panic dumps; an
+     unhealthy or degraded end-of-run verdict adds one fleet-level
+     SLO-breach artifact carrying the merged metrics. Files are written
+     here, single-threaded, in board order. *)
+  let artifacts =
+    List.stable_sort
+      (fun a b -> compare a.Flight.fa_board b.Flight.fa_board)
+      (List.concat_map (fun o -> List.rev o.do_flights) shards)
+  in
+  let artifacts =
+    match (cfg.flight_dir, fr_health) with
+    | Some _, Some rp when rp.Rollup.rp_verdict <> Rollup.Healthy ->
+        let failing =
+          List.filter
+            (fun c -> c.Rollup.ck_verdict <> Rollup.Healthy)
+            rp.Rollup.rp_checks
+        in
+        artifacts
+        @ [
+            {
+              Flight.fa_cause =
+                Flight.Slo_breach
+                  (Printf.sprintf "%s: %d of %d checks failing"
+                     (Rollup.verdict_name rp.Rollup.rp_verdict)
+                     (List.length failing)
+                     (List.length rp.Rollup.rp_checks));
+              fa_board = -1;
+              fa_seed = cfg.seed;
+              fa_clock = 0;
+              fa_clock_hz = 1;
+              fa_events = [];
+              fa_metrics = Some (Tock_obs.Metrics.pack fr_metrics);
+              fa_witness = "";
+            };
+          ]
+    | _ -> artifacts
+  in
+  let fr_flights =
+    match cfg.flight_dir with
+    | None -> []
+    | Some dir ->
+        List.map
+          (fun a ->
+            let path = Filename.concat dir (Flight.filename a) in
+            let oc = open_out_bin path in
+            output_string oc (Flight.encode a);
+            close_out oc;
+            (path, a))
+          artifacts
+  in
+  let fr_trace_json =
+    if cfg.trace_capacity <= 0 then None
+    else
+      let dlanes = List.filter_map (fun o -> o.do_lane) shards in
+      let blanes =
+        List.stable_sort
+          (fun a b ->
+            compare a.Tock_obs.Trace.lane_pid b.Tock_obs.Trace.lane_pid)
+          (List.concat_map (fun o -> o.do_board_lanes) shards)
+      in
+      let clock_hz = Tock_hw.Sim.clock_hz (Tock_hw.Sim.create ()) in
+      Some (Tock_obs.Trace.to_chrome_json_lanes ~clock_hz (dlanes @ blanes))
+  in
   {
     fr_stats = merged;
-    fr_metrics = Tock_obs.Metrics.Accum.to_snapshot fleet_acc;
-    fr_sched =
-      Tock_obs.Metrics.merge (List.map (fun (_, _, sched) -> sched) shards);
+    fr_metrics;
+    fr_sched = Tock_obs.Metrics.merge (List.map (fun o -> o.do_sched) shards);
+    fr_health;
+    fr_trace_json;
+    fr_flights;
   }
 
 let run_sched cfg =
@@ -631,10 +967,46 @@ let run cfg = (run_fleet cfg).fr_stats
 
 (* The pairwise reference merge over retained packed stats; byte-
    identical to the streaming [fr_metrics] (and still the right tool
-   once only the stats array is in hand). *)
+   once only the stats array is in hand). The packed images came out of
+   packed_of, so the validation merge_packed now runs cannot fail. *)
 let merged_metrics stats =
-  Tock_obs.Metrics.merge_packed
-    (Array.to_list (Array.map (fun bs -> bs.bs_metrics) stats))
+  match
+    Tock_obs.Metrics.merge_packed
+      (Array.to_list (Array.map (fun bs -> bs.bs_metrics) stats))
+  with
+  | Ok snap -> snap
+  | Error e -> invalid_arg ("Fleet.merged_metrics: " ^ e)
+
+(* Rebuild the faulted board from the artifact's recipe (fleet seed +
+   board index) and thaw the witness into it. The artifact does not
+   record whether its board was the designated fault board, and thaw
+   byte-verifies structure against the witness — so try the fault-board
+   construction first and fall back to the ordinary workload, each on a
+   fresh board (a declined thaw may leave the attempt half-patched). *)
+let thaw_artifact (a : Flight.artifact) =
+  if a.Flight.fa_witness = "" then Error "artifact has no witness"
+  else if a.Flight.fa_board < 0 then Error "fleet-level artifact has no board"
+  else
+    let attempt fault_board =
+      let cfg = { default with seed = a.Flight.fa_seed; fault_board } in
+      let workloads = build_workloads () in
+      let rt = materialize_single cfg workloads ~g:a.Flight.fa_board in
+      match rt.gr_kind with
+      | Single b -> (
+          match
+            Tock.Kernel.thaw b.Tock_boards.Board.kernel
+              ~cap:b.Tock_boards.Board.main_cap a.Flight.fa_witness
+          with
+          | Ok () -> Ok b
+          | Error e -> Error e)
+      | Radio _ -> assert false
+    in
+    match attempt (Some a.Flight.fa_board) with
+    | Ok b -> Ok b
+    | Error e1 -> (
+        match attempt None with
+        | Ok b -> Ok b
+        | Error e2 -> Error (e1 ^ "; as plain workload: " ^ e2))
 
 let total_cycles stats =
   Array.fold_left (fun acc bs -> acc + bs.bs_cycles) 0 stats

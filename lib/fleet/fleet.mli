@@ -19,6 +19,9 @@
     merge in board order — [run cfg] returns byte-identical stats for
     every value of [cfg.domains] and [cfg.batch]. *)
 
+module Rollup = Tock_obs.Rollup
+(** Re-exported for callers holding an [fr_health] report. *)
+
 type config = {
   boards : int;      (** total boards in the fleet *)
   domains : int;     (** worker domains; 1 = run inline on this domain *)
@@ -45,6 +48,38 @@ type config = {
           compare byte-for-byte against the stored witness, then
           independently replay a second board (self-verifying). Fatal
           [Failure] on divergence. Debug/test mode — expensive. *)
+  health : bool;
+      (** fold every retiring board's packed metrics into per-cohort
+          cross-board rollups ({!Rollup}) and evaluate {!default_slos}
+          into [fr_health]. Streaming and commutative: the report is
+          byte-identical at any domain count, batch, or park setting. *)
+  trace_capacity : int;
+      (** [> 0]: give each scheduler domain a trace ring of this many
+          events (dispatch quanta, steals, parks, resumes, thaw
+          fallbacks, fast-forward warps) and export the merged
+          multi-lane Chrome/Perfetto JSON as [fr_trace_json]. Domain
+          lanes use pid = domain index and a virtual time axis (cycles
+          dispatched so far). *)
+  trace_boards : int;
+      (** sample the first N boards with full per-board rings
+          ([trace_capacity] events each), exported as extra lanes with
+          pid = [domains + board] (collision-free with domain lanes).
+          Sampled boards never park — parking rebuilds the [Sim] and
+          would drop the ring — but sampling never changes results. *)
+  flight_dir : string option;
+      (** arm the fault flight recorder: every process fault or kernel
+          panic captures a [TCKFLT01] artifact ({!Flight}) — cause,
+          trace tail, packed metrics, freeze witness — and a Degraded/
+          Unhealthy end-of-run verdict (with [health]) adds one
+          fleet-level SLO-breach artifact. Files are written into this
+          directory (which must exist) and listed in [fr_flights].
+          While armed, kernel panics retire the group as stalled
+          instead of aborting the run. *)
+  fault_board : int option;
+      (** build this board with only the fault-injector app under
+          [Stop_on_fault]: it faults once and halts cleanly, so its
+          flight-recorder witness thaws deterministically — the fault
+          path's test fixture. *)
 }
 
 type board_stats = {
@@ -69,7 +104,14 @@ type board_stats = {
 
 val default : config
 (** 16 independent boards, 1 domain, 2M cycles, 250k batch, no
-    parking; [park_min_quanta = 2], [verify_park = false]. *)
+    parking; [park_min_quanta = 2], [verify_park = false]; all
+    observability off ([health = false], [trace_capacity = 0],
+    [trace_boards = 0], [flight_dir = None], [fault_board = None]). *)
+
+val default_slos : Rollup.slo list
+(** The stock per-cohort health gates: [max(kernel.faults)] (warn > 0,
+    fail > 1), [max(kernel.restarts)] (warn > 0, fail > 3),
+    [p99(kernel.syscalls)] (warn > 65536, fail > 1048576). *)
 
 val group_seed : int64 -> int -> int64
 (** [group_seed fleet_seed first_board_index]: pure SplitMix64-style
@@ -91,6 +133,17 @@ type fleet_result = {
           live-group peak, batch-cycle histogram). These {e do} depend
           on domain count, batch, and park — they describe the
           execution, not the simulation. *)
+  fr_health : Rollup.report option;
+      (** with [config.health]: per-cohort SLO checks, outlier boards,
+          and the overall verdict. Byte-identical (via
+          {!Rollup.render_json}) at any domain count. *)
+  fr_trace_json : string option;
+      (** with [config.trace_capacity > 0]: the merged multi-lane
+          Chrome/Perfetto trace (domain lanes + sampled board lanes). *)
+  fr_flights : (string * Flight.artifact) list;
+      (** with [config.flight_dir]: the [TCKFLT01] artifacts captured
+          this run, as [(written_path, artifact)], in board order
+          (fleet-level SLO-breach artifact last). *)
 }
 
 val run_fleet : config -> fleet_result
@@ -108,7 +161,17 @@ val merged_metrics : board_stats array -> Tock_obs.Metrics.snapshot
 (** The pairwise reference merge over the retained packed snapshots.
     Byte-identical to [fr_metrics] (one shared merge kernel — see the
     associativity contract in {!Tock_obs.Metrics}); prefer [fr_metrics]
-    when a {!fleet_result} is already in hand. *)
+    when a {!fleet_result} is already in hand. [Invalid_argument] if a
+    packed image fails validation — impossible for stats produced by
+    {!run}. *)
+
+val thaw_artifact :
+  Flight.artifact -> (Tock_boards.Board.t, string) result
+(** Rebuild the artifact's board from its recipe (fleet seed + board
+    index) and thaw the embedded freeze witness into it, yielding a
+    live board at the captured instant for interactive inspection.
+    [Error] when the artifact carries no witness (fleet-level or
+    panic-time captures) or the witness declines to thaw. *)
 
 val total_cycles : board_stats array -> int
 

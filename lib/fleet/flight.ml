@@ -1,0 +1,213 @@
+(* Fault flight recorder artifacts ("TCKFLT01").
+
+   When a fleet board faults a process, panics its kernel, or the run
+   ends in SLO breach, the runner captures everything a postmortem
+   needs into one self-contained dump: the cause, the last-N trace
+   events from the board's ring, the full packed metrics snapshot, and
+   (for board-level causes) a [Kernel.freeze] witness that can be
+   thawed back into a live board for inspection.
+
+   The encoding reuses the witness codec (int64-LE ints,
+   length-prefixed strings) and is total on decode: truncated or
+   bit-flipped artifacts yield [Error], never an exception — the same
+   contract as TCKSNP02. Trace kinds and phases are stored as strings,
+   not variant tags, so an artifact written by one build renders under
+   another even if the kind enum grew in between. *)
+
+module W = Tock.Kernel.Witness
+module Metrics = Tock_obs.Metrics
+module Trace = Tock_obs.Trace
+
+let magic = "TCKFLT01"
+
+type cause =
+  | Fault of { fl_proc : string; fl_reason : string }
+  | Panic of string
+  | Slo_breach of string
+
+type event = {
+  fe_ts : int;
+  fe_tid : int;
+  fe_kind : string;
+  fe_phase : string; (* "B" | "E" | "i" | "X" *)
+  fe_dur : int;
+  fe_arg : int;
+  fe_text : string;
+}
+
+type artifact = {
+  fa_cause : cause;
+  fa_board : int; (* board index; -1 for fleet-level causes *)
+  fa_seed : int64; (* fleet seed, enough to rebuild the board *)
+  fa_clock : int; (* board clock at capture, cycles *)
+  fa_clock_hz : int;
+  fa_events : event list; (* oldest first *)
+  fa_metrics : Metrics.packed option;
+  fa_witness : string; (* Kernel.freeze bytes; "" when none *)
+}
+
+let cause_name = function
+  | Fault _ -> "fault"
+  | Panic _ -> "panic"
+  | Slo_breach _ -> "slo"
+
+let filename a =
+  if a.fa_board < 0 then Printf.sprintf "flt-fleet-%s.tckflt" (cause_name a.fa_cause)
+  else Printf.sprintf "flt-board%05d-%s.tckflt" a.fa_board (cause_name a.fa_cause)
+
+(* Last [max] retained events of a ring, oldest first. *)
+let events_of_trace ?(max = 256) tr =
+  let newest_first = ref [] in
+  Trace.iter tr (fun e ->
+      newest_first :=
+        {
+          fe_ts = e.Trace.e_ts;
+          fe_tid = e.Trace.e_tid;
+          fe_kind = Trace.kind_name e.Trace.e_kind;
+          fe_phase =
+            (match e.Trace.e_phase with
+            | Trace.Begin -> "B"
+            | Trace.End -> "E"
+            | Trace.Instant -> "i"
+            | Trace.Complete -> "X");
+          fe_dur = e.Trace.e_dur;
+          fe_arg = e.Trace.e_arg;
+          fe_text = e.Trace.e_text;
+        }
+        :: !newest_first);
+  let rec take k = function
+    | [] -> []
+    | x :: t -> if k = 0 then [] else x :: take (k - 1) t
+  in
+  List.rev (take max !newest_first)
+
+let encode a =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  (match a.fa_cause with
+  | Fault { fl_proc; fl_reason } ->
+      W.add_int buf 0;
+      W.add_string buf fl_proc;
+      W.add_string buf fl_reason
+  | Panic m ->
+      W.add_int buf 1;
+      W.add_string buf m
+  | Slo_breach m ->
+      W.add_int buf 2;
+      W.add_string buf m);
+  W.add_int buf a.fa_board;
+  W.add_string buf (Int64.to_string a.fa_seed);
+  W.add_int buf a.fa_clock;
+  W.add_int buf a.fa_clock_hz;
+  W.add_int buf (List.length a.fa_events);
+  List.iter
+    (fun e ->
+      W.add_int buf e.fe_ts;
+      W.add_int buf e.fe_tid;
+      W.add_string buf e.fe_kind;
+      W.add_string buf e.fe_phase;
+      W.add_int buf e.fe_dur;
+      W.add_int buf e.fe_arg;
+      W.add_string buf e.fe_text)
+    a.fa_events;
+  W.add_string buf
+    (match a.fa_metrics with
+    | None -> ""
+    | Some p -> Metrics.packed_to_string p);
+  W.add_string buf a.fa_witness;
+  Buffer.contents buf
+
+let decode s =
+  W.guard (fun () ->
+      let r = W.reader s in
+      let m = W.raw r (String.length magic) in
+      if m <> magic then W.corrupt "flight: bad magic %S" m;
+      let fa_cause =
+        match W.int r with
+        | 0 ->
+            let fl_proc = W.string r in
+            let fl_reason = W.string r in
+            Fault { fl_proc; fl_reason }
+        | 1 -> Panic (W.string r)
+        | 2 -> Slo_breach (W.string r)
+        | n -> W.corrupt "flight: unknown cause tag %d" n
+      in
+      let fa_board = W.int r in
+      let fa_seed =
+        let s = W.string r in
+        match Int64.of_string_opt s with
+        | Some v -> v
+        | None -> W.corrupt "flight: bad seed %S" s
+      in
+      let fa_clock = W.int r in
+      let fa_clock_hz = W.int r in
+      if fa_clock_hz <= 0 then W.corrupt "flight: clock_hz %d" fa_clock_hz;
+      let n = W.int r in
+      if n < 0 || n > 1_000_000 then W.corrupt "flight: event count %d" n;
+      let fa_events =
+        List.init n (fun _ ->
+            let fe_ts = W.int r in
+            let fe_tid = W.int r in
+            let fe_kind = W.string r in
+            let fe_phase = W.string r in
+            let fe_dur = W.int r in
+            let fe_arg = W.int r in
+            let fe_text = W.string r in
+            { fe_ts; fe_tid; fe_kind; fe_phase; fe_dur; fe_arg; fe_text })
+      in
+      let fa_metrics =
+        match W.string r with
+        | "" -> None
+        | ms -> (
+            match Metrics.packed_of_string ms with
+            | Ok p -> Some p
+            | Error e -> W.corrupt "flight: metrics: %s" e)
+      in
+      let fa_witness = W.string r in
+      if not (W.at_end r) then W.corrupt "flight: trailing bytes";
+      { fa_cause; fa_board; fa_seed; fa_clock; fa_clock_hz; fa_events;
+        fa_metrics; fa_witness })
+
+let describe_cause = function
+  | Fault { fl_proc; fl_reason } ->
+      Printf.sprintf "process fault: %s (%s)" fl_proc fl_reason
+  | Panic m -> Printf.sprintf "kernel panic: %s" m
+  | Slo_breach m -> Printf.sprintf "SLO breach: %s" m
+
+let render a =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "%s postmortem\n" magic);
+  Buffer.add_string buf (Printf.sprintf "cause:   %s\n" (describe_cause a.fa_cause));
+  if a.fa_board >= 0 then
+    Buffer.add_string buf (Printf.sprintf "board:   %d\n" a.fa_board);
+  Buffer.add_string buf
+    (Printf.sprintf "seed:    %Ld\nclock:   %d cyc @ %d Hz\n" a.fa_seed
+       a.fa_clock a.fa_clock_hz);
+  Buffer.add_string buf
+    (Printf.sprintf "\n-- timeline (last %d events, oldest first) --\n"
+       (List.length a.fa_events));
+  List.iter
+    (fun e ->
+      let us = float_of_int e.fe_ts *. 1e6 /. float_of_int a.fa_clock_hz in
+      Buffer.add_string buf
+        (Printf.sprintf "[%12d cyc %12.3f us] tid=%-3d %s %-12s %s\n" e.fe_ts
+           us e.fe_tid e.fe_phase e.fe_kind
+           (if e.fe_text = "" then Printf.sprintf "arg=%d" e.fe_arg
+            else e.fe_text)))
+    a.fa_events;
+  Buffer.add_string buf "\n-- metrics --\n";
+  (match a.fa_metrics with
+  | None -> Buffer.add_string buf "(none captured)\n"
+  | Some p -> (
+      match Metrics.unpack p with
+      | Ok snap -> Buffer.add_string buf (Metrics.render_text snap)
+      | Error e ->
+          Buffer.add_string buf (Printf.sprintf "(corrupt metrics: %s)\n" e)));
+  Buffer.add_string buf
+    (if a.fa_witness = "" then "\nwitness: none\n"
+     else
+       Printf.sprintf "\nwitness: %d bytes (%s)\n"
+         (String.length a.fa_witness)
+         (if String.length a.fa_witness >= 8 then String.sub a.fa_witness 0 8
+          else "short"));
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** Fault flight recorder artifacts ([TCKFLT01]).
+
+    A self-contained postmortem dump captured when a fleet board faults
+    a process, panics its kernel, or the run ends in SLO breach: the
+    cause, the last-N trace events from the board's ring, the full
+    packed metrics snapshot, and (for board-level causes) a
+    [Kernel.freeze] witness thawable back into a live board.
+
+    Decoding is total: truncated or corrupt artifacts yield [Error],
+    never an exception — the same hardening contract as the TCKSNP02
+    board witness. *)
+
+val magic : string
+(** ["TCKFLT01"]. *)
+
+type cause =
+  | Fault of { fl_proc : string; fl_reason : string }
+  | Panic of string
+  | Slo_breach of string  (** the offending verdict summary *)
+
+type event = {
+  fe_ts : int;  (** cycles *)
+  fe_tid : int;
+  fe_kind : string;  (** [Trace.kind_name] at capture time *)
+  fe_phase : string;  (** ["B"] | ["E"] | ["i"] | ["X"] *)
+  fe_dur : int;
+  fe_arg : int;
+  fe_text : string;
+}
+
+type artifact = {
+  fa_cause : cause;
+  fa_board : int;  (** board index; -1 for fleet-level causes *)
+  fa_seed : int64;  (** fleet seed — enough to rebuild the board *)
+  fa_clock : int;  (** board clock at capture, cycles *)
+  fa_clock_hz : int;
+  fa_events : event list;  (** oldest first *)
+  fa_metrics : Tock_obs.Metrics.packed option;
+  fa_witness : string;  (** [Kernel.freeze] bytes; [""] when none *)
+}
+
+val cause_name : cause -> string
+(** ["fault"] | ["panic"] | ["slo"]. *)
+
+val filename : artifact -> string
+(** Deterministic artifact file name, e.g. ["flt-board00042-fault.tckflt"]. *)
+
+val events_of_trace : ?max:int -> Tock_obs.Trace.t -> event list
+(** The last [max] (default 256) retained ring events, oldest first. *)
+
+val encode : artifact -> string
+
+val decode : string -> (artifact, string) result
+
+val describe_cause : cause -> string
+
+val render : artifact -> string
+(** Human postmortem: cause header, timeline, metrics table, witness
+    size. Thawing the witness is [Fleet.thaw_artifact]'s job. *)

@@ -354,34 +354,104 @@ let pack snap =
     p_blob = Bytes.unsafe_to_string blob;
   }
 
-let unpack p =
+(* Structural validation of a packed image against its own schema:
+   every word [unpack], [merge_packed] and [Accum.add_packed] will read
+   must exist, every histogram record must lie inside the blob with
+   in-range bucket indices. [packed_of]/[pack] construct images that
+   pass by construction; images rebuilt from bytes (board witnesses,
+   flight-recorder artifacts) may be truncated or bit-flipped, and the
+   contract mirrors the TCKSNP02 witness hardening: [Error] with a
+   diagnostic, never an exception. *)
+let validate_packed p =
+  let err fmt = Printf.ksprintf (fun m -> Error ("packed: " ^ m)) fmt in
   let sc = p.p_schema in
   let n = Array.length sc.sc_names in
-  let rec go rank acc =
-    if rank < 0 then acc
-    else
-      let v =
+  let words = String.length p.p_blob / 8 in
+  if String.length sc.sc_kinds <> n then
+    err "schema has %d names but %d kinds" n (String.length sc.sc_kinds)
+  else if String.length p.p_blob mod 8 <> 0 || words < n then
+    err "blob is %d bytes for %d series" (String.length p.p_blob) n
+  else begin
+    let bad = ref None in
+    for rank = 0 to n - 1 do
+      if !bad = None then
         match sc.sc_kinds.[rank] with
-        | 'c' -> Counter (blob_word p rank)
-        | 'g' -> Gauge (blob_word p rank)
-        | _ ->
+        | 'c' | 'g' -> ()
+        | 'h' ->
             let off = blob_word p rank in
-            let hs_buckets = Array.make buckets 0 in
-            let np = blob_word p (off + 2) in
-            for k = 0 to np - 1 do
-              hs_buckets.(blob_word p (off + 3 + (2 * k))) <-
-                blob_word p (off + 3 + (2 * k) + 1)
-            done;
-            Histogram
-              {
-                hs_count = blob_word p off;
-                hs_sum = blob_word p (off + 1);
-                hs_buckets;
-              }
+            if off < n || off + 3 > words then
+              bad :=
+                Some
+                  (err "series %s: histogram offset %d out of range"
+                     sc.sc_names.(rank) off)
+            else
+              let np = blob_word p (off + 2) in
+              if np < 0 || np > buckets || off + 3 + (2 * np) > words then
+                bad :=
+                  Some
+                    (err "series %s: %d histogram pairs out of range"
+                       sc.sc_names.(rank) np)
+              else
+                for k = 0 to np - 1 do
+                  let b = blob_word p (off + 3 + (2 * k)) in
+                  if (b < 0 || b >= buckets) && !bad = None then
+                    bad :=
+                      Some
+                        (err "series %s: bucket %d out of range"
+                           sc.sc_names.(rank) b)
+                done
+        | k -> bad := Some (err "series %s: unknown kind %C" sc.sc_names.(rank) k)
+    done;
+    match !bad with Some e -> e | None -> Ok ()
+  end
+
+(* Unchecked per-series fold over a validated image: the allocation-free
+   read path shared by the health-rollup engine. Histograms surface as
+   their (count, sum) pair — the per-board scalar shape the cross-board
+   distributions fold. *)
+let iter_packed p ~counter ~gauge ~hist =
+  let sc = p.p_schema in
+  for rank = 0 to Array.length sc.sc_names - 1 do
+    let name = sc.sc_names.(rank) in
+    match sc.sc_kinds.[rank] with
+    | 'c' -> counter name (blob_word p rank)
+    | 'g' -> gauge name (blob_word p rank)
+    | _ ->
+        let off = blob_word p rank in
+        hist name ~count:(blob_word p off) ~sum:(blob_word p (off + 1))
+  done
+
+let unpack p =
+  match validate_packed p with
+  | Error _ as e -> e
+  | Ok () ->
+      let sc = p.p_schema in
+      let n = Array.length sc.sc_names in
+      let rec go rank acc =
+        if rank < 0 then acc
+        else
+          let v =
+            match sc.sc_kinds.[rank] with
+            | 'c' -> Counter (blob_word p rank)
+            | 'g' -> Gauge (blob_word p rank)
+            | _ ->
+                let off = blob_word p rank in
+                let hs_buckets = Array.make buckets 0 in
+                let np = blob_word p (off + 2) in
+                for k = 0 to np - 1 do
+                  hs_buckets.(blob_word p (off + 3 + (2 * k))) <-
+                    blob_word p (off + 3 + (2 * k) + 1)
+                done;
+                Histogram
+                  {
+                    hs_count = blob_word p off;
+                    hs_sum = blob_word p (off + 1);
+                    hs_buckets;
+                  }
+          in
+          go (rank - 1) ((sc.sc_names.(rank), v) :: acc)
       in
-      go (rank - 1) ((sc.sc_names.(rank), v) :: acc)
-  in
-  go (n - 1) []
+      Ok (go (n - 1) [])
 
 let packed_to_string p =
   let b = Buffer.create 1024 in
@@ -483,6 +553,9 @@ let packed_of_string s =
    fewer series than its frozen image); a registry series absent from
    the image would keep a stale value, so that is an error. *)
 let restore_packed t p =
+  match validate_packed p with
+  | Error e -> Error e
+  | Ok () ->
   let sc = p.p_schema in
   let n = Array.length sc.sc_names in
   let bad = ref None in
@@ -668,9 +741,20 @@ let merge snaps =
   Accum.to_snapshot a
 
 let merge_packed ps =
-  let a = Accum.create () in
-  List.iter (Accum.add_packed a) ps;
-  Accum.to_snapshot a
+  (* Validate every image before folding any: [Accum.add_packed] reads
+     the blob unchecked, so a truncated image must be refused up front
+     rather than half-merged. *)
+  let rec check = function
+    | [] -> Ok ()
+    | p :: rest -> (
+        match validate_packed p with Error _ as e -> e | Ok () -> check rest)
+  in
+  match check ps with
+  | Error e -> Error e
+  | Ok () ->
+      let a = Accum.create () in
+      List.iter (Accum.add_packed a) ps;
+      Ok (Accum.to_snapshot a)
 
 (* ---- rendering ---- *)
 

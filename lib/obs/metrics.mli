@@ -130,7 +130,26 @@ val packed_of : t -> packed
 
 val pack : snapshot -> packed
 
-val unpack : packed -> snapshot
+val validate_packed : packed -> (unit, string) result
+(** Structural check of a packed image against its own schema: blob
+    length, histogram offsets, pair counts and bucket indices all in
+    range. Images built by {!packed_of}/{!pack} pass by construction;
+    images rebuilt from external bytes may not. *)
+
+val unpack : packed -> (snapshot, string) result
+(** Validates first (see {!validate_packed}): a truncated or
+    bit-flipped image yields [Error], never an exception. *)
+
+val iter_packed :
+  packed ->
+  counter:(string -> int -> unit) ->
+  gauge:(string -> int -> unit) ->
+  hist:(string -> count:int -> sum:int -> unit) ->
+  unit
+(** Allocation-free per-series fold over a packed image (histograms
+    surface as their count/sum pair). Reads are unchecked: callers
+    holding images from external bytes run {!validate_packed} first —
+    {!packed_of_string} already has. *)
 
 val packed_to_string : packed -> string
 (** Compact deterministic binary encoding (for digests / park
@@ -148,8 +167,10 @@ val restore_packed : t -> packed -> (unit, string) result
     registry holds series the image does not (their stale values would
     survive the restore). *)
 
-val merge_packed : packed list -> snapshot
-(** [merge] over packed snapshots without unpacking. *)
+val merge_packed : packed list -> (snapshot, string) result
+(** [merge] over packed snapshots without unpacking. Every image is
+    {!validate_packed}-checked before any is folded: corrupt input
+    yields [Error] with nothing half-merged. *)
 
 (** {2 Streaming accumulation}
 

@@ -1,0 +1,335 @@
+(* Cross-board health rollups: fold each board's packed metrics into
+   per-metric distributions *across boards*, per cohort.
+
+   The fleet runner retires boards in whatever order domains finish, so
+   everything here is commutative: each metric's cross-board
+   distribution is a log2 histogram (reusing Metrics' bucket machinery)
+   plus exact min/max/sum/count — all of which add element-wise, so
+   per-domain partial rollups tree-merged with [absorb] render the same
+   report as one sequential pass. Memory is O(metrics x cohorts),
+   independent of board count: a 100k-board fleet costs the same few
+   kilobytes as a 16-board one.
+
+   Outlier detection needs the *final* per-cohort medians, so it runs as
+   a deterministic second pass ([evaluate]'s [iter_boards]) over the
+   retained per-board packed stats, in board order. *)
+
+type dist = {
+  mutable d_n : int;
+  mutable d_sum : int;
+  mutable d_min : int;
+  mutable d_max : int;
+  d_buckets : int array; (* length Metrics.buckets; log2 of per-board values *)
+}
+
+type cohort = {
+  mutable co_boards : int;
+  co_dists : (string, dist) Hashtbl.t;
+  (* Fast path: the fleet pools packed schemas, so consecutive boards
+     nearly always share one physical schema — cache the resolved dist
+     plan (schema entry order) and skip the per-name hash lookups. *)
+  mutable co_plan_schema : Metrics.schema option;
+  mutable co_plan : dist array;
+}
+
+type t = { r_cohorts : cohort array }
+
+let create ~cohorts =
+  if cohorts <= 0 then invalid_arg "Rollup.create: cohorts <= 0";
+  {
+    r_cohorts =
+      Array.init cohorts (fun _ ->
+          { co_boards = 0; co_dists = Hashtbl.create 64;
+            co_plan_schema = None; co_plan = [||] });
+  }
+
+let cohorts t = Array.length t.r_cohorts
+
+let boards t = Array.fold_left (fun a c -> a + c.co_boards) 0 t.r_cohorts
+
+let dist_for co name =
+  match Hashtbl.find_opt co.co_dists name with
+  | Some d -> d
+  | None ->
+      let d =
+        { d_n = 0; d_sum = 0; d_min = max_int; d_max = min_int;
+          d_buckets = Array.make Metrics.buckets 0 }
+      in
+      Hashtbl.add co.co_dists name d;
+      d
+
+let observe_dist d v =
+  d.d_n <- d.d_n + 1;
+  d.d_sum <- d.d_sum + v;
+  if v < d.d_min then d.d_min <- v;
+  if v > d.d_max then d.d_max <- v;
+  let b = Metrics.bucket_index v in
+  d.d_buckets.(b) <- d.d_buckets.(b) + 1
+
+(* The cohort's dist plan for a packed schema, entry for entry. Cache
+   keyed by physical schema equality: rebuilding is rare (a fleet pools
+   one schema per workload recipe), hitting is an array read. *)
+let plan_for co (s : Metrics.schema) =
+  match co.co_plan_schema with
+  | Some cached when cached == s -> co.co_plan
+  | _ ->
+      let plan = Array.map (dist_for co) s.Metrics.sc_names in
+      co.co_plan_schema <- Some s;
+      co.co_plan <- plan;
+      plan
+
+(* One board retires: every counter and gauge contributes its value,
+   every histogram contributes its observation count (the rollup asks
+   "how many syscalls did each board make", not "how long was each").
+   [iter_packed] visits entries in schema order, so a running index
+   into the plan replaces a hash lookup per series. *)
+let add_packed t ~cohort p =
+  let co = t.r_cohorts.(cohort) in
+  co.co_boards <- co.co_boards + 1;
+  let plan = plan_for co p.Metrics.p_schema in
+  let i = ref (-1) in
+  let obs v =
+    incr i;
+    observe_dist plan.(!i) v
+  in
+  Metrics.iter_packed p
+    ~counter:(fun _ v -> obs v)
+    ~gauge:(fun _ v -> obs v)
+    ~hist:(fun _ ~count ~sum:_ -> obs count)
+
+let absorb ~into src =
+  if Array.length into.r_cohorts <> Array.length src.r_cohorts then
+    invalid_arg "Rollup.absorb: cohort counts differ";
+  Array.iteri
+    (fun i sco ->
+      let dco = into.r_cohorts.(i) in
+      dco.co_boards <- dco.co_boards + sco.co_boards;
+      Hashtbl.iter
+        (fun name sd ->
+          let dd = dist_for dco name in
+          dd.d_n <- dd.d_n + sd.d_n;
+          dd.d_sum <- dd.d_sum + sd.d_sum;
+          if sd.d_min < dd.d_min then dd.d_min <- sd.d_min;
+          if sd.d_max > dd.d_max then dd.d_max <- sd.d_max;
+          Array.iteri
+            (fun b n -> dd.d_buckets.(b) <- dd.d_buckets.(b) + n)
+            sd.d_buckets)
+        sco.co_dists)
+    src.r_cohorts
+
+(* ---- statistics ---- *)
+
+type stat = P50 | P99 | Max | Mean | Total
+
+let stat_name = function
+  | P50 -> "p50"
+  | P99 -> "p99"
+  | Max -> "max"
+  | Mean -> "mean"
+  | Total -> "total"
+
+let dist_stat d stat =
+  if d.d_n = 0 then 0
+  else
+    match stat with
+    | Max -> d.d_max
+    | Total -> d.d_sum
+    | Mean -> d.d_sum / d.d_n
+    | P50 | P99 ->
+        let q = if stat = P50 then 0.5 else 0.99 in
+        let v =
+          Metrics.quantile
+            { Metrics.hs_count = d.d_n; hs_sum = d.d_sum;
+              hs_buckets = d.d_buckets }
+            q
+        in
+        (* quantile reports the bucket's upper bound (max_int from the
+           top bucket); the observed max is a tighter one. *)
+        min v d.d_max
+
+let stat_value t ~cohort name stat =
+  match Hashtbl.find_opt t.r_cohorts.(cohort).co_dists name with
+  | None -> 0
+  | Some d -> dist_stat d stat
+
+(* ---- SLO evaluation ---- *)
+
+type verdict = Healthy | Degraded | Unhealthy
+
+let verdict_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Unhealthy -> "unhealthy"
+
+let worst a b =
+  match (a, b) with
+  | Unhealthy, _ | _, Unhealthy -> Unhealthy
+  | Degraded, _ | _, Degraded -> Degraded
+  | Healthy, Healthy -> Healthy
+
+type slo = {
+  slo_metric : string;
+  slo_stat : stat;
+  slo_warn : int;
+  slo_fail : int;
+}
+
+type check = {
+  ck_cohort : int;
+  ck_metric : string;
+  ck_stat : stat;
+  ck_boards : int;
+  ck_value : int;
+  ck_warn : int;
+  ck_fail : int;
+  ck_verdict : verdict;
+}
+
+type outlier = {
+  ol_board : int;
+  ol_cohort : int;
+  ol_metric : string;
+  ol_value : int;
+  ol_median : int;
+}
+
+type report = {
+  rp_boards : int;
+  rp_checks : check list;
+  rp_outliers : outlier list;
+  rp_verdict : verdict;
+}
+
+let evaluate ?(outlier_k = 8) ?(outlier_floor = 64) t ~slos ~iter_boards =
+  let checks =
+    List.concat_map
+      (fun s ->
+        List.init (cohorts t) (fun c ->
+            let v = stat_value t ~cohort:c s.slo_metric s.slo_stat in
+            let verdict =
+              if v > s.slo_fail then Unhealthy
+              else if v > s.slo_warn then Degraded
+              else Healthy
+            in
+            { ck_cohort = c; ck_metric = s.slo_metric; ck_stat = s.slo_stat;
+              ck_boards = t.r_cohorts.(c).co_boards; ck_value = v;
+              ck_warn = s.slo_warn; ck_fail = s.slo_fail;
+              ck_verdict = verdict }))
+      slos
+  in
+  let outliers = ref [] in
+  (* Distributions are frozen during the outlier pass, so each cohort's
+     per-metric medians are computed once per packed schema (pooled
+     fleet-wide: in practice once per cohort), not once per board. *)
+  let median_plans = Array.map (fun _ -> ref None) t.r_cohorts in
+  iter_boards (fun ~cohort ~board p ->
+      let co = t.r_cohorts.(cohort) in
+      let s = p.Metrics.p_schema in
+      let plan =
+        match !(median_plans.(cohort)) with
+        | Some (cached, arr) when cached == s -> arr
+        | _ ->
+            let arr =
+              Array.map
+                (fun name ->
+                  match Hashtbl.find_opt co.co_dists name with
+                  | None -> None
+                  | Some d -> Some (dist_stat d P50))
+                s.Metrics.sc_names
+            in
+            median_plans.(cohort) := Some (s, arr);
+            arr
+      in
+      let i = ref (-1) in
+      let flag v =
+        incr i;
+        if v >= outlier_floor then
+          match plan.(!i) with
+          | None -> ()
+          | Some median ->
+              if v >= outlier_k * max median 1 then
+                outliers :=
+                  { ol_board = board; ol_cohort = cohort;
+                    ol_metric = s.Metrics.sc_names.(!i); ol_value = v;
+                    ol_median = median }
+                  :: !outliers
+      in
+      Metrics.iter_packed p
+        ~counter:(fun _ v -> flag v)
+        ~gauge:(fun _ v -> flag v)
+        ~hist:(fun _ ~count ~sum:_ -> flag count));
+  let rp_outliers = List.rev !outliers in
+  let rp_verdict =
+    List.fold_left (fun a c -> worst a c.ck_verdict) Healthy checks
+  in
+  { rp_boards = boards t; rp_checks = checks; rp_outliers; rp_verdict }
+
+(* ---- renderers ---- *)
+
+let render_text r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "fleet health: %s  (%d boards, %d checks, %d outliers)\n"
+       (String.uppercase_ascii (verdict_name r.rp_verdict))
+       r.rp_boards
+       (List.length r.rp_checks)
+       (List.length r.rp_outliers));
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  [%-9s] cohort %d  %s(%s) = %d  (%d boards, warn > %d, fail > \
+            %d)\n"
+           (verdict_name c.ck_verdict) c.ck_cohort (stat_name c.ck_stat)
+           c.ck_metric c.ck_value c.ck_boards c.ck_warn c.ck_fail))
+    r.rp_checks;
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  outlier board %d (cohort %d): %s = %d vs median %d\n"
+           o.ol_board o.ol_cohort o.ol_metric o.ol_value o.ol_median))
+    r.rp_outliers;
+  Buffer.contents buf
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"verdict\": \"%s\",\n  \"boards\": %d,\n"
+       (verdict_name r.rp_verdict) r.rp_boards);
+  Buffer.add_string buf "  \"checks\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"cohort\": %d, \"metric\": \"%s\", \"stat\": \"%s\", \
+            \"boards\": %d, \"value\": %d, \"warn\": %d, \"fail\": %d, \
+            \"verdict\": \"%s\"}"
+           c.ck_cohort (escape c.ck_metric) (stat_name c.ck_stat) c.ck_boards
+           c.ck_value c.ck_warn c.ck_fail (verdict_name c.ck_verdict)))
+    r.rp_checks;
+  Buffer.add_string buf "\n  ],\n  \"outliers\": [";
+  List.iteri
+    (fun i o ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"board\": %d, \"cohort\": %d, \"metric\": \"%s\", \
+            \"value\": %d, \"median\": %d}"
+           o.ol_board o.ol_cohort (escape o.ol_metric) o.ol_value o.ol_median))
+    r.rp_outliers;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -20,14 +20,32 @@ type kind =
   | Sleep  (** span: CPU in deep sleep awaiting a hardware event *)
   | Upcall  (** instant: upcall delivered; arg = driver number *)
   | Note  (** free-text line (the legacy [Sim.trace] surface) *)
+  | Fault  (** instant: a process faulted; text = reason *)
+  | Dispatch
+      (** fleet scheduler: one calendar dispatch quantum; arg = first
+          board index of the group *)
+  | Steal  (** fleet scheduler instant; arg = victim domain *)
+  | Park  (** fleet scheduler instant: board frozen; arg = board *)
+  | Resume  (** fleet scheduler instant: board thawed; arg = board *)
+  | Fast_forward
+      (** fleet scheduler: a fully-asleep group warped over its gap;
+          arg = board, duration = cycles skipped *)
 
-type phase = Begin | End | Instant
+type phase =
+  | Begin
+  | End
+  | Instant
+  | Complete
+      (** a span carried as one event with an explicit duration
+          ([e_dur]); used where Begin/End pairs cannot nest sanely,
+          e.g. fleet dispatch quanta interleaved across groups *)
 
 type event = {
   mutable e_ts : int;  (** cycles *)
   mutable e_tid : int;  (** pid, or -1 for kernel/hardware *)
   mutable e_kind : kind;
   mutable e_phase : phase;
+  mutable e_dur : int;  (** cycles; only meaningful for [Complete] *)
   mutable e_arg : int;
   mutable e_text : string;
 }
@@ -54,7 +72,14 @@ val dropped : t -> int
 
 val emit :
   t -> ts:int -> tid:int -> kind -> phase -> arg:int -> text:string -> unit
-(** Record one event in place (no allocation). No-op when disabled. *)
+(** Record one event in place. Disabled mode is one field load and one
+    branch — no allocation, no ring access (the write body is a
+    separate non-inlined function reached only when recording). *)
+
+val emit_complete :
+  t -> ts:int -> dur:int -> tid:int -> kind -> arg:int -> text:string -> unit
+(** Record a [Complete] span: a self-contained event carrying its own
+    duration in cycles. Same disabled-mode cost contract as {!emit}. *)
 
 val note : t -> ts:int -> string -> unit
 (** [emit] shorthand for free-text kernel notes (tid -1). *)
@@ -72,6 +97,20 @@ val to_text : clock_hz:int -> t -> string
 (** Timestamp-sorted text timeline, one line per event, with a header
     line when events were dropped. *)
 
+type lane = {
+  lane_pid : int;  (** Chrome pid; one horizontal track group *)
+  lane_name : string;  (** process_name metadata for the lane *)
+  lane_tids : (int * string) list;
+      (** raw tid -> thread name (-1 = kernel); shifted +1 on export *)
+  lane_trace : t;
+}
+
+val to_chrome_json_lanes : clock_hz:int -> lane list -> string
+(** Multi-lane Chrome trace-event JSON: one pid lane per entry (the
+    fleet export puts each scheduler domain and each sampled board in
+    its own lane). Events within a lane are timestamp-sorted;
+    [otherData] carries the summed drop/total counts. *)
+
 val to_chrome_json :
   ?pid:int ->
   ?process_name:string ->
@@ -83,4 +122,5 @@ val to_chrome_json :
     [tid_names] maps raw tids (-1 = kernel) to thread names; tids are
     shifted by +1 on export so the kernel's -1 becomes thread 0. [ts]
     is microseconds derived from [clock_hz]; [otherData] carries
-    [clock_hz], [dropped_events] and [total_events]. *)
+    [clock_hz], [dropped_events] and [total_events]. Equivalent to
+    {!to_chrome_json_lanes} with a single lane. *)

@@ -484,6 +484,46 @@ let test_live_repo_gate_trips () =
   Alcotest.(check bool) "forged mint trips the gate" true
     (List.mem "mint-confinement" new_rules)
 
+let test_fleet_metric_namespace () =
+  (* Fleet code registering a metric outside fleet.* is flagged — the
+     name literal may sit on the registration line or wrap to the next.
+     Pragma'd sites and non-fleet code are exempt. *)
+  let bad =
+    core_fixture
+    @ [
+        file "lib/fleet/sched.ml"
+          "let c = Tock_obs.Metrics.counter reg \"sched.dispatches\"\n\
+           let g =\n\
+          \  Tock_obs.Metrics.gauge reg\n\
+          \    \"boards_live\"\n\
+           let ok = Tock_obs.Metrics.histogram reg \"fleet.sched.batch\"\n";
+        file "lib/fleet/sched.mli" "val x : int\n";
+      ]
+  in
+  Alcotest.(check int) "bare names flagged (same + next line)" 2
+    (count_rule "fleet-metric-namespace" bad);
+  let pragmad =
+    core_fixture
+    @ [
+        file "lib/fleet/legacy.ml"
+          "(* otock-lint: allow fleet-metric-namespace migration shim *)\n\
+           let c = Tock_obs.Metrics.counter reg \"sched.old\"\n";
+        file "lib/fleet/legacy.mli" "val c : int\n";
+      ]
+  in
+  Alcotest.(check int) "pragma suppresses" 0
+    (count_rule "fleet-metric-namespace" pragmad);
+  let elsewhere =
+    core_fixture
+    @ [
+        file "lib/obs/own.ml"
+          "let c = Tock_obs.Metrics.counter reg \"kernel.syscalls\"\n";
+        file "lib/obs/own.mli" "val c : int\n";
+      ]
+  in
+  Alcotest.(check int) "non-fleet code not in scope" 0
+    (count_rule "fleet-metric-namespace" elsewhere)
+
 let test_taxonomy_shared_with_bench () =
   (* The Fig. 5 split and the lint trusted-set are the same function. *)
   Alcotest.(check bool) "hw is trusted" true
@@ -524,6 +564,8 @@ let suite =
       test_live_repo_matches_baseline;
     Alcotest.test_case "gate trips on injection" `Quick
       test_live_repo_gate_trips;
+    Alcotest.test_case "fleet metric namespace" `Quick
+      test_fleet_metric_namespace;
     Alcotest.test_case "taxonomy shared with fig5" `Quick
       test_taxonomy_shared_with_bench;
   ]

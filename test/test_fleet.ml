@@ -6,6 +6,7 @@
 open! Helpers
 
 module Fleet = Tock_fleet.Fleet
+module Flight = Tock_fleet.Flight
 
 let small cfg = { cfg with Fleet.cycles = 200_000 }
 
@@ -460,6 +461,150 @@ let test_fleet_smoke () =
   Alcotest.(check bool) "dispatches cover groups" true
     (find "fleet.sched.dispatches" >= Fleet.group_count cfg)
 
+(* Health rollups are streaming, commutative folds of retiring boards:
+   the rendered report must be byte-identical at 1, 2 and 4 domains,
+   and with parking on — domain placement, steal order and freeze/thaw
+   may never leak into a verdict. *)
+let test_health_identical_across_domains () =
+  let cfg =
+    small { Fleet.default with boards = 9; group_size = 1; health = true }
+  in
+  let render (r : Fleet.fleet_result) =
+    match r.Fleet.fr_health with
+    | Some rep -> Fleet.Rollup.render_json rep
+    | None -> Alcotest.fail "fr_health missing with health = true"
+  in
+  let base = Fleet.run_fleet { cfg with domains = 1 } in
+  let expect = render base in
+  (match base.Fleet.fr_health with
+  | Some rep ->
+      Alcotest.(check int) "boards counted" 9 rep.Fleet.Rollup.rp_boards;
+      (* every stock SLO against every workload cohort *)
+      Alcotest.(check int) "checks evaluated"
+        (List.length Fleet.default_slos * 3)
+        (List.length rep.Fleet.Rollup.rp_checks);
+      Alcotest.(check string) "fault-free fleet is healthy" "healthy"
+        (Fleet.Rollup.verdict_name rep.Fleet.Rollup.rp_verdict)
+  | None -> ());
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "health report @ %d domains" domains)
+        expect
+        (render (Fleet.run_fleet { cfg with domains })))
+    [ 2; 4 ];
+  (* parking changes the memory/wall-time shape only, never the report *)
+  Alcotest.(check string) "health report with parking" expect
+    (render
+       (Fleet.run_fleet
+          { cfg with domains = 2; park = true; batch = 1_000;
+            park_min_quanta = 50 }))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The fault flight recorder end to end: a deliberately faulting board
+   produces a TCKFLT01 artifact on disk that decodes totally, whose
+   postmortem timeline contains the fault event, and whose freeze
+   witness thaws back into a live board exhibiting the faulted
+   process. With health on, the Degraded verdict adds one fleet-level
+   SLO-breach artifact that (carrying no witness) must refuse to
+   thaw. *)
+let test_flight_recorder_artifact () =
+  let dir = Filename.temp_file "tock-flight" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+  @@ fun () ->
+  (* the injector's delayed wild read lands around 227k cycles — give
+     the budget comfortable headroom past it *)
+  let cfg =
+    { Fleet.default with
+      boards = 6; domains = 2; group_size = 1; cycles = 400_000;
+      batch = 50_000; health = true; fault_board = Some 3;
+      flight_dir = Some dir }
+  in
+  let r = Fleet.run_fleet cfg in
+  let find_board b =
+    List.find_opt
+      (fun (_, (a : Flight.artifact)) -> a.Flight.fa_board = b)
+      r.Fleet.fr_flights
+  in
+  let path, art =
+    match find_board 3 with
+    | Some pa -> pa
+    | None -> Alcotest.fail "no flight artifact for the fault board"
+  in
+  (match art.Flight.fa_cause with
+  | Flight.Fault { fl_proc; fl_reason } ->
+      Alcotest.(check string) "faulting process" "crasher" fl_proc;
+      Alcotest.(check bool) "fault reason described" true
+        (String.length fl_reason > 0)
+  | c -> Alcotest.failf "unexpected cause: %s" (Flight.cause_name c));
+  Alcotest.(check bool) "artifact file written" true (Sys.file_exists path);
+  let raw = read_file path in
+  Alcotest.(check bool) "file leads with the magic" true
+    (String.length raw >= 8 && String.sub raw 0 8 = Flight.magic);
+  (match Flight.decode raw with
+  | Error e -> Alcotest.failf "decode: %s" e
+  | Ok decoded ->
+      Alcotest.(check string) "decode/encode round trip" raw
+        (Flight.encode decoded);
+      Alcotest.(check bool) "timeline contains the fault event" true
+        (List.exists
+           (fun e -> e.Flight.fe_kind = "fault")
+           decoded.Flight.fa_events);
+      (* the packed metrics snapshot decodes and records the fault *)
+      (match decoded.Flight.fa_metrics with
+      | None -> Alcotest.fail "artifact carries no metrics"
+      | Some p -> (
+          match Tock_obs.Metrics.unpack p with
+          | Error e -> Alcotest.failf "artifact metrics unpack: %s" e
+          | Ok snap -> (
+              match List.assoc_opt "kernel.faults" snap with
+              | Some (Tock_obs.Metrics.Counter v) ->
+                  Alcotest.(check int) "fault counted" 1 v
+              | _ -> Alcotest.fail "kernel.faults missing from artifact")));
+      (* the witness thaws into a live board at the captured instant *)
+      (match Fleet.thaw_artifact decoded with
+      | Error e -> Alcotest.failf "thaw_artifact: %s" e
+      | Ok board ->
+          Alcotest.(check int) "thawed clock at capture" decoded.Flight.fa_clock
+            (Tock_hw.Sim.now board.Tock_boards.Board.sim);
+          Alcotest.(check bool) "thawed board shows the faulted process" true
+            (List.exists
+               (fun p ->
+                 match Tock.Process.state p with
+                 | Tock.Process.Faulted _ -> true
+                 | _ -> false)
+               (Tock.Kernel.processes board.Tock_boards.Board.kernel))));
+  (* the degraded verdict added exactly one fleet-level artifact *)
+  (match find_board (-1) with
+  | None -> Alcotest.fail "SLO-breach artifact missing"
+  | Some (fpath, fart) ->
+      Alcotest.(check bool) "slo artifact written" true (Sys.file_exists fpath);
+      (match fart.Flight.fa_cause with
+      | Flight.Slo_breach _ -> ()
+      | c -> Alcotest.failf "fleet artifact cause: %s" (Flight.cause_name c));
+      (match Fleet.thaw_artifact fart with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "witness-less artifact must not thaw"));
+  (* the fault never contaminates the other boards' results *)
+  Array.iter
+    (fun (bs : Fleet.board_stats) ->
+      if bs.Fleet.bs_board <> 3 then
+        Alcotest.(check bool)
+          (Printf.sprintf "board %d still ran" bs.Fleet.bs_board)
+          true (bs.Fleet.bs_syscalls > 0))
+    r.Fleet.fr_stats
+
 let test_seed_independent_of_grouping () =
   (* group_seed depends only on the fleet seed and first board index. *)
   let s = Fleet.group_seed 42L 0 in
@@ -511,6 +656,10 @@ let suite =
       test_100k_construction_park_smoke;
     Alcotest.test_case "fleet-smoke (2 domains, stealing on)" `Quick
       test_fleet_smoke;
+    Alcotest.test_case "health rollups byte-identical (1/2/4 domains)" `Quick
+      test_health_identical_across_domains;
+    Alcotest.test_case "flight recorder: fault artifact decodes and thaws"
+      `Quick test_flight_recorder_artifact;
     Alcotest.test_case "group seeds are pure" `Quick
       test_seed_independent_of_grouping;
     Alcotest.test_case "bad configs rejected" `Quick test_bad_config_rejected;

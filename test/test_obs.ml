@@ -320,7 +320,7 @@ let qcheck_merge_kernel_equivalence =
         Metrics.Accum.to_snapshot left
       in
       let packed = Metrics.merge_packed (List.map Metrics.pack snaps) in
-      reference = streaming && reference = tree && reference = packed)
+      reference = streaming && reference = tree && Ok reference = packed)
 
 let qcheck_pack_roundtrip =
   qcheck "pack/unpack round-trips any snapshot" gen_metric_specs
@@ -328,7 +328,7 @@ let qcheck_pack_roundtrip =
       List.for_all
         (fun spec ->
           let snap = snapshot_of_spec spec in
-          Metrics.unpack (Metrics.pack snap) = snap)
+          Metrics.unpack (Metrics.pack snap) = Ok snap)
         specs)
 
 let test_packed_of_matches_snapshot () =
@@ -345,9 +345,87 @@ let test_packed_of_matches_snapshot () =
   Alcotest.(check bool) "packed_of = pack . snapshot" true
     (p = Metrics.pack snap);
   Alcotest.(check bool) "unpack . packed_of = snapshot" true
-    (Metrics.unpack p = snap);
+    (Metrics.unpack p = Ok snap);
   Alcotest.(check bool) "binary encoding is stable" true
     (Metrics.packed_to_string p = Metrics.packed_to_string (Metrics.pack snap))
+
+(* ---- packed codec hardening ----
+
+   External packed bytes (park buffers, flight artifacts) must never
+   crash the reader: every truncation and every single-byte flip comes
+   back [Ok] or [Error] from the whole entry surface
+   ([packed_of_string], [unpack], [validate_packed], [merge_packed]) —
+   never an exception. *)
+
+let test_packed_rejects_corruption () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "k.syscalls") 12345;
+  Metrics.set (Metrics.gauge r "k.now") 777;
+  let h = Metrics.histogram r "k.lat" in
+  List.iter (Metrics.observe h) [ 1; 3; 9; 42; 9000 ];
+  let p = Metrics.packed_of r in
+  let good = Metrics.packed_to_string p in
+  let n = String.length good in
+  (match Metrics.packed_of_string good with
+  | Ok p' ->
+      Alcotest.(check bool) "clean image round-trips" true
+        (Metrics.unpack p' = Metrics.unpack p)
+  | Error e -> Alcotest.failf "clean image rejected: %s" e);
+  let total name f =
+    (* the hardening contract: a result, never an exception; when the
+       damaged image still parses, unpacking it must be total too *)
+    match f () with
+    | Ok damaged -> (
+        match Metrics.unpack damaged with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+            Alcotest.failf "%s: unpack raised %s" name (Printexc.to_string e))
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: diagnostic not empty" name)
+          true
+          (String.length e > 0)
+    | exception e ->
+        Alcotest.failf "%s: raised %s instead of a result" name
+          (Printexc.to_string e)
+  in
+  (* every truncation point *)
+  for k = 0 to n - 1 do
+    total
+      (Printf.sprintf "truncated to %d bytes" k)
+      (fun () -> Metrics.packed_of_string (String.sub good 0 k))
+  done;
+  Alcotest.(check bool) "empty image rejected" true
+    (Result.is_error (Metrics.packed_of_string ""));
+  Alcotest.(check bool) "half image rejected" true
+    (Result.is_error (Metrics.packed_of_string (String.sub good 0 (n / 2))));
+  (* every single-byte flip *)
+  for i = 0 to n - 1 do
+    let b = Bytes.of_string good in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+    total
+      (Printf.sprintf "byte %d flipped" i)
+      (fun () -> Metrics.packed_of_string (Bytes.to_string b))
+  done;
+  (* a typed-but-torn image: blob shorter than its schema demands *)
+  let torn =
+    { p with Metrics.p_blob = String.sub p.Metrics.p_blob 0 8 }
+  in
+  Alcotest.(check bool) "torn blob fails validation" true
+    (Result.is_error (Metrics.validate_packed torn));
+  Alcotest.(check bool) "torn blob fails unpack" true
+    (Result.is_error (Metrics.unpack torn));
+  (* merge_packed validates every input before folding any *)
+  (match Metrics.merge_packed [ p; torn ] with
+  | Error e ->
+      Alcotest.(check bool) "merge diagnostic not empty" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "merge_packed accepted a torn image"
+  | exception e ->
+      Alcotest.failf "merge_packed raised %s" (Printexc.to_string e));
+  match Metrics.merge_packed [ p; p ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "merge_packed rejected clean images: %s" e
 
 let test_merge_type_clash () =
   let ra = Metrics.create () and rb = Metrics.create () in
@@ -541,6 +619,107 @@ let test_fleet_merge_deterministic () =
   (* parses as JSON too *)
   ignore (parse_json one)
 
+(* ---- fleet multi-lane Perfetto export ---- *)
+
+let test_fleet_trace_export () =
+  let cfg =
+    { Fleet.default with
+      Fleet.boards = 4; domains = 2; group_size = 1; cycles = 200_000;
+      trace_capacity = 4096; trace_boards = 2 }
+  in
+  let r = Fleet.run_fleet cfg in
+  (* tracing is pure observation: results match the untraced run *)
+  Alcotest.(check string) "tracing never changes results"
+    (Metrics.render_json
+       (Fleet.merged_metrics
+          (Fleet.run { cfg with Fleet.trace_capacity = 0; trace_boards = 0 })))
+    (Metrics.render_json r.Fleet.fr_metrics);
+  let json_s =
+    match r.Fleet.fr_trace_json with
+    | Some s -> s
+    | None -> Alcotest.fail "fr_trace_json missing with tracing on"
+  in
+  let j = parse_json json_s in
+  ignore (as_num (obj_get "clock_hz" (obj_get "otherData" j)));
+  let events = as_arr (obj_get "traceEvents" j) in
+  (* lane metadata: every pid named exactly once — domain lanes (pid =
+     domain) and sampled board lanes (pid = domains + board) must never
+     collide *)
+  let pid_names = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if
+        as_str (obj_get "ph" e) = "M"
+        && as_str (obj_get "name" e) = "process_name"
+      then begin
+        let pid = int_of_float (as_num (obj_get "pid" e)) in
+        (match Hashtbl.find_opt pid_names pid with
+        | Some prior ->
+            Alcotest.failf "pid %d named twice (%s)" pid prior
+        | None -> ());
+        Hashtbl.add pid_names pid (as_str (obj_get "name" (obj_get "args" e)))
+      end)
+    events;
+  List.iter
+    (fun (pid, name) ->
+      match Hashtbl.find_opt pid_names pid with
+      | Some n ->
+          Alcotest.(check string) (Printf.sprintf "lane pid %d" pid) name n
+      | None -> Alcotest.failf "lane pid %d missing" pid)
+    [ (0, "domain 0"); (1, "domain 1"); (2, "board 0"); (3, "board 1") ];
+  (* every data record well-formed; ts monotone within each lane; B/E
+     balanced per (pid, tid) stack, never going negative *)
+  let depth = Hashtbl.create 16 in
+  let last_ts = Hashtbl.create 8 in
+  let n_data = ref 0 in
+  let domain_dispatches = ref 0 in
+  let board_events = ref 0 in
+  List.iter
+    (fun e ->
+      let ph = as_str (obj_get "ph" e) in
+      let pid = int_of_float (as_num (obj_get "pid" e)) in
+      let tid = int_of_float (as_num (obj_get "tid" e)) in
+      Alcotest.(check bool) "tid shifted non-negative" true (tid >= 0);
+      if ph <> "M" then begin
+        incr n_data;
+        if pid < 2 && as_str (obj_get "cat" e) = "dispatch" then
+          incr domain_dispatches;
+        if pid >= 2 then incr board_events;
+        let ts = as_num (obj_get "ts" e) in
+        let prev =
+          Option.value ~default:neg_infinity (Hashtbl.find_opt last_ts pid)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "lane %d sorted by ts" pid)
+          true (ts >= prev);
+        Hashtbl.replace last_ts pid ts
+      end;
+      match ph with
+      | "M" -> ()
+      | "i" ->
+          Alcotest.(check string) "instant scope" "t" (as_str (obj_get "s" e))
+      | "X" ->
+          Alcotest.(check bool) "complete has a duration" true
+            (as_num (obj_get "dur" e) >= 0.)
+      | "B" | "E" ->
+          let key = (pid, tid) in
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth key) in
+          let d = if ph = "B" then d + 1 else d - 1 in
+          if d < 0 then Alcotest.failf "pid %d tid %d: E before B" pid tid;
+          Hashtbl.replace depth key d
+      | other -> Alcotest.failf "unexpected phase %s" other)
+    events;
+  Hashtbl.iter
+    (fun (pid, tid) d ->
+      if d <> 0 then
+        Alcotest.failf "pid %d tid %d: %d unclosed spans" pid tid d)
+    depth;
+  Alcotest.(check bool) "data events exported" true (!n_data > 0);
+  Alcotest.(check bool) "domain lanes carry dispatch quanta" true
+    (!domain_dispatches > 0);
+  Alcotest.(check bool) "sampled board lanes carry events" true
+    (!board_events > 0)
+
 let suite =
   [
     Alcotest.test_case "registry basics" `Quick test_registry_basics;
@@ -554,6 +733,8 @@ let suite =
     qcheck_pack_roundtrip;
     Alcotest.test_case "packed_of matches snapshot" `Quick
       test_packed_of_matches_snapshot;
+    Alcotest.test_case "packed codec rejects corruption" `Quick
+      test_packed_rejects_corruption;
     Alcotest.test_case "merge type clash" `Quick test_merge_type_clash;
     Alcotest.test_case "render_json parses" `Quick test_render_json_parses;
     Alcotest.test_case "trace ring drop accounting" `Quick test_trace_drops;
@@ -568,4 +749,6 @@ let suite =
       test_irq_latency_histogram;
     Alcotest.test_case "fleet merge deterministic" `Quick
       test_fleet_merge_deterministic;
+    Alcotest.test_case "fleet Perfetto export parses back" `Quick
+      test_fleet_trace_export;
   ]
